@@ -1,0 +1,288 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Tables 1-4, Figures 4-12), the ablation benches from
+   DESIGN.md, and — under --micro — Bechamel micro-benchmarks of the
+   analysis kernels.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --only fig4  # one experiment
+     dune exec bench/main.exe -- --quick      # reduced suite (CI-sized)
+     dune exec bench/main.exe -- --micro      # Bechamel kernels
+     dune exec bench/main.exe -- --list       # available ids *)
+
+module Suite = Mcd_workloads.Suite
+module Headline = Mcd_experiments.Headline
+module Context_sense = Mcd_experiments.Context_sense
+module Sweep = Mcd_experiments.Sweep
+module Tables = Mcd_experiments.Tables
+module Ablations = Mcd_experiments.Ablations
+
+let quick_suite () =
+  List.map Suite.by_name
+    [ "adpcm decode"; "gsm encode"; "mpeg2 decode"; "mcf"; "applu" ]
+
+let quick_contexts () =
+  [ Mcd_profiling.Context.lfcp; Mcd_profiling.Context.lf;
+    Mcd_profiling.Context.f ]
+
+let headline_rows ~quick =
+  let workloads = if quick then quick_suite () else Suite.all in
+  Headline.rows ~workloads ()
+
+let context_rows ~quick =
+  if quick then
+    Context_sense.rows
+      ~workloads:(List.map Suite.by_name [ "mpeg2 decode"; "adpcm decode" ])
+      ~contexts:(quick_contexts ()) ()
+  else Context_sense.rows ()
+
+let table4_rows ~quick =
+  let workloads = if quick then quick_suite () else Suite.all in
+  Context_sense.rows ~workloads ~contexts:[ Mcd_profiling.Context.lfcp ] ()
+
+let sweep_args ~quick =
+  if quick then
+    ( Some (List.map Suite.by_name [ "gsm encode"; "applu" ]),
+      Some [ 4.0; 8.0; 12.0 ],
+      Some [ 0.985; 0.93 ] )
+  else (None, None, None)
+
+type experiment = { id : string; descr : string; run : quick:bool -> string }
+
+let experiments =
+  [
+    { id = "table1"; descr = "simulated configuration";
+      run = (fun ~quick:_ -> Tables.table1 ()) };
+    { id = "table2"; descr = "benchmarks and instruction windows";
+      run = (fun ~quick:_ -> Tables.table2 ()) };
+    { id = "table3"; descr = "call-tree nodes and train/ref coverage";
+      run =
+        (fun ~quick ->
+          if quick then Tables.table3 ~workloads:(quick_suite ()) ()
+          else Tables.table3 ()) };
+    { id = "fig4"; descr = "performance degradation per benchmark";
+      run = (fun ~quick -> Headline.fig4 (headline_rows ~quick)) };
+    { id = "fig5"; descr = "energy savings per benchmark";
+      run = (fun ~quick -> Headline.fig5 (headline_rows ~quick)) };
+    { id = "fig6"; descr = "energy x delay improvement per benchmark";
+      run = (fun ~quick -> Headline.fig6 (headline_rows ~quick)) };
+    { id = "fig7"; descr = "min/avg/max summary incl. global DVS";
+      run =
+        (fun ~quick ->
+          Headline.fig7 (Headline.summary (headline_rows ~quick))) };
+    { id = "fig8"; descr = "context sensitivity: performance";
+      run = (fun ~quick -> Context_sense.fig8 (context_rows ~quick)) };
+    { id = "fig9"; descr = "context sensitivity: energy";
+      run = (fun ~quick -> Context_sense.fig9 (context_rows ~quick)) };
+    { id = "fig10"; descr = "energy savings vs slowdown sweep";
+      run =
+        (fun ~quick ->
+          let workloads, deltas, guards = sweep_args ~quick in
+          Sweep.fig10
+            ~offline:(Sweep.offline_curve ?workloads ?deltas ())
+            ~online:(Sweep.online_curve ?workloads ?guards ())
+            ~profile:(Sweep.profile_curve ?workloads ?deltas ())) };
+    { id = "fig11"; descr = "energy x delay vs slowdown sweep";
+      run =
+        (fun ~quick ->
+          let workloads, deltas, guards = sweep_args ~quick in
+          Sweep.fig11
+            ~offline:(Sweep.offline_curve ?workloads ?deltas ())
+            ~online:(Sweep.online_curve ?workloads ?guards ())
+            ~profile:(Sweep.profile_curve ?workloads ?deltas ())) };
+    { id = "fig12"; descr = "instrumentation cost by context";
+      run = (fun ~quick -> Context_sense.fig12 (context_rows ~quick)) };
+    { id = "table4"; descr = "static/dynamic points and overhead (L+F+C+P)";
+      run = (fun ~quick -> Context_sense.table4 (table4_rows ~quick)) };
+    { id = "ablation-sync"; descr = "MCD synchronization penalty";
+      run =
+        (fun ~quick ->
+          if quick then
+            Ablations.sync_penalty
+              ~workloads:(List.map Suite.by_name [ "gsm encode"; "mcf" ])
+              ()
+          else Ablations.sync_penalty ()) };
+    { id = "ablation-shaker"; descr = "shaker pass budget";
+      run =
+        (fun ~quick ->
+          if quick then Ablations.shaker_passes ~passes:[ 1; 24 ] ()
+          else Ablations.shaker_passes ()) };
+    { id = "ablation-window"; descr = "long-running threshold sensitivity";
+      run =
+        (fun ~quick ->
+          if quick then Ablations.long_threshold ~thresholds:[ 10_000 ] ()
+          else Ablations.long_threshold ()) };
+    { id = "ablation-core"; descr = "profile-based DVFS on a narrow core";
+      run =
+        (fun ~quick ->
+          if quick then
+            Ablations.narrow_core
+              ~workloads:[ Suite.by_name "gsm encode" ]
+              ()
+          else Ablations.narrow_core ()) };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the analysis kernels                    *)
+(* ------------------------------------------------------------------ *)
+
+let micro_benches () =
+  let open Bechamel in
+  let w = Suite.by_name "gsm encode" in
+  let module W = Mcd_workloads.Workload in
+  let tree () =
+    Mcd_profiling.Call_tree.build w.W.program ~input:w.W.train
+      ~context:Mcd_profiling.Context.lfcp ~max_insts:50_000 ()
+  in
+  let segment =
+    lazy
+      (let t = tree () in
+       let col = Mcd_trace.Collector.create ~tree:t () in
+       let _ =
+         Mcd_cpu.Pipeline.run
+           ~probe:(Mcd_trace.Collector.probe col)
+           ~config:Mcd_cpu.Config.alpha21264_like ~program:w.W.program
+           ~input:w.W.train ~max_insts:30_000 ()
+       in
+       match Mcd_trace.Collector.segments col with
+       | (_, seg :: _) :: _ -> seg
+       | (_, []) :: _ | [] -> [||])
+  in
+  let dag = lazy (Mcd_core.Dag.build (Lazy.force segment)) in
+  let hist =
+    lazy
+      (let r = Mcd_core.Shaker.run (Lazy.force dag) in
+       r.Mcd_core.Shaker.histograms.(0))
+  in
+  [
+    Test.make ~name:"call-tree-build-50k" (Staged.stage tree);
+    Test.make ~name:"dag-build"
+      (Staged.stage (fun () -> Mcd_core.Dag.build (Lazy.force segment)));
+    Test.make ~name:"shaker-run"
+      (Staged.stage (fun () -> Mcd_core.Shaker.run (Lazy.force dag)));
+    Test.make ~name:"path-signatures"
+      (Staged.stage (fun () ->
+           Mcd_core.Dag.path_signatures (Lazy.force dag)));
+    Test.make ~name:"threshold-choose"
+      (Staged.stage (fun () ->
+           Mcd_core.Threshold.choose (Lazy.force hist) ~slowdown_pct:7.0));
+    Test.make ~name:"pipeline-10k-insts"
+      (Staged.stage (fun () ->
+           Mcd_cpu.Pipeline.run ~config:Mcd_cpu.Config.alpha21264_like
+             ~program:w.W.program ~input:w.W.train ~max_insts:10_000 ()));
+    Test.make ~name:"tracker-walk-20k"
+      (Staged.stage (fun () ->
+           let t = tree () in
+           let tracker = Mcd_profiling.Tracker.create t in
+           let walker = Mcd_isa.Walker.create w.W.program ~input:w.W.train in
+           let rec go n =
+             if n < 20_000 then
+               match Mcd_isa.Walker.next walker with
+               | None -> ()
+               | Some (Mcd_isa.Walker.Inst _) -> go (n + 1)
+               | Some (Mcd_isa.Walker.Marker m) ->
+                   ignore (Mcd_profiling.Tracker.on_marker tracker m);
+                   go n
+           in
+           go 0));
+    Test.make ~name:"coverage-compare"
+      (Staged.stage (fun () ->
+           let a = tree () and b = tree () in
+           Mcd_profiling.Coverage.compare ~train:a ~reference:b));
+    Test.make ~name:"editor-build"
+      (Staged.stage (fun () ->
+           let plan, _ =
+             Mcd_core.Analyze.analyze ~program:w.W.program ~train:w.W.train
+               ~context:Mcd_profiling.Context.lf ~profile_insts:30_000
+               ~trace_insts:10_000 ()
+           in
+           Mcd_core.Editor.edit plan));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let clock = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) () in
+      let raw = Benchmark.all cfg [ clock ] test in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          clock raw
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> Printf.printf "%-28s %12.0f ns/run\n%!" name est
+          | Some [] | None -> Printf.printf "%-28s (no estimate)\n%!" name)
+        results)
+    (micro_benches ())
+
+(* ------------------------------------------------------------------ *)
+
+let run_experiments only quick list_only micro =
+  if list_only then begin
+    List.iter (fun e -> Printf.printf "%-16s %s\n" e.id e.descr) experiments;
+    `Ok ()
+  end
+  else if micro then begin
+    run_micro ();
+    `Ok ()
+  end
+  else begin
+    let selected =
+      match only with
+      | [] -> experiments
+      | ids ->
+          List.map
+            (fun id ->
+              match List.find_opt (fun e -> e.id = id) experiments with
+              | Some e -> e
+              | None ->
+                  Printf.eprintf "unknown experiment id: %s (try --list)\n"
+                    id;
+                  exit 2)
+            ids
+    in
+    List.iter
+      (fun e ->
+        let t0 = Unix.gettimeofday () in
+        let out = e.run ~quick in
+        Printf.printf "=== %s: %s (%.1fs)\n%s\n%!" e.id e.descr
+          (Unix.gettimeofday () -. t0)
+          out)
+      selected;
+    `Ok ()
+  end
+
+let () =
+  let open Cmdliner in
+  let only =
+    Arg.(
+      value & opt_all string []
+      & info [ "only" ] ~docv:"ID"
+          ~doc:"Run only the given experiment (repeatable).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Reduced benchmark subset for fast runs.")
+  in
+  let list_only =
+    Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids.")
+  in
+  let micro =
+    Arg.(
+      value & flag
+      & info [ "micro" ]
+          ~doc:"Run Bechamel micro-benchmarks of the analysis kernels.")
+  in
+  let term =
+    Term.(ret (const run_experiments $ only $ quick $ list_only $ micro))
+  in
+  let info =
+    Cmd.info "mcd-bench"
+      ~doc:"Regenerate the paper's tables and figures on the simulator"
+  in
+  exit (Cmd.eval (Cmd.v info term))

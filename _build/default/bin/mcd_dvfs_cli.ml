@@ -1,0 +1,269 @@
+(* mcd-dvfs: command-line driver for the MCD DVFS simulator.
+
+     mcd-dvfs suite                         list benchmarks
+     mcd-dvfs run mcf --policy profile      simulate one benchmark
+     mcd-dvfs tree "gsm encode"             print the training call tree
+     mcd-dvfs plan "gsm encode"             print the reconfiguration plan
+     mcd-dvfs compare mcf                   baseline/off-line/on-line/L+F *)
+
+open Cmdliner
+
+module Suite = Mcd_workloads.Suite
+module Workload = Mcd_workloads.Workload
+module Context = Mcd_profiling.Context
+module Call_tree = Mcd_profiling.Call_tree
+module Runner = Mcd_experiments.Runner
+module Metrics = Mcd_power.Metrics
+module Table = Mcd_util.Table
+
+let workload_arg =
+  let parse s =
+    match Suite.by_name s with
+    | w -> Ok w
+    | exception Not_found ->
+        Error (`Msg (Printf.sprintf "unknown benchmark %S (try `suite`)" s))
+  in
+  let print fmt w = Format.pp_print_string fmt w.Workload.name in
+  Arg.conv (parse, print)
+
+let context_arg =
+  let parse s =
+    match Context.of_name s with
+    | c -> Ok c
+    | exception Not_found ->
+        Error (`Msg (Printf.sprintf "unknown context %S (e.g. L+F)" s))
+  in
+  let print fmt c = Format.pp_print_string fmt c.Context.name in
+  Arg.conv (parse, print)
+
+(* --- suite ----------------------------------------------------------- *)
+
+let suite_cmd =
+  let run () =
+    List.iter
+      (fun w ->
+        Printf.printf "%-16s %-10s %s\n" w.Workload.name
+          (Workload.kind_name w.Workload.kind)
+          w.Workload.trait)
+      Suite.all
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"List the benchmark suite")
+    Term.(const run $ const ())
+
+(* --- run ------------------------------------------------------------- *)
+
+let policy_enum =
+  Arg.enum
+    [
+      ("baseline", `Baseline);
+      ("offline", `Offline);
+      ("online", `Online);
+      ("profile", `Profile);
+      ("global", `Global);
+    ]
+
+let print_breakdown (m : Metrics.run) =
+  let domains = Mcd_domains.Domain.all in
+  let rows =
+    List.map
+      (fun d ->
+        [
+          Mcd_domains.Domain.name d;
+          Printf.sprintf "%.1f"
+            (m.Metrics.per_domain_pj.(Mcd_domains.Domain.index d) /. 1000.0);
+          Table.fmt_pct
+            (100.0
+            *. m.Metrics.per_domain_pj.(Mcd_domains.Domain.index d)
+            /. m.Metrics.energy_pj);
+        ])
+      domains
+    @ [
+        [
+          "external memory";
+          Printf.sprintf "%.1f"
+            (m.Metrics.per_domain_pj.(Mcd_domains.Domain.count) /. 1000.0);
+          Table.fmt_pct
+            (100.0
+            *. m.Metrics.per_domain_pj.(Mcd_domains.Domain.count)
+            /. m.Metrics.energy_pj);
+        ];
+      ]
+  in
+  print_string
+    (Table.render ~header:[ "domain"; "energy (nJ)"; "share" ] ~rows ())
+
+let run_cmd =
+  let run w policy context breakdown =
+    let baseline = Runner.baseline w in
+    let metrics =
+      match policy with
+      | `Baseline -> baseline
+      | `Offline -> Runner.offline_run w
+      | `Online -> Runner.online_run w
+      | `Profile -> (Runner.profile_run w ~context ~train:`Train).Runner.run
+      | `Global ->
+          let off = Runner.offline_run w in
+          let g, mhz =
+            Runner.global_dvs_run w
+              ~target_runtime_ps:off.Metrics.runtime_ps
+          in
+          Printf.printf "global frequency: %d MHz\n" mhz;
+          g
+    in
+    Format.printf "%a@." Metrics.pp metrics;
+    if breakdown then print_breakdown metrics;
+    if metrics != baseline then begin
+      let c = Runner.compare_runs ~baseline metrics in
+      Format.printf
+        "vs baseline: slowdown %.1f%%, energy savings %.1f%%, ExD %+.1f%%@."
+        c.Runner.degradation_pct c.Runner.savings_pct
+        c.Runner.ed_improvement_pct
+    end
+  in
+  let w = Arg.(required & pos 0 (some workload_arg) None & info [] ~docv:"BENCHMARK") in
+  let policy =
+    Arg.(value & opt policy_enum `Profile
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"baseline | offline | online | profile | global")
+  in
+  let context =
+    Arg.(value & opt context_arg Context.lf
+         & info [ "context" ] ~docv:"CTX"
+             ~doc:"Calling-context definition (L+F+C+P, L+F+P, F+C+P, F+P, L+F, F)")
+  in
+  let breakdown =
+    Arg.(value & flag
+         & info [ "breakdown" ] ~doc:"Print per-domain energy breakdown")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate a benchmark under a policy")
+    Term.(const run $ w $ policy $ context $ breakdown)
+
+(* --- tree ------------------------------------------------------------ *)
+
+let tree_cmd =
+  let run w context reference dot =
+    let input = if reference then w.Workload.reference else w.Workload.train in
+    let tree =
+      Call_tree.build w.Workload.program ~input ~context ~max_insts:400_000 ()
+    in
+    if dot then print_string (Call_tree.to_dot tree)
+    else begin
+      Format.printf "%a@." Call_tree.pp tree;
+      Format.printf "%d nodes, %d long-running@." (Call_tree.size tree - 1)
+        (Call_tree.long_count tree)
+    end
+  in
+  let w = Arg.(required & pos 0 (some workload_arg) None & info [] ~docv:"BENCHMARK") in
+  let context =
+    Arg.(value & opt context_arg Context.lfcp
+         & info [ "context" ] ~docv:"CTX" ~doc:"Calling-context definition")
+  in
+  let reference =
+    Arg.(value & flag & info [ "reference" ] ~doc:"Profile the reference input")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text")
+  in
+  Cmd.v
+    (Cmd.info "tree" ~doc:"Print a benchmark's annotated call tree")
+    Term.(const run $ w $ context $ reference $ dot)
+
+(* --- plan ------------------------------------------------------------ *)
+
+let plan_cmd =
+  let run w context delta save load =
+    let plan =
+      match load with
+      | Some path ->
+          let tree =
+            Call_tree.build w.Workload.program ~input:w.Workload.train
+              ~context ~max_insts:400_000 ()
+          in
+          Mcd_core.Plan_io.load ~path ~tree
+      | None ->
+          if delta = Runner.default_slowdown_pct then
+            Runner.plan_for w ~context ~train:`Train
+          else
+            Mcd_core.Plan.with_slowdown
+              (Runner.plan_for w ~context ~train:`Train)
+              ~slowdown_pct:delta
+    in
+    Format.printf "%a@." Mcd_core.Plan.pp plan;
+    Printf.printf "static points: %d reconfiguration, %d instrumented\n"
+      (Mcd_core.Plan.static_reconfig_points plan)
+      (Mcd_core.Plan.static_instr_points plan);
+    match save with
+    | Some path ->
+        Mcd_core.Plan_io.save plan ~path;
+        Printf.printf "saved to %s\n" path
+    | None -> ()
+  in
+  let w = Arg.(required & pos 0 (some workload_arg) None & info [] ~docv:"BENCHMARK") in
+  let context =
+    Arg.(value & opt context_arg Context.lf
+         & info [ "context" ] ~docv:"CTX" ~doc:"Calling-context definition")
+  in
+  let delta =
+    Arg.(value & opt float Runner.default_slowdown_pct
+         & info [ "slowdown" ] ~docv:"PCT" ~doc:"Tolerated slowdown")
+  in
+  let save =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE" ~doc:"Write the plan to a file")
+  in
+  let load =
+    Arg.(value & opt (some string) None
+         & info [ "load" ] ~docv:"FILE"
+             ~doc:"Read a previously saved plan instead of analyzing")
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Print a benchmark's reconfiguration plan")
+    Term.(const run $ w $ context $ delta $ save $ load)
+
+(* --- compare ---------------------------------------------------------- *)
+
+let compare_cmd =
+  let run w =
+    let baseline = Runner.baseline w in
+    let row name m =
+      let c = Runner.compare_runs ~baseline m in
+      [
+        name;
+        Table.fmt_pct c.Runner.degradation_pct;
+        Table.fmt_pct c.Runner.savings_pct;
+        Table.fmt_pct c.Runner.ed_improvement_pct;
+        string_of_int m.Metrics.reconfigurations;
+      ]
+    in
+    let offline = Runner.offline_run w in
+    let online = Runner.online_run w in
+    let profile =
+      (Runner.profile_run w ~context:Context.lf ~train:`Train).Runner.run
+    in
+    let global, mhz =
+      Runner.global_dvs_run w ~target_runtime_ps:offline.Metrics.runtime_ps
+    in
+    print_string
+      (Table.render
+         ~header:[ "policy"; "slowdown"; "energy saved"; "ExD"; "reconfigs" ]
+         ~rows:
+           [
+             row "off-line (oracle)" offline;
+             row "on-line (attack/decay)" online;
+             row "profile L+F" profile;
+             row (Printf.sprintf "global DVS @%d MHz" mhz) global;
+           ]
+         ())
+  in
+  let w = Arg.(required & pos 0 (some workload_arg) None & info [] ~docv:"BENCHMARK") in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare all policies on one benchmark")
+    Term.(const run $ w)
+
+let () =
+  let info =
+    Cmd.info "mcd-dvfs"
+      ~doc:"Profile-based DVFS for a multiple clock domain microprocessor"
+  in
+  exit (Cmd.eval (Cmd.group info [ suite_cmd; run_cmd; tree_cmd; plan_cmd; compare_cmd ]))

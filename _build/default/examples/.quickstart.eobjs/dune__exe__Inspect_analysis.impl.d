@@ -1,0 +1,1 @@
+examples/inspect_analysis.ml: Array Format Hashtbl List Mcd_core Mcd_domains Mcd_profiling Mcd_util Mcd_workloads

@@ -1,0 +1,1 @@
+examples/media_codec.ml: Format List Mcd_core Mcd_experiments Mcd_power Mcd_profiling Mcd_util Mcd_workloads

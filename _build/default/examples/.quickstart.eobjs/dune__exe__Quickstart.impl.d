@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Mcd_core Mcd_cpu Mcd_isa Mcd_power Mcd_profiling

@@ -1,0 +1,1 @@
+examples/ship_plan.ml: Filename Mcd_core Mcd_cpu Mcd_power Mcd_profiling Mcd_workloads Printf Sys Unix

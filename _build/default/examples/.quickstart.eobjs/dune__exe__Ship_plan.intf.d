@@ -1,0 +1,1 @@
+examples/ship_plan.mli:

@@ -1,0 +1,66 @@
+(* Looking inside the off-line analysis.
+
+   Prints, for one benchmark: the training call tree with long-running
+   nodes marked, each long node's shaker histograms (work by frequency
+   step, per domain), the slowdown-thresholded setting, and the
+   path-model slowdown estimate for that setting.
+
+     dune exec examples/inspect_analysis.exe *)
+
+module Suite = Mcd_workloads.Suite
+module Workload = Mcd_workloads.Workload
+module Context = Mcd_profiling.Context
+module Call_tree = Mcd_profiling.Call_tree
+module Analyze = Mcd_core.Analyze
+module Plan = Mcd_core.Plan
+module Path_model = Mcd_core.Path_model
+module Histogram = Mcd_util.Histogram
+module Domain = Mcd_domains.Domain
+module Freq = Mcd_domains.Freq
+module Reconfig = Mcd_domains.Reconfig
+
+let () =
+  let w = Suite.by_name "gsm encode" in
+  Format.printf "=== %s: training call tree (L+F tree context)@.@."
+    w.Workload.name;
+  let plan, stats =
+    Analyze.analyze ~program:w.Workload.program ~train:w.Workload.train
+      ~context:Context.lf ~trace_insts:w.Workload.train_window ()
+  in
+  Format.printf "%a@." Call_tree.pp plan.Plan.tree;
+  Format.printf
+    "profiled %d instructions; %d long nodes; shook %d segments (%d events)@.@."
+    stats.Analyze.profiled_insts stats.Analyze.long_nodes
+    stats.Analyze.segments_shaken stats.Analyze.events_shaken;
+  List.iter
+    (fun (n : Call_tree.node) ->
+      Format.printf "--- node %d (%d instances, %d instructions)@."
+        n.Call_tree.id n.Call_tree.instances n.Call_tree.total_insts;
+      (match Hashtbl.find_opt plan.Plan.node_histograms n.Call_tree.id with
+      | None -> Format.printf "  (no recorded segments)@."
+      | Some hists ->
+          List.iter
+            (fun d ->
+              let h = hists.(Domain.index d) in
+              if Histogram.total h > 0.0 then begin
+                Format.printf "  %-10s " (Domain.name d);
+                Array.iteri
+                  (fun i f ->
+                    let weight = Histogram.get h ~bin:i in
+                    if weight > 0.0 then
+                      Format.printf "%d:%0.0fc " f weight)
+                  Freq.steps;
+                Format.printf "@."
+              end)
+            Domain.all);
+      (match Plan.setting_for_node plan n.Call_tree.id with
+      | Some s ->
+          Format.printf "  chosen setting: %a@." Reconfig.pp s;
+          (match Hashtbl.find_opt plan.Plan.node_paths n.Call_tree.id with
+          | Some pm ->
+              Format.printf "  path-model slowdown estimate: %.1f%%@."
+                (Path_model.estimated_slowdown_pct pm s)
+          | None -> ())
+      | None -> ());
+      Format.printf "@.")
+    (Call_tree.long_nodes plan.Plan.tree)

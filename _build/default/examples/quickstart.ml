@@ -1,0 +1,70 @@
+(* Quickstart: profile-based DVFS on a small custom program.
+
+   Author a program in the IR, train the off-line analysis on a small
+   input, edit the binary (build the run-time policy), and run the
+   production input on the MCD core — comparing runtime and energy with
+   the uncontrolled baseline.
+
+     dune exec examples/quickstart.exe *)
+
+module B = Mcd_isa.Build
+module P = Mcd_isa.Program
+module Config = Mcd_cpu.Config
+module Pipeline = Mcd_cpu.Pipeline
+module Metrics = Mcd_power.Metrics
+module Context = Mcd_profiling.Context
+module Analyze = Mcd_core.Analyze
+module Editor = Mcd_core.Editor
+
+(* A toy signal-processing program: an integer unpack phase feeds a
+   floating-point filter phase, repeated per frame. *)
+let program =
+  B.program ~name:"quickstart" @@ fun b ->
+  B.func b "unpack"
+    [ B.loop b (P.Const 120) [ B.straight b ~length:95 ~frac_load:0.25 () ] ];
+  B.func b "filter"
+    [
+      B.loop b (P.Const 110)
+        [ B.straight b ~length:105 ~frac_fp_alu:0.3 ~frac_fp_mult:0.1 () ];
+    ];
+  B.func b "main"
+    [ B.loop b (P.Scaled { base = 0; per_scale = 2 })
+        [ B.call b "unpack"; B.call b "filter" ] ];
+  "main"
+
+let train = { P.input_name = "train"; scale = 3; divergence = 0.0; seed = 1 }
+let production = { P.input_name = "prod"; scale = 10; divergence = 0.0; seed = 2 }
+
+let () =
+  let config = Config.alpha21264_like in
+  let window = 120_000 in
+
+  (* 1. the MCD baseline: all domains at 1 GHz *)
+  let baseline =
+    Pipeline.run ~config ~program ~input:production ~max_insts:window ()
+  in
+  Format.printf "baseline:      %a@." Metrics.pp baseline;
+
+  (* 2. off-line analysis on the training input (7%% tolerated slowdown) *)
+  let plan, stats =
+    Analyze.analyze ~program ~train ~context:Context.lf ~slowdown_pct:7.0 ()
+  in
+  Format.printf
+    "analysis:      %d long-running nodes, %d segments shaken (%d events)@."
+    stats.Analyze.long_nodes stats.Analyze.segments_shaken
+    stats.Analyze.events_shaken;
+  Format.printf "%a@." Mcd_core.Plan.pp plan;
+
+  (* 3. "edit the binary" and run production *)
+  let edited = Editor.edit plan in
+  let run =
+    Pipeline.run ~controller:edited.Editor.controller ~config ~program
+      ~input:production ~max_insts:window ()
+  in
+  Format.printf "profile-based: %a@." Metrics.pp run;
+
+  Format.printf
+    "@.result: %.1f%% slowdown buys %.1f%% energy savings (energy x delay %+.1f%%)@."
+    (Metrics.perf_degradation_pct ~baseline run)
+    (Metrics.energy_savings_pct ~baseline run)
+    (Metrics.ed_improvement_pct ~baseline run)

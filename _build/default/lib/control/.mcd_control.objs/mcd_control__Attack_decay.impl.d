@@ -1,0 +1,1 @@
+lib/control/attack_decay.ml: Array List Mcd_cpu Mcd_domains

@@ -1,0 +1,1 @@
+lib/control/attack_decay.mli: Mcd_cpu

@@ -1,0 +1,1 @@
+lib/control/policies.ml: Mcd_cpu

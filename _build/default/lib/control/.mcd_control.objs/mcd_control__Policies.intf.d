@@ -1,0 +1,1 @@
+lib/control/policies.mli: Mcd_cpu Mcd_domains

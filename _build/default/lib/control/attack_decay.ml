@@ -1,0 +1,118 @@
+module Controller = Mcd_cpu.Controller
+module Domain = Mcd_domains.Domain
+module Freq = Mcd_domains.Freq
+module Reconfig = Mcd_domains.Reconfig
+
+type params = {
+  interval_cycles : int;
+  attack_threshold : float;
+  attack_step_mhz : int;
+  decay_step_mhz : int;
+  ipc_guard : float;
+}
+
+let default_params =
+  {
+    interval_cycles = 10_000;
+    attack_threshold = 0.04;
+    attack_step_mhz = 150;
+    decay_step_mhz = 50;
+    ipc_guard = 0.965;
+  }
+
+(* queue capacities used to normalise the domain-owned backlog *)
+let capacity = function
+  | Domain.Integer -> 20.0
+  | Domain.Floating -> 15.0
+  | Domain.Memory -> 64.0
+  | Domain.Front_end -> 16.0
+
+let scaled_domains = [ Domain.Integer; Domain.Floating; Domain.Memory ]
+
+let revert_cooldown = 6
+
+let controller ?(params = default_params) () =
+  let prev_util = Array.make Domain.count (-1.0) in
+  let cur_freq = Array.make Domain.count Freq.fmax_mhz in
+  let cooldown = Array.make Domain.count 0 in
+  let pending_check = Array.make Domain.count 0 in
+  let ipc_before = Array.make Domain.count 0.0 in
+  let idle_streak = Array.make Domain.count 0 in
+  let smooth_ipc = ref (-1.0) in
+  let on_sample (s : Controller.sample) ~now:_ =
+    let raw_ipc =
+      float_of_int s.Controller.retired
+      /. float_of_int (max 1 s.Controller.elapsed_cycles)
+    in
+    (* exponential smoothing tames interval-to-interval IPC noise for
+       the guard decision *)
+    let ipc =
+      if !smooth_ipc < 0.0 then raw_ipc
+      else (0.4 *. raw_ipc) +. (0.6 *. !smooth_ipc)
+    in
+    smooth_ipc := ipc;
+    let changed = ref false in
+    let set d f' =
+      let i = Domain.index d in
+      let f' = Freq.clamp f' in
+      if f' <> cur_freq.(i) then begin
+        cur_freq.(i) <- f';
+        changed := true
+      end
+    in
+    List.iter
+      (fun d ->
+        let i = Domain.index d in
+        if cooldown.(i) > 0 then cooldown.(i) <- cooldown.(i) - 1;
+        (* guard: a few intervals after this domain decayed, check the
+           smoothed IPC; if performance dropped, undo the decay and
+           leave the domain alone for a while *)
+        if pending_check.(i) > 0 then begin
+          pending_check.(i) <- pending_check.(i) - 1;
+          if pending_check.(i) = 0 && ipc < params.ipc_guard *. ipc_before.(i)
+          then begin
+            set d (cur_freq.(i) + params.attack_step_mhz);
+            cooldown.(i) <- revert_cooldown
+          end
+        end;
+        let util = s.Controller.avg_occupancy.(i) /. capacity d in
+        if util < 0.02 then idle_streak.(i) <- idle_streak.(i) + 1
+        else idle_streak.(i) <- 0;
+        if prev_util.(i) >= 0.0 then begin
+          let delta = util -. prev_util.(i) in
+          if util > 0.85 then
+            (* deep backlog: a phase change caught the domain far too
+               slow — jump straight back to full speed *)
+            set d Freq.fmax_mhz
+          else if delta > params.attack_threshold || util > 0.45 then
+            set d (cur_freq.(i) + params.attack_step_mhz)
+          else if idle_streak.(i) >= 2 then
+            (* persistently idle: plunge without consulting the guard *)
+            set d (cur_freq.(i) - params.attack_step_mhz)
+          else if
+            util >= 0.02 && util < 0.20 && cooldown.(i) = 0
+            && pending_check.(i) = 0
+            && cur_freq.(i) > Freq.fmin_mhz
+          then begin
+            set d (cur_freq.(i) - params.decay_step_mhz);
+            pending_check.(i) <- 3;
+            ipc_before.(i) <- ipc
+          end
+        end;
+        prev_util.(i) <- util)
+      scaled_domains;
+    if !changed then
+      Some
+        (Reconfig.make
+           ~front_end:Freq.fmax_mhz
+           ~integer:cur_freq.(Domain.index Domain.Integer)
+           ~floating:cur_freq.(Domain.index Domain.Floating)
+           ~memory:cur_freq.(Domain.index Domain.Memory))
+    else None
+  in
+  {
+    Controller.name = "on-line";
+    on_marker = (fun _ ~now:_ -> Controller.no_reaction);
+    on_sample;
+    sample_interval_cycles = params.interval_cycles;
+  }

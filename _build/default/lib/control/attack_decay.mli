@@ -1,0 +1,32 @@
+(** The hardware on-line attack/decay controller (Semeraro et al.,
+    MICRO 2002) — the paper's "on-line" comparison bars.
+
+    Every interval (10,000 front-end cycles by default) the controller
+    examines each back-end domain's average issue-queue occupancy. A
+    significant change in occupancy since the previous interval triggers
+    an *attack*: frequency moves sharply in the same direction (rising
+    occupancy means the domain is falling behind — speed it up; falling
+    occupancy means slack — slow it down). Otherwise the frequency
+    *decays* slowly downward to squeeze out residual slack. The
+    front-end domain is not scaled (as in the original proposal).
+
+    The algorithm exploits the tendency of the future to resemble the
+    recent past; its characteristic failure, reproduced here, is
+    instability on phase changes — the attack lags each transition. *)
+
+type params = {
+  interval_cycles : int;  (** sampling interval, front-end cycles *)
+  attack_threshold : float;
+      (** relative occupancy change that triggers an attack *)
+  attack_step_mhz : int;  (** frequency change on attack *)
+  decay_step_mhz : int;  (** downward drift per stable interval *)
+  ipc_guard : float;
+      (** tolerated relative IPC drop after a decay before the decay is
+          reverted; lower values are more aggressive (more energy, more
+          slowdown) — the knob swept in Figures 10/11 *)
+}
+
+val default_params : params
+
+val controller : ?params:params -> unit -> Mcd_cpu.Controller.t
+(** Fresh controller (single-use: carries per-run state). *)

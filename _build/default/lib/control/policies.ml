@@ -1,0 +1,18 @@
+module Controller = Mcd_cpu.Controller
+
+let fixed setting =
+  let armed = ref true in
+  {
+    Controller.name = "fixed";
+    on_marker =
+      (fun _ ~now:_ ->
+        if !armed then begin
+          armed := false;
+          { Controller.no_reaction with set = Some setting }
+        end
+        else Controller.no_reaction);
+    on_sample = (fun _ ~now:_ -> None);
+    sample_interval_cycles = 0;
+  }
+
+let baseline = Controller.nop

@@ -1,0 +1,11 @@
+(** Simple reference policies: fixed settings and one-shot writes.
+
+    Used by tests, examples and ablation benches; the real contenders
+    are the profile-driven policy ({!Mcd_core.Editor}) and the on-line
+    controller ({!Attack_decay}). *)
+
+val fixed : Mcd_domains.Reconfig.setting -> Mcd_cpu.Controller.t
+(** Write the setting once, at the first marker, then never react. *)
+
+val baseline : Mcd_cpu.Controller.t
+(** The MCD baseline: all domains at full speed, no reactions. *)

@@ -1,0 +1,1 @@
+lib/core/analyze.ml: Array Dag List Mcd_cpu Mcd_domains Mcd_power Mcd_profiling Mcd_trace Mcd_util Path_model Plan Shaker

@@ -1,0 +1,1 @@
+lib/core/analyze.mli: Mcd_cpu Mcd_isa Mcd_profiling Plan

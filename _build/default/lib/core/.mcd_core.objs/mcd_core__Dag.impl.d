@@ -1,0 +1,1 @@
+lib/core/dag.ml: Array Float Hashtbl List Mcd_cpu Mcd_domains Path_model Printf

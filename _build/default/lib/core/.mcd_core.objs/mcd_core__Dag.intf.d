@@ -1,0 +1,1 @@
+lib/core/dag.mli: Mcd_cpu Mcd_domains Path_model

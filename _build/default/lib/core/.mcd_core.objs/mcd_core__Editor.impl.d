@@ -1,0 +1,1 @@
+lib/core/editor.ml: Hashtbl List Mcd_cpu Mcd_domains Mcd_isa Mcd_profiling Option Plan

@@ -1,0 +1,1 @@
+lib/core/editor.mli: Mcd_cpu Plan

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Array Dag List Mcd_cpu Mcd_domains Mcd_trace Mcd_util Path_model Plan Shaker Threshold

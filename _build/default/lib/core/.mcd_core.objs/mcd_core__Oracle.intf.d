@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Mcd_cpu Mcd_domains Mcd_isa

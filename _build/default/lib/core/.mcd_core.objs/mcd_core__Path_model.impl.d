@@ -1,0 +1,1 @@
+lib/core/path_model.ml: Array Float List Mcd_domains

@@ -1,0 +1,1 @@
+lib/core/path_model.mli: Mcd_domains

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Array Format Hashtbl List Mcd_domains Mcd_profiling Mcd_util Path_model Threshold

@@ -1,0 +1,1 @@
+lib/core/plan.mli: Format Hashtbl Mcd_domains Mcd_profiling Mcd_util Path_model

@@ -1,0 +1,1 @@
+lib/core/plan_io.ml: Array Char Fun Hashtbl Int64 List Mcd_domains Mcd_profiling Mcd_util Path_model Plan Printf String

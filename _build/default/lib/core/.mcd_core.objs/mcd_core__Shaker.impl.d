@@ -1,0 +1,1 @@
+lib/core/shaker.ml: Array Dag Float List Mcd_domains Mcd_util

@@ -1,0 +1,1 @@
+lib/core/shaker.mli: Dag Mcd_util

@@ -1,0 +1,1 @@
+lib/core/threshold.ml: Array Mcd_domains Mcd_util

@@ -1,0 +1,83 @@
+module Call_tree = Mcd_profiling.Call_tree
+module Context = Mcd_profiling.Context
+module Collector = Mcd_trace.Collector
+module Pipeline = Mcd_cpu.Pipeline
+module Config = Mcd_cpu.Config
+module Histogram = Mcd_util.Histogram
+module Domain = Mcd_domains.Domain
+module Freq = Mcd_domains.Freq
+
+type stats = {
+  profiled_insts : int;
+  traced_insts : int;
+  long_nodes : int;
+  segments_shaken : int;
+  events_shaken : int;
+  shaker_passes_total : int;
+}
+
+let min_segment_events = 50
+
+let analyze ~program ~train ~context ?(slowdown_pct = 7.0)
+    ?(threshold_insts = Call_tree.default_threshold)
+    ?(profile_insts = 400_000) ?(trace_insts = 120_000) ?(shaker_passes = 24)
+    ?(config = Config.alpha21264_like) () =
+  (* phase 1: instrumented profiling walk *)
+  let tree =
+    Call_tree.build program ~input:train ~context ~threshold:threshold_insts
+      ~max_insts:profile_insts ()
+  in
+  (* phase 2: full-speed pipeline run with the trace probe *)
+  let collector = Collector.create ~tree () in
+  let metrics =
+    Pipeline.run ~probe:(Collector.probe collector) ~config ~program
+      ~input:train ~max_insts:trace_insts ()
+  in
+  let segments_shaken = ref 0 in
+  let events_shaken = ref 0 in
+  let passes_total = ref 0 in
+  let node_histograms = ref [] in
+  let node_paths = ref [] in
+  List.iter
+    (fun (node_id, segments) ->
+      let merged =
+        Array.init Domain.count (fun _ ->
+            Histogram.create ~bins:Freq.num_steps)
+      in
+      let paths = ref Path_model.empty in
+      let used = ref false in
+      List.iter
+        (fun seg ->
+          if Array.length seg >= min_segment_events then begin
+            let dag = Dag.build ~rob_size:config.Config.rob_size seg in
+            let result = Shaker.run ~max_passes:shaker_passes dag in
+            incr segments_shaken;
+            events_shaken := !events_shaken + result.Shaker.total_events;
+            passes_total := !passes_total + result.Shaker.passes;
+            Array.iteri
+              (fun i h -> Histogram.merge_into ~dst:merged.(i) ~src:h)
+              result.Shaker.histograms;
+            paths := Path_model.add_segment !paths (Dag.path_signatures dag);
+            used := true
+          end)
+        segments;
+      if !used then begin
+        node_histograms := (node_id, merged) :: !node_histograms;
+        node_paths := (node_id, !paths) :: !node_paths
+      end)
+    (Collector.segments collector);
+  let plan =
+    Plan.make ~tree ~context ~slowdown_pct
+      ~node_histograms:!node_histograms ~node_paths:!node_paths ()
+  in
+  let stats =
+    {
+      profiled_insts = Call_tree.instructions_profiled tree;
+      traced_insts = metrics.Mcd_power.Metrics.instructions;
+      long_nodes = Call_tree.long_count tree;
+      segments_shaken = !segments_shaken;
+      events_shaken = !events_shaken;
+      shaker_passes_total = !passes_total;
+    }
+  in
+  (plan, stats)

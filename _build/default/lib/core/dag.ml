@@ -1,0 +1,287 @@
+module Probe = Mcd_cpu.Probe
+module Domain = Mcd_domains.Domain
+
+type event = {
+  id : int;
+  seq : int;
+  domain : Domain.t;
+  start : float;
+  duration : float;
+}
+
+type t = {
+  events : event array;
+  succs : int array array;
+  preds : int array array;
+  t_min : float;
+  t_max : float;
+}
+
+(* per-instruction event ids by stage *)
+type slots = {
+  mutable fetch : int;
+  mutable dispatch : int;
+  mutable work : int; (* execute or mem *)
+  mutable retire : int;
+}
+
+let empty_slots () = { fetch = -1; dispatch = -1; work = -1; retire = -1 }
+
+let default_rob_size = 80
+
+let build ?(rob_size = default_rob_size) (raw : Probe.event array) =
+  let n = Array.length raw in
+  let events =
+    Array.mapi
+      (fun id (e : Probe.event) ->
+        {
+          id;
+          seq = e.Probe.seq;
+          domain = e.Probe.domain;
+          start = float_of_int e.Probe.start;
+          duration = float_of_int (max 1 e.Probe.duration);
+        })
+      raw
+  in
+  let by_seq = Hashtbl.create (max 16 (n / 4)) in
+  Array.iteri
+    (fun id (e : Probe.event) ->
+      let slots =
+        match Hashtbl.find_opt by_seq e.Probe.seq with
+        | Some s -> s
+        | None ->
+            let s = empty_slots () in
+            Hashtbl.add by_seq e.Probe.seq s;
+            s
+      in
+      match e.Probe.stage with
+      | Probe.Fetch_s -> slots.fetch <- id
+      | Probe.Dispatch_s -> slots.dispatch <- id
+      | Probe.Execute_s | Probe.Mem_s -> slots.work <- id
+      | Probe.Retire_s -> slots.retire <- id)
+    raw;
+  let succs_l = Array.make n [] in
+  let preds_l = Array.make n [] in
+  let add_edge u v =
+    if u >= 0 && v >= 0 && u <> v then begin
+      succs_l.(u) <- v :: succs_l.(u);
+      preds_l.(v) <- u :: preds_l.(v)
+    end
+  in
+  (* intra-instruction chains *)
+  Hashtbl.iter
+    (fun _seq s ->
+      let chain = [ s.fetch; s.dispatch; s.work; s.retire ] in
+      let present = List.filter (fun id -> id >= 0) chain in
+      let rec link = function
+        | a :: (b :: _ as rest) ->
+            add_edge a b;
+            link rest
+        | [ _ ] | [] -> ()
+      in
+      link present)
+    by_seq;
+  (* data and control dependences, serialization of fetch and retire,
+     and reorder-buffer occupancy pressure *)
+  let dep_edges id (e : Probe.event) =
+    Array.iter
+      (fun pseq ->
+        match Hashtbl.find_opt by_seq pseq with
+        | Some ps when ps.work >= 0 -> add_edge ps.work id
+        | Some _ | None -> ())
+      e.Probe.dep_seqs
+  in
+  let last_fetch = ref (-1) and last_retire = ref (-1) in
+  (* execution-resource serialization: within a domain, the k-th recent
+     operation occupies one of [units] functional units, so an operation
+     cannot start before the one [units] back has finished; without
+     these edges, co-scheduled operations would each claim the same idle
+     gap as private slack *)
+  let resource_lag = [| 1; 4; 2; 2 |] (* front, int, fp, mem *) in
+  let resource_fifo = Array.map (fun lag -> Array.make lag (-1)) resource_lag in
+  let resource_pos = Array.make (Array.length resource_lag) 0 in
+  let resource_edge id domain =
+    let d = Domain.index domain in
+    let lag = resource_lag.(d) in
+    let fifo = resource_fifo.(d) in
+    let pos = resource_pos.(d) in
+    let prev = fifo.(pos mod lag) in
+    if prev >= 0 then add_edge prev id;
+    fifo.(pos mod lag) <- id;
+    resource_pos.(d) <- pos + 1
+  in
+  Array.iteri
+    (fun id (e : Probe.event) ->
+      match e.Probe.stage with
+      | Probe.Fetch_s ->
+          add_edge !last_fetch id;
+          last_fetch := id;
+          (* control dependence on a mispredicted branch *)
+          dep_edges id e;
+          (* ROB pressure: instruction i cannot be fetched before
+             instruction i - rob_size retires *)
+          (match Hashtbl.find_opt by_seq (e.Probe.seq - rob_size) with
+          | Some ps when ps.retire >= 0 -> add_edge ps.retire id
+          | Some _ | None -> ())
+      | Probe.Retire_s ->
+          add_edge !last_retire id;
+          last_retire := id
+      | Probe.Execute_s | Probe.Mem_s ->
+          dep_edges id e;
+          resource_edge id e.Probe.domain
+      | Probe.Dispatch_s -> ())
+    raw;
+  let t_min =
+    Array.fold_left (fun acc e -> Float.min acc e.start) Float.infinity events
+  in
+  let t_max =
+    Array.fold_left
+      (fun acc e -> Float.max acc (e.start +. e.duration))
+      Float.neg_infinity events
+  in
+  {
+    events;
+    succs = Array.map (fun l -> Array.of_list (List.rev l)) succs_l;
+    preds = Array.map (fun l -> Array.of_list (List.rev l)) preds_l;
+    t_min = (if n = 0 then 0.0 else t_min);
+    t_max = (if n = 0 then 0.0 else t_max);
+  }
+
+let size t = Array.length t.events
+
+let edge_count t =
+  Array.fold_left (fun acc s -> acc + Array.length s) 0 t.succs
+
+let slack t id =
+  let e = t.events.(id) in
+  let e_end = e.start +. e.duration in
+  let s = t.succs.(id) in
+  if Array.length s = 0 then Float.max 0.0 (t.t_max -. e_end)
+  else
+    Array.fold_left
+      (fun acc sid -> Float.min acc (Float.max 0.0 (t.events.(sid).start -. e_end)))
+      Float.infinity s
+
+(* The first portion of each edge's observed gap is latch/wakeup/
+   synchronization time that stretches with the consumer domain's
+   period; anything beyond that is a wait on other resources, carried as
+   a frequency-independent constant. The cap is roughly one wakeup cycle
+   plus one synchronization capture at full speed. *)
+let scaled_gap_cap_ps = 1800.0
+
+(* Longest path under per-domain stretch factors. The DP models event
+   start times: a consumer starts no earlier than each producer's start
+   plus the producer's (stretched) duration plus the hop gap, where the
+   first [scaled_gap_cap_ps] of a non-negative gap scales with the
+   consumer's domain (latch/wakeup/synchronization) and the remainder is
+   a frequency-independent wait; a negative gap (co-scheduled events,
+   e.g. a 4-wide fetch group) scales with the producer's domain so that
+   co-issue stays co-issue at any frequency. Every event is also
+   anchored at its recorded start as a frequency-independent lower bound
+   (waits the DAG does not explain). At full speed the computed makespan
+   therefore equals the recorded one exactly.
+
+   Returns the composition of the winning path: per-domain scaling time
+   in the first {!Domain.count} entries (possibly negative contributions
+   from overlaps), frequency-independent time in the last. *)
+let longest_path_signature t ~slow =
+  let n = Array.length t.events in
+  if n = 0 then Array.make (Domain.count + 1) 0.0
+  else begin
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        compare (t.events.(a).start, a) (t.events.(b).start, b))
+      order;
+    let s_time = Array.make n 0.0 in
+    (* starts *)
+    let best_pred = Array.make n (-1) in
+    let gap u v =
+      let eu = t.events.(u) and ev = t.events.(v) in
+      ev.start -. (eu.start +. eu.duration)
+    in
+    Array.iter
+      (fun id ->
+        let e = t.events.(id) in
+        let from =
+          Array.fold_left
+            (fun acc pid ->
+              let eu = t.events.(pid) in
+              let g = gap pid id in
+              let hop =
+                if g >= 0.0 then
+                  let scaled = Float.min g scaled_gap_cap_ps in
+                  (scaled *. slow e.domain) +. (g -. scaled)
+                else g *. slow eu.domain
+              in
+              let cand =
+                s_time.(pid) +. (eu.duration *. slow eu.domain) +. hop
+              in
+              if cand > fst acc then (cand, pid) else acc)
+            (e.start -. t.t_min, -1)
+            t.preds.(id)
+        in
+        s_time.(id) <- fst from;
+        best_pred.(id) <- snd from)
+      order;
+    let sink = ref 0 in
+    let end_of id =
+      s_time.(id) +. (t.events.(id).duration *. slow t.events.(id).domain)
+    in
+    Array.iteri (fun id _ -> if end_of id > end_of !sink then sink := id)
+      t.events;
+    let signature = Array.make (Domain.count + 1) 0.0 in
+    let add d v = signature.(d) <- signature.(d) +. v in
+    let add_dom domain v = add (Domain.index domain) v in
+    let add_const v = add Domain.count v in
+    (* the sink's own duration *)
+    add_dom t.events.(!sink).domain t.events.(!sink).duration;
+    let rec back id =
+      let pid = best_pred.(id) in
+      if pid < 0 then add_const (t.events.(id).start -. t.t_min)
+      else begin
+        let eu = t.events.(pid) and ev = t.events.(id) in
+        let g = gap pid id in
+        if g >= 0.0 then begin
+          let scaled = Float.min g scaled_gap_cap_ps in
+          add_dom ev.domain scaled;
+          add_const (g -. scaled)
+        end
+        else add_dom eu.domain g;
+        add_dom eu.domain eu.duration;
+        back pid
+      end
+    in
+    back !sink;
+    signature
+  end
+
+let path_signatures t =
+  let base_sig = longest_path_signature t ~slow:(fun _ -> 1.0) in
+  let base_ps = Array.fold_left ( +. ) 0.0 base_sig in
+  let probes =
+    (fun (_ : Domain.t) -> 1.0)
+    :: (fun (_ : Domain.t) -> 4.0)
+    :: List.map
+         (fun d other -> if other = d then 4.0 else 1.0)
+         Domain.all
+  in
+  let signatures = List.map (fun slow -> longest_path_signature t ~slow) probes in
+  { Path_model.base_ps; signatures }
+
+let validate t =
+  let tolerance = 2000.0 (* ps: sync + jitter slop *) in
+  Array.iteri
+    (fun id e ->
+      if e.id <> id then invalid_arg "Dag.validate: id mismatch";
+      if e.duration <= 0.0 then invalid_arg "Dag.validate: non-positive duration";
+      Array.iter
+        (fun sid ->
+          let s = t.events.(sid) in
+          if s.start +. tolerance < e.start then
+            invalid_arg
+              (Printf.sprintf
+                 "Dag.validate: edge %d->%d goes backward in time (%.0f -> %.0f)"
+                 id sid e.start s.start))
+        t.succs.(id))
+    t.events

@@ -1,0 +1,71 @@
+(** Dependence DAG over primitive events (input to the shaker).
+
+    Built from one recorded segment of a long-running node. Vertices are
+    primitive events; edges are the dependences observed by the
+    simulator:
+
+    - the intra-instruction pipeline chain
+      (fetch -> dispatch -> execute/mem -> retire);
+    - data dependences (producer execute/mem -> consumer execute/mem);
+    - control dependences (mispredicted branch -> first fetch after the
+      recovery);
+    - fetch serialization (fetch i -> fetch i+1), in-order retirement
+      (retire i -> retire i+1), and reorder-buffer occupancy pressure
+      (retire i -> fetch i + rob_size).
+
+    Without the structural edges the shaker would see phantom slack —
+    fetch gaps caused by back-pressure look like idle time that could
+    absorb frequency reduction, when in fact they shift one-for-one with
+    the events that caused them.
+
+    Event times come from the full-speed profiling run, so edge slack —
+    the gap between a producer's end and a consumer's start — reflects
+    real scheduling slack in the machine. *)
+
+type event = {
+  id : int;
+  seq : int;  (** owning dynamic instruction *)
+  domain : Mcd_domains.Domain.t;
+  start : float;  (** ps, from the profiling run *)
+  duration : float;  (** ps, at full frequency *)
+}
+
+type t = {
+  events : event array;  (** indexed by [id], in (seq, stage) order *)
+  succs : int array array;
+  preds : int array array;
+  t_min : float;  (** earliest event start (segment source bound) *)
+  t_max : float;  (** latest event end (segment sink bound) *)
+}
+
+val build : ?rob_size:int -> Mcd_cpu.Probe.event array -> t
+(** The input must be sorted by (seq, stage) as produced by
+    {!Mcd_trace.Collector.segments}. Dependences on instructions outside
+    the segment are dropped. [rob_size] defaults to the Table-1 value
+    (80). *)
+
+val size : t -> int
+val edge_count : t -> int
+
+val slack : t -> int -> float
+(** Outgoing slack of an event: minimum over successors of
+    [succ.start - (ev.start + ev.duration)], or distance to [t_max] for
+    sinks. Non-negative by construction of the schedule (clamped at 0
+    against rounding). *)
+
+val validate : t -> unit
+(** Check DAG invariants (edges point forward in time up to a small
+    tolerance, ids consistent). Raises [Invalid_argument] on violation;
+    used by tests. *)
+
+val longest_path_signature : t -> slow:(Mcd_domains.Domain.t -> float) -> float array
+(** Composition of the longest path when every event in domain [d] is
+    stretched by [slow d] (>= 1): entry [Mcd_domains.Domain.index d] is
+    the total {e unstretched} duration of path events in domain [d].
+    Used to build the compact path model that validates a candidate
+    setting's slowdown (the paper's "delay calculation"). *)
+
+val path_signatures : t -> Path_model.segment
+(** Signatures of the binding paths under a standard probe set (full
+    speed, each domain slowed alone, all slowed), packaged with the
+    full-speed critical-path length. *)

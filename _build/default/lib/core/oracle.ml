@@ -1,0 +1,107 @@
+module Interval_collector = Mcd_trace.Interval_collector
+module Pipeline = Mcd_cpu.Pipeline
+module Config = Mcd_cpu.Config
+module Controller = Mcd_cpu.Controller
+module Histogram = Mcd_util.Histogram
+module Reconfig = Mcd_domains.Reconfig
+module Domain = Mcd_domains.Domain
+module Freq = Mcd_domains.Freq
+
+type interval_data = {
+  histograms : Histogram.t array option; (* None: too little data *)
+  paths : Path_model.t;
+  duration_ps : float;
+}
+
+type analysis = { interval_insts : int; intervals : interval_data array }
+
+type schedule = { interval_insts : int; settings : Reconfig.setting array }
+
+let min_interval_events = 50
+
+let analyze ~program ~input ?(interval_insts = 10_000)
+    ?(trace_insts = 120_000) ?(config = Config.alpha21264_like) () =
+  let collector = Interval_collector.create ~interval_insts () in
+  let _ =
+    Pipeline.run
+      ~probe:(Interval_collector.probe collector)
+      ~config ~program ~input ~max_insts:trace_insts ()
+  in
+  let intervals =
+    List.map
+      (fun events ->
+        if Array.length events < min_interval_events then
+          { histograms = None; paths = Path_model.empty; duration_ps = 0.0 }
+        else begin
+          let dag = Dag.build ~rob_size:config.Config.rob_size events in
+          let result = Shaker.run dag in
+          {
+            histograms = Some result.Shaker.histograms;
+            paths =
+              Path_model.add_segment Path_model.empty
+                (Dag.path_signatures dag);
+            duration_ps = dag.Dag.t_max -. dag.Dag.t_min;
+          }
+        end)
+      (Interval_collector.intervals collector)
+  in
+  { interval_insts; intervals = Array.of_list intervals }
+
+let schedule_of (a : analysis) ~slowdown_pct =
+  let settings =
+    Array.map
+      (fun iv ->
+        match iv.histograms with
+        | None -> Reconfig.full_speed ()
+        | Some hists ->
+            let s = Threshold.setting_of_histograms hists ~slowdown_pct in
+            Path_model.refine iv.paths s ~slowdown_pct)
+      a.intervals
+  in
+  (* transition-aware swing clamping across the schedule *)
+  let domain_max = Array.make Domain.count Freq.fmin_mhz in
+  Array.iteri
+    (fun i s ->
+      if a.intervals.(i).duration_ps > 0.0 then
+        Array.iteri
+          (fun d f -> if f > domain_max.(d) then domain_max.(d) <- f)
+          s)
+    settings;
+  let clamped =
+    Array.mapi
+      (fun i s ->
+        Array.mapi
+          (fun d f ->
+            let allowance =
+              Plan.swing_allowance_mhz
+                ~duration_ps:a.intervals.(i).duration_ps
+                ~f_target_mhz:domain_max.(d)
+            in
+            Freq.clamp (max f (domain_max.(d) - allowance)))
+          s)
+      settings
+  in
+  { interval_insts = a.interval_insts; settings = clamped }
+
+let policy schedule =
+  let current = ref (-1) in
+  let on_sample (s : Controller.sample) ~now:_ =
+    let n = Array.length schedule.settings in
+    if n = 0 then None
+    else begin
+      let idx =
+        min (n - 1) (s.Controller.total_retired / schedule.interval_insts)
+      in
+      if idx <> !current then begin
+        current := idx;
+        Some schedule.settings.(idx)
+      end
+      else None
+    end
+  in
+  {
+    Controller.name = "off-line (interval oracle)";
+    on_marker = (fun _ ~now:_ -> Controller.no_reaction);
+    on_sample;
+    sample_interval_cycles = 1_000;
+  }

@@ -1,0 +1,42 @@
+(** The interval-based off-line oracle (the paper's "off-line" bars,
+    after its reference [30]).
+
+    Unlike profile-driven reconfiguration, the oracle ignores program
+    structure: it divides the production run into fixed instruction
+    intervals, analyses each interval's dependence DAG with perfect
+    knowledge (shaker + slowdown thresholding + critical-path
+    validation), and plays the resulting per-interval schedule back
+    during the measured run, reconfiguring at interval boundaries. *)
+
+type analysis
+(** Retained per-interval shaker output (histograms, path models,
+    durations), so schedules at different slowdown budgets are cheap. *)
+
+val analyze :
+  program:Mcd_isa.Program.t ->
+  input:Mcd_isa.Program.input ->
+  ?interval_insts:int ->
+  ?trace_insts:int ->
+  ?config:Mcd_cpu.Config.t ->
+  unit ->
+  analysis
+(** Run the input at full speed and analyse each interval. Defaults:
+    10_000-instruction intervals, 120_000 traced instructions. For a
+    production run with a warm-up, trace warm-up plus window (instruction
+    numbering counts from the start of the run). *)
+
+type schedule = {
+  interval_insts : int;
+  settings : Mcd_domains.Reconfig.setting array;  (** per interval *)
+}
+
+val schedule_of : analysis -> slowdown_pct:float -> schedule
+(** Threshold + critical-path validation per interval, then
+    transition-aware swing clamping across the schedule (consecutive
+    intervals are exactly the back-to-back phases that ramp into each
+    other). *)
+
+val policy : schedule -> Mcd_cpu.Controller.t
+(** Play the schedule back: at each sampling point the controller writes
+    the setting of the interval containing the current instruction.
+    Instructions beyond the schedule run at the last setting. *)

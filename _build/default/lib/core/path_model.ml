@@ -1,0 +1,72 @@
+module Domain = Mcd_domains.Domain
+module Freq = Mcd_domains.Freq
+module Reconfig = Mcd_domains.Reconfig
+
+type segment = { base_ps : float; signatures : float array list }
+type t = { segments : segment list }
+
+let empty = { segments = [] }
+let add_segment t s = { segments = s :: t.segments }
+let union a b = { segments = a.segments @ b.segments }
+
+let fmax = float_of_int Freq.fmax_mhz
+
+(* Signatures carry per-domain scaling time in the first Domain.count
+   entries and a frequency-independent constant in the last. *)
+let segment_time seg (setting : Reconfig.setting) =
+  List.fold_left
+    (fun acc signature ->
+      let len = ref 0.0 in
+      Array.iteri
+        (fun d w ->
+          if d < Domain.count then
+            len := !len +. (w *. (fmax /. float_of_int setting.(d)))
+          else len := !len +. w)
+        signature;
+      Float.max acc !len)
+    0.0 seg.signatures
+
+let estimated_slowdown_pct t setting =
+  let scaled, base =
+    List.fold_left
+      (fun (s, b) seg -> (s +. segment_time seg setting, b +. seg.base_ps))
+      (0.0, 0.0) t.segments
+  in
+  if base <= 0.0 then 0.0 else 100.0 *. ((scaled /. base) -. 1.0)
+
+(* Slight overshoot allowance: the estimate is a max over sampled paths
+   (the paper's own delay calculation is "by necessity approximate"). *)
+let tolerance_factor = 1.0
+
+let refine t setting ~slowdown_pct =
+  let setting = Array.copy setting in
+  let budget = slowdown_pct *. tolerance_factor in
+  let bumpable () =
+    List.filter (fun d -> setting.(Domain.index d) < Freq.fmax_mhz) Domain.all
+  in
+  let continue_ = ref true in
+  while !continue_ && estimated_slowdown_pct t setting > budget do
+    match bumpable () with
+    | [] -> continue_ := false
+    | candidates ->
+        (* bump the domain whose single-step raise helps most *)
+        let best =
+          List.fold_left
+            (fun best d ->
+              let i = Domain.index d in
+              let saved = setting.(i) in
+              setting.(i) <- Freq.clamp (saved + Freq.step_mhz);
+              let est = estimated_slowdown_pct t setting in
+              setting.(i) <- saved;
+              match best with
+              | Some (_, best_est) when best_est <= est -> best
+              | Some _ | None -> Some (d, est))
+            None candidates
+        in
+        (match best with
+        | Some (d, _) ->
+            let i = Domain.index d in
+            setting.(i) <- Freq.clamp (setting.(i) + Freq.step_mhz)
+        | None -> continue_ := false)
+  done;
+  setting

@@ -1,0 +1,44 @@
+(** Compact critical-path model of a long-running node.
+
+    Slowdown thresholding budgets aggregate work per domain, but the
+    achieved slowdown of a node is governed by its critical paths: if
+    events on the binding path are forced above their ideal frequency,
+    the whole node stretches. The paper acknowledges its delay
+    calculation is "by necessity approximate"; this model is the
+    validation step that keeps the tolerated slowdown meaningful.
+
+    For each recorded segment we retain a handful of path signatures —
+    the per-domain time composition of the paths that become critical
+    when each domain is slowed — plus the full-speed critical-path
+    length. Estimating a candidate setting's slowdown is then a max over
+    signatures of a 4-term dot product, cheap enough to run inside the
+    frequency-selection loop and when re-thresholding at a different
+    delta. *)
+
+type segment = {
+  base_ps : float;  (** full-speed critical-path length *)
+  signatures : float array list;
+      (** candidate binding paths: per-domain scaling time in the first
+          {!Mcd_domains.Domain.count} entries, frequency-independent
+          remainder in the last *)
+}
+
+type t = { segments : segment list }
+
+val empty : t
+val add_segment : t -> segment -> t
+val union : t -> t -> t
+
+val estimated_slowdown_pct : t -> Mcd_domains.Reconfig.setting -> float
+(** Estimated node slowdown (percent over full speed) at the given
+    setting: per segment, the worst signature's scaled length relative
+    to the full-speed baseline, weighted across segments. 0 for an empty
+    model. *)
+
+val refine :
+  t -> Mcd_domains.Reconfig.setting -> slowdown_pct:float ->
+  Mcd_domains.Reconfig.setting
+(** Starting from a thresholding-chosen setting, raise domain
+    frequencies (greedily, the most beneficial domain first) until the
+    estimated slowdown is within [slowdown_pct] (a small tolerance is
+    allowed) or all domains are at full speed. Returns a fresh array. *)

@@ -1,0 +1,207 @@
+module Call_tree = Mcd_profiling.Call_tree
+module Context = Mcd_profiling.Context
+module Histogram = Mcd_util.Histogram
+module Domain = Mcd_domains.Domain
+module Freq = Mcd_domains.Freq
+module Reconfig = Mcd_domains.Reconfig
+
+type t = {
+  tree : Call_tree.t;
+  context : Context.t;
+  slowdown_pct : float;
+  node_settings : (int, Reconfig.setting) Hashtbl.t;
+  unit_settings : (Call_tree.static_unit, Reconfig.setting) Hashtbl.t;
+  node_histograms : (int, Histogram.t array) Hashtbl.t;
+  node_paths : (int, Path_model.t) Hashtbl.t;
+}
+
+let fresh_histograms () =
+  Array.init Domain.count (fun _ -> Histogram.create ~bins:Freq.num_steps)
+
+(* Fraction of a node's duration that may be lost to an entry ramp. *)
+let ramp_budget = 0.06
+
+let swing_allowance_mhz ~duration_ps ~f_target_mhz =
+  if duration_ps <= 0.0 then 0
+  else begin
+    let duration_ns = duration_ps /. 1000.0 in
+    let slew = Mcd_domains.Dvfs.slew_ns_per_mhz in
+    (* ramp loss ~ delta^2 * (slew/2) / f  <=  ramp_budget * duration *)
+    let delta =
+      sqrt
+        (ramp_budget *. duration_ns *. float_of_int f_target_mhz
+        /. (slew /. 2.0))
+    in
+    int_of_float delta
+  end
+
+let avg_duration_ps (pm : Path_model.t) =
+  match pm.Path_model.segments with
+  | [] -> 0.0
+  | segs ->
+      List.fold_left (fun a s -> a +. s.Path_model.base_ps) 0.0 segs
+      /. float_of_int (List.length segs)
+
+(* Clamp every setting to within the swing allowance of the per-domain
+   maximum across the given settings, so that no reconfiguration demands
+   a ramp the destination cannot amortize. [duration_of] supplies each
+   key's average duration (0 disables scaling for that key entirely,
+   falling back to the maximum). *)
+let clamp_swings settings ~duration_of ~contributes =
+  let domain_max = Array.make Domain.count Freq.fmin_mhz in
+  Hashtbl.iter
+    (fun key (s : Reconfig.setting) ->
+      if contributes key then
+        Array.iteri
+          (fun i f -> if f > domain_max.(i) then domain_max.(i) <- f)
+          s)
+    settings;
+  let clamped = Hashtbl.create (Hashtbl.length settings) in
+  Hashtbl.iter
+    (fun key (s : Reconfig.setting) ->
+      let duration_ps = duration_of key in
+      let s' =
+        Array.mapi
+          (fun i f ->
+            let allowance =
+              swing_allowance_mhz ~duration_ps
+                ~f_target_mhz:domain_max.(i)
+            in
+            Freq.clamp (max f (domain_max.(i) - allowance)))
+          s
+      in
+      Hashtbl.replace clamped key s')
+    settings;
+  clamped
+
+let make ~tree ~context ~slowdown_pct ~node_histograms ?(node_paths = []) () =
+  let hist_tbl = Hashtbl.create 32 in
+  List.iter (fun (id, h) -> Hashtbl.replace hist_tbl id h) node_histograms;
+  let paths_tbl = Hashtbl.create 32 in
+  List.iter (fun (id, p) -> Hashtbl.replace paths_tbl id p) node_paths;
+  let node_settings = Hashtbl.create 32 in
+  let unit_hists = Hashtbl.create 32 in
+  let unit_paths = Hashtbl.create 32 in
+  List.iter
+    (fun (n : Call_tree.node) ->
+      let setting =
+        match Hashtbl.find_opt hist_tbl n.Call_tree.id with
+        | None -> Reconfig.full_speed ()
+        | Some hists ->
+            let s = Threshold.setting_of_histograms hists ~slowdown_pct in
+            (* validate against the node's recorded critical paths *)
+            (match Hashtbl.find_opt paths_tbl n.Call_tree.id with
+            | Some pm -> Path_model.refine pm s ~slowdown_pct
+            | None -> s)
+      in
+      Hashtbl.replace node_settings n.Call_tree.id setting;
+      (* accumulate per-static-unit merged histograms and path models *)
+      match Call_tree.static_unit_of n.Call_tree.kind with
+      | None -> ()
+      | Some u ->
+          (match Hashtbl.find_opt hist_tbl n.Call_tree.id with
+          | None -> ()
+          | Some hists ->
+              let acc =
+                match Hashtbl.find_opt unit_hists u with
+                | Some a -> a
+                | None ->
+                    let a = fresh_histograms () in
+                    Hashtbl.add unit_hists u a;
+                    a
+              in
+              Array.iteri
+                (fun i h -> Histogram.merge_into ~dst:acc.(i) ~src:h)
+                hists);
+          (match Hashtbl.find_opt paths_tbl n.Call_tree.id with
+          | None -> ()
+          | Some pm ->
+              let merged =
+                match Hashtbl.find_opt unit_paths u with
+                | Some existing -> Path_model.union existing pm
+                | None -> pm
+              in
+              Hashtbl.replace unit_paths u merged))
+    (Call_tree.long_nodes tree);
+  let unit_settings = Hashtbl.create 32 in
+  List.iter
+    (fun u ->
+      let setting =
+        match Hashtbl.find_opt unit_hists u with
+        | None -> Reconfig.full_speed ()
+        | Some hists ->
+            let s = Threshold.setting_of_histograms hists ~slowdown_pct in
+            (match Hashtbl.find_opt unit_paths u with
+            | Some pm -> Path_model.refine pm s ~slowdown_pct
+            | None -> s)
+      in
+      Hashtbl.replace unit_settings u setting)
+    (Call_tree.long_static_units tree);
+  (* transition-aware swing clamping; nodes that never produced data
+     (full speed by default, typically rarely executed) neither scale
+     nor define the per-domain maxima *)
+  let node_settings =
+    clamp_swings node_settings
+      ~duration_of:(fun id ->
+        match Hashtbl.find_opt paths_tbl id with
+        | Some pm -> avg_duration_ps pm
+        | None -> 0.0)
+      ~contributes:(fun id -> Hashtbl.mem hist_tbl id)
+  in
+  let unit_settings =
+    clamp_swings unit_settings
+      ~duration_of:(fun u ->
+        match Hashtbl.find_opt unit_paths u with
+        | Some pm -> avg_duration_ps pm
+        | None -> 0.0)
+      ~contributes:(fun u -> Hashtbl.mem unit_hists u)
+  in
+  { tree; context; slowdown_pct; node_settings; unit_settings;
+    node_histograms = hist_tbl; node_paths = paths_tbl }
+
+let setting_for_node t id = Hashtbl.find_opt t.node_settings id
+let setting_for_unit t u = Hashtbl.find_opt t.unit_settings u
+
+let with_slowdown t ~slowdown_pct =
+  make ~tree:t.tree ~context:t.context ~slowdown_pct
+    ~node_histograms:
+      (Hashtbl.fold (fun id h acc -> (id, h) :: acc) t.node_histograms [])
+    ~node_paths:(Hashtbl.fold (fun id p acc -> (id, p) :: acc) t.node_paths [])
+    ()
+
+let static_reconfig_points t =
+  List.length (Call_tree.long_static_units t.tree)
+
+let static_instr_points t =
+  if not t.context.Context.paths then static_reconfig_points t
+  else begin
+    let units = List.length (Call_tree.instrumented_static_units t.tree) in
+    let sites =
+      if not t.context.Context.sites then 0
+      else begin
+        let tbl = Hashtbl.create 16 in
+        Call_tree.iter t.tree ~f:(fun n ->
+            if n.Call_tree.reaches_long then
+              match n.Call_tree.kind with
+              | Call_tree.Func_node { site; _ } when site >= 0 ->
+                  Hashtbl.replace tbl site ()
+              | Call_tree.Func_node _ | Call_tree.Loop_node _
+              | Call_tree.Root ->
+                  ());
+        Hashtbl.length tbl
+      end
+    in
+    units + sites
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>plan (%s, delta=%.1f%%):@,"
+    t.context.Context.name t.slowdown_pct;
+  List.iter
+    (fun (n : Call_tree.node) ->
+      match setting_for_node t n.Call_tree.id with
+      | Some s ->
+          Format.fprintf fmt "  node %d: %a@," n.Call_tree.id Reconfig.pp s
+      | None -> ())
+    (Call_tree.long_nodes t.tree);
+  Format.fprintf fmt "@]"

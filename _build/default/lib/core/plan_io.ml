@@ -1,0 +1,176 @@
+module Call_tree = Mcd_profiling.Call_tree
+module Context = Mcd_profiling.Context
+module Histogram = Mcd_util.Histogram
+module Domain = Mcd_domains.Domain
+module Freq = Mcd_domains.Freq
+module Reconfig = Mcd_domains.Reconfig
+
+(* FNV-1a over a canonical rendering of the tree structure. *)
+let fingerprint tree =
+  let h = ref 0xCBF29CE484222325L in
+  let mix s =
+    String.iter
+      (fun c ->
+        h := Int64.logxor !h (Int64.of_int (Char.code c));
+        h := Int64.mul !h 0x100000001B3L)
+      s
+  in
+  Call_tree.iter tree ~f:(fun n ->
+      let kind =
+        match n.Call_tree.kind with
+        | Call_tree.Root -> "R"
+        | Call_tree.Func_node { fid; site } -> Printf.sprintf "F%d@%d" fid site
+        | Call_tree.Loop_node { loop_id } -> Printf.sprintf "L%d" loop_id
+      in
+      mix
+        (Printf.sprintf "%d:%s:%d:%b;" n.Call_tree.id kind n.Call_tree.parent
+           n.Call_tree.long));
+  Printf.sprintf "%016Lx" !h
+
+let setting_to_string (s : Reconfig.setting) =
+  String.concat "," (Array.to_list (Array.map string_of_int s))
+
+let setting_of_string str =
+  let parts = String.split_on_char ',' str in
+  if List.length parts <> Domain.count then failwith "Plan_io: bad setting";
+  Array.of_list (List.map int_of_string parts)
+
+let floats_to_string arr =
+  String.concat "," (Array.to_list (Array.map (Printf.sprintf "%h") arr))
+
+let floats_of_string str =
+  Array.of_list (List.map float_of_string (String.split_on_char ',' str))
+
+let unit_to_string = function
+  | Call_tree.Func_unit fid -> Printf.sprintf "func:%d" fid
+  | Call_tree.Loop_unit id -> Printf.sprintf "loop:%d" id
+
+let unit_of_string s =
+  match String.split_on_char ':' s with
+  | [ "func"; n ] -> Call_tree.Func_unit (int_of_string n)
+  | [ "loop"; n ] -> Call_tree.Loop_unit (int_of_string n)
+  | _ -> failwith "Plan_io: bad static unit"
+
+let save (plan : Plan.t) ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "mcd-dvfs-plan 1\n";
+      Printf.fprintf oc "context %s\n" plan.Plan.context.Context.name;
+      Printf.fprintf oc "slowdown %h\n" plan.Plan.slowdown_pct;
+      Printf.fprintf oc "tree %s\n" (fingerprint plan.Plan.tree);
+      Hashtbl.iter
+        (fun id s -> Printf.fprintf oc "node %d %s\n" id (setting_to_string s))
+        plan.Plan.node_settings;
+      Hashtbl.iter
+        (fun u s ->
+          Printf.fprintf oc "unit %s %s\n" (unit_to_string u)
+            (setting_to_string s))
+        plan.Plan.unit_settings;
+      Hashtbl.iter
+        (fun id hists ->
+          Array.iteri
+            (fun d h ->
+              let weights =
+                Array.init (Histogram.bins h) (fun bin ->
+                    Histogram.get h ~bin)
+              in
+              Printf.fprintf oc "hist %d %d %s\n" id d
+                (floats_to_string weights))
+            hists)
+        plan.Plan.node_histograms;
+      Hashtbl.iter
+        (fun id (pm : Path_model.t) ->
+          List.iter
+            (fun (seg : Path_model.segment) ->
+              Printf.fprintf oc "seg %d %h" id seg.Path_model.base_ps;
+              List.iter
+                (fun signature ->
+                  Printf.fprintf oc " %s" (floats_to_string signature))
+                seg.Path_model.signatures;
+              Printf.fprintf oc "\n")
+            pm.Path_model.segments)
+        plan.Plan.node_paths)
+
+let load ~path ~tree =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let context = ref Context.lf in
+      let slowdown = ref 7.0 in
+      let node_settings = Hashtbl.create 32 in
+      let unit_settings = Hashtbl.create 32 in
+      let node_histograms : (int, Histogram.t array) Hashtbl.t =
+        Hashtbl.create 32
+      in
+      let node_paths : (int, Path_model.t) Hashtbl.t = Hashtbl.create 32 in
+      let fp_checked = ref false in
+      (match input_line ic with
+      | "mcd-dvfs-plan 1" -> ()
+      | _ -> failwith "Plan_io: not a plan file"
+      | exception End_of_file -> failwith "Plan_io: empty file");
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char ' ' line with
+           | [ "context"; name ] -> context := Context.of_name name
+           | [ "slowdown"; v ] -> slowdown := float_of_string v
+           | [ "tree"; fp ] ->
+               fp_checked := true;
+               if fp <> fingerprint tree then
+                 failwith
+                   "Plan_io: tree fingerprint mismatch (program or training \
+                    input changed since the plan was saved)"
+           | [ "node"; id; s ] ->
+               Hashtbl.replace node_settings (int_of_string id)
+                 (setting_of_string s)
+           | [ "unit"; u; s ] ->
+               Hashtbl.replace unit_settings (unit_of_string u)
+                 (setting_of_string s)
+           | [ "hist"; id; d; weights ] ->
+               let id = int_of_string id and d = int_of_string d in
+               let hists =
+                 match Hashtbl.find_opt node_histograms id with
+                 | Some hs -> hs
+                 | None ->
+                     let hs =
+                       Array.init Domain.count (fun _ ->
+                           Histogram.create ~bins:Freq.num_steps)
+                     in
+                     Hashtbl.add node_histograms id hs;
+                     hs
+               in
+               Array.iteri
+                 (fun bin weight ->
+                   if weight > 0.0 then Histogram.add hists.(d) ~bin ~weight)
+                 (floats_of_string weights)
+           | "seg" :: id :: base :: signatures ->
+               let id = int_of_string id in
+               let seg =
+                 {
+                   Path_model.base_ps = float_of_string base;
+                   signatures = List.map floats_of_string signatures;
+                 }
+               in
+               let pm =
+                 match Hashtbl.find_opt node_paths id with
+                 | Some pm -> pm
+                 | None -> Path_model.empty
+               in
+               Hashtbl.replace node_paths id (Path_model.add_segment pm seg)
+           | [] | [ "" ] -> ()
+           | _ -> failwith ("Plan_io: bad line: " ^ line)
+         done
+       with End_of_file -> ());
+      if not !fp_checked then failwith "Plan_io: missing tree fingerprint";
+      {
+        Plan.tree;
+        context = !context;
+        slowdown_pct = !slowdown;
+        node_settings;
+        unit_settings;
+        node_histograms;
+        node_paths;
+      })

@@ -1,0 +1,23 @@
+(** Persisting reconfiguration plans.
+
+    Phase 4 of the paper produces an edited binary that can be shipped
+    and run many times; here the analogous artifact is the plan — the
+    per-node and per-unit frequency settings plus the retained analysis
+    data (histograms and path models, so a loaded plan can still be
+    re-thresholded at a different slowdown).
+
+    The call tree itself is not serialized: it is a deterministic
+    function of (program, training input, context), so the loader
+    rebuilds it and verifies a structural fingerprint, refusing to apply
+    a plan to a program that has changed shape since training. *)
+
+val fingerprint : Mcd_profiling.Call_tree.t -> string
+(** Hex digest of the tree's structure (kinds, parentage, long flags). *)
+
+val save : Plan.t -> path:string -> unit
+(** Write the plan to a text file. *)
+
+val load : path:string -> tree:Mcd_profiling.Call_tree.t -> Plan.t
+(** Read a plan back, attaching it to a freshly rebuilt tree. Raises
+    [Failure] if the file is malformed or the tree fingerprint does not
+    match (the program or training input changed since [save]). *)

@@ -1,0 +1,179 @@
+module Histogram = Mcd_util.Histogram
+module Domain = Mcd_domains.Domain
+module Freq = Mcd_domains.Freq
+
+type result = {
+  histograms : Histogram.t array;
+  passes : int;
+  stretched_events : int;
+  total_events : int;
+}
+
+let fmax = float_of_int Freq.fmax_mhz
+
+(* Power factor of an event running at frequency [f] (MHz): the domain's
+   relative power, scaled by the operating point (V^2 for dynamic energy
+   per cycle, x f/fmax for cycle rate). *)
+let power_at ~p0 ~f = p0 *. Freq.energy_scale f *. (f /. fmax)
+
+let freq_of ~orig ~dur = fmax *. orig /. dur
+let dur_at ~orig ~f = orig *. fmax /. f
+
+(* Lowest step frequency reachable for an event given available slack
+   and the power threshold: step down while power still exceeds the
+   threshold and the extra duration fits in the slack. *)
+let target_freq ~p0 ~orig ~dur ~slack ~threshold =
+  let cur_f = freq_of ~orig ~dur in
+  let rec go best idx =
+    if idx < 0 then best
+    else
+      let f = float_of_int (Freq.of_index idx) in
+      if f >= cur_f then go best (idx - 1)
+      else if power_at ~p0 ~f:best <= threshold then best
+      else
+        let extra = dur_at ~orig ~f -. dur in
+        if extra <= slack +. 1e-9 then go f (idx - 1) else best
+  in
+  go cur_f (Freq.num_steps - 1)
+
+let run ?(max_passes = 24) ?(threshold_decay = 0.85) (dag : Dag.t) =
+  let n = Dag.size dag in
+  let start = Array.map (fun (e : Dag.event) -> e.Dag.start) dag.Dag.events in
+  let dur = Array.map (fun (e : Dag.event) -> e.Dag.duration) dag.Dag.events in
+  let orig = Array.copy dur in
+  let p0 =
+    Array.map
+      (fun (e : Dag.event) -> Domain.relative_power e.Dag.domain)
+      dag.Dag.events
+  in
+  (* processing orders from the original (topological) schedule *)
+  let fwd_order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b -> compare (start.(a), a) (start.(b), b))
+    fwd_order;
+  let bwd_order = Array.of_list (List.rev (Array.to_list fwd_order)) in
+  let out_slack id =
+    let e_end = start.(id) +. dur.(id) in
+    let s = dag.Dag.succs.(id) in
+    if Array.length s = 0 then Float.max 0.0 (dag.Dag.t_max -. e_end)
+    else
+      Array.fold_left
+        (fun acc sid -> Float.min acc (start.(sid) -. e_end))
+        Float.infinity s
+      |> Float.max 0.0
+  in
+  let in_slack id =
+    let p = dag.Dag.preds.(id) in
+    if Array.length p = 0 then Float.max 0.0 (start.(id) -. dag.Dag.t_min)
+    else
+      Array.fold_left
+        (fun acc pid -> Float.min acc (start.(id) -. (start.(pid) +. dur.(pid))))
+        Float.infinity p
+      |> Float.max 0.0
+  in
+  let min_succ_start id =
+    let s = dag.Dag.succs.(id) in
+    if Array.length s = 0 then dag.Dag.t_max
+    else Array.fold_left (fun acc sid -> Float.min acc start.(sid)) Float.infinity s
+  in
+  let max_pred_end id =
+    let p = dag.Dag.preds.(id) in
+    if Array.length p = 0 then dag.Dag.t_min
+    else
+      Array.fold_left
+        (fun acc pid -> Float.max acc (start.(pid) +. dur.(pid)))
+        Float.neg_infinity p
+  in
+  let stretched = ref false in
+  let stretch_threshold =
+    let m = Array.fold_left Float.max 0.0 p0 in
+    ref (0.95 *. m)
+  in
+  let stretch id slack =
+    let f_cur = freq_of ~orig:orig.(id) ~dur:dur.(id) in
+    let f' =
+      target_freq ~p0:p0.(id) ~orig:orig.(id) ~dur:dur.(id) ~slack
+        ~threshold:!stretch_threshold
+    in
+    if f' < f_cur -. 1e-9 then begin
+      dur.(id) <- dur_at ~orig:orig.(id) ~f:f';
+      stretched := true
+    end
+  in
+  let passes_done = ref 0 in
+  let quiet_pairs = ref 0 in
+  let pass = ref 0 in
+  while !pass < max_passes && !quiet_pairs < 2 do
+    incr pass;
+    stretched := false;
+    (* backward pass: consume outgoing slack, push remaining slack to
+       incoming edges by moving the event later *)
+    Array.iter
+      (fun id ->
+        let slack = out_slack id in
+        if slack > 0.0 && power_at ~p0:p0.(id) ~f:(freq_of ~orig:orig.(id) ~dur:dur.(id)) > !stretch_threshold
+        then stretch id slack;
+        (* move as late as dependences allow *)
+        let latest = min_succ_start id -. dur.(id) in
+        if latest > start.(id) then start.(id) <- latest)
+      bwd_order;
+    (* forward pass: consume incoming slack, push remaining slack to
+       outgoing edges by moving the event earlier *)
+    Array.iter
+      (fun id ->
+        let slack = in_slack id in
+        if slack > 0.0 && power_at ~p0:p0.(id) ~f:(freq_of ~orig:orig.(id) ~dur:dur.(id)) > !stretch_threshold
+        then begin
+          let before = dur.(id) in
+          stretch id slack;
+          (* growing into incoming slack means starting earlier *)
+          let grown = dur.(id) -. before in
+          if grown > 0.0 then start.(id) <- start.(id) -. grown
+        end;
+        let earliest = max_pred_end id in
+        if earliest < start.(id) then start.(id) <- earliest)
+      fwd_order;
+    passes_done := !pass;
+    stretch_threshold := !stretch_threshold *. threshold_decay;
+    if !stretched then quiet_pairs := 0 else incr quiet_pairs
+  done;
+  let histograms =
+    Array.init Domain.count (fun _ -> Histogram.create ~bins:Freq.num_steps)
+  in
+  let stretched_events = ref 0 in
+  Array.iteri
+    (fun id (e : Dag.event) ->
+      let f = freq_of ~orig:orig.(id) ~dur:dur.(id) in
+      (* snap down to the step actually sustainable for this event *)
+      let step =
+        let rec go idx =
+          if idx <= 0 then 0
+          else if float_of_int (Freq.of_index idx) <= f +. 1e-6 then idx
+          else go (idx - 1)
+        in
+        go (Freq.num_steps - 1)
+      in
+      if step < Freq.num_steps - 1 then incr stretched_events;
+      let cycles = orig.(id) /. 1000.0 in
+      Histogram.add histograms.(Domain.index e.Dag.domain) ~bin:step
+        ~weight:cycles)
+    dag.Dag.events;
+  {
+    histograms;
+    passes = !passes_done;
+    stretched_events = !stretched_events;
+    total_events = n;
+  }
+
+let frequencies_of_durations ~orig ~stretched =
+  Array.mapi
+    (fun i o ->
+      let f = fmax *. o /. stretched.(i) in
+      let rec go idx =
+        if idx <= 0 then Freq.of_index 0
+        else if float_of_int (Freq.of_index idx) <= f +. 1e-6 then
+          Freq.of_index idx
+        else go (idx - 1)
+      in
+      go (Freq.num_steps - 1))
+    orig

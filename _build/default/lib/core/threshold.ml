@@ -1,0 +1,46 @@
+module Histogram = Mcd_util.Histogram
+module Freq = Mcd_domains.Freq
+module Domain = Mcd_domains.Domain
+
+let fmax = float_of_int Freq.fmax_mhz
+
+(* Ideal time of the histogram: every event at its own scaled frequency.
+   Weights are full-speed cycles; time units are full-speed cycle
+   times. *)
+let ideal_time hist =
+  Histogram.fold hist ~init:0.0 ~f:(fun acc ~bin ~weight ->
+      acc +. (weight *. (fmax /. float_of_int (Freq.of_index bin))))
+
+let extra_time hist ~freq_mhz =
+  let f = float_of_int freq_mhz in
+  Histogram.fold hist ~init:0.0 ~f:(fun acc ~bin ~weight ->
+      let fb = float_of_int (Freq.of_index bin) in
+      if fb > f then acc +. (weight *. ((fmax /. f) -. (fmax /. fb)))
+      else acc)
+
+let expected_slowdown hist ~freq_mhz =
+  let ideal = ideal_time hist in
+  if ideal <= 0.0 then 0.0 else 100.0 *. extra_time hist ~freq_mhz /. ideal
+
+let choose hist ~slowdown_pct =
+  if slowdown_pct < 0.0 then invalid_arg "Threshold.choose: negative slowdown";
+  let ideal = ideal_time hist in
+  (* a domain with no work in this node runs at the floor: it costs no
+     time and its clock tree stops wasting energy *)
+  if ideal <= 0.0 then Freq.fmin_mhz
+  else begin
+    let budget = slowdown_pct /. 100.0 *. ideal in
+    (* scan steps from the lowest up; the first one within budget is the
+       minimum feasible frequency *)
+    let rec go idx =
+      if idx >= Freq.num_steps - 1 then Freq.fmax_mhz
+      else
+        let f = Freq.of_index idx in
+        if extra_time hist ~freq_mhz:f <= budget then f else go (idx + 1)
+    in
+    go 0
+  end
+
+let setting_of_histograms hists ~slowdown_pct =
+  assert (Array.length hists = Domain.count);
+  Array.map (fun h -> choose h ~slowdown_pct) hists

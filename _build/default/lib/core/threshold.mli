@@ -1,0 +1,26 @@
+(** Slowdown thresholding (Section 3.3 of the paper).
+
+    Individual events cannot be scaled in hardware — a whole domain must
+    run at one frequency for the duration of a tree node. Given the
+    shaker's per-domain histogram (work by ideal frequency step) and a
+    tolerated slowdown of delta percent, this picks the minimum domain
+    frequency such that the extra time needed to execute all
+    faster-than-chosen events at the chosen frequency stays within
+    delta percent of the node's ideal total time. *)
+
+val choose : Mcd_util.Histogram.t -> slowdown_pct:float -> int
+(** Minimum frequency (MHz, a legal step) meeting the bound. A histogram
+    with no weight yields the floor frequency (the domain did no work in
+    this node). [slowdown_pct] must be non-negative. *)
+
+val expected_slowdown : Mcd_util.Histogram.t -> freq_mhz:int -> float
+(** The slowdown estimate (percent) the thresholding computes for
+    running the domain at [freq_mhz]: extra time over ideal, as a
+    fraction of ideal total time. *)
+
+val setting_of_histograms :
+  Mcd_util.Histogram.t array ->
+  slowdown_pct:float ->
+  Mcd_domains.Reconfig.setting
+(** Apply {!choose} to each domain's histogram (indexed by
+    {!Mcd_domains.Domain.index}). *)

@@ -1,0 +1,1 @@
+lib/cpu/fu.mli: Mcd_util

@@ -1,0 +1,1 @@
+lib/cpu/pipeline.ml: Array Branch_pred Cache Config Controller Fu List Mcd_domains Mcd_isa Mcd_power Mcd_util Printf Probe Queue

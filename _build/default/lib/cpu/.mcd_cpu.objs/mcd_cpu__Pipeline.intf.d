@@ -1,0 +1,1 @@
+lib/cpu/pipeline.mli: Config Controller Mcd_isa Mcd_power Probe

@@ -1,0 +1,1 @@
+lib/cpu/probe.ml: Mcd_domains Mcd_isa Mcd_util

@@ -1,0 +1,1 @@
+lib/cpu/probe.mli: Mcd_domains Mcd_isa Mcd_util

@@ -1,0 +1,95 @@
+type t = {
+  bimodal : int array; (* 1024 x 2-bit *)
+  history : int array; (* 1024 x 10-bit per-address history *)
+  pattern : int array; (* 1024 x 2-bit *)
+  meta : int array; (* 4096 x 2-bit: >=2 selects PAg *)
+  btb_tags : int array; (* 4096 sets x 2 ways *)
+  btb_stamps : int array;
+  mutable btb_tick : int;
+  mutable lookup_count : int;
+  mutable mispredict_count : int;
+}
+
+let bimodal_size = 1024
+let history_size = 1024
+let history_bits = 10
+let pattern_size = 1024
+let meta_size = 4096
+let btb_sets = 4096
+let btb_ways = 2
+
+let create () =
+  {
+    bimodal = Array.make bimodal_size 1;
+    history = Array.make history_size 0;
+    pattern = Array.make pattern_size 1;
+    meta = Array.make meta_size 1;
+    btb_tags = Array.make (btb_sets * btb_ways) (-1);
+    btb_stamps = Array.make (btb_sets * btb_ways) 0;
+    btb_tick = 0;
+    lookup_count = 0;
+    mispredict_count = 0;
+  }
+
+let counter_update c taken =
+  if taken then min 3 (c + 1) else max 0 (c - 1)
+
+let btb_lookup_update t ~pc ~taken =
+  let set = pc land (btb_sets - 1) in
+  let tag = pc lsr 12 in
+  let base = set * btb_ways in
+  let way =
+    if t.btb_tags.(base) = tag then Some base
+    else if t.btb_tags.(base + 1) = tag then Some (base + 1)
+    else None
+  in
+  t.btb_tick <- t.btb_tick + 1;
+  match way with
+  | Some idx ->
+      t.btb_stamps.(idx) <- t.btb_tick;
+      true
+  | None ->
+      if taken then begin
+        let victim =
+          if t.btb_stamps.(base) <= t.btb_stamps.(base + 1) then base
+          else base + 1
+        in
+        t.btb_tags.(victim) <- tag;
+        t.btb_stamps.(victim) <- t.btb_tick
+      end;
+      false
+
+let predict_and_update t ~pc ~taken =
+  t.lookup_count <- t.lookup_count + 1;
+  let bi_idx = pc land (bimodal_size - 1) in
+  let bi_pred = t.bimodal.(bi_idx) >= 2 in
+  let h_idx = pc land (history_size - 1) in
+  let hist = t.history.(h_idx) in
+  let p_idx = hist land (pattern_size - 1) in
+  let pag_pred = t.pattern.(p_idx) >= 2 in
+  let m_idx = pc land (meta_size - 1) in
+  let use_pag = t.meta.(m_idx) >= 2 in
+  let dir_pred = if use_pag then pag_pred else bi_pred in
+  let btb_hit = btb_lookup_update t ~pc ~taken in
+  (* Direction correct and, if the branch is taken, the BTB must supply
+     the target for fetch to follow it. *)
+  let correct = dir_pred = taken && ((not taken) || btb_hit) in
+  (* updates *)
+  t.bimodal.(bi_idx) <- counter_update t.bimodal.(bi_idx) taken;
+  t.pattern.(p_idx) <- counter_update t.pattern.(p_idx) taken;
+  t.history.(h_idx) <-
+    ((hist lsl 1) lor Bool.to_int taken) land ((1 lsl history_bits) - 1);
+  (if pag_pred <> bi_pred then
+     let pag_correct = pag_pred = taken in
+     t.meta.(m_idx) <- counter_update t.meta.(m_idx) pag_correct);
+  if not correct then t.mispredict_count <- t.mispredict_count + 1;
+  correct
+
+let lookups t = t.lookup_count
+let mispredictions t = t.mispredict_count
+
+let accuracy t =
+  if t.lookup_count = 0 then 1.0
+  else
+    1.0
+    -. (float_of_int t.mispredict_count /. float_of_int t.lookup_count)

@@ -1,0 +1,24 @@
+(** Combining branch predictor per Table 1.
+
+    A bimodal predictor (1024 two-bit counters) and a two-level PAg
+    predictor (1024-entry per-address history of 10 bits indexing a
+    1024-entry pattern table) are arbitrated by a 4096-entry meta
+    predictor. A 4096-set 2-way BTB supplies targets: a taken branch that
+    misses in the BTB is treated as a misprediction even if its direction
+    was predicted correctly. *)
+
+type t
+
+val create : unit -> t
+
+val predict_and_update : t -> pc:int -> taken:bool -> bool
+(** Run the full prediction for the branch at [pc] whose resolved
+    outcome is [taken], update all tables, and return whether the
+    prediction (direction and, for taken branches, target) was
+    correct. *)
+
+val lookups : t -> int
+val mispredictions : t -> int
+
+val accuracy : t -> float
+(** Fraction of correct predictions; 1.0 when no lookups were made. *)

@@ -1,0 +1,73 @@
+type t = {
+  sets : int;
+  ways : int;
+  line_shift : int;
+  tags : int array; (* sets * ways; -1 = invalid *)
+  stamps : int array; (* LRU stamps, parallel to tags *)
+  mutable tick : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create (g : Config.cache_geometry) =
+  assert (g.sets > 0 && g.ways > 0 && g.line_bytes > 0);
+  {
+    sets = g.sets;
+    ways = g.ways;
+    line_shift = log2 g.line_bytes;
+    tags = Array.make (g.sets * g.ways) (-1);
+    stamps = Array.make (g.sets * g.ways) 0;
+    tick = 0;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let locate t ~addr =
+  let line = addr lsr t.line_shift in
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  (set, tag)
+
+let find_way t set tag =
+  let base = set * t.ways in
+  let rec go w =
+    if w >= t.ways then None
+    else if t.tags.(base + w) = tag then Some (base + w)
+    else go (w + 1)
+  in
+  go 0
+
+let access t ~addr =
+  let set, tag = locate t ~addr in
+  t.tick <- t.tick + 1;
+  match find_way t set tag with
+  | Some idx ->
+      t.stamps.(idx) <- t.tick;
+      t.hit_count <- t.hit_count + 1;
+      true
+  | None ->
+      t.miss_count <- t.miss_count + 1;
+      (* fill: evict the LRU way *)
+      let base = set * t.ways in
+      let victim = ref base in
+      for w = 1 to t.ways - 1 do
+        if t.stamps.(base + w) < t.stamps.(!victim) then victim := base + w
+      done;
+      t.tags.(!victim) <- tag;
+      t.stamps.(!victim) <- t.tick;
+      false
+
+let probe t ~addr =
+  let set, tag = locate t ~addr in
+  Option.is_some (find_way t set tag)
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let reset_stats t =
+  t.hit_count <- 0;
+  t.miss_count <- 0

@@ -1,0 +1,21 @@
+(** Set-associative cache with true-LRU replacement.
+
+    Timing (access latency, miss handling) belongs to the pipeline; this
+    module only answers hit/miss, maintains LRU state, and counts
+    accesses. *)
+
+type t
+
+val create : Config.cache_geometry -> t
+
+val access : t -> addr:int -> bool
+(** [access t ~addr] probes the line containing [addr]; on a miss the
+    line is filled (evicting the LRU way). Returns [true] on hit. *)
+
+val probe : t -> addr:int -> bool
+(** Hit test with no side effects (no fill, no LRU update). *)
+
+val hits : t -> int
+val misses : t -> int
+
+val reset_stats : t -> unit

@@ -1,0 +1,122 @@
+type cache_geometry = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  latency_cycles : int;
+}
+
+type clocking = Mcd | Single_clock of int
+
+type t = {
+  fetch_width : int;
+  decode_depth : int;
+  dispatch_width : int;
+  retire_width : int;
+  rob_size : int;
+  int_phys_regs : int;
+  fp_phys_regs : int;
+  iq_int_size : int;
+  iq_fp_size : int;
+  lsq_size : int;
+  int_alus : int;
+  int_mults : int;
+  fp_alus : int;
+  fp_mults : int;
+  int_alu_latency : int;
+  int_mult_latency : int;
+  fp_alu_latency : int;
+  fp_mult_latency : int;
+  issue_per_domain : int;
+  mem_ports : int;
+  l1i : cache_geometry;
+  l1d : cache_geometry;
+  l2 : cache_geometry;
+  main_memory_ns : int;
+  branch_penalty_cycles : int;
+  clocking : clocking;
+  jitter : bool;
+  seed : int;
+}
+
+(* 64 KB, 2-way, 64 B lines -> 512 sets; 1 MB direct-mapped -> 16384 sets *)
+let alpha21264_like =
+  {
+    fetch_width = 4;
+    decode_depth = 2;
+    dispatch_width = 4;
+    retire_width = 11;
+    rob_size = 80;
+    int_phys_regs = 72;
+    fp_phys_regs = 72;
+    iq_int_size = 20;
+    iq_fp_size = 15;
+    lsq_size = 64;
+    int_alus = 4;
+    int_mults = 1;
+    fp_alus = 2;
+    fp_mults = 1;
+    int_alu_latency = 1;
+    int_mult_latency = 7;
+    fp_alu_latency = 4;
+    fp_mult_latency = 4;
+    issue_per_domain = 6;
+    mem_ports = 2;
+    l1i = { sets = 512; ways = 2; line_bytes = 64; latency_cycles = 2 };
+    l1d = { sets = 512; ways = 2; line_bytes = 64; latency_cycles = 2 };
+    l2 = { sets = 16384; ways = 1; line_bytes = 64; latency_cycles = 12 };
+    main_memory_ns = 80;
+    branch_penalty_cycles = 7;
+    clocking = Mcd;
+    jitter = true;
+    seed = 0x5eed;
+  }
+
+let single_clock ~mhz =
+  { alpha21264_like with clocking = Single_clock mhz; jitter = false }
+
+let cache_size_kb g = g.sets * g.ways * g.line_bytes / 1024
+
+let pp_table fmt t =
+  let row name value = Format.fprintf fmt "%-40s %s@," name value in
+  Format.fprintf fmt "@[<v>";
+  row "Branch predictor"
+    "comb. of bimodal and 2-level PAg (1024/1024 hist 10, 4096 meta)";
+  row "BTB" "4096 sets, 2-way";
+  row "Branch mispredict penalty"
+    (string_of_int t.branch_penalty_cycles ^ " cycles");
+  row "Decode / Issue / Retire width"
+    (Printf.sprintf "%d / %d / %d" t.dispatch_width t.issue_per_domain
+       t.retire_width);
+  row "L1 data cache"
+    (Printf.sprintf "%dKB, %d-way set associative" (cache_size_kb t.l1d)
+       t.l1d.ways);
+  row "L1 instruction cache"
+    (Printf.sprintf "%dKB, %d-way set associative" (cache_size_kb t.l1i)
+       t.l1i.ways);
+  row "L2 unified cache"
+    (Printf.sprintf "%dMB, direct mapped" (cache_size_kb t.l2 / 1024));
+  row "Cache access time"
+    (Printf.sprintf "%d cycles L1, %d cycles L2" t.l1d.latency_cycles
+       t.l2.latency_cycles);
+  row "Integer ALUs"
+    (Printf.sprintf "%d + %d mult/div unit" t.int_alus t.int_mults);
+  row "Floating-point ALUs"
+    (Printf.sprintf "%d + %d mult/div/sqrt unit" t.fp_alus t.fp_mults);
+  row "Issue queue size"
+    (Printf.sprintf "%d int, %d fp, %d ld/st" t.iq_int_size t.iq_fp_size
+       t.lsq_size);
+  row "Reorder buffer size" (string_of_int t.rob_size);
+  row "Physical register file size"
+    (Printf.sprintf "%d integer, %d floating-point" t.int_phys_regs
+       t.fp_phys_regs);
+  row "Domain frequency range"
+    (Printf.sprintf "%d MHz - %d MHz" Mcd_domains.Freq.fmin_mhz
+       Mcd_domains.Freq.fmax_mhz);
+  row "Domain voltage range"
+    (Printf.sprintf "%.2f V - %.2f V" Mcd_domains.Freq.vmin
+       Mcd_domains.Freq.vmax);
+  row "Frequency change speed"
+    (Printf.sprintf "%.1f ns/MHz" Mcd_domains.Dvfs.slew_ns_per_mhz);
+  row "Domain clock jitter" "110 ps bound, normally distributed";
+  row "Inter-domain synchronization window" "30% of faster clock period";
+  Format.fprintf fmt "@]"

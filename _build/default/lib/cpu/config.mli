@@ -1,0 +1,62 @@
+(** Simulated processor configuration (the paper's Table 1).
+
+    The default, {!alpha21264_like}, matches the paper's parameters: a
+    4-wide fetch / 6-wide issue / 11-wide retire out-of-order core with
+    an 80-entry ROB, 20/15/64-entry integer/fp/load-store queues, 64 KB
+    2-way L1 caches, a 1 MB direct-mapped L2, and the MCD clocking model
+    (250 MHz – 1 GHz domains, 110 ps jitter, 300 ps synchronization
+    window). *)
+
+type cache_geometry = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  latency_cycles : int;  (** access latency in owning-domain cycles *)
+}
+
+type clocking =
+  | Mcd  (** four independently clocked domains *)
+  | Single_clock of int
+      (** globally synchronous at the given frequency (MHz); no
+          synchronization penalties. Used for the global-DVS baseline
+          and for quantifying the inherent MCD penalty. *)
+
+type t = {
+  fetch_width : int;
+  decode_depth : int;  (** front-end cycles between fetch and dispatch *)
+  dispatch_width : int;
+  retire_width : int;
+  rob_size : int;
+  int_phys_regs : int;
+  fp_phys_regs : int;
+  iq_int_size : int;
+  iq_fp_size : int;
+  lsq_size : int;
+  int_alus : int;
+  int_mults : int;
+  fp_alus : int;
+  fp_mults : int;
+  int_alu_latency : int;
+  int_mult_latency : int;
+  fp_alu_latency : int;
+  fp_mult_latency : int;
+  issue_per_domain : int;  (** issue width within each back-end domain *)
+  mem_ports : int;
+  l1i : cache_geometry;
+  l1d : cache_geometry;
+  l2 : cache_geometry;
+  main_memory_ns : int;
+  branch_penalty_cycles : int;
+  clocking : clocking;
+  jitter : bool;
+  seed : int;  (** seed for clock jitter streams *)
+}
+
+val alpha21264_like : t
+(** Table 1 configuration with MCD clocking. *)
+
+val single_clock : mhz:int -> t
+(** The same core, globally synchronous at [mhz]. *)
+
+val pp_table : Format.formatter -> t -> unit
+(** Render the configuration as a Table-1-style listing. *)

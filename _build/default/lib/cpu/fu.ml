@@ -1,0 +1,28 @@
+type t = {
+  next_free : int array; (* per-unit time (ps) at which it can accept work *)
+  latency : int;
+  pipelined : bool;
+  mutable ops : int;
+}
+
+let create ~count ~latency_cycles ~pipelined =
+  assert (count > 0 && latency_cycles > 0);
+  { next_free = Array.make count 0; latency = latency_cycles; pipelined; ops = 0 }
+
+let try_issue t ~now ~period_ps =
+  let n = Array.length t.next_free in
+  let rec find i =
+    if i >= n then None
+    else if t.next_free.(i) <= now then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let completion = now + (t.latency * period_ps) in
+      t.next_free.(i) <- (if t.pipelined then now + period_ps else completion);
+      t.ops <- t.ops + 1;
+      Some completion
+
+let latency_cycles t = t.latency
+let operations t = t.ops

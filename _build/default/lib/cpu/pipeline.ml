@@ -1,0 +1,797 @@
+module Time = Mcd_util.Time
+module Rng = Mcd_util.Rng
+module Inst = Mcd_isa.Inst
+module Walker = Mcd_isa.Walker
+module Domain = Mcd_domains.Domain
+module Clock = Mcd_domains.Clock
+module Dvfs = Mcd_domains.Dvfs
+module Sync = Mcd_domains.Sync
+module Reconfig = Mcd_domains.Reconfig
+module Energy = Mcd_power.Energy
+module Metrics = Mcd_power.Metrics
+
+type istate = In_fetch_buffer | In_queue | Completed | Retired_inst
+
+type inflight = {
+  di : Inst.dyn;
+  mutable state : istate;
+  fetched_at : Time.t;
+  mutable queued_at : Time.t;
+  mutable completion : Time.t;
+  exec_domain : Domain.t;
+  mutable producers : inflight array;
+  arrivals : Time.t array; (* cached cross-domain result arrivals, -1 unset *)
+  mispredicted : bool;
+}
+
+let sentinel =
+  {
+    di =
+      {
+        Inst.seq = -1;
+        static_id = -1;
+        klass = Inst.Int_alu;
+        srcs = [||];
+        dst = Inst.no_reg;
+        addr = Inst.no_reg;
+        taken = false;
+      };
+    state = Completed;
+    fetched_at = 0;
+    queued_at = 0;
+    completion = 0;
+    exec_domain = Domain.Front_end;
+    producers = [||];
+    arrivals = [| 0; 0; 0; 0 |];
+    mispredicted = false;
+  }
+
+let exec_domain_of (klass : Inst.iclass) =
+  match klass with
+  | Inst.Int_alu | Inst.Int_mult | Inst.Branch -> Domain.Integer
+  | Inst.Fp_alu | Inst.Fp_mult -> Domain.Floating
+  | Inst.Load | Inst.Store -> Domain.Memory
+
+type t = {
+  cfg : Config.t;
+  dvfs : Dvfs.t;
+  reconfig : Reconfig.t;
+  clocks : Clock.t array; (* indexed by Domain.index; aliased when single *)
+  single : bool;
+  walker : Walker.t;
+  mutable pushback : Walker.event option;
+  controller : Controller.t;
+  probe : Probe.t option;
+  energy : Energy.Accum.t;
+  sync_stats : Sync.stats;
+  bpred : Branch_pred.t;
+  l1i : Cache.t;
+  l1d : Cache.t;
+  l2 : Cache.t;
+  fu_int_alu : Fu.t;
+  fu_int_mult : Fu.t;
+  fu_fp_alu : Fu.t;
+  fu_fp_mult : Fu.t;
+  rob : inflight Queue.t;
+  mutable rob_count : int;
+  fetch_buf : inflight Queue.t;
+  mutable fetch_buf_count : int;
+  mutable iq_int : inflight list; (* program order *)
+  mutable iq_fp : inflight list;
+  mutable lsq : inflight list;
+  reg_src : inflight array; (* logical register -> youngest producer *)
+  mutable int_renames : int;
+  mutable fp_renames : int;
+  mutable fetch_resume : Time.t;
+  mutable pending_redirect : inflight option;
+  mutable redirect_dep : int; (* seq of the branch that stalled fetch; -1 none *)
+  mutable last_fetch_line : int;
+  mutable walker_done : bool;
+  mutable stream_pos : int; (* dynamic instructions accepted from the stream *)
+  mutable retired : int;
+  mutable last_retire_time : Time.t;
+  max_insts : int; (* measured-window size *)
+  warmup_insts : int;
+  mutable measuring : bool; (* warm-up complete, statistics armed *)
+  mutable base_time : Time.t; (* measurement-window start *)
+  mutable base_cycles : int;
+  mutable base_reconfigs : int;
+  (* controller sampling *)
+  mutable next_sample_cycle : int;
+  occ_sum : float array;
+  mutable occ_ticks : int;
+  mutable retired_at_sample : int;
+  (* instrumentation cost accounting *)
+  mutable instr_points : int;
+  mutable instr_overhead_ps : int;
+}
+
+let fetch_buffer_cap = 16
+
+let create ?probe ?(controller = Controller.nop) ?(warmup_insts = 0) ~config
+    ~program ~input ~max_insts () =
+  let cfg : Config.t = config in
+  let dvfs = Dvfs.create () in
+  let rng = Rng.create cfg.seed in
+  let jitter_sigma = if cfg.jitter then 110.0 /. 3.0 else 0.0 in
+  let mk_clock domain =
+    Clock.create ~jitter_sigma_ps:jitter_sigma
+      ~rng:(Rng.split rng ~label:(Domain.name domain))
+      ~freq_mhz:(fun ~now -> Dvfs.current_mhz dvfs domain ~now)
+      ()
+  in
+  let single, clocks =
+    match cfg.clocking with
+    | Config.Mcd ->
+        (false, Array.of_list (List.map mk_clock Domain.all))
+    | Config.Single_clock mhz ->
+        (* a different machine, not a transition: start at the point *)
+        List.iter (fun d -> Dvfs.force dvfs d ~mhz) Domain.all;
+        let c = mk_clock Domain.Front_end in
+        (true, Array.make Domain.count c)
+  in
+  {
+    cfg;
+    dvfs;
+    reconfig = Reconfig.create dvfs;
+    clocks;
+    single;
+    walker = Walker.create program ~input;
+    pushback = None;
+    controller;
+    probe;
+    energy = Energy.Accum.create ();
+    sync_stats = Sync.create_stats ();
+    bpred = Branch_pred.create ();
+    l1i = Cache.create cfg.l1i;
+    l1d = Cache.create cfg.l1d;
+    l2 = Cache.create cfg.l2;
+    fu_int_alu =
+      Fu.create ~count:cfg.int_alus ~latency_cycles:cfg.int_alu_latency
+        ~pipelined:true;
+    fu_int_mult =
+      Fu.create ~count:cfg.int_mults ~latency_cycles:cfg.int_mult_latency
+        ~pipelined:false;
+    fu_fp_alu =
+      Fu.create ~count:cfg.fp_alus ~latency_cycles:cfg.fp_alu_latency
+        ~pipelined:true;
+    fu_fp_mult =
+      Fu.create ~count:cfg.fp_mults ~latency_cycles:cfg.fp_mult_latency
+        ~pipelined:false;
+    rob = Queue.create ();
+    rob_count = 0;
+    fetch_buf = Queue.create ();
+    fetch_buf_count = 0;
+    iq_int = [];
+    iq_fp = [];
+    lsq = [];
+    reg_src = Array.make Inst.num_logical_regs sentinel;
+    int_renames = 0;
+    fp_renames = 0;
+    fetch_resume = Time.zero;
+    pending_redirect = None;
+    redirect_dep = -1;
+    last_fetch_line = -1;
+    walker_done = false;
+    stream_pos = 0;
+    retired = 0;
+    last_retire_time = Time.zero;
+    max_insts;
+    warmup_insts;
+    measuring = warmup_insts = 0;
+    base_time = Time.zero;
+    base_cycles = 0;
+    base_reconfigs = 0;
+    next_sample_cycle =
+      (if controller.Controller.sample_interval_cycles > 0 then
+         controller.Controller.sample_interval_cycles
+       else max_int);
+    occ_sum = Array.make Domain.count 0.0;
+    occ_ticks = 0;
+    retired_at_sample = 0;
+    instr_points = 0;
+    instr_overhead_ps = 0;
+  }
+
+let clock t domain = t.clocks.(Domain.index domain)
+let period t domain ~now = Clock.period_ps (clock t domain) ~now
+let charge t ~now activity = Energy.Accum.charge t.energy t.dvfs ~now activity
+
+(* Arrival time of a value produced at [when_] in [producer] into
+   [consumer]'s domain. Within a domain the handoff costs the normal
+   pipeline latch: the value is usable at the first edge strictly after
+   production (represented as when_ + 1 ps, which pushes consumption to
+   the following tick). Across domains the synchronization circuit's
+   capture replaces that latch: the value is usable at the capturing
+   consumer edge, one consumer cycle later when the edges conflict. *)
+let cross_arrival t ~producer ~consumer ~when_ =
+  if producer = consumer || t.single then when_ + 1
+  else
+    Sync.arrival ~stats:t.sync_stats ~consumer:(clock t consumer)
+      ~producer_period_ps:(period t producer ~now:when_)
+      ~t:when_ ()
+
+(* Cached arrival of an instruction's result into [domain]. *)
+let result_arrival t inf domain =
+  if inf == sentinel then Time.zero
+  else begin
+    assert (inf.state = Completed || inf.state = Retired_inst);
+    let i = Domain.index domain in
+    if inf.arrivals.(i) >= 0 then inf.arrivals.(i)
+    else begin
+      let a =
+        cross_arrival t ~producer:inf.exec_domain ~consumer:domain
+          ~when_:inf.completion
+      in
+      inf.arrivals.(i) <- a;
+      a
+    end
+  end
+
+let producers_ready t inf ~domain ~now =
+  let n = Array.length inf.producers in
+  let rec go i =
+    if i >= n then true
+    else
+      let p = inf.producers.(i) in
+      (p == sentinel
+      || ((p.state = Completed || p.state = Retired_inst)
+         && result_arrival t p domain <= now))
+      && go (i + 1)
+  in
+  go 0
+
+let emit_event t inf stage ~start ~duration ~deps =
+  match t.probe with
+  | None -> ()
+  | Some probe ->
+      probe.Probe.on_event
+        {
+          Probe.seq = inf.di.Inst.seq;
+          static_id = inf.di.Inst.static_id;
+          klass = inf.di.Inst.klass;
+          stage;
+          domain =
+            (match stage with
+            | Probe.Fetch_s | Probe.Dispatch_s | Probe.Retire_s ->
+                Domain.Front_end
+            | Probe.Execute_s -> inf.exec_domain
+            | Probe.Mem_s -> Domain.Memory);
+          start;
+          duration;
+          dep_seqs = deps;
+        }
+
+let dep_seqs_of inf =
+  let deps =
+    Array.to_list inf.producers
+    |> List.filter (fun p -> p != sentinel)
+    |> List.map (fun p -> p.di.Inst.seq)
+    |> List.sort_uniq compare
+  in
+  Array.of_list deps
+
+(* ------------------------------------------------------------------ *)
+(* Front-end: retire, dispatch, fetch, controller sampling             *)
+(* ------------------------------------------------------------------ *)
+
+let retire_stage t ~now =
+  let p = period t Domain.Front_end ~now in
+  let budget = ref t.cfg.retire_width in
+  let continue_ = ref true in
+  while
+    !continue_ && !budget > 0
+    && t.retired < t.warmup_insts + t.max_insts
+    && not (Queue.is_empty t.rob)
+  do
+    let head = Queue.peek t.rob in
+    if head.state = Completed && result_arrival t head Domain.Front_end <= now
+    then begin
+      ignore (Queue.pop t.rob);
+      t.rob_count <- t.rob_count - 1;
+      head.state <- Retired_inst;
+      (* consumers hold their own reference to [head]; dropping its
+         producer links frees the transitive dependency cone *)
+      head.producers <- [||];
+      t.retired <- t.retired + 1;
+      t.last_retire_time <- now;
+      (if head.di.Inst.dst >= 0 then
+         if Inst.is_fp_reg head.di.Inst.dst then
+           t.fp_renames <- t.fp_renames - 1
+         else t.int_renames <- t.int_renames - 1);
+      charge t ~now Energy.Retire;
+      emit_event t head Probe.Retire_s ~start:now ~duration:p ~deps:[||];
+      (* warm-up boundary: arm the measured statistics *)
+      if (not t.measuring) && t.retired >= t.warmup_insts then begin
+        t.measuring <- true;
+        t.base_time <- now;
+        t.base_cycles <- Clock.cycles (clock t Domain.Front_end);
+        t.base_reconfigs <- Reconfig.writes t.reconfig;
+        Energy.Accum.reset t.energy;
+        t.sync_stats.Sync.crossings <- 0;
+        t.sync_stats.Sync.penalties <- 0;
+        t.instr_points <- 0;
+        t.instr_overhead_ps <- 0
+      end;
+      decr budget
+    end
+    else continue_ := false
+  done
+
+let queue_has_space t domain =
+  match domain with
+  | Domain.Integer -> List.length t.iq_int < t.cfg.iq_int_size
+  | Domain.Floating -> List.length t.iq_fp < t.cfg.iq_fp_size
+  | Domain.Memory -> List.length t.lsq < t.cfg.lsq_size
+  | Domain.Front_end -> assert false
+
+let rename_has_space t inf =
+  let dst = inf.di.Inst.dst in
+  dst < 0
+  || (if Inst.is_fp_reg dst then
+        t.fp_renames < t.cfg.fp_phys_regs - 32
+      else t.int_renames < t.cfg.int_phys_regs - 32)
+
+let dispatch_stage t ~now =
+  let p = period t Domain.Front_end ~now in
+  let budget = ref t.cfg.dispatch_width in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 && not (Queue.is_empty t.fetch_buf) do
+    let cand = Queue.peek t.fetch_buf in
+    if
+      now >= cand.fetched_at + (t.cfg.decode_depth * p)
+      && t.rob_count < t.cfg.rob_size
+      && rename_has_space t cand
+      && queue_has_space t cand.exec_domain
+    then begin
+      ignore (Queue.pop t.fetch_buf);
+      t.fetch_buf_count <- t.fetch_buf_count - 1;
+      (* capture producers at rename time *)
+      cand.producers <-
+        Array.map (fun r -> t.reg_src.(r)) cand.di.Inst.srcs;
+      let dst = cand.di.Inst.dst in
+      if dst >= 0 then begin
+        t.reg_src.(dst) <- cand;
+        if Inst.is_fp_reg dst then t.fp_renames <- t.fp_renames + 1
+        else t.int_renames <- t.int_renames + 1
+      end;
+      cand.queued_at <-
+        cross_arrival t ~producer:Domain.Front_end
+          ~consumer:cand.exec_domain ~when_:now;
+      cand.state <- In_queue;
+      Queue.push cand t.rob;
+      t.rob_count <- t.rob_count + 1;
+      (match cand.exec_domain with
+      | Domain.Integer ->
+          t.iq_int <- t.iq_int @ [ cand ];
+          charge t ~now Energy.Iq_write_int
+      | Domain.Floating ->
+          t.iq_fp <- t.iq_fp @ [ cand ];
+          charge t ~now Energy.Iq_write_fp
+      | Domain.Memory ->
+          t.lsq <- t.lsq @ [ cand ];
+          charge t ~now Energy.Lsq_op
+      | Domain.Front_end -> assert false);
+      charge t ~now Energy.Decode_rename;
+      charge t ~now Energy.Rob_write;
+      emit_event t cand Probe.Dispatch_s ~start:now ~duration:p ~deps:[||];
+      decr budget
+    end
+    else continue_ := false
+  done
+
+let next_stream_event t =
+  match t.pushback with
+  | Some ev ->
+      t.pushback <- None;
+      Some ev
+  | None -> Walker.next t.walker
+
+(* Handle an I-cache access for a new fetch line. Returns true if the
+   line hit; on a miss, fetch resumes once the fill returns from L2 (or
+   main memory) through the domain-crossing latches. *)
+let icache_access t ~now ~pc =
+  let addr = pc * 4 in
+  charge t ~now Energy.L1i_access;
+  if Cache.access t.l1i ~addr then true
+  else begin
+    let at_l2 =
+      cross_arrival t ~producer:Domain.Front_end ~consumer:Domain.Memory
+        ~when_:now
+    in
+    charge t ~now Energy.L2_access;
+    let l2_done =
+      at_l2 + (t.cfg.l2.Config.latency_cycles * period t Domain.Memory ~now)
+    in
+    let fill_done =
+      if Cache.access t.l2 ~addr then l2_done
+      else begin
+        Energy.Accum.charge t.energy t.dvfs ~now Energy.Main_memory_access;
+        l2_done + Time.ns t.cfg.main_memory_ns
+      end
+    in
+    let back =
+      cross_arrival t ~producer:Domain.Memory ~consumer:Domain.Front_end
+        ~when_:fill_done
+    in
+    t.fetch_resume <- max t.fetch_resume back;
+    false
+  end
+
+let apply_reaction t ~now (reaction : Controller.reaction) =
+  let charged = reaction.stall_cycles > 0 || reaction.table_reads > 0 in
+  if charged then begin
+    t.instr_points <- t.instr_points + 1;
+    let p = period t Domain.Front_end ~now in
+    let stall = reaction.stall_cycles * p in
+    if stall > 0 then begin
+      t.fetch_resume <- max t.fetch_resume (now + stall);
+      t.instr_overhead_ps <- t.instr_overhead_ps + stall
+    end;
+    (* the inserted instructions' own energy: one fetched+executed
+       instruction per stall cycle, plus table lookups that miss in L1
+       and hit in L2 *)
+    for _ = 1 to reaction.stall_cycles do
+      charge t ~now Energy.Fetch;
+      charge t ~now Energy.Decode_rename;
+      charge t ~now Energy.Int_alu_op
+    done;
+    for _ = 1 to reaction.table_reads do
+      charge t ~now Energy.L1d_access;
+      charge t ~now Energy.L2_access
+    done
+  end;
+  match reaction.set with
+  | None -> ()
+  | Some setting -> Reconfig.write t.reconfig setting ~now
+
+let fetch_stage t ~now =
+  if now >= t.fetch_resume && t.pending_redirect = None then begin
+    let p = period t Domain.Front_end ~now in
+    let slots = ref t.cfg.fetch_width in
+    let continue_ = ref true in
+    while !continue_ && !slots > 0 do
+      match next_stream_event t with
+      | None ->
+          t.walker_done <- true;
+          continue_ := false
+      | Some (Walker.Marker m) ->
+          (match t.probe with
+          | Some probe -> probe.Probe.on_marker m ~seq:t.stream_pos
+          | None -> ());
+          let reaction = t.controller.Controller.on_marker m ~now in
+          apply_reaction t ~now reaction;
+          if reaction.Controller.stall_cycles > 0 then continue_ := false
+      | Some (Walker.Inst di) ->
+          if t.fetch_buf_count >= fetch_buffer_cap then begin
+            t.pushback <- Some (Walker.Inst di);
+            continue_ := false
+          end
+          else begin
+            (* I-cache: access once per new line *)
+            let line = di.Inst.static_id lsr 4 in
+            let line_hit =
+              if line = t.last_fetch_line then true
+              else begin
+                t.last_fetch_line <- line;
+                icache_access t ~now ~pc:di.Inst.static_id
+              end
+            in
+            let mispredicted =
+              di.Inst.klass = Inst.Branch
+              && not
+                   (Branch_pred.predict_and_update t.bpred
+                      ~pc:di.Inst.static_id ~taken:di.Inst.taken)
+            in
+            let inf =
+              {
+                di;
+                state = In_fetch_buffer;
+                fetched_at = now;
+                queued_at = now;
+                completion = max_int;
+                exec_domain = exec_domain_of di.Inst.klass;
+                producers = [||];
+                arrivals = [| -1; -1; -1; -1 |];
+                mispredicted;
+              }
+            in
+            Queue.push inf t.fetch_buf;
+            t.fetch_buf_count <- t.fetch_buf_count + 1;
+            t.stream_pos <- t.stream_pos + 1;
+            charge t ~now Energy.Fetch;
+            (* control dependence: the first fetch after a mispredict
+               recovery depends on the resolving branch; an I-cache miss
+               extends the fetch event across the fill *)
+            let fetch_deps =
+              if t.redirect_dep >= 0 then begin
+                let d = [| t.redirect_dep |] in
+                t.redirect_dep <- -1;
+                d
+              end
+              else [||]
+            in
+            let fetch_dur =
+              if line_hit then p else max p (t.fetch_resume - now)
+            in
+            emit_event t inf Probe.Fetch_s ~start:now ~duration:fetch_dur
+              ~deps:fetch_deps;
+            if mispredicted then begin
+              t.pending_redirect <- Some inf;
+              continue_ := false
+            end
+            else if not line_hit then continue_ := false
+            else decr slots
+          end
+    done
+  end
+
+let sample_stage t ~now =
+  if t.controller.Controller.sample_interval_cycles > 0 then begin
+    (* The occupancy signal counts the backlog the domain itself owns:
+       entries ready to issue, plus entries waiting on a producer that
+       executes in this same domain. Entries stalled on another domain's
+       results say nothing about this domain's speed. *)
+    let ready domain queue =
+      let owned inf =
+        inf.queued_at <= now
+        &&
+        let n = Array.length inf.producers in
+        let rec go i all_ready =
+          if i >= n then all_ready
+          else
+            let p = inf.producers.(i) in
+            if
+              p == sentinel
+              || ((p.state = Completed || p.state = Retired_inst)
+                 && result_arrival t p domain <= now)
+            then go (i + 1) all_ready
+            else if p.exec_domain = domain then true
+            else go (i + 1) false
+        in
+        go 0 true
+      in
+      List.fold_left (fun acc inf -> if owned inf then acc + 1 else acc) 0 queue
+    in
+    t.occ_sum.(Domain.index Domain.Front_end) <-
+      t.occ_sum.(Domain.index Domain.Front_end)
+      +. float_of_int t.fetch_buf_count;
+    t.occ_sum.(Domain.index Domain.Integer) <-
+      t.occ_sum.(Domain.index Domain.Integer)
+      +. float_of_int (ready Domain.Integer t.iq_int);
+    t.occ_sum.(Domain.index Domain.Floating) <-
+      t.occ_sum.(Domain.index Domain.Floating)
+      +. float_of_int (ready Domain.Floating t.iq_fp);
+    t.occ_sum.(Domain.index Domain.Memory) <-
+      t.occ_sum.(Domain.index Domain.Memory)
+      +. float_of_int (ready Domain.Memory t.lsq);
+    t.occ_ticks <- t.occ_ticks + 1;
+    let front_cycles = Clock.cycles (clock t Domain.Front_end) in
+    if front_cycles >= t.next_sample_cycle then begin
+      let interval = t.controller.Controller.sample_interval_cycles in
+      let ticks = float_of_int (max 1 t.occ_ticks) in
+      let sample =
+        {
+          Controller.elapsed_cycles = interval;
+          avg_occupancy = Array.map (fun s -> s /. ticks) t.occ_sum;
+          retired = t.retired - t.retired_at_sample;
+          total_retired = t.retired;
+        }
+      in
+      (match t.controller.Controller.on_sample sample ~now with
+      | None -> ()
+      | Some setting -> Reconfig.write t.reconfig setting ~now);
+      Array.fill t.occ_sum 0 Domain.count 0.0;
+      t.occ_ticks <- 0;
+      t.retired_at_sample <- t.retired;
+      t.next_sample_cycle <- front_cycles + interval
+    end
+  end
+
+let tick_front t ~now =
+  retire_stage t ~now;
+  dispatch_stage t ~now;
+  fetch_stage t ~now;
+  sample_stage t ~now
+
+(* ------------------------------------------------------------------ *)
+(* Execution domains                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let complete_branch t inf ~now =
+  if inf.mispredicted then begin
+    let back =
+      cross_arrival t ~producer:Domain.Integer ~consumer:Domain.Front_end
+        ~when_:inf.completion
+    in
+    let fp = period t Domain.Front_end ~now in
+    t.fetch_resume <-
+      max t.fetch_resume (back + (t.cfg.branch_penalty_cycles * fp));
+    match t.pending_redirect with
+    | Some b when b == inf ->
+        t.pending_redirect <- None;
+        t.redirect_dep <- inf.di.Inst.seq
+    | Some _ | None -> ()
+  end
+
+let tick_exec t domain ~now =
+  let p = period t domain ~now in
+  let budget = ref t.cfg.issue_per_domain in
+  let try_one inf =
+    if !budget = 0 || inf.queued_at > now then true (* keep *)
+    else if not (producers_ready t inf ~domain ~now) then true
+    else begin
+      let pool =
+        match inf.di.Inst.klass with
+        | Inst.Int_alu | Inst.Branch -> t.fu_int_alu
+        | Inst.Int_mult -> t.fu_int_mult
+        | Inst.Fp_alu -> t.fu_fp_alu
+        | Inst.Fp_mult -> t.fu_fp_mult
+        | Inst.Load | Inst.Store -> assert false
+      in
+      match Fu.try_issue pool ~now ~period_ps:p with
+      | None -> true
+      | Some completion ->
+          inf.completion <- completion;
+          inf.state <- Completed;
+          decr budget;
+          (match domain with
+          | Domain.Integer ->
+              charge t ~now Energy.Issue_int;
+              charge t ~now Energy.Regfile_int;
+              charge t ~now
+                (match inf.di.Inst.klass with
+                | Inst.Int_mult -> Energy.Int_mult_op
+                | Inst.Int_alu | Inst.Branch | Inst.Fp_alu | Inst.Fp_mult
+                | Inst.Load | Inst.Store ->
+                    Energy.Int_alu_op)
+          | Domain.Floating ->
+              charge t ~now Energy.Issue_fp;
+              charge t ~now Energy.Regfile_fp;
+              charge t ~now
+                (match inf.di.Inst.klass with
+                | Inst.Fp_mult -> Energy.Fp_mult_op
+                | Inst.Fp_alu | Inst.Int_alu | Inst.Int_mult | Inst.Branch
+                | Inst.Load | Inst.Store ->
+                    Energy.Fp_alu_op)
+          | Domain.Memory | Domain.Front_end -> assert false);
+          emit_event t inf Probe.Execute_s ~start:now
+            ~duration:(completion - now) ~deps:(dep_seqs_of inf);
+          if inf.di.Inst.klass = Inst.Branch then complete_branch t inf ~now;
+          false (* remove from queue *)
+    end
+  in
+  match domain with
+  | Domain.Integer -> t.iq_int <- List.filter try_one t.iq_int
+  | Domain.Floating -> t.iq_fp <- List.filter try_one t.iq_fp
+  | Domain.Memory | Domain.Front_end -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Memory domain                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tick_mem t ~now =
+  let p = period t Domain.Memory ~now in
+  let ports = ref t.cfg.mem_ports in
+  let try_one inf =
+    if !ports = 0 || inf.queued_at > now then true
+    else if not (producers_ready t inf ~domain:Domain.Memory ~now) then true
+    else begin
+      decr ports;
+      let addr = inf.di.Inst.addr in
+      assert (addr >= 0);
+      charge t ~now Energy.Lsq_op;
+      charge t ~now Energy.L1d_access;
+      let completion =
+        if Cache.access t.l1d ~addr then
+          now + (t.cfg.l1d.Config.latency_cycles * p)
+        else begin
+          charge t ~now Energy.L2_access;
+          let l2_done =
+            now
+            + ((t.cfg.l1d.Config.latency_cycles
+               + t.cfg.l2.Config.latency_cycles)
+              * p)
+          in
+          if Cache.access t.l2 ~addr then l2_done
+          else begin
+            charge t ~now Energy.Main_memory_access;
+            l2_done + Time.ns t.cfg.main_memory_ns
+          end
+        end
+      in
+      inf.completion <- completion;
+      inf.state <- Completed;
+      emit_event t inf Probe.Mem_s ~start:now ~duration:(completion - now)
+        ~deps:(dep_seqs_of inf);
+      false
+    end
+  in
+  t.lsq <- List.filter try_one t.lsq
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let finished t =
+  t.retired >= t.warmup_insts + t.max_insts
+  || (t.walker_done && t.rob_count = 0 && t.fetch_buf_count = 0
+     && t.pushback = None)
+
+let metrics t ~now =
+  let per_domain =
+    Array.init (Domain.count + 1) (fun i ->
+        if i < Domain.count then
+          Energy.Accum.domain_pj t.energy (Domain.of_index i)
+        else Energy.Accum.external_pj t.energy)
+  in
+  let end_time = if t.retired > 0 then t.last_retire_time else now in
+  {
+    Metrics.runtime_ps = max 0 (end_time - t.base_time);
+    energy_pj = Energy.Accum.total_pj t.energy;
+    per_domain_pj = per_domain;
+    instructions = max 0 (t.retired - min t.retired t.warmup_insts);
+    cycles_front = Clock.cycles (clock t Domain.Front_end) - t.base_cycles;
+    sync_crossings = t.sync_stats.Sync.crossings;
+    sync_penalties = t.sync_stats.Sync.penalties;
+    reconfigurations = Reconfig.writes t.reconfig - t.base_reconfigs;
+    instr_points = t.instr_points;
+    instr_overhead_ps = t.instr_overhead_ps;
+  }
+
+let deadlock_horizon = Time.us 100_000 (* 100 ms of simulated time *)
+
+let run ?probe ?controller ?warmup_insts ~config ~program ~input ~max_insts
+    () =
+  let t =
+    create ?probe ?controller ?warmup_insts ~config ~program ~input
+      ~max_insts ()
+  in
+  let now = ref Time.zero in
+  let last_progress_time = ref Time.zero in
+  let last_progress_count = ref 0 in
+  while not (finished t) do
+    if t.single then begin
+      let c = t.clocks.(0) in
+      let edge = Clock.next_edge c in
+      now := edge;
+      tick_front t ~now:edge;
+      tick_exec t Domain.Integer ~now:edge;
+      tick_exec t Domain.Floating ~now:edge;
+      tick_mem t ~now:edge;
+      Clock.advance c;
+      List.iter
+        (fun d -> Energy.Accum.charge_clock_tick t.energy t.dvfs ~now:edge d)
+        Domain.all
+    end
+    else begin
+      (* earliest pending edge among the four domain clocks *)
+      let best = ref 0 in
+      for i = 1 to Domain.count - 1 do
+        if Clock.next_edge t.clocks.(i) < Clock.next_edge t.clocks.(!best)
+        then best := i
+      done;
+      let c = t.clocks.(!best) in
+      let edge = Clock.next_edge c in
+      now := edge;
+      (match Domain.of_index !best with
+      | Domain.Front_end -> tick_front t ~now:edge
+      | Domain.Integer -> tick_exec t Domain.Integer ~now:edge
+      | Domain.Floating -> tick_exec t Domain.Floating ~now:edge
+      | Domain.Memory -> tick_mem t ~now:edge);
+      Clock.advance c;
+      Energy.Accum.charge_clock_tick t.energy t.dvfs ~now:edge
+        (Domain.of_index !best)
+    end;
+    (* deadlock detection: no retirement progress across a long horizon *)
+    if t.retired > !last_progress_count then begin
+      last_progress_count := t.retired;
+      last_progress_time := !now
+    end
+    else if !now - !last_progress_time > deadlock_horizon then
+      failwith
+        (Printf.sprintf
+           "Pipeline.run: no retirement progress for %d ps (retired=%d)"
+           (!now - !last_progress_time) t.retired)
+  done;
+  metrics t ~now:!now

@@ -1,0 +1,33 @@
+(** The multiple-clock-domain out-of-order pipeline.
+
+    Executes a program's dynamic instruction stream on the Table-1 core:
+    fetch (with the combining branch predictor and L1 I-cache) and
+    rename/dispatch in the front-end domain, issue/execute in the
+    integer and floating-point domains, loads and stores through the
+    LSQ / L1D / L2 hierarchy in the memory domain, and in-order retire
+    back in the front-end. Each domain runs on its own jittered clock;
+    every value that crosses a domain boundary pays the synchronization
+    cost of {!Mcd_domains.Sync}. Energy is accounted per activity at the
+    producing domain's instantaneous voltage.
+
+    A {!Controller.t} supplies the run-time reconfiguration policy; a
+    {!Probe.t} (profiling runs) receives every primitive event for
+    dependence-DAG construction. *)
+
+val run :
+  ?probe:Probe.t ->
+  ?controller:Controller.t ->
+  ?warmup_insts:int ->
+  config:Config.t ->
+  program:Mcd_isa.Program.t ->
+  input:Mcd_isa.Program.input ->
+  max_insts:int ->
+  unit ->
+  Mcd_power.Metrics.run
+(** Simulate until [max_insts] instructions retire past the warm-up, or
+    the program ends. [warmup_insts] (default 0) retires that many
+    instructions first with full microarchitectural effect — caches,
+    predictors, DVFS state and the controller all run — then resets the
+    measured statistics (energy, runtime, counters), mirroring the
+    paper's mid-program instruction windows. Raises [Failure] if the
+    pipeline deadlocks (a simulator bug). *)

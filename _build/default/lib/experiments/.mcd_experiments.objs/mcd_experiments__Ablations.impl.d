@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: List Mcd_core Mcd_cpu Mcd_domains Mcd_power Mcd_profiling Mcd_util Mcd_workloads Printf Runner

@@ -1,0 +1,1 @@
+lib/experiments/context_sense.ml: List Mcd_core Mcd_power Mcd_profiling Mcd_util Mcd_workloads Printf Runner

@@ -1,0 +1,1 @@
+lib/experiments/context_sense.mli: Mcd_profiling Mcd_workloads Runner

@@ -1,0 +1,1 @@
+lib/experiments/headline.ml: List Mcd_power Mcd_profiling Mcd_util Mcd_workloads Runner

@@ -1,0 +1,1 @@
+lib/experiments/headline.mli: Mcd_workloads Runner

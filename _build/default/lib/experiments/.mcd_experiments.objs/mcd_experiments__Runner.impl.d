@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Hashtbl Mcd_control Mcd_core Mcd_cpu Mcd_domains Mcd_power Mcd_profiling Mcd_workloads Printf

@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Mcd_control Mcd_core Mcd_power Mcd_profiling Mcd_workloads

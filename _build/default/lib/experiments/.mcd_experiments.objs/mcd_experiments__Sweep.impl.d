@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: List Mcd_control Mcd_profiling Mcd_util Mcd_workloads Runner

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Format List Mcd_cpu Mcd_isa Mcd_profiling Mcd_util Mcd_workloads Printf

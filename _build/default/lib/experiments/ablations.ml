@@ -1,0 +1,172 @@
+module Workload = Mcd_workloads.Workload
+module Suite = Mcd_workloads.Suite
+module Context = Mcd_profiling.Context
+module Metrics = Mcd_power.Metrics
+module Pipeline = Mcd_cpu.Pipeline
+module Config = Mcd_cpu.Config
+module Analyze = Mcd_core.Analyze
+module Editor = Mcd_core.Editor
+module Freq = Mcd_domains.Freq
+module Table = Mcd_util.Table
+module Stats = Mcd_util.Stats
+
+let default_sync_workloads =
+  List.map Suite.by_name
+    [ "adpcm decode"; "gsm encode"; "jpeg compress"; "mcf"; "applu"; "equake" ]
+
+let sync_penalty ?(workloads = default_sync_workloads) () =
+  let header = [ "benchmark"; "perf penalty"; "energy penalty" ] in
+  let results =
+    List.map
+      (fun (w : Workload.t) ->
+        let mcd = Runner.baseline w in
+        let single = Runner.single_clock w ~mhz:Freq.fmax_mhz in
+        ( w.Workload.name,
+          Metrics.perf_degradation_pct ~baseline:single mcd,
+          -.Metrics.energy_savings_pct ~baseline:single mcd ))
+      workloads
+  in
+  let body =
+    List.map
+      (fun (n, p, e) -> [ n; Table.fmt_pct p; Table.fmt_pct e ])
+      results
+  in
+  let avg =
+    [
+      "AVERAGE";
+      Table.fmt_pct (Stats.mean (List.map (fun (_, p, _) -> p) results));
+      Table.fmt_pct (Stats.mean (List.map (fun (_, _, e) -> e) results));
+    ]
+  in
+  "Ablation: inherent MCD synchronization penalty vs single-clock core\n"
+  ^ Table.render ~header ~rows:(body @ [ avg ]) ()
+
+let narrow_config =
+  {
+    Config.alpha21264_like with
+    Config.fetch_width = 2;
+    dispatch_width = 2;
+    retire_width = 4;
+    rob_size = 32;
+    iq_int_size = 10;
+    iq_fp_size = 8;
+    lsq_size = 24;
+    int_alus = 2;
+    fp_alus = 1;
+    issue_per_domain = 3;
+  }
+
+let default_narrow_workloads =
+  List.map Suite.by_name [ "adpcm decode"; "gsm encode"; "jpeg compress"; "mcf" ]
+
+let narrow_core ?(workloads = default_narrow_workloads) () =
+  let header =
+    [ "benchmark"; "core"; "degradation"; "energy savings"; "ExD" ]
+  in
+  let rows_for (w : Workload.t) config label =
+    let baseline =
+      Pipeline.run ~config ~warmup_insts:w.Workload.ref_offset
+        ~program:w.Workload.program ~input:w.Workload.reference
+        ~max_insts:w.Workload.ref_window ()
+    in
+    let plan, _ =
+      Analyze.analyze ~program:w.Workload.program ~train:w.Workload.train
+        ~context:Context.lf ~trace_insts:(min w.Workload.train_window 120_000)
+        ~config ()
+    in
+    let edited = Mcd_core.Editor.edit plan in
+    let run =
+      Pipeline.run ~controller:edited.Mcd_core.Editor.controller ~config
+        ~warmup_insts:w.Workload.ref_offset ~program:w.Workload.program
+        ~input:w.Workload.reference ~max_insts:w.Workload.ref_window ()
+    in
+    let c = Runner.compare_runs ~baseline run in
+    [
+      w.Workload.name;
+      label;
+      Table.fmt_pct c.Runner.degradation_pct;
+      Table.fmt_pct c.Runner.savings_pct;
+      Table.fmt_pct c.Runner.ed_improvement_pct;
+    ]
+  in
+  let body =
+    List.concat_map
+      (fun w ->
+        [
+          rows_for w Config.alpha21264_like "4-wide (Table 1)";
+          rows_for w narrow_config "2-wide narrow";
+        ])
+      workloads
+  in
+  "Ablation: profile-based DVFS on a narrow core (train and run on the \
+   same microarchitecture)\n"
+  ^ Table.render ~header ~rows:body ()
+
+let run_plan (w : Workload.t) plan =
+  let edited = Editor.edit plan in
+  Pipeline.run ~controller:edited.Editor.controller
+    ~config:Config.alpha21264_like ~program:w.Workload.program
+    ~input:w.Workload.reference ~max_insts:w.Workload.ref_window ()
+
+let shaker_passes ?(workload = Suite.by_name "gsm encode")
+    ?(passes = [ 1; 2; 6; 24 ]) () =
+  let w = workload in
+  let baseline = Runner.baseline w in
+  let header =
+    [ "shaker passes"; "degradation"; "energy savings"; "ExD improvement" ]
+  in
+  let body =
+    List.map
+      (fun p ->
+        let plan, _ =
+          Analyze.analyze ~program:w.Workload.program ~train:w.Workload.train
+            ~context:Context.lf ~shaker_passes:p
+            ~trace_insts:(min w.Workload.train_window 120_000) ()
+        in
+        let run = run_plan w plan in
+        let c = Runner.compare_runs ~baseline run in
+        [
+          string_of_int p;
+          Table.fmt_pct c.Runner.degradation_pct;
+          Table.fmt_pct c.Runner.savings_pct;
+          Table.fmt_pct c.Runner.ed_improvement_pct;
+        ])
+      passes
+  in
+  Printf.sprintf
+    "Ablation: shaker pass budget (benchmark: %s)\n%s" w.Workload.name
+    (Table.render ~header ~rows:body ())
+
+let long_threshold ?(workload = Suite.by_name "epic encode")
+    ?(thresholds = [ 2_000; 10_000; 50_000 ]) () =
+  let w = workload in
+  let baseline = Runner.baseline w in
+  let header =
+    [
+      "threshold"; "long nodes"; "reconfigs"; "degradation";
+      "energy savings"; "ExD improvement";
+    ]
+  in
+  let body =
+    List.map
+      (fun threshold ->
+        let plan, stats =
+          Analyze.analyze ~program:w.Workload.program ~train:w.Workload.train
+            ~context:Context.lf ~threshold_insts:threshold
+            ~trace_insts:(min w.Workload.train_window 120_000) ()
+        in
+        let run = run_plan w plan in
+        let c = Runner.compare_runs ~baseline run in
+        [
+          string_of_int threshold;
+          string_of_int stats.Analyze.long_nodes;
+          string_of_int run.Metrics.reconfigurations;
+          Table.fmt_pct c.Runner.degradation_pct;
+          Table.fmt_pct c.Runner.savings_pct;
+          Table.fmt_pct c.Runner.ed_improvement_pct;
+        ])
+      thresholds
+  in
+  Printf.sprintf
+    "Ablation: long-running threshold (benchmark: %s)\n%s" w.Workload.name
+    (Table.render ~header ~rows:body ())

@@ -1,0 +1,187 @@
+module Workload = Mcd_workloads.Workload
+module Suite = Mcd_workloads.Suite
+module Context = Mcd_profiling.Context
+module Plan = Mcd_core.Plan
+module Editor = Mcd_core.Editor
+module Metrics = Mcd_power.Metrics
+module Table = Mcd_util.Table
+module Stats = Mcd_util.Stats
+
+type row = {
+  workload : Workload.t;
+  context : Context.t;
+  cmp : Runner.comparison;
+  static_reconfig : int;
+  static_instr : int;
+  dyn_reconfig : int;
+  dyn_instr : int;
+  overhead_pct : float;
+  table_bytes : int;
+}
+
+let default_workloads =
+  List.map Suite.by_name
+    [
+      "mpeg2 decode";
+      "epic encode";
+      "adpcm decode";
+      "adpcm encode";
+      "gsm decode";
+      "mpeg2 encode";
+      "applu";
+      "art";
+    ]
+
+(* Section 4.4: an edited binary carries an (n+1) x (s+1) table of node
+   labels (2-byte entries) and an (n+1)-entry table of frequency
+   settings (4 domains x 2 bytes), where n is the call-tree node count
+   and s the number of instrumented subroutines. The L+F and F schemes
+   need neither. *)
+let lookup_table_bytes plan context =
+  if not context.Context.paths then 0
+  else begin
+    let tree = plan.Plan.tree in
+    let n = Mcd_profiling.Call_tree.size tree in
+    let s =
+      List.length (Mcd_profiling.Call_tree.instrumented_static_units tree)
+    in
+    ((n + 1) * (s + 1) * 2) + ((n + 1) * 8)
+  end
+
+let row_of (w : Workload.t) context =
+  let baseline = Runner.baseline w in
+  let pr = Runner.profile_run w ~context ~train:`Train in
+  let run = pr.Runner.run in
+  {
+    workload = w;
+    context;
+    cmp = Runner.compare_runs ~baseline run;
+    static_reconfig = Plan.static_reconfig_points pr.Runner.plan;
+    static_instr = Plan.static_instr_points pr.Runner.plan;
+    dyn_reconfig = pr.Runner.counters.Editor.reconfig_execs;
+    dyn_instr = pr.Runner.counters.Editor.instr_execs;
+    overhead_pct =
+      Stats.percent
+        (float_of_int run.Metrics.instr_overhead_ps)
+        (float_of_int run.Metrics.runtime_ps);
+    table_bytes = lookup_table_bytes pr.Runner.plan context;
+  }
+
+let rows ?(workloads = default_workloads) ?(contexts = Context.all) () =
+  List.concat_map
+    (fun w -> List.map (row_of w) contexts)
+    workloads
+
+let by_workload rows =
+  let names =
+    List.sort_uniq compare
+      (List.map (fun r -> r.workload.Workload.name) rows)
+  in
+  List.map
+    (fun n -> (n, List.filter (fun r -> r.workload.Workload.name = n) rows))
+    names
+
+let render_by_context ~title ~extract rows =
+  let contexts =
+    List.filter
+      (fun c ->
+        List.exists (fun r -> r.context.Context.name = c.Context.name) rows)
+      Context.all
+  in
+  let header =
+    "benchmark" :: List.map (fun c -> c.Context.name) contexts
+  in
+  let body =
+    List.map
+      (fun (name, wrows) ->
+        name
+        :: List.map
+             (fun c ->
+               match
+                 List.find_opt
+                   (fun r -> r.context.Context.name = c.Context.name)
+                   wrows
+               with
+               | Some r -> Table.fmt_pct (extract r)
+               | None -> "-")
+             contexts)
+      (by_workload rows)
+  in
+  title ^ "\n" ^ Table.render ~header ~rows:body ()
+
+let fig8 =
+  render_by_context
+    ~title:
+      "Figure 8: performance degradation by calling-context definition"
+    ~extract:(fun r -> r.cmp.Runner.degradation_pct)
+
+let fig9 =
+  render_by_context
+    ~title:"Figure 9: energy savings by calling-context definition"
+    ~extract:(fun r -> r.cmp.Runner.savings_pct)
+
+let fig12 rows =
+  let contexts =
+    List.filter
+      (fun c ->
+        List.exists (fun r -> r.context.Context.name = c.Context.name) rows)
+      Context.all
+  in
+  let avg f ctx =
+    let selected =
+      List.filter (fun r -> r.context.Context.name = ctx.Context.name) rows
+    in
+    Stats.mean (List.map f selected)
+  in
+  let base_ctx = Context.lfcp in
+  let norm f ctx =
+    let b = avg f base_ctx in
+    if b = 0.0 then 0.0 else avg f ctx /. b
+  in
+  let header =
+    "quantity (normalised to L+F+C+P)"
+    :: List.map (fun c -> c.Context.name) contexts
+  in
+  let line name f =
+    name :: List.map (fun c -> Table.fmt_f2 (norm f c)) contexts
+  in
+  "Figure 12: static points and run-time overhead vs context definition\n"
+  ^ Table.render ~header
+      ~rows:
+        [
+          line "static reconfiguration points" (fun r ->
+              float_of_int r.static_reconfig);
+          line "static instrumentation points" (fun r ->
+              float_of_int r.static_instr);
+          line "run-time overhead" (fun r -> r.overhead_pct);
+        ]
+      ()
+
+let table4 rows =
+  let selected =
+    List.filter (fun r -> r.context.Context.name = Context.lfcp.Context.name)
+      rows
+  in
+  let header =
+    [
+      "benchmark"; "static reconf"; "static instr"; "dyn reconf";
+      "dyn instr"; "overhead"; "tables";
+    ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.workload.Workload.name;
+          string_of_int r.static_reconfig;
+          string_of_int r.static_instr;
+          string_of_int r.dyn_reconfig;
+          string_of_int r.dyn_instr;
+          Table.fmt_pct r.overhead_pct;
+          Printf.sprintf "%.1f KB" (float_of_int r.table_bytes /. 1024.0);
+        ])
+      selected
+  in
+  "Table 4: static and dynamic reconfiguration/instrumentation points \
+   (L+F+C+P)\n"
+  ^ Table.render ~header ~rows:body ()

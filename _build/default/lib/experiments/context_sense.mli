@@ -1,0 +1,48 @@
+(** Calling-context sensitivity and instrumentation cost: Figures 8, 9
+    and 12, and Table 4.
+
+    Each of the six context definitions is trained on the training input
+    and evaluated on the reference input. Figures 8/9 report the
+    applications whose behaviour varies with context; Figure 12 compares
+    static point counts and run-time overhead across definitions,
+    normalised to L+F+C+P; Table 4 details the L+F+C+P costs per
+    benchmark. *)
+
+type row = {
+  workload : Mcd_workloads.Workload.t;
+  context : Mcd_profiling.Context.t;
+  cmp : Runner.comparison;
+  static_reconfig : int;
+  static_instr : int;  (** includes reconfiguration points *)
+  dyn_reconfig : int;
+  dyn_instr : int;  (** instrumentation-only executions *)
+  overhead_pct : float;  (** instrumentation time / total runtime *)
+  table_bytes : int;
+      (** estimated size of the edited binary's lookup tables: the
+          2-D node-label table plus the per-node frequency table
+          (Section 4.4 of the paper); 0 for contexts that track no
+          paths *)
+}
+
+val rows :
+  ?workloads:Mcd_workloads.Workload.t list ->
+  ?contexts:Mcd_profiling.Context.t list ->
+  unit ->
+  row list
+
+val default_workloads : Mcd_workloads.Workload.t list
+(** The applications the paper's Figures 8/9 discuss: mpeg2 decode,
+    epic encode, the adpcm and gsm codecs, mpeg2 encode, applu, art. *)
+
+val fig8 : row list -> string
+(** Performance degradation by context definition. *)
+
+val fig9 : row list -> string
+(** Energy savings by context definition. *)
+
+val fig12 : row list -> string
+(** Static reconfiguration / instrumentation points and run-time
+    overhead, averaged over benchmarks, normalised to L+F+C+P. *)
+
+val table4 : row list -> string
+(** Per-benchmark static & dynamic points and overhead for L+F+C+P. *)

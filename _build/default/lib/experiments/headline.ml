@@ -1,0 +1,155 @@
+module Workload = Mcd_workloads.Workload
+module Suite = Mcd_workloads.Suite
+module Context = Mcd_profiling.Context
+module Table = Mcd_util.Table
+module Stats = Mcd_util.Stats
+
+type row = {
+  workload : Workload.t;
+  offline : Runner.comparison;
+  online : Runner.comparison;
+  profile : Runner.comparison;
+}
+
+let row_of (w : Workload.t) =
+  let baseline = Runner.baseline w in
+  let offline = Runner.offline_run w in
+  let online = Runner.online_run w in
+  let profile =
+    (Runner.profile_run w ~context:Context.lf ~train:`Train).Runner.run
+  in
+  {
+    workload = w;
+    offline = Runner.compare_runs ~baseline offline;
+    online = Runner.compare_runs ~baseline online;
+    profile = Runner.compare_runs ~baseline profile;
+  }
+
+let rows ?(workloads = Suite.all) () = List.map row_of workloads
+
+let render ~title ~extract rows =
+  let header = [ "benchmark"; "off-line"; "on-line"; "profile L+F" ] in
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.workload.Workload.name;
+          Table.fmt_pct (extract r.offline);
+          Table.fmt_pct (extract r.online);
+          Table.fmt_pct (extract r.profile);
+        ])
+      rows
+  in
+  let avg f = Stats.mean (List.map (fun r -> extract (f r)) rows) in
+  let avg_row =
+    [
+      "AVERAGE";
+      Table.fmt_pct (avg (fun r -> r.offline));
+      Table.fmt_pct (avg (fun r -> r.online));
+      Table.fmt_pct (avg (fun r -> r.profile));
+    ]
+  in
+  let chart =
+    Mcd_util.Chart.bars
+      ~groups:
+        (List.map
+           (fun r ->
+             ( r.workload.Workload.name,
+               [
+                 ("off-line", extract r.offline);
+                 ("on-line", extract r.online);
+                 ("L+F", extract r.profile);
+               ] ))
+           rows)
+      ()
+  in
+  title ^ "\n" ^ Table.render ~header ~rows:(body @ [ avg_row ]) () ^ "\n"
+  ^ chart
+
+let fig4 =
+  render ~title:"Figure 4: performance degradation (vs MCD baseline)"
+    ~extract:(fun c -> c.Runner.degradation_pct)
+
+let fig5 =
+  render ~title:"Figure 5: energy savings (vs MCD baseline)"
+    ~extract:(fun c -> c.Runner.savings_pct)
+
+let fig6 =
+  render ~title:"Figure 6: energy x delay improvement (vs MCD baseline)"
+    ~extract:(fun c -> c.Runner.ed_improvement_pct)
+
+type band = { min_v : float; max_v : float; avg : float }
+
+type summary = {
+  global_ : band * band * band;
+  online_s : band * band * band;
+  offline_s : band * band * band;
+  profile_s : band * band * band;
+}
+
+let band_of values =
+  {
+    min_v = Stats.minimum values;
+    max_v = Stats.maximum values;
+    avg = Stats.mean values;
+  }
+
+let bands_of comparisons =
+  ( band_of (List.map (fun c -> c.Runner.degradation_pct) comparisons),
+    band_of (List.map (fun c -> c.Runner.savings_pct) comparisons),
+    band_of (List.map (fun c -> c.Runner.ed_improvement_pct) comparisons) )
+
+let summary rows =
+  let globals =
+    List.map
+      (fun r ->
+        let w = r.workload in
+        let baseline = Runner.baseline w in
+        let offline_run = Runner.offline_run w in
+        let g, _mhz =
+          Runner.global_dvs_run w
+            ~target_runtime_ps:offline_run.Mcd_power.Metrics.runtime_ps
+        in
+        Runner.compare_runs ~baseline g)
+      rows
+  in
+  {
+    global_ = bands_of globals;
+    online_s = bands_of (List.map (fun r -> r.online) rows);
+    offline_s = bands_of (List.map (fun r -> r.offline) rows);
+    profile_s = bands_of (List.map (fun r -> r.profile) rows);
+  }
+
+let fig7 s =
+  let line name (slow, save, ed) =
+    [
+      name;
+      Table.fmt_pct slow.min_v;
+      Table.fmt_pct slow.avg;
+      Table.fmt_pct slow.max_v;
+      Table.fmt_pct save.min_v;
+      Table.fmt_pct save.avg;
+      Table.fmt_pct save.max_v;
+      Table.fmt_pct ed.min_v;
+      Table.fmt_pct ed.avg;
+      Table.fmt_pct ed.max_v;
+    ]
+  in
+  let header =
+    [
+      "method";
+      "slow min"; "slow avg"; "slow max";
+      "save min"; "save avg"; "save max";
+      "ExD min"; "ExD avg"; "ExD max";
+    ]
+  in
+  "Figure 7: min/avg/max slowdown, energy savings, energy x delay improvement\n"
+  ^ Table.render ~header
+      ~rows:
+        [
+          line "global" s.global_;
+          line "on-line" s.online_s;
+          line "off-line" s.offline_s;
+          line "L+F" s.profile_s;
+        ]
+      ()

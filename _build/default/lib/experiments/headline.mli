@@ -1,0 +1,42 @@
+(** The headline results: Figures 4, 5, 6 and 7.
+
+    For every benchmark, off-line (oracle), on-line (attack/decay) and
+    profile-based L+F reconfiguration are compared against the MCD
+    baseline. Figure 7 summarises minimum / maximum / average across
+    the suite and adds the "global" single-clock DVS bar, scaled per
+    benchmark to match the off-line algorithm's runtime. *)
+
+type row = {
+  workload : Mcd_workloads.Workload.t;
+  offline : Runner.comparison;
+  online : Runner.comparison;
+  profile : Runner.comparison;  (** L+F, trained on the training input *)
+}
+
+val rows : ?workloads:Mcd_workloads.Workload.t list -> unit -> row list
+(** Defaults to the whole suite. Results are cached in {!Runner}. *)
+
+val fig4 : row list -> string
+(** Performance degradation per benchmark. *)
+
+val fig5 : row list -> string
+(** Energy savings per benchmark. *)
+
+val fig6 : row list -> string
+(** Energy x delay improvement per benchmark. *)
+
+type band = { min_v : float; max_v : float; avg : float }
+
+type summary = {
+  global_ : band * band * band;
+      (** slowdown, savings, ED improvement bands for global DVS *)
+  online_s : band * band * band;
+  offline_s : band * band * band;
+  profile_s : band * band * band;
+}
+
+val summary : row list -> summary
+(** Runs the global-DVS search per benchmark (targeting the off-line
+    runtime), then aggregates all four methods. *)
+
+val fig7 : summary -> string

@@ -1,0 +1,176 @@
+module Workload = Mcd_workloads.Workload
+module Metrics = Mcd_power.Metrics
+module Pipeline = Mcd_cpu.Pipeline
+module Config = Mcd_cpu.Config
+module Context = Mcd_profiling.Context
+module Plan = Mcd_core.Plan
+module Editor = Mcd_core.Editor
+module Analyze = Mcd_core.Analyze
+module Attack_decay = Mcd_control.Attack_decay
+module Freq = Mcd_domains.Freq
+
+type comparison = {
+  degradation_pct : float;
+  savings_pct : float;
+  ed_improvement_pct : float;
+}
+
+let compare_runs ~baseline run =
+  {
+    degradation_pct = Metrics.perf_degradation_pct ~baseline run;
+    savings_pct = Metrics.energy_savings_pct ~baseline run;
+    ed_improvement_pct = Metrics.ed_improvement_pct ~baseline run;
+  }
+
+let default_slowdown_pct = 7.0
+
+let config = Config.alpha21264_like
+
+type profiled_run = {
+  run : Metrics.run;
+  plan : Plan.t;
+  counters : Editor.counters;
+}
+
+let memo : (string, Metrics.run) Hashtbl.t = Hashtbl.create 64
+let plan_memo : (string, Plan.t) Hashtbl.t = Hashtbl.create 64
+
+let oracle_memo : (string, Mcd_core.Oracle.analysis) Hashtbl.t =
+  Hashtbl.create 32
+
+(* full profiled runs (with counters) at the default slowdown *)
+let profiled_memo : (string, profiled_run) Hashtbl.t = Hashtbl.create 64
+
+let clear_caches () =
+  Hashtbl.reset memo;
+  Hashtbl.reset plan_memo;
+  Hashtbl.reset oracle_memo;
+  Hashtbl.reset profiled_memo
+
+let memoize tbl key f =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = f () in
+      Hashtbl.add tbl key v;
+      v
+
+let baseline (w : Workload.t) =
+  memoize memo (w.Workload.name ^ "/baseline") @@ fun () ->
+  Pipeline.run ~config ~warmup_insts:w.Workload.ref_offset
+    ~program:w.Workload.program ~input:w.Workload.reference
+    ~max_insts:w.Workload.ref_window ()
+
+let single_clock (w : Workload.t) ~mhz =
+  memoize memo (Printf.sprintf "%s/single/%d" w.Workload.name mhz)
+  @@ fun () ->
+  Pipeline.run ~config:(Config.single_clock ~mhz)
+    ~warmup_insts:w.Workload.ref_offset ~program:w.Workload.program
+    ~input:w.Workload.reference ~max_insts:w.Workload.ref_window ()
+
+let input_tag = function `Train -> "train" | `Reference -> "ref"
+
+let plan_for (w : Workload.t) ~context ~train =
+  let key =
+    Printf.sprintf "%s/%s/%s" w.Workload.name context.Context.name
+      (input_tag train)
+  in
+  memoize plan_memo key @@ fun () ->
+  let input, window =
+    match train with
+    | `Train -> (w.Workload.train, w.Workload.train_window)
+    | `Reference -> (w.Workload.reference, w.Workload.ref_window)
+  in
+  let trace_insts = min window 120_000 in
+  let plan, _stats =
+    Analyze.analyze ~program:w.Workload.program ~train:input ~context
+      ~slowdown_pct:default_slowdown_pct ~trace_insts ~config ()
+  in
+  plan
+
+let oracle_analysis (w : Workload.t) =
+  memoize oracle_memo (w.Workload.name ^ "/oracle") @@ fun () ->
+  Mcd_core.Oracle.analyze ~program:w.Workload.program
+    ~input:w.Workload.reference
+    ~trace_insts:(w.Workload.ref_offset + w.Workload.ref_window)
+    ~config ()
+
+let offline_run ?(slowdown_pct = default_slowdown_pct) (w : Workload.t) =
+  let go () =
+    let schedule =
+      Mcd_core.Oracle.schedule_of (oracle_analysis w) ~slowdown_pct
+    in
+    Pipeline.run
+      ~controller:(Mcd_core.Oracle.policy schedule)
+      ~config ~warmup_insts:w.Workload.ref_offset
+      ~program:w.Workload.program ~input:w.Workload.reference
+      ~max_insts:w.Workload.ref_window ()
+  in
+  if slowdown_pct = default_slowdown_pct then
+    memoize memo (w.Workload.name ^ "/offline") go
+  else go ()
+
+let profile_run_uncached (w : Workload.t) ~plan =
+  let edited = Editor.edit plan in
+  let run =
+    Pipeline.run ~controller:edited.Editor.controller ~config
+      ~warmup_insts:w.Workload.ref_offset ~program:w.Workload.program
+      ~input:w.Workload.reference ~max_insts:w.Workload.ref_window ()
+  in
+  { run; plan; counters = edited.Editor.counters }
+
+let profile_run ?(slowdown_pct = default_slowdown_pct) (w : Workload.t)
+    ~context ~train =
+  let base_plan = plan_for w ~context ~train in
+  if slowdown_pct = default_slowdown_pct then
+    memoize profiled_memo
+      (Printf.sprintf "%s/%s/%s/run" w.Workload.name context.Context.name
+         (input_tag train))
+      (fun () -> profile_run_uncached w ~plan:base_plan)
+  else
+    let plan = Plan.with_slowdown base_plan ~slowdown_pct in
+    profile_run_uncached w ~plan
+
+let online_run ?params (w : Workload.t) =
+  let run () =
+    Pipeline.run
+      ~controller:(Attack_decay.controller ?params ())
+      ~config ~warmup_insts:w.Workload.ref_offset
+      ~program:w.Workload.program ~input:w.Workload.reference
+      ~max_insts:w.Workload.ref_window ()
+  in
+  match params with
+  | Some _ -> run ()
+  | None -> memoize memo (w.Workload.name ^ "/online") run
+
+(* The paper's "global" bar: a single-clock processor scaled so that its
+   total runtime matches the off-line algorithm's. A first-order 1/f
+   estimate is refined by direct simulation of neighbouring steps. *)
+let global_dvs_run (w : Workload.t) ~target_runtime_ps =
+  let full = single_clock w ~mhz:Freq.fmax_mhz in
+  let estimate =
+    float_of_int Freq.fmax_mhz
+    *. float_of_int full.Metrics.runtime_ps
+    /. float_of_int (max 1 target_runtime_ps)
+  in
+  let start_mhz = Freq.clamp (int_of_float estimate) in
+  let run_at mhz = single_clock w ~mhz in
+  (* walk toward the target: prefer the slowest frequency whose runtime
+     does not exceed the target by more than half a step's worth *)
+  let rec refine mhz =
+    let r = run_at mhz in
+    if r.Metrics.runtime_ps > target_runtime_ps && mhz < Freq.fmax_mhz then
+      refine (Freq.clamp (mhz + Freq.step_mhz))
+    else r.Metrics.runtime_ps, mhz
+  in
+  let _, mhz0 = refine start_mhz in
+  (* try one step lower if it still meets the target *)
+  let final_mhz =
+    if mhz0 > Freq.fmin_mhz then begin
+      let lower = Freq.clamp (mhz0 - Freq.step_mhz) in
+      let r = run_at lower in
+      if r.Metrics.runtime_ps <= target_runtime_ps then lower else mhz0
+    end
+    else mhz0
+  in
+  (run_at final_mhz, final_mhz)

@@ -1,0 +1,71 @@
+(** Memoized execution of (benchmark x policy) simulations.
+
+    Every figure compares policies against the MCD baseline on the
+    reference input; the same runs feed several figures, so results are
+    cached per benchmark. All analyses profile on the training input
+    except the off-line oracle, which — exactly as in the paper — is the
+    same pipeline given the production run as its "prior identical
+    run". *)
+
+type comparison = {
+  degradation_pct : float;
+  savings_pct : float;
+  ed_improvement_pct : float;
+}
+
+val compare_runs :
+  baseline:Mcd_power.Metrics.run -> Mcd_power.Metrics.run -> comparison
+
+val default_slowdown_pct : float
+(** 7.0, the paper's headline operating point. *)
+
+val baseline : Mcd_workloads.Workload.t -> Mcd_power.Metrics.run
+(** MCD, all domains at full speed, reference input. Cached. *)
+
+val single_clock : Mcd_workloads.Workload.t -> mhz:int -> Mcd_power.Metrics.run
+(** Globally synchronous run at [mhz]. Cached per frequency. *)
+
+val plan_for :
+  Mcd_workloads.Workload.t ->
+  context:Mcd_profiling.Context.t ->
+  train:[ `Train | `Reference ] ->
+  Mcd_core.Plan.t
+(** Off-line analysis at {!default_slowdown_pct}; cached per
+    (benchmark, context, input). [`Reference] training is the off-line
+    oracle. *)
+
+val offline_run :
+  ?slowdown_pct:float -> Mcd_workloads.Workload.t -> Mcd_power.Metrics.run
+(** The interval-based off-line oracle ({!Mcd_core.Oracle}): analyse the
+    production run with perfect knowledge, play the per-interval schedule
+    back. Cached at the default slowdown. *)
+
+type profiled_run = {
+  run : Mcd_power.Metrics.run;
+  plan : Mcd_core.Plan.t;
+  counters : Mcd_core.Editor.counters;
+}
+
+val profile_run :
+  ?slowdown_pct:float ->
+  Mcd_workloads.Workload.t ->
+  context:Mcd_profiling.Context.t ->
+  train:[ `Train | `Reference ] ->
+  profiled_run
+(** Edit per the (possibly re-thresholded) plan and run the reference
+    input. Cached at the default slowdown only. *)
+
+val online_run :
+  ?params:Mcd_control.Attack_decay.params -> Mcd_workloads.Workload.t ->
+  Mcd_power.Metrics.run
+(** Attack/decay run on the reference input. Cached for default
+    params. *)
+
+val global_dvs_run :
+  Mcd_workloads.Workload.t -> target_runtime_ps:int -> Mcd_power.Metrics.run * int
+(** Single-clock processor scaled to finish in approximately
+    [target_runtime_ps] (the paper's "global" baseline): picks the
+    frequency step whose runtime comes closest without greatly exceeding
+    the target. Returns the run and the chosen frequency. *)
+
+val clear_caches : unit -> unit

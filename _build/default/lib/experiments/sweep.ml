@@ -1,0 +1,129 @@
+module Workload = Mcd_workloads.Workload
+module Suite = Mcd_workloads.Suite
+module Context = Mcd_profiling.Context
+module Attack_decay = Mcd_control.Attack_decay
+module Table = Mcd_util.Table
+module Stats = Mcd_util.Stats
+
+type point = { slowdown : float; savings : float; ed : float }
+
+let default_deltas = [ 2.0; 4.0; 6.0; 8.0; 10.0; 12.0; 14.0 ]
+
+let default_workloads =
+  List.map Suite.by_name
+    [
+      "adpcm decode";
+      "epic encode";
+      "gsm encode";
+      "jpeg compress";
+      "mpeg2 decode";
+      "mcf";
+      "applu";
+      "art";
+    ]
+
+let average_point comparisons =
+  {
+    slowdown =
+      Stats.mean (List.map (fun c -> c.Runner.degradation_pct) comparisons);
+    savings =
+      Stats.mean (List.map (fun c -> c.Runner.savings_pct) comparisons);
+    ed =
+      Stats.mean
+        (List.map (fun c -> c.Runner.ed_improvement_pct) comparisons);
+  }
+
+let profile_curve ?(workloads = default_workloads)
+    ?(deltas = default_deltas) () =
+  List.map
+    (fun delta ->
+      let comparisons =
+        List.map
+          (fun w ->
+            let baseline = Runner.baseline w in
+            let pr =
+              Runner.profile_run ~slowdown_pct:delta w ~context:Context.lf
+                ~train:`Train
+            in
+            Runner.compare_runs ~baseline pr.Runner.run)
+          workloads
+      in
+      average_point comparisons)
+    deltas
+
+let offline_curve ?(workloads = default_workloads)
+    ?(deltas = default_deltas) () =
+  List.map
+    (fun delta ->
+      let comparisons =
+        List.map
+          (fun w ->
+            let baseline = Runner.baseline w in
+            let run = Runner.offline_run ~slowdown_pct:delta w in
+            Runner.compare_runs ~baseline run)
+          workloads
+      in
+      average_point comparisons)
+    deltas
+
+let default_guards = [ 0.995; 0.985; 0.975; 0.96; 0.93; 0.88; 0.80 ]
+
+let online_curve ?(workloads = default_workloads)
+    ?(guards = default_guards) () =
+  List.map
+    (fun guard ->
+      let params = { Attack_decay.default_params with ipc_guard = guard } in
+      let comparisons =
+        List.map
+          (fun w ->
+            let baseline = Runner.baseline w in
+            let run = Runner.online_run ~params w in
+            Runner.compare_runs ~baseline run)
+          workloads
+      in
+      average_point comparisons)
+    guards
+
+let render ~title ~ylabel ~extract ~offline ~online ~profile =
+  let header = [ "series"; "point"; "slowdown"; "value" ] in
+  let series name points =
+    List.mapi
+      (fun i p ->
+        [
+          name;
+          string_of_int (i + 1);
+          Table.fmt_pct p.slowdown;
+          Table.fmt_pct (extract p);
+        ])
+      points
+  in
+  let plot =
+    Mcd_util.Chart.scatter ~xlabel:"slowdown %" ~ylabel
+      ~series:
+        [
+          ("on-line", List.map (fun p -> (p.slowdown, extract p)) online);
+          ("off-line", List.map (fun p -> (p.slowdown, extract p)) offline);
+          ("L+F", List.map (fun p -> (p.slowdown, extract p)) profile);
+        ]
+      ()
+  in
+  title ^ "\n"
+  ^ Table.render ~header
+      ~rows:
+        (series "on-line" online @ series "off-line" offline
+       @ series "L+F" profile)
+      ()
+  ^ "\n" ^ plot
+
+let fig10 ~offline ~online ~profile =
+  render ~title:"Figure 10: energy savings vs achieved slowdown"
+    ~ylabel:"energy savings %"
+    ~extract:(fun p -> p.savings)
+    ~offline ~online ~profile
+
+let fig11 ~offline ~online ~profile =
+  render
+    ~title:"Figure 11: energy x delay improvement vs achieved slowdown"
+    ~ylabel:"energy x delay improvement %"
+    ~extract:(fun p -> p.ed)
+    ~offline ~online ~profile

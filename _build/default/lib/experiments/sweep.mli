@@ -1,0 +1,41 @@
+(** Sensitivity to the slowdown threshold: Figures 10 and 11.
+
+    The off-line and profile-based curves re-threshold retained shaker
+    histograms at each delta (the expensive shaking is done once); the
+    on-line curve varies the controller's aggressiveness (its IPC
+    guard). Each point is (achieved slowdown, energy savings,
+    energy x delay improvement) averaged across the chosen
+    benchmarks. *)
+
+type point = { slowdown : float; savings : float; ed : float }
+
+val default_deltas : float list
+(** 2, 4, 6, 8, 10, 12, 14 percent. *)
+
+val offline_curve :
+  ?workloads:Mcd_workloads.Workload.t list ->
+  ?deltas:float list ->
+  unit ->
+  point list
+
+val profile_curve :
+  ?workloads:Mcd_workloads.Workload.t list ->
+  ?deltas:float list ->
+  unit ->
+  point list
+(** L+F, trained on the training input. *)
+
+val online_curve :
+  ?workloads:Mcd_workloads.Workload.t list ->
+  ?guards:float list ->
+  unit ->
+  point list
+
+val default_workloads : Mcd_workloads.Workload.t list
+(** An eight-benchmark cross-section of the suite. *)
+
+val fig10 : offline:point list -> online:point list -> profile:point list -> string
+(** Energy savings vs slowdown. *)
+
+val fig11 : offline:point list -> online:point list -> profile:point list -> string
+(** Energy x delay improvement vs slowdown. *)

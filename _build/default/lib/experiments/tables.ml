@@ -1,0 +1,75 @@
+module Workload = Mcd_workloads.Workload
+module Suite = Mcd_workloads.Suite
+module Context = Mcd_profiling.Context
+module Call_tree = Mcd_profiling.Call_tree
+module Coverage = Mcd_profiling.Coverage
+module Config = Mcd_cpu.Config
+module Table = Mcd_util.Table
+
+let table1 () =
+  "Table 1: simulated processor configuration\n"
+  ^ Format.asprintf "%a" Config.pp_table Config.alpha21264_like
+
+let table2 () =
+  let header =
+    [
+      "benchmark"; "suite"; "train scale"; "ref scale"; "train window";
+      "ref window"; "behavioural trait";
+    ]
+  in
+  let align =
+    [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+      Table.Right; Table.Left ]
+  in
+  let body =
+    List.map
+      (fun (w : Workload.t) ->
+        [
+          w.Workload.name;
+          Workload.kind_name w.Workload.kind;
+          string_of_int w.Workload.train.Mcd_isa.Program.scale;
+          string_of_int w.Workload.reference.Mcd_isa.Program.scale;
+          Printf.sprintf "0 - %d" w.Workload.train_window;
+          Printf.sprintf "%d - %d" w.Workload.ref_offset
+            (w.Workload.ref_offset + w.Workload.ref_window);
+          w.Workload.trait;
+        ])
+      Suite.all
+  in
+  "Table 2: benchmarks, input scales and instruction windows\n"
+  ^ Table.render ~align ~header ~rows:body ()
+
+let profile_window = 400_000
+
+let table3 ?(workloads = Suite.all) () =
+  let header =
+    [
+      "benchmark"; "train long"; "train total"; "ref long"; "ref total";
+      "common long"; "common total"; "cov long"; "cov total";
+    ]
+  in
+  let body =
+    List.map
+      (fun (w : Workload.t) ->
+        let build input =
+          Call_tree.build w.Workload.program ~input ~context:Context.lfcp
+            ~max_insts:profile_window ()
+        in
+        let train = build w.Workload.train in
+        let reference = build w.Workload.reference in
+        let c = Coverage.compare ~train ~reference in
+        [
+          w.Workload.name;
+          string_of_int c.Coverage.train_long;
+          string_of_int c.Coverage.train_total;
+          string_of_int c.Coverage.ref_long;
+          string_of_int c.Coverage.ref_total;
+          string_of_int c.Coverage.common_long;
+          string_of_int c.Coverage.common_total;
+          Table.fmt_f2 c.Coverage.long_coverage;
+          Table.fmt_f2 c.Coverage.total_coverage;
+        ])
+      workloads
+  in
+  "Table 3: call-tree nodes for training and reference inputs (L+F+C+P)\n"
+  ^ Table.render ~header ~rows:body ()

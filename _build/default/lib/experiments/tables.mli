@@ -1,0 +1,13 @@
+(** Tables 1, 2 and 3. *)
+
+val table1 : unit -> string
+(** The simulated configuration (Table 1). *)
+
+val table2 : unit -> string
+(** The suite with input scales and instruction windows (the analogue of
+    the paper's Table 2; windows are scaled down from the paper's 200M,
+    see DESIGN.md). *)
+
+val table3 : ?workloads:Mcd_workloads.Workload.t list -> unit -> string
+(** Long-running / total call-tree nodes for training and reference
+    inputs under L+F+C+P, common nodes, and coverage (Table 3). *)

@@ -1,0 +1,1 @@
+lib/isa/build.ml: List Program

@@ -1,0 +1,1 @@
+lib/isa/build.mli: Program

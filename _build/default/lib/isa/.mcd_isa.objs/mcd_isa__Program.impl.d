@@ -1,0 +1,1 @@
+lib/isa/program.ml: Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/isa/walker.ml: Array Format Hashtbl Inst Mcd_util Printf Program

@@ -1,0 +1,1 @@
+lib/isa/walker.mli: Format Inst Program

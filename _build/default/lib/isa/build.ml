@@ -1,0 +1,62 @@
+type ctx = {
+  mutable next_block : int;
+  mutable next_loop : int;
+  mutable next_site : int;
+  mutable next_fid : int;
+  mutable funcs : (string * Program.func) list;
+  name : string;
+}
+
+let program ~name define =
+  let ctx =
+    { next_block = 0; next_loop = 0; next_site = 0; next_fid = 0;
+      funcs = []; name }
+  in
+  let main = define ctx in
+  let prog : Program.t =
+    { pname = ctx.name; funcs = List.rev ctx.funcs; main }
+  in
+  Program.validate prog;
+  prog
+
+let func ctx fname body =
+  let fid = ctx.next_fid in
+  ctx.next_fid <- fid + 1;
+  ctx.funcs <- (fname, { Program.fname; fid; body }) :: ctx.funcs
+
+let straight ctx ~length ?(frac_int_mult = 0.0) ?(frac_fp_alu = 0.0)
+    ?(frac_fp_mult = 0.0) ?(frac_load = 0.0) ?(frac_store = 0.0)
+    ?(frac_branch = 0.0)
+    ?(mem = Program.Seq_stride { stride = 8; region = 256 * 1024 })
+    ?(branch = Program.Biased 0.9) ?(dep_chain = 3.0) () =
+  let block_id = ctx.next_block in
+  ctx.next_block <- block_id + 1;
+  Program.Straight
+    {
+      block_id;
+      length;
+      frac_int_mult;
+      frac_fp_alu;
+      frac_fp_mult;
+      frac_load;
+      frac_store;
+      frac_branch;
+      mem;
+      branch;
+      dep_chain;
+    }
+
+let loop ctx trips body =
+  let loop_id = ctx.next_loop in
+  ctx.next_loop <- loop_id + 1;
+  Program.Loop { loop_id; trips; body }
+
+let call ctx ?(arg = 0) callee =
+  let site_id = ctx.next_site in
+  ctx.next_site <- site_id + 1;
+  Program.Call { site_id; callee; arg }
+
+let choose ctx ~prob on_true on_false =
+  let choose_id = ctx.next_site in
+  ctx.next_site <- choose_id + 1;
+  Program.Choose { choose_id; prob; on_true; on_false }

@@ -1,0 +1,56 @@
+(** Combinators for authoring workload programs.
+
+    A builder context hands out unique static ids for blocks, loops and
+    call sites so workload definitions never manage ids by hand:
+
+    {[
+      let program =
+        Build.program ~name:"example" @@ fun b ->
+        Build.func b "kernel"
+          [ Build.loop b (Scaled { base = 0; per_scale = 10 })
+              [ Build.straight b ~length:200 ~frac_load:0.3 () ] ];
+        Build.func b "main" [ Build.call b "kernel" ];
+        "main"
+    ]} *)
+
+type ctx
+
+val program : name:string -> (ctx -> string) -> Program.t
+(** Run a definition body; the returned string names the main function.
+    The resulting program is validated before being returned. *)
+
+val func : ctx -> string -> Program.stmt list -> unit
+(** Define a function. Definition order is irrelevant; callees may be
+    defined after their call sites. *)
+
+val straight :
+  ctx ->
+  length:int ->
+  ?frac_int_mult:float ->
+  ?frac_fp_alu:float ->
+  ?frac_fp_mult:float ->
+  ?frac_load:float ->
+  ?frac_store:float ->
+  ?frac_branch:float ->
+  ?mem:Program.mem_pattern ->
+  ?branch:Program.branch_pattern ->
+  ?dep_chain:float ->
+  unit ->
+  Program.stmt
+(** A straight-line block. Unspecified fractions default to 0 (the
+    remainder of the mix is [Int_alu]); memory defaults to streaming
+    through a 256 KB region; branches default to a 90%-taken bias;
+    [dep_chain] defaults to 3.0. *)
+
+val loop : ctx -> Program.trips -> Program.stmt list -> Program.stmt
+
+val call : ctx -> ?arg:int -> string -> Program.stmt
+(** [arg] (default 0) is passed to the callee, where [Arg_scaled] loop
+    trip counts may consult it. *)
+
+val choose :
+  ctx ->
+  prob:(Program.input -> float) ->
+  Program.stmt list ->
+  Program.stmt list ->
+  Program.stmt

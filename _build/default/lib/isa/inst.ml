@@ -1,0 +1,38 @@
+type iclass =
+  | Int_alu
+  | Int_mult
+  | Fp_alu
+  | Fp_mult
+  | Load
+  | Store
+  | Branch
+
+let iclass_to_string = function
+  | Int_alu -> "int_alu"
+  | Int_mult -> "int_mult"
+  | Fp_alu -> "fp_alu"
+  | Fp_mult -> "fp_mult"
+  | Load -> "load"
+  | Store -> "store"
+  | Branch -> "branch"
+
+let num_logical_regs = 64
+let is_fp_reg r = r >= 32
+let no_reg = -1
+
+type dyn = {
+  seq : int;
+  static_id : int;
+  klass : iclass;
+  srcs : int array;
+  dst : int;
+  addr : int;
+  taken : bool;
+}
+
+let pp_dyn fmt d =
+  Format.fprintf fmt "#%d pc=%d %s dst=%d srcs=[%s]" d.seq d.static_id
+    (iclass_to_string d.klass) d.dst
+    (String.concat "," (Array.to_list (Array.map string_of_int d.srcs)));
+  if d.addr >= 0 then Format.fprintf fmt " addr=%d" d.addr;
+  if d.klass = Branch then Format.fprintf fmt " taken=%b" d.taken

@@ -1,0 +1,39 @@
+(** Instruction classes and dynamic instructions.
+
+    The simulator executes a small RISC-like instruction vocabulary. A
+    dynamic instruction carries everything the pipeline needs: its class
+    (which selects the functional unit and clock domain), logical source
+    and destination registers (dependences), the effective address for
+    memory operations, and the resolved outcome for branches. *)
+
+type iclass =
+  | Int_alu  (** single-cycle integer operation, integer domain *)
+  | Int_mult  (** integer multiply/divide, integer domain *)
+  | Fp_alu  (** floating-point add/compare, floating-point domain *)
+  | Fp_mult  (** floating-point multiply/divide/sqrt, fp domain *)
+  | Load  (** memory read, load/store domain *)
+  | Store  (** memory write, load/store domain *)
+  | Branch  (** conditional or unconditional control transfer *)
+
+val iclass_to_string : iclass -> string
+
+val num_logical_regs : int
+(** Logical register file size: 32 integer + 32 floating-point. *)
+
+val is_fp_reg : int -> bool
+(** Registers 32..63 are floating-point. *)
+
+type dyn = {
+  seq : int;  (** dynamic sequence number, dense from 0 *)
+  static_id : int;  (** static instruction identity (a synthetic PC) *)
+  klass : iclass;
+  srcs : int array;  (** logical source registers *)
+  dst : int;  (** logical destination register, or [-1] for none *)
+  addr : int;  (** effective byte address for Load/Store, else [-1] *)
+  taken : bool;  (** branch outcome; meaningless unless [klass = Branch] *)
+}
+
+val no_reg : int
+(** The sentinel [-1] used for "no destination" / "no address". *)
+
+val pp_dyn : Format.formatter -> dyn -> unit

@@ -1,0 +1,123 @@
+type input = {
+  input_name : string;
+  scale : int;
+  divergence : float;
+  seed : int;
+}
+
+type mem_pattern =
+  | Seq_stride of { stride : int; region : int }
+  | Rand_in of { region : int }
+  | Chase of { region : int }
+
+type branch_pattern = Periodic of bool array | Biased of float
+
+type block = {
+  block_id : int;
+  length : int;
+  frac_int_mult : float;
+  frac_fp_alu : float;
+  frac_fp_mult : float;
+  frac_load : float;
+  frac_store : float;
+  frac_branch : float;
+  mem : mem_pattern;
+  branch : branch_pattern;
+  dep_chain : float;
+}
+
+type trips =
+  | Const of int
+  | Scaled of { base : int; per_scale : int }
+  | Arg_scaled of { base : int; per_arg : int }
+
+type stmt =
+  | Straight of block
+  | Loop of { loop_id : int; trips : trips; body : stmt list }
+  | Call of { site_id : int; callee : string; arg : int }
+  | Choose of {
+      choose_id : int;
+      prob : input -> float;
+      on_true : stmt list;
+      on_false : stmt list;
+    }
+
+type func = { fname : string; fid : int; body : stmt list }
+type t = { pname : string; funcs : (string * func) list; main : string }
+
+let find_func t name =
+  match List.assoc_opt name t.funcs with
+  | Some f -> f
+  | None -> raise Not_found
+
+let trip_count trips input ~arg =
+  match trips with
+  | Const n -> n
+  | Scaled { base; per_scale } -> base + (per_scale * input.scale)
+  | Arg_scaled { base; per_arg } -> base + (per_arg * arg)
+
+let rec iter_stmt_list f stmts = List.iter (iter_one f) stmts
+
+and iter_one f stmt =
+  f stmt;
+  match stmt with
+  | Straight _ | Call _ -> ()
+  | Loop { body; _ } -> iter_stmt_list f body
+  | Choose { on_true; on_false; _ } ->
+      iter_stmt_list f on_true;
+      iter_stmt_list f on_false
+
+let iter_stmts t ~f =
+  List.iter (fun (_, fn) -> iter_stmt_list f fn.body) t.funcs
+
+let static_instructions t =
+  let n = ref 0 in
+  iter_stmts t ~f:(fun stmt ->
+      match stmt with
+      | Straight b -> n := !n + b.length
+      | Loop _ | Call _ | Choose _ -> incr n);
+  !n
+
+let validate t =
+  (match List.assoc_opt t.main t.funcs with
+  | Some _ -> ()
+  | None -> invalid_arg "Program.validate: main function not defined");
+  let names = List.map fst t.funcs in
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg "Program.validate: duplicate function names";
+  let check_block b =
+    let frac_sum =
+      b.frac_int_mult +. b.frac_fp_alu +. b.frac_fp_mult +. b.frac_load
+      +. b.frac_store +. b.frac_branch
+    in
+    if frac_sum > 1.0 +. 1e-9 then
+      invalid_arg "Program.validate: block fractions exceed 1";
+    if b.length <= 0 then invalid_arg "Program.validate: empty block";
+    if b.dep_chain < 1.0 then
+      invalid_arg "Program.validate: dep_chain below 1"
+  in
+  let loop_ids = Hashtbl.create 16 in
+  let site_ids = Hashtbl.create 16 in
+  let block_ids = Hashtbl.create 16 in
+  let register tbl what id =
+    if Hashtbl.mem tbl id then
+      invalid_arg (Printf.sprintf "Program.validate: duplicate %s id %d" what id);
+    Hashtbl.add tbl id ()
+  in
+  iter_stmts t ~f:(fun stmt ->
+      match stmt with
+      | Straight b ->
+          register block_ids "block" b.block_id;
+          check_block b
+      | Loop { loop_id; trips; _ } -> (
+          register loop_ids "loop" loop_id;
+          match trips with
+          | Const n when n < 0 -> invalid_arg "Program.validate: negative trips"
+          | Const _ | Scaled _ | Arg_scaled _ -> ())
+      | Call { site_id; callee; arg = _ } ->
+          register site_ids "call site" site_id;
+          if not (List.mem_assoc callee t.funcs) then
+            invalid_arg
+              (Printf.sprintf "Program.validate: unresolved callee %s" callee)
+      | Choose _ -> ())

@@ -1,0 +1,102 @@
+(** Structured program representation.
+
+    Workloads are written in a small structured IR rather than as native
+    binaries: a program is a set of functions whose bodies are statement
+    lists — straight-line instruction blocks, counted loops, call sites,
+    and input-dependent path choices. The IR preserves exactly the
+    structure the paper's ATOM-based profiler recovers from Alpha
+    binaries (subroutines, loops as strongly connected components, call
+    sites), so the profiling and binary-editing phases operate on
+    faithful inputs.
+
+    Static entities (functions, loops, call sites, blocks) carry unique
+    integer ids assigned by {!Build}; the profiler and editor key their
+    tables on these ids. *)
+
+type input = {
+  input_name : string;  (** e.g. ["train"] or ["ref"] *)
+  scale : int;  (** input-size parameter consulted by loop trip counts *)
+  divergence : float;
+      (** 0..1 knob consulted by {!stmt.Choose} nodes; lets reference
+          inputs exercise paths the training input never takes *)
+  seed : int;  (** master seed for the input's random streams *)
+}
+
+(** Memory reference behaviour of a block's loads and stores. *)
+type mem_pattern =
+  | Seq_stride of { stride : int; region : int }
+      (** streaming access: consecutive references advance by [stride]
+          bytes, wrapping within a [region]-byte working set *)
+  | Rand_in of { region : int }
+      (** uniformly random references within a [region]-byte working set *)
+  | Chase of { region : int }
+      (** dependent pointer chasing: each load's address register is the
+          destination of the previous load in the stream *)
+
+(** Branch outcome behaviour of a block's internal branches. *)
+type branch_pattern =
+  | Periodic of bool array  (** repeating outcome pattern; predictable *)
+  | Biased of float  (** taken with the given probability, random *)
+
+type block = {
+  block_id : int;
+  length : int;  (** dynamic instructions emitted per execution *)
+  frac_int_mult : float;
+  frac_fp_alu : float;
+  frac_fp_mult : float;
+  frac_load : float;
+  frac_store : float;
+  frac_branch : float;
+      (** remaining fraction is [Int_alu]; fractions must sum to <= 1 *)
+  mem : mem_pattern;
+  branch : branch_pattern;
+  dep_chain : float;
+      (** mean register-dependence distance; 1.0 is fully serial, larger
+          values expose more instruction-level parallelism *)
+}
+
+type trips =
+  | Const of int
+  | Scaled of { base : int; per_scale : int }
+      (** [base + per_scale * input.scale] iterations *)
+  | Arg_scaled of { base : int; per_arg : int }
+      (** [base + per_arg * arg] iterations, where [arg] is the integer
+          argument passed at the current function's call site — the
+          mechanism by which the same subroutine behaves differently
+          when called from different places *)
+
+type stmt =
+  | Straight of block
+  | Loop of { loop_id : int; trips : trips; body : stmt list }
+  | Call of { site_id : int; callee : string; arg : int }
+  | Choose of {
+      choose_id : int;
+      prob : input -> float;
+          (** probability of taking [on_true], evaluated per execution *)
+      on_true : stmt list;
+      on_false : stmt list;
+    }
+
+type func = { fname : string; fid : int; body : stmt list }
+
+type t = {
+  pname : string;
+  funcs : (string * func) list;  (** association list, unique names *)
+  main : string;
+}
+
+val find_func : t -> string -> func
+(** Raises [Not_found] if the function is not defined. *)
+
+val trip_count : trips -> input -> arg:int -> int
+
+val static_instructions : t -> int
+(** Number of static instruction slots across all blocks (an upper bound
+    on distinct synthetic PCs), used for table sizing. *)
+
+val iter_stmts : t -> f:(stmt -> unit) -> unit
+(** Depth-first visit of every statement in every function. *)
+
+val validate : t -> unit
+(** Check structural invariants: main exists, callees resolve, fractions
+    within bounds, unique ids. Raises [Invalid_argument] on violation. *)

@@ -1,0 +1,321 @@
+module Rng = Mcd_util.Rng
+
+type marker =
+  | Enter_func of { fid : int; site_id : int option }
+  | Exit_func of { fid : int }
+  | Enter_loop of { loop_id : int }
+  | Exit_loop of { loop_id : int }
+
+type event = Marker of marker | Inst of Inst.dyn
+
+let pp_marker fmt = function
+  | Enter_func { fid; site_id } ->
+      Format.fprintf fmt "enter_func(%d%s)" fid
+        (match site_id with None -> "" | Some s -> Printf.sprintf "@%d" s)
+  | Exit_func { fid } -> Format.fprintf fmt "exit_func(%d)" fid
+  | Enter_loop { loop_id } -> Format.fprintf fmt "enter_loop(%d)" loop_id
+  | Exit_loop { loop_id } -> Format.fprintf fmt "exit_loop(%d)" loop_id
+
+(* Synthetic PC spaces: block slots, loop back-edges, call and return
+   branches each live in a distinct region so predictor tables see
+   realistic, non-colliding addresses. *)
+let pc_of_block_slot ~block_id ~slot = (block_id * 4096) + slot
+let pc_of_loop_branch ~loop_id = 0x4000_0000 + loop_id
+let pc_of_call ~site_id = 0x5000_0000 + site_id
+let pc_of_return ~fid = 0x6000_0000 + fid
+
+(* Persistent per-static-block expansion state. Streams (memory position,
+   branch-pattern position, register rings) survive across executions of
+   the block, so a block streaming through memory keeps streaming. *)
+type bstate = {
+  rng : Rng.t;
+  mutable mem_pos : int;
+  mutable br_pos : int;
+  int_ring : int array;
+  mutable int_count : int;
+  fp_ring : int array;
+  mutable fp_count : int;
+  mutable last_load_dst : int;
+}
+
+type loop_frame = {
+  loop_id : int;
+  body : Program.stmt list;
+  mutable remaining : int;
+  mutable in_iteration : bool;
+}
+
+type frame =
+  | F_stmts of Program.stmt list
+  | F_block of Program.block * int (* remaining instruction count *)
+  | F_loop of loop_frame
+  | F_funcret of int (* fid: emit return branch + exit marker *)
+  | F_mainexit of int (* fid of main: exit marker only *)
+
+type t = {
+  program : Program.t;
+  input : Program.input;
+  choice_rng : Rng.t;
+  mutable stack : frame list;
+  mutable pending : event list;
+  mutable emitted : int;
+  mutable done_ : bool;
+  mutable arg_stack : int list; (* call arguments; head = current *)
+  blocks : (int, bstate) Hashtbl.t;
+}
+
+let ring_size = 16
+
+let create program ~input =
+  let master = Rng.create input.Program.seed in
+  let main_fn = Program.find_func program program.Program.main in
+  {
+    program;
+    input;
+    choice_rng = Rng.split master ~label:"choices";
+    stack = [ F_stmts main_fn.Program.body; F_mainexit main_fn.Program.fid ];
+    pending = [ Marker (Enter_func { fid = main_fn.Program.fid; site_id = None }) ];
+    emitted = 0;
+    done_ = false;
+    arg_stack = [ 0 ];
+    blocks = Hashtbl.create 64;
+  }
+
+let block_state t (b : Program.block) =
+  match Hashtbl.find_opt t.blocks b.Program.block_id with
+  | Some st -> st
+  | None ->
+      let master = Rng.create t.input.Program.seed in
+      let st =
+        {
+          rng = Rng.split master ~label:(Printf.sprintf "block-%d" b.Program.block_id);
+          mem_pos = 0;
+          br_pos = 0;
+          int_ring = Array.make ring_size 1;
+          int_count = 0;
+          fp_ring = Array.make ring_size 33;
+          fp_count = 0;
+          last_load_dst = Inst.no_reg;
+        }
+      in
+      Hashtbl.add t.blocks b.Program.block_id st;
+      st
+
+(* Pick a source register [distance] definitions back in a ring; fall
+   back to a stable architectural register when the ring is still cold. *)
+let ring_src ring count distance cold_reg =
+  if count = 0 then cold_reg
+  else
+    let d = min distance (min count ring_size) in
+    ring.((count - d) mod ring_size)
+
+let ring_push ring count v =
+  ring.(count mod ring_size) <- v
+
+(* Base byte address of a block's working set; distinct per block. *)
+let block_region_base block_id = block_id * (1 lsl 24)
+
+let gen_addr st (b : Program.block) =
+  let base = block_region_base b.Program.block_id in
+  match b.Program.mem with
+  | Program.Seq_stride { stride; region } ->
+      let a = base + st.mem_pos in
+      st.mem_pos <- (st.mem_pos + stride) mod region;
+      a
+  | Program.Rand_in { region } -> base + (Rng.int st.rng (region / 8) * 8)
+  | Program.Chase { region } -> base + (Rng.int st.rng (region / 8) * 8)
+
+let gen_branch_outcome st (b : Program.block) =
+  match b.Program.branch with
+  | Program.Periodic pattern ->
+      let v = pattern.(st.br_pos mod Array.length pattern) in
+      st.br_pos <- st.br_pos + 1;
+      v
+  | Program.Biased p -> Rng.bool st.rng p
+
+(* Expand one dynamic instruction of block [b]. *)
+let expand_inst t (b : Program.block) ~slot =
+  let st = block_state t b in
+  let u = Rng.float st.rng 1.0 in
+  let c1 = b.Program.frac_int_mult in
+  let c2 = c1 +. b.Program.frac_fp_alu in
+  let c3 = c2 +. b.Program.frac_fp_mult in
+  let c4 = c3 +. b.Program.frac_load in
+  let c5 = c4 +. b.Program.frac_store in
+  let c6 = c5 +. b.Program.frac_branch in
+  let klass : Inst.iclass =
+    if u < c1 then Int_mult
+    else if u < c2 then Fp_alu
+    else if u < c3 then Fp_mult
+    else if u < c4 then Load
+    else if u < c5 then Store
+    else if u < c6 then Branch
+    else Int_alu
+  in
+  let dep () = Rng.geometric st.rng ~mean:b.Program.dep_chain in
+  let int_src () = ring_src st.int_ring st.int_count (dep ()) 1 in
+  let fp_src () = ring_src st.fp_ring st.fp_count (dep ()) 33 in
+  let fresh_int () =
+    let r = 4 + (st.int_count mod 24) in
+    ring_push st.int_ring st.int_count r;
+    st.int_count <- st.int_count + 1;
+    r
+  in
+  let fresh_fp () =
+    let r = 36 + (st.fp_count mod 24) in
+    ring_push st.fp_ring st.fp_count r;
+    st.fp_count <- st.fp_count + 1;
+    r
+  in
+  let pc = pc_of_block_slot ~block_id:b.Program.block_id ~slot in
+  let seq = t.emitted in
+  let mk ~srcs ~dst ~addr ~taken : Inst.dyn =
+    { seq; static_id = pc; klass; srcs; dst; addr; taken }
+  in
+  let inst =
+    match klass with
+    | Int_alu | Int_mult ->
+        let s1 = int_src () and s2 = int_src () in
+        mk ~srcs:[| s1; s2 |] ~dst:(fresh_int ()) ~addr:Inst.no_reg ~taken:false
+    | Fp_alu | Fp_mult ->
+        let s1 = fp_src () and s2 = fp_src () in
+        mk ~srcs:[| s1; s2 |] ~dst:(fresh_fp ()) ~addr:Inst.no_reg ~taken:false
+    | Load ->
+        let addr = gen_addr st b in
+        let addr_src =
+          match b.Program.mem with
+          | Program.Chase _ when st.last_load_dst <> Inst.no_reg ->
+              st.last_load_dst
+          | Program.Chase _ | Program.Seq_stride _ | Program.Rand_in _ ->
+              int_src ()
+        in
+        (* Loads feed the fp ring in blocks with fp work, modelling
+           memory-to-fp data flow; otherwise they feed integer work. *)
+        let wants_fp =
+          b.Program.frac_fp_alu +. b.Program.frac_fp_mult > 0.0
+          && st.fp_count land 1 = 0
+        in
+        let dst = if wants_fp then fresh_fp () else fresh_int () in
+        if not wants_fp then st.last_load_dst <- dst;
+        mk ~srcs:[| addr_src |] ~dst ~addr ~taken:false
+    | Store ->
+        let addr = gen_addr st b in
+        let data =
+          if b.Program.frac_fp_alu +. b.Program.frac_fp_mult > 0.0 then fp_src ()
+          else int_src ()
+        in
+        mk ~srcs:[| int_src (); data |] ~dst:Inst.no_reg ~addr ~taken:false
+    | Branch ->
+        let taken = gen_branch_outcome st b in
+        mk ~srcs:[| int_src () |] ~dst:Inst.no_reg ~addr:Inst.no_reg ~taken
+  in
+  t.emitted <- t.emitted + 1;
+  inst
+
+let control_branch t ~pc ~taken : Inst.dyn =
+  let seq = t.emitted in
+  t.emitted <- t.emitted + 1;
+  { seq; static_id = pc; klass = Branch; srcs = [| 1 |]; dst = Inst.no_reg;
+    addr = Inst.no_reg; taken }
+
+let instructions_emitted t = t.emitted
+
+(* Process frames until at least one event is pending or the walk ends. *)
+let rec refill t =
+  match t.stack with
+  | [] -> t.done_ <- true
+  | frame :: rest -> (
+      match frame with
+      | F_stmts [] ->
+          t.stack <- rest;
+          refill t
+      | F_stmts (stmt :: more) -> (
+          t.stack <- F_stmts more :: rest;
+          match stmt with
+          | Program.Straight b ->
+              t.stack <- F_block (b, b.Program.length) :: t.stack;
+              refill t
+          | Program.Loop { loop_id; trips; body } ->
+              let arg = match t.arg_stack with a :: _ -> a | [] -> 0 in
+              let n = Program.trip_count trips t.input ~arg in
+              if n <= 0 then refill t
+              else begin
+                t.pending <- [ Marker (Enter_loop { loop_id }) ];
+                t.stack <-
+                  F_loop { loop_id; body; remaining = n; in_iteration = false }
+                  :: t.stack
+              end
+          | Program.Call { site_id; callee; arg } ->
+              let fn = Program.find_func t.program callee in
+              t.arg_stack <- arg :: t.arg_stack;
+              t.pending <-
+                [
+                  Inst (control_branch t ~pc:(pc_of_call ~site_id) ~taken:true);
+                  Marker (Enter_func { fid = fn.Program.fid; site_id = Some site_id });
+                ];
+              t.stack <-
+                F_stmts fn.Program.body :: F_funcret fn.Program.fid :: t.stack
+          | Program.Choose { prob; on_true; on_false; choose_id = _ } ->
+              let p = prob t.input in
+              let branch = Rng.bool t.choice_rng p in
+              t.stack <- F_stmts (if branch then on_true else on_false) :: t.stack;
+              refill t)
+      | F_block (_, 0) ->
+          t.stack <- rest;
+          refill t
+      | F_block (b, k) ->
+          t.stack <- F_block (b, k - 1) :: rest;
+          t.pending <- [ Inst (expand_inst t b ~slot:(b.Program.length - k)) ]
+      | F_loop lf ->
+          if lf.in_iteration then begin
+            (* an iteration's body just finished: emit the back edge *)
+            lf.in_iteration <- false;
+            lf.remaining <- lf.remaining - 1;
+            t.pending <-
+              [
+                Inst
+                  (control_branch t
+                     ~pc:(pc_of_loop_branch ~loop_id:lf.loop_id)
+                     ~taken:(lf.remaining > 0));
+              ]
+          end
+          else if lf.remaining = 0 then begin
+            t.stack <- rest;
+            t.pending <- [ Marker (Exit_loop { loop_id = lf.loop_id }) ]
+          end
+          else begin
+            lf.in_iteration <- true;
+            t.stack <- F_stmts lf.body :: t.stack;
+            refill t
+          end
+      | F_funcret fid ->
+          t.stack <- rest;
+          (match t.arg_stack with
+          | _ :: (_ :: _ as outer) -> t.arg_stack <- outer
+          | [ _ ] | [] -> ());
+          t.pending <-
+            [
+              Inst (control_branch t ~pc:(pc_of_return ~fid) ~taken:true);
+              Marker (Exit_func { fid });
+            ]
+      | F_mainexit fid ->
+          t.stack <- rest;
+          t.pending <- [ Marker (Exit_func { fid }) ])
+
+let next t =
+  match t.pending with
+  | ev :: more ->
+      t.pending <- more;
+      Some ev
+  | [] ->
+      if t.done_ then None
+      else begin
+        refill t;
+        match t.pending with
+        | ev :: more ->
+            t.pending <- more;
+            Some ev
+        | [] ->
+            assert t.done_;
+            None
+      end

@@ -1,0 +1,46 @@
+(** Program walker: turns a structured program plus an input set into the
+    dynamic event stream consumed by the pipeline simulator and by the
+    profiler.
+
+    The stream interleaves two kinds of events. [Inst] events are dynamic
+    instructions with concrete registers, addresses, and branch outcomes;
+    the pipeline executes these. [Marker] events announce phase-structure
+    boundaries (function entry/exit, loop entry/exit) exactly where
+    ATOM-inserted instrumentation would observe them; the profiler and
+    the run-time reconfiguration policies consume these. Markers carry no
+    cost by themselves — when a control policy reacts to one, the
+    simulator charges the paper's per-instrumentation-point penalty.
+
+    All randomness derives from the input's seed, so a walk is a pure
+    function of (program, input). *)
+
+type marker =
+  | Enter_func of { fid : int; site_id : int option }
+      (** [site_id] identifies the call site, [None] for the program
+          entry point *)
+  | Exit_func of { fid : int }
+  | Enter_loop of { loop_id : int }
+  | Exit_loop of { loop_id : int }
+
+type event = Marker of marker | Inst of Inst.dyn
+
+type t
+
+val create : Program.t -> input:Program.input -> t
+
+val next : t -> event option
+(** The next event, or [None] once the program's main function has
+    returned. *)
+
+val instructions_emitted : t -> int
+(** Dynamic instructions produced so far (markers excluded). *)
+
+val pp_marker : Format.formatter -> marker -> unit
+
+(** Synthetic static-PC encoding, shared with the branch predictor and
+    profiler tables. *)
+
+val pc_of_block_slot : block_id:int -> slot:int -> int
+val pc_of_loop_branch : loop_id:int -> int
+val pc_of_call : site_id:int -> int
+val pc_of_return : fid:int -> int

@@ -1,0 +1,1 @@
+lib/mcd/clock.ml: Float Freq Mcd_util

@@ -1,0 +1,1 @@
+lib/mcd/clock.mli: Mcd_util

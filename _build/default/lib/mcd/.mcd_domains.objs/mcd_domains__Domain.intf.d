@@ -1,0 +1,1 @@
+lib/mcd/domain.mli: Format

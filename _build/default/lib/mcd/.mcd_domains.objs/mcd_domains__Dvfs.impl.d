@@ -1,0 +1,1 @@
+lib/mcd/dvfs.ml: Array Domain Float Freq Mcd_util

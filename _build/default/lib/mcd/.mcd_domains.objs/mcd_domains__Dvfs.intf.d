@@ -1,0 +1,1 @@
+lib/mcd/dvfs.mli: Domain Mcd_util

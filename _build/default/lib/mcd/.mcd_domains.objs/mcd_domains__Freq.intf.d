@@ -1,0 +1,1 @@
+lib/mcd/freq.mli:

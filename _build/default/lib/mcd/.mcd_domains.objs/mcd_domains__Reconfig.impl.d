@@ -1,0 +1,1 @@
+lib/mcd/reconfig.ml: Array Domain Dvfs Format Freq List

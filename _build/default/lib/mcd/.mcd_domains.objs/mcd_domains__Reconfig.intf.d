@@ -1,0 +1,1 @@
+lib/mcd/reconfig.mli: Domain Dvfs Format Mcd_util

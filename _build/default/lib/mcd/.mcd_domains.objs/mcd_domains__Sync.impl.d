@@ -1,0 +1,1 @@
+lib/mcd/sync.ml: Clock Mcd_util

@@ -1,0 +1,1 @@
+lib/mcd/sync.mli: Clock Mcd_util

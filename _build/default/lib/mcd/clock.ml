@@ -1,0 +1,55 @@
+module Time = Mcd_util.Time
+module Rng = Mcd_util.Rng
+
+type t = {
+  mutable next : Time.t;
+  mutable count : int;
+  jitter_sigma : float;
+  jitter_bound : float;
+  rng : Rng.t;
+  freq_mhz : now:Time.t -> float;
+}
+
+let default_jitter_bound = 110.0
+
+let create ?(jitter_sigma_ps = default_jitter_bound /. 3.0) ~rng ~freq_mhz () =
+  {
+    next = Time.zero;
+    count = 0;
+    jitter_sigma = jitter_sigma_ps;
+    jitter_bound = jitter_sigma_ps *. 3.0;
+    rng;
+    freq_mhz;
+  }
+
+let next_edge t = t.next
+let cycles t = t.count
+
+let period_ps t ~now = Freq.period_ps (t.freq_mhz ~now)
+
+let advance t =
+  let now = t.next in
+  let period = period_ps t ~now in
+  let jitter =
+    if t.jitter_sigma <= 0.0 then 0
+    else
+      let j = Rng.normal t.rng ~mean:0.0 ~sigma:t.jitter_sigma in
+      let j = Float.max (-.t.jitter_bound) (Float.min t.jitter_bound j) in
+      int_of_float j
+  in
+  let step = max 1 (period + jitter) in
+  t.next <- now + step;
+  t.count <- t.count + 1
+
+let project_edge t ~at_or_after =
+  let period = max 1 (period_ps t ~now:t.next) in
+  if at_or_after >= t.next then
+    let delta = at_or_after - t.next in
+    let k = (delta + period - 1) / period in
+    t.next + (k * period)
+  else
+    (* Extrapolate the edge grid backward: results that completed in the
+       past were captured by an edge that already occurred. *)
+    let delta = t.next - at_or_after in
+    let k = delta / period in
+    t.next - (k * period)

@@ -1,0 +1,33 @@
+type t = Front_end | Integer | Floating | Memory
+
+let all = [ Front_end; Integer; Floating; Memory ]
+let count = 4
+
+let index = function
+  | Front_end -> 0
+  | Integer -> 1
+  | Floating -> 2
+  | Memory -> 3
+
+let of_index = function
+  | 0 -> Front_end
+  | 1 -> Integer
+  | 2 -> Floating
+  | 3 -> Memory
+  | i -> invalid_arg (Printf.sprintf "Domain.of_index: %d" i)
+
+let name = function
+  | Front_end -> "front-end"
+  | Integer -> "integer"
+  | Floating -> "floating"
+  | Memory -> "memory"
+
+let pp fmt t = Format.pp_print_string fmt (name t)
+
+(* Weights in the spirit of Wattch's unit breakdown for a 21264-class
+   core: front-end (fetch+rename+ROB) and integer core dominate. *)
+let relative_power = function
+  | Front_end -> 0.32
+  | Integer -> 0.26
+  | Floating -> 0.18
+  | Memory -> 0.24

@@ -1,0 +1,29 @@
+(** The four independently clocked domains of the MCD processor.
+
+    Main memory is external and always runs at full speed; it appears as
+    the pseudo-domain {!External} in accounting but is never scaled. *)
+
+type t =
+  | Front_end  (** fetch, L1 I-cache, rename/dispatch, ROB *)
+  | Integer  (** integer issue queue, ALUs, integer register file *)
+  | Floating  (** FP issue queue, FP ALUs, FP register file *)
+  | Memory  (** load/store unit, L1 D-cache, unified L2 *)
+
+val all : t list
+(** The four scalable domains, in a fixed canonical order. *)
+
+val count : int
+(** [List.length all = 4]. *)
+
+val index : t -> int
+(** Dense index 0..3, consistent with the order of [all]. *)
+
+val of_index : int -> t
+(** Inverse of [index]. Raises [Invalid_argument] out of range. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+val relative_power : t -> float
+(** Relative full-speed power weight of the domain, used to initialise
+    shaker power factors. Sums to 1.0 across [all]. *)

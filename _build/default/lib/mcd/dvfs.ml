@@ -1,0 +1,62 @@
+module Time = Mcd_util.Time
+
+type dstate = {
+  mutable current : float; (* MHz *)
+  mutable target : float;
+  mutable last : Time.t;
+}
+
+type t = { domains : dstate array }
+
+let slew_ns_per_mhz = 73.3
+
+let create () =
+  {
+    domains =
+      Array.init Domain.count (fun _ ->
+          {
+            current = float_of_int Freq.fmax_mhz;
+            target = float_of_int Freq.fmax_mhz;
+            last = Time.zero;
+          });
+  }
+
+(* Queries at times earlier than the last observation (e.g. projecting
+   the arrival of a result produced in the past) answer with the current
+   operating point rather than rewinding the ramp. *)
+let advance ds ~now =
+  if now > ds.last && ds.current <> ds.target then begin
+    let elapsed_ns = Time.to_ns (now - ds.last) in
+    let delta_mhz = elapsed_ns /. slew_ns_per_mhz in
+    if ds.current < ds.target then
+      ds.current <- Float.min ds.target (ds.current +. delta_mhz)
+    else ds.current <- Float.max ds.target (ds.current -. delta_mhz)
+  end;
+  if now > ds.last then ds.last <- now
+
+let set_target t domain ~now ~mhz =
+  let ds = t.domains.(Domain.index domain) in
+  advance ds ~now;
+  ds.target <- float_of_int (Freq.clamp mhz)
+
+let force t domain ~mhz =
+  let ds = t.domains.(Domain.index domain) in
+  let f = float_of_int (Freq.clamp mhz) in
+  ds.current <- f;
+  ds.target <- f
+
+let target_mhz t domain =
+  int_of_float t.domains.(Domain.index domain).target
+
+let current_mhz t domain ~now =
+  let ds = t.domains.(Domain.index domain) in
+  advance ds ~now;
+  ds.current
+
+let voltage t domain ~now = Freq.voltage_f (current_mhz t domain ~now)
+let energy_scale t domain ~now = Freq.energy_scale (current_mhz t domain ~now)
+
+let in_transition t domain ~now =
+  let ds = t.domains.(Domain.index domain) in
+  advance ds ~now;
+  ds.current <> ds.target

@@ -1,0 +1,37 @@
+(** Per-domain dynamic voltage and frequency scaling state.
+
+    Modelled on the Intel XScale behaviour assumed by the paper: a
+    reconfiguration write incurs no idle time — the domain keeps
+    executing through the change — but frequency slews toward the target
+    at 73.3 ns per MHz, so traversing the full 750 MHz range takes 55 us.
+    Voltage tracks the instantaneous frequency. *)
+
+type t
+
+val create : unit -> t
+(** All domains at full speed (1 GHz, 1.2 V). *)
+
+val slew_ns_per_mhz : float
+(** 73.3 ns/MHz. *)
+
+val set_target : t -> Domain.t -> now:Mcd_util.Time.t -> mhz:int -> unit
+(** Begin slewing the domain toward [mhz] (snapped to a legal step). *)
+
+val force : t -> Domain.t -> mhz:int -> unit
+(** Set the domain's operating point instantaneously (no slew). Used to
+    initialise alternative machine configurations — e.g. a globally
+    synchronous core at a lower frequency — not to model transitions. *)
+
+val target_mhz : t -> Domain.t -> int
+
+val current_mhz : t -> Domain.t -> now:Mcd_util.Time.t -> float
+(** Instantaneous frequency, advancing the internal ramp to [now].
+    Queries at times before the previous observation answer with the
+    current operating point (the ramp is never rewound). *)
+
+val voltage : t -> Domain.t -> now:Mcd_util.Time.t -> float
+
+val energy_scale : t -> Domain.t -> now:Mcd_util.Time.t -> float
+(** [(v/vmax)^2] at the instantaneous operating point. *)
+
+val in_transition : t -> Domain.t -> now:Mcd_util.Time.t -> bool

@@ -1,0 +1,39 @@
+let fmax_mhz = 1000
+let fmin_mhz = 250
+let vmax = 1.20
+let vmin = 0.65
+let step_mhz = 50
+let num_steps = ((fmax_mhz - fmin_mhz) / step_mhz) + 1
+let steps = Array.init num_steps (fun i -> fmin_mhz + (i * step_mhz))
+
+let clamp mhz =
+  let mhz = max fmin_mhz (min fmax_mhz mhz) in
+  let snapped = fmin_mhz + (step_mhz * ((mhz - fmin_mhz + (step_mhz / 2)) / step_mhz)) in
+  max fmin_mhz (min fmax_mhz snapped)
+
+let index_of mhz =
+  if mhz < fmin_mhz || mhz > fmax_mhz || (mhz - fmin_mhz) mod step_mhz <> 0 then
+    invalid_arg (Printf.sprintf "Freq.index_of: %d MHz is not a step" mhz);
+  (mhz - fmin_mhz) / step_mhz
+
+let of_index i =
+  if i < 0 || i >= num_steps then
+    invalid_arg (Printf.sprintf "Freq.of_index: %d" i);
+  steps.(i)
+
+let voltage_f fmhz =
+  let fmhz = Float.max (float_of_int fmin_mhz) (Float.min (float_of_int fmax_mhz) fmhz) in
+  vmin
+  +. (vmax -. vmin)
+     *. ((fmhz -. float_of_int fmin_mhz)
+        /. float_of_int (fmax_mhz - fmin_mhz))
+
+let voltage mhz = voltage_f (float_of_int mhz)
+
+let period_ps fmhz =
+  assert (fmhz > 0.0);
+  int_of_float (Float.round (1_000_000.0 /. fmhz))
+
+let energy_scale fmhz =
+  let v = voltage_f fmhz in
+  v *. v /. (vmax *. vmax)

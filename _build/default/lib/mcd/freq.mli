@@ -1,0 +1,53 @@
+(** Frequency and voltage model.
+
+    Domains scale between 250 MHz and 1 GHz in 16 steps of 50 MHz
+    (an XScale-like table with the paper's compressed voltage range of
+    0.65 V – 1.20 V, voltage linear in frequency). *)
+
+val fmax_mhz : int
+(** 1000 MHz. *)
+
+val fmin_mhz : int
+(** 250 MHz. *)
+
+val vmax : float
+(** 1.20 V. *)
+
+val vmin : float
+(** 0.65 V. *)
+
+val step_mhz : int
+(** 50 MHz between adjacent steps. *)
+
+val num_steps : int
+(** 16: frequencies 250, 300, ..., 1000 MHz. *)
+
+val steps : int array
+(** All selectable frequencies in MHz, ascending. *)
+
+val clamp : int -> int
+(** Clamp an arbitrary MHz value into range and snap it to the nearest
+    step. *)
+
+val index_of : int -> int
+(** Step index (0 = 250 MHz ... 15 = 1000 MHz) of a frequency that must
+    be one of [steps]. Raises [Invalid_argument] otherwise. *)
+
+val of_index : int -> int
+(** Frequency in MHz at a step index. *)
+
+val voltage : int -> float
+(** Supply voltage at a given frequency (MHz); linear interpolation
+    between [(fmin, vmin)] and [(fmax, vmax)]. The frequency need not be
+    a step (mid-transition frequencies are continuous). *)
+
+val voltage_f : float -> float
+(** Same on a continuous frequency. *)
+
+val period_ps : float -> int
+(** Clock period in integer picoseconds at a continuous frequency in
+    MHz. *)
+
+val energy_scale : float -> float
+(** [(voltage f / vmax)^2]: the factor applied to dynamic energy when a
+    domain runs at frequency [f] MHz. *)

@@ -1,0 +1,37 @@
+type setting = int array
+
+let full_speed () = Array.make Domain.count Freq.fmax_mhz
+
+let make ~front_end ~integer ~floating ~memory =
+  let s = Array.make Domain.count Freq.fmax_mhz in
+  s.(Domain.index Domain.Front_end) <- Freq.clamp front_end;
+  s.(Domain.index Domain.Integer) <- Freq.clamp integer;
+  s.(Domain.index Domain.Floating) <- Freq.clamp floating;
+  s.(Domain.index Domain.Memory) <- Freq.clamp memory;
+  s
+
+let get s domain = s.(Domain.index domain)
+let equal a b = a = b
+
+let pp fmt s =
+  Format.fprintf fmt "{fe=%d int=%d fp=%d mem=%d}"
+    (get s Domain.Front_end) (get s Domain.Integer) (get s Domain.Floating)
+    (get s Domain.Memory)
+
+type t = {
+  dvfs : Dvfs.t;
+  mutable count : int;
+  mutable last : setting;
+}
+
+let create dvfs = { dvfs; count = 0; last = full_speed () }
+
+let write t setting ~now =
+  List.iter
+    (fun d -> Dvfs.set_target t.dvfs d ~now ~mhz:setting.(Domain.index d))
+    Domain.all;
+  t.count <- t.count + 1;
+  t.last <- Array.copy setting
+
+let writes t = t.count
+let last_setting t = t.last

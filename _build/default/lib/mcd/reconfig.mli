@@ -1,0 +1,31 @@
+(** The MCD reconfiguration register.
+
+    The paper assumes a single unprivileged instruction that writes all
+    four domain frequencies at once; this module is that register. A
+    setting is an array of four frequencies (MHz) indexed by
+    {!Domain.index}. *)
+
+type setting = int array
+
+val full_speed : unit -> setting
+(** Fresh setting with every domain at 1 GHz. *)
+
+val make :
+  front_end:int -> integer:int -> floating:int -> memory:int -> setting
+(** Frequencies are snapped to legal steps. *)
+
+val get : setting -> Domain.t -> int
+val equal : setting -> setting -> bool
+val pp : Format.formatter -> setting -> unit
+
+type t
+
+val create : Dvfs.t -> t
+
+val write : t -> setting -> now:Mcd_util.Time.t -> unit
+(** Program all four domain targets; no idle time is incurred. *)
+
+val writes : t -> int
+(** Number of register writes so far (reconfigurations performed). *)
+
+val last_setting : t -> setting

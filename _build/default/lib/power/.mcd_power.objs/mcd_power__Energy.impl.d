@@ -1,0 +1,1 @@
+lib/power/energy.ml: Array Mcd_domains

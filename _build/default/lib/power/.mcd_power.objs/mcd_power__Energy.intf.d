@@ -1,0 +1,1 @@
+lib/power/energy.mli: Mcd_domains Mcd_util

@@ -1,0 +1,1 @@
+lib/power/metrics.ml: Format Mcd_util

@@ -1,0 +1,1 @@
+lib/power/metrics.mli: Format

@@ -1,0 +1,67 @@
+(** Wattch-style event-based energy accounting.
+
+    Every microarchitectural activity is charged a base energy (pJ at
+    full voltage) against the domain that performs it, scaled by
+    [(V/Vmax)^2] at the domain's instantaneous operating point. Each
+    domain additionally pays a per-cycle clock-tree energy (V^2-scaled;
+    paying per cycle means total clock energy tracks work, as in Wattch's
+    conditional-clocking mode) and a leakage energy proportional to wall
+    time and voltage. Accesses to external main memory are never
+    scaled. *)
+
+(** Chargeable activities. *)
+type activity =
+  | Fetch  (** per fetched instruction, front-end *)
+  | Decode_rename  (** per dispatched instruction, front-end *)
+  | Rob_write  (** ROB allocate, front-end *)
+  | Retire  (** commit, front-end *)
+  | Iq_write_int  (** integer issue-queue insert *)
+  | Iq_write_fp
+  | Issue_int  (** wakeup/select, integer domain *)
+  | Issue_fp
+  | Int_alu_op
+  | Int_mult_op
+  | Fp_alu_op
+  | Fp_mult_op
+  | Regfile_int  (** integer register file access *)
+  | Regfile_fp
+  | L1i_access  (** front-end domain *)
+  | L1d_access  (** memory domain *)
+  | L2_access  (** memory domain *)
+  | Lsq_op  (** load/store queue operation *)
+  | Main_memory_access  (** external, unscaled *)
+
+val base_pj : activity -> float
+(** Energy at 1.2 V, in picojoules. *)
+
+val domain_of : activity -> Mcd_domains.Domain.t option
+(** Owning domain; [None] for external main memory. *)
+
+val clock_tree_pj_per_cycle : Mcd_domains.Domain.t -> float
+val leakage_pj_per_ns : Mcd_domains.Domain.t -> float
+
+(** Accumulates energy per domain (plus external). *)
+module Accum : sig
+  type t
+
+  val create : unit -> t
+
+  val charge :
+    t -> Mcd_domains.Dvfs.t -> now:Mcd_util.Time.t -> activity -> unit
+  (** Charge one activity at the owning domain's current voltage. *)
+
+  val charge_clock_tick :
+    t -> Mcd_domains.Dvfs.t -> now:Mcd_util.Time.t -> Mcd_domains.Domain.t -> unit
+  (** Per-cycle clock-tree energy plus leakage for one period at the
+      current operating point. *)
+
+  val charge_raw : t -> Mcd_domains.Domain.t option -> pj:float -> unit
+  (** Unscaled charge (used for fixed instrumentation-point penalties). *)
+
+  val domain_pj : t -> Mcd_domains.Domain.t -> float
+  val external_pj : t -> float
+  val total_pj : t -> float
+
+  val reset : t -> unit
+  (** Zero all accumulators (start of a measurement window). *)
+end

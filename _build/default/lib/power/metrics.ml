@@ -1,0 +1,39 @@
+type run = {
+  runtime_ps : int;
+  energy_pj : float;
+  per_domain_pj : float array;
+  instructions : int;
+  cycles_front : int;
+  sync_crossings : int;
+  sync_penalties : int;
+  reconfigurations : int;
+  instr_points : int;
+  instr_overhead_ps : int;
+}
+
+let ipc run =
+  if run.cycles_front = 0 then 0.0
+  else float_of_int run.instructions /. float_of_int run.cycles_front
+
+let energy_delay run = run.energy_pj *. Mcd_util.Time.to_s run.runtime_ps
+
+let perf_degradation_pct ~baseline run =
+  Mcd_util.Stats.ratio_percent_change
+    ~baseline:(float_of_int baseline.runtime_ps)
+    ~value:(float_of_int run.runtime_ps)
+
+let energy_savings_pct ~baseline run =
+  -.Mcd_util.Stats.ratio_percent_change ~baseline:baseline.energy_pj
+      ~value:run.energy_pj
+
+let ed_improvement_pct ~baseline run =
+  -.Mcd_util.Stats.ratio_percent_change
+      ~baseline:(energy_delay baseline)
+      ~value:(energy_delay run)
+
+let pp fmt run =
+  Format.fprintf fmt
+    "@[<v>runtime=%a energy=%.1f nJ insts=%d ipc=%.2f sync=%d/%d reconf=%d@]"
+    Mcd_util.Time.pp run.runtime_ps (run.energy_pj /. 1000.0)
+    run.instructions (ipc run) run.sync_penalties run.sync_crossings
+    run.reconfigurations

@@ -1,0 +1,35 @@
+(** Run-level metrics and the comparison arithmetic used by every figure.
+
+    All of the paper's figures report a policy run against the MCD
+    baseline (all domains at full speed): performance degradation,
+    energy savings, and energy x delay improvement. *)
+
+type run = {
+  runtime_ps : int;
+  energy_pj : float;
+  per_domain_pj : float array;  (** length 5: four domains + external *)
+  instructions : int;  (** retired instructions *)
+  cycles_front : int;  (** front-end domain cycles elapsed *)
+  sync_crossings : int;
+  sync_penalties : int;
+  reconfigurations : int;
+  instr_points : int;  (** instrumentation-point executions charged *)
+  instr_overhead_ps : int;  (** total time charged to instrumentation *)
+}
+
+val ipc : run -> float
+(** Retired instructions per front-end cycle. *)
+
+val energy_delay : run -> float
+(** Energy x delay product (pJ x s). *)
+
+val perf_degradation_pct : baseline:run -> run -> float
+(** Positive when the run is slower than the baseline. *)
+
+val energy_savings_pct : baseline:run -> run -> float
+(** Positive when the run uses less energy than the baseline. *)
+
+val ed_improvement_pct : baseline:run -> run -> float
+(** Positive when energy x delay improved over the baseline. *)
+
+val pp : Format.formatter -> run -> unit

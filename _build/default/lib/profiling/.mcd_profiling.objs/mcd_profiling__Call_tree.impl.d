@@ -1,0 +1,1 @@
+lib/profiling/call_tree.ml: Buffer Context Format Hashtbl List Mcd_isa Mcd_util Option Printf String

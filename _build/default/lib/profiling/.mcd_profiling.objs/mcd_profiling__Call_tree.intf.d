@@ -1,0 +1,1 @@
+lib/profiling/call_tree.mli: Context Format Mcd_isa

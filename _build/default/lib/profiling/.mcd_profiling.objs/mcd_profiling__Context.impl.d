@@ -1,0 +1,1 @@
+lib/profiling/context.ml: List

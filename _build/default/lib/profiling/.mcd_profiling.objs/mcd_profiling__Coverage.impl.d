@@ -1,0 +1,1 @@
+lib/profiling/coverage.ml: Call_tree Context List

@@ -1,0 +1,1 @@
+lib/profiling/coverage.mli: Call_tree

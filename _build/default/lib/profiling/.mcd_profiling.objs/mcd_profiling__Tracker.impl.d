@@ -1,0 +1,1 @@
+lib/profiling/tracker.ml: Call_tree Context List Mcd_isa Option

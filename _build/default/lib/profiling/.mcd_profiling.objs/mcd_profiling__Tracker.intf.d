@@ -1,0 +1,1 @@
+lib/profiling/tracker.mli: Call_tree Mcd_isa

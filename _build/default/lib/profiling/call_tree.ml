@@ -1,0 +1,266 @@
+module Vec = Mcd_util.Vec
+module Walker = Mcd_isa.Walker
+
+type kind =
+  | Root
+  | Func_node of { fid : int; site : int }
+  | Loop_node of { loop_id : int }
+
+type node = {
+  id : int;
+  kind : kind;
+  parent : int;
+  depth : int;
+  mutable children : (kind * int) list;
+  mutable instances : int;
+  mutable total_insts : int;
+  mutable long : bool;
+  mutable reaches_long : bool;
+}
+
+type t = {
+  ctx : Context.t;
+  nodes : node Vec.t;
+  threshold : int;
+  mutable profiled : int;
+}
+
+let default_threshold = 10_000
+
+let context t = t.ctx
+let root _ = 0
+let node t id = Vec.get t.nodes id
+let size t = Vec.length t.nodes
+let instructions_profiled t = t.profiled
+
+let child t id kind = List.assoc_opt kind (Vec.get t.nodes id).children
+
+let iter t ~f = Vec.iter f t.nodes
+
+let new_node t ~kind ~parent =
+  let depth = if parent < 0 then 0 else (node t parent).depth + 1 in
+  let n =
+    {
+      id = Vec.length t.nodes;
+      kind;
+      parent;
+      depth;
+      children = [];
+      instances = 0;
+      total_insts = 0;
+      long = false;
+      reaches_long = false;
+    }
+  in
+  Vec.push t.nodes n;
+  if parent >= 0 then begin
+    let p = node t parent in
+    p.children <- p.children @ [ (kind, n.id) ]
+  end;
+  n.id
+
+(* --- construction ------------------------------------------------- *)
+
+type frame = { node_id : int; folded : bool; entry_pos : int; is_loop : bool }
+
+let fid_on_stack stack t fid =
+  List.exists
+    (fun fr ->
+      match (node t fr.node_id).kind with
+      | Func_node { fid = f; _ } -> f = fid
+      | Root | Loop_node _ -> false)
+    stack
+
+let build program ~input ~context ?(threshold = default_threshold) ~max_insts
+    () =
+  let ctx = Context.tree_context context in
+  let t = { ctx; nodes = Vec.create (); threshold; profiled = 0 } in
+  let root_id = new_node t ~kind:Root ~parent:(-1) in
+  (node t root_id).instances <- 1;
+  let walker = Walker.create program ~input in
+  let stack = ref [ { node_id = root_id; folded = false; entry_pos = 0; is_loop = false } ] in
+  let pos = ref 0 in
+  let top () =
+    match !stack with
+    | fr :: _ -> fr
+    | [] -> assert false
+  in
+  let enter ~kind ~folded ~is_loop =
+    let parent = (top ()).node_id in
+    let node_id =
+      if folded then
+        (* recursion: reuse the ancestor's node *)
+        let rec find = function
+          | [] -> assert false
+          | fr :: rest -> (
+              match ((node t fr.node_id).kind, kind) with
+              | Func_node { fid = f1; _ }, Func_node { fid = f2; _ }
+                when f1 = f2 ->
+                  fr.node_id
+              | (Root | Func_node _ | Loop_node _), _ -> find rest)
+        in
+        find !stack
+      else
+        match child t parent kind with
+        | Some id -> id
+        | None -> new_node t ~kind ~parent
+    in
+    if not folded then begin
+      let n = node t node_id in
+      n.instances <- n.instances + 1
+    end;
+    stack := { node_id; folded; entry_pos = !pos; is_loop } :: !stack
+  in
+  let exit_frame () =
+    match !stack with
+    | [] | [ _ ] -> () (* never pop the root *)
+    | fr :: rest ->
+        stack := rest;
+        if not fr.folded then begin
+          let n = node t fr.node_id in
+          n.total_insts <- n.total_insts + (!pos - fr.entry_pos)
+        end
+  in
+  let continue_ = ref true in
+  while !continue_ && !pos < max_insts do
+    match Walker.next walker with
+    | None -> continue_ := false
+    | Some (Walker.Inst _) -> incr pos
+    | Some (Walker.Marker m) -> (
+        match m with
+        | Walker.Enter_func { fid; site_id } ->
+            let site =
+              if ctx.Context.sites then Option.value site_id ~default:(-1)
+              else -1
+            in
+            let folded = fid_on_stack !stack t fid in
+            enter ~kind:(Func_node { fid; site }) ~folded ~is_loop:false
+        | Walker.Exit_func _ -> exit_frame ()
+        | Walker.Enter_loop { loop_id } ->
+            if ctx.Context.loops then
+              enter ~kind:(Loop_node { loop_id }) ~folded:false ~is_loop:true
+        | Walker.Exit_loop _ -> if ctx.Context.loops then exit_frame ())
+  done;
+  (* close instances still open at the end of the window *)
+  List.iter
+    (fun fr ->
+      if not fr.folded then begin
+        let n = node t fr.node_id in
+        n.total_insts <- n.total_insts + (!pos - fr.entry_pos)
+      end)
+    !stack;
+  t.profiled <- !pos;
+  (* mark long-running nodes, leaves first: a node is long when its
+     average instance, excluding instructions covered by long-running
+     descendants, meets the threshold *)
+  let rec covered id =
+    let n = node t id in
+    List.fold_left
+      (fun acc (_, cid) ->
+        let c = node t cid in
+        acc + if c.long then c.total_insts else covered cid)
+      0 n.children
+  in
+  let rec mark id =
+    let n = node t id in
+    List.iter (fun (_, cid) -> mark cid) n.children;
+    match n.kind with
+    | Root -> ()
+    | Func_node _ | Loop_node _ ->
+        let own = n.total_insts - covered id in
+        if n.instances > 0 && own / n.instances >= t.threshold then
+          n.long <- true
+  in
+  mark root_id;
+  let rec mark_reaches id =
+    let n = node t id in
+    List.iter (fun (_, cid) -> mark_reaches cid) n.children;
+    n.reaches_long <-
+      n.long
+      || List.exists (fun (_, cid) -> (node t cid).reaches_long) n.children
+  in
+  mark_reaches root_id;
+  t
+
+(* --- queries ------------------------------------------------------ *)
+
+let long_nodes t =
+  Vec.fold_left (fun acc n -> if n.long then n :: acc else acc) [] t.nodes
+  |> List.rev
+
+let long_count t = List.length (long_nodes t)
+
+type static_unit = Func_unit of int | Loop_unit of int
+
+let static_unit_of = function
+  | Root -> None
+  | Func_node { fid; _ } -> Some (Func_unit fid)
+  | Loop_node { loop_id } -> Some (Loop_unit loop_id)
+
+let distinct_units nodes =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun n ->
+      match static_unit_of n.kind with
+      | None -> ()
+      | Some u ->
+          if not (Hashtbl.mem tbl u) then begin
+            Hashtbl.add tbl u ();
+            order := u :: !order
+          end)
+    nodes;
+  List.rev !order
+
+let long_static_units t = distinct_units (long_nodes t)
+
+let instrumented_static_units t =
+  let reaching =
+    Vec.fold_left (fun acc n -> if n.reaches_long then n :: acc else acc) []
+      t.nodes
+    |> List.rev
+  in
+  distinct_units reaching
+
+let pp_kind fmt = function
+  | Root -> Format.pp_print_string fmt "<root>"
+  | Func_node { fid; site } ->
+      if site >= 0 then Format.fprintf fmt "func:%d@@site:%d" fid site
+      else Format.fprintf fmt "func:%d" fid
+  | Loop_node { loop_id } -> Format.fprintf fmt "loop:%d" loop_id
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph call_tree {\n  node [shape=box];\n";
+  Vec.iter
+    (fun n ->
+      let label =
+        match n.kind with
+        | Root -> "root"
+        | Func_node { fid; site } ->
+            if site >= 0 then Printf.sprintf "func %d (site %d)" fid site
+            else Printf.sprintf "func %d" fid
+        | Loop_node { loop_id } -> Printf.sprintf "loop %d" loop_id
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\n%d inst / %d insns\"%s];\n" n.id
+           label n.instances n.total_insts
+           (if n.long then " style=filled fillcolor=gray80" else ""));
+      if n.parent >= 0 then
+        Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" n.parent n.id))
+    t.nodes;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp fmt t =
+  let rec go id =
+    let n = node t id in
+    Format.fprintf fmt "%s%a  inst=%d total=%d%s@,"
+      (String.make (2 * n.depth) ' ')
+      pp_kind n.kind n.instances n.total_insts
+      (if n.long then "  [long]" else "");
+    List.iter (fun (_, cid) -> go cid) n.children
+  in
+  Format.fprintf fmt "@[<v>";
+  go 0;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,90 @@
+(** Call trees (phase 1 of the profiling pipeline).
+
+    A call tree is built from the marker stream of a training run. Each
+    node is a subroutine or loop *in context*: the path from the root
+    captures the callers (and, when the context tracks them, the call
+    sites) on the way back to main. Multiple dynamic instances of the
+    same path are superimposed on one node; recursion is folded into the
+    initial call's node. Nodes are annotated with dynamic instance
+    counts and instruction totals, from which the long-running nodes —
+    the candidates for reconfiguration — are identified: a node is long
+    running when its average instance, excluding instructions executed
+    in long-running descendants, meets the threshold (10,000 instructions
+    in the paper). *)
+
+type kind =
+  | Root
+  | Func_node of { fid : int; site : int }
+      (** [site] is the distinguishing call-site id, or [-1] when the
+          context does not track sites (or for the program entry) *)
+  | Loop_node of { loop_id : int }
+
+type node = {
+  id : int;
+  kind : kind;
+  parent : int;  (** node id; [-1] for the root *)
+  depth : int;
+  mutable children : (kind * int) list;
+  mutable instances : int;
+  mutable total_insts : int;  (** includes instructions of descendants *)
+  mutable long : bool;
+  mutable reaches_long : bool;
+      (** true when the node is long running or has a long-running
+          descendant — i.e. run-time path tracking must instrument it *)
+}
+
+type t
+
+val default_threshold : int
+(** 10_000 instructions. *)
+
+val build :
+  Mcd_isa.Program.t ->
+  input:Mcd_isa.Program.input ->
+  context:Context.t ->
+  ?threshold:int ->
+  max_insts:int ->
+  unit ->
+  t
+(** Walk the program (no timing simulation — this is the ATOM phase) for
+    at most [max_insts] dynamic instructions and build the annotated
+    tree under [Context.tree_context context]. *)
+
+val context : t -> Context.t
+(** The tree context actually used (paths always tracked). *)
+
+val root : t -> int
+val node : t -> int -> node
+val size : t -> int
+(** Number of nodes, including the artificial root. *)
+
+val child : t -> int -> kind -> int option
+val iter : t -> f:(node -> unit) -> unit
+
+val long_nodes : t -> node list
+val long_count : t -> int
+
+val instructions_profiled : t -> int
+
+(** Static units: the subroutine or loop a tree node corresponds to. *)
+type static_unit = Func_unit of int | Loop_unit of int
+
+val static_unit_of : kind -> static_unit option
+(** [None] only for [Root]. *)
+
+val long_static_units : t -> static_unit list
+(** Distinct static units that correspond to at least one long-running
+    node (the static reconfiguration points of the edited binary). *)
+
+val instrumented_static_units : t -> static_unit list
+(** Distinct static units on a path to a long-running node, including
+    the long-running units themselves (the static instrumentation
+    points). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the tree with instance and instruction annotations. *)
+
+val to_dot : t -> string
+(** Graphviz rendering: one box per node labelled with its kind,
+    instance count and instruction total; long-running nodes shaded (as
+    in the paper's Figure 3). *)

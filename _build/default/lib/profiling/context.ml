@@ -1,0 +1,18 @@
+type t = { name : string; loops : bool; sites : bool; paths : bool }
+
+let lfcp = { name = "L+F+C+P"; loops = true; sites = true; paths = true }
+let lfp = { name = "L+F+P"; loops = true; sites = false; paths = true }
+let fcp = { name = "F+C+P"; loops = false; sites = true; paths = true }
+let fp = { name = "F+P"; loops = false; sites = false; paths = true }
+let lf = { name = "L+F"; loops = true; sites = false; paths = false }
+let f = { name = "F"; loops = false; sites = false; paths = false }
+
+let all = [ lfcp; lfp; fcp; fp; lf; f ]
+
+let tree_context t =
+  if t.paths then t else if t.loops then lfp else fp
+
+let of_name name =
+  match List.find_opt (fun c -> c.name = name) all with
+  | Some c -> c
+  | None -> raise Not_found

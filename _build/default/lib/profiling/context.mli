@@ -1,0 +1,33 @@
+(** Definitions of "calling context" (Section 3.1 of the paper).
+
+    A context definition decides which markers distinguish call-tree
+    nodes: L tracks loops, C distinguishes call sites within a caller, P
+    keeps the full path from main. The six definitions evaluated in the
+    paper are [L+F+C+P], [L+F+P], [F+C+P], [F+P], plus the two
+    simplified run-time schemes [L+F] and [F], which build their phase-1
+    trees with paths ([L+F+P] / [F+P] respectively) but ignore calling
+    history during production runs. *)
+
+type t = private {
+  name : string;
+  loops : bool;  (** loops appear as tree nodes *)
+  sites : bool;  (** call sites within a caller are distinguished *)
+  paths : bool;  (** run-time reconfiguration tracks call chains *)
+}
+
+val lfcp : t
+val lfp : t
+val fcp : t
+val fp : t
+val lf : t
+val f : t
+
+val all : t list
+(** The six definitions, most to least detailed. *)
+
+val tree_context : t -> t
+(** The context used to build the phase-1 call tree: [lf] uses [lfp]'s
+    tree and [f] uses [fp]'s; the others use their own. *)
+
+val of_name : string -> t
+(** Lookup by [name]; raises [Not_found]. *)

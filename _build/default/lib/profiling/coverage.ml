@@ -1,0 +1,59 @@
+type counts = {
+  train_long : int;
+  train_total : int;
+  ref_long : int;
+  ref_total : int;
+  common_long : int;
+  common_total : int;
+  long_coverage : float;
+  total_coverage : float;
+}
+
+let count_tree t =
+  let long = ref 0 and total = ref 0 in
+  Call_tree.iter t ~f:(fun n ->
+      match n.Call_tree.kind with
+      | Call_tree.Root -> ()
+      | Call_tree.Func_node _ | Call_tree.Loop_node _ ->
+          incr total;
+          if n.Call_tree.long then incr long);
+  (!long, !total)
+
+let compare ~train ~reference =
+  if
+    (Call_tree.context train).Context.name
+    <> (Call_tree.context reference).Context.name
+  then invalid_arg "Coverage.compare: trees built under different contexts";
+  let train_long, train_total = count_tree train in
+  let ref_long, ref_total = count_tree reference in
+  let common_long = ref 0 and common_total = ref 0 in
+  let rec walk tid rid =
+    let tn = Call_tree.node train tid in
+    let rn = Call_tree.node reference rid in
+    (match tn.Call_tree.kind with
+    | Call_tree.Root -> ()
+    | Call_tree.Func_node _ | Call_tree.Loop_node _ ->
+        incr common_total;
+        if tn.Call_tree.long && rn.Call_tree.long then incr common_long);
+    List.iter
+      (fun (kind, tcid) ->
+        match Call_tree.child reference rid kind with
+        | Some rcid -> walk tcid rcid
+        | None -> ())
+      tn.Call_tree.children
+  in
+  walk (Call_tree.root train) (Call_tree.root reference);
+  {
+    train_long;
+    train_total;
+    ref_long;
+    ref_total;
+    common_long = !common_long;
+    common_total = !common_total;
+    long_coverage =
+      (if ref_long = 0 then 1.0
+       else float_of_int !common_long /. float_of_int ref_long);
+    total_coverage =
+      (if ref_total = 0 then 1.0
+       else float_of_int !common_total /. float_of_int ref_total);
+  }

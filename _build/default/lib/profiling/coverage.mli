@@ -1,0 +1,23 @@
+(** Train-versus-reference tree comparison (the paper's Table 3).
+
+    Two trees built under the same context are matched structurally: a
+    node is "common" when a node with the same kind is reachable through
+    the same sequence of ancestors in both trees. Coverage is the
+    fraction of the reference tree's nodes (all, and long-running ones)
+    that the training tree also discovered — low coverage signals that
+    production runs take paths the training input never exercised. *)
+
+type counts = {
+  train_long : int;
+  train_total : int;
+  ref_long : int;
+  ref_total : int;
+  common_long : int;  (** matched nodes that are long-running in both *)
+  common_total : int;
+  long_coverage : float;  (** [common_long / ref_long]; 1.0 when no longs *)
+  total_coverage : float;
+}
+
+val compare : train:Call_tree.t -> reference:Call_tree.t -> counts
+(** Both trees must have been built with the same context. Raises
+    [Invalid_argument] otherwise. Counts exclude the artificial root. *)

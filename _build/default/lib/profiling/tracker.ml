@@ -1,0 +1,79 @@
+module Walker = Mcd_isa.Walker
+
+type position = Known of int | Unknown
+type change = Entered of position | Exited of { restored : position } | Ignored
+
+type entry = { pos : position }
+
+type t = {
+  tree : Call_tree.t;
+  ctx : Context.t;
+  mutable stack : entry list; (* never empty: bottom is the root *)
+}
+
+let create tree =
+  {
+    tree;
+    ctx = Call_tree.context tree;
+    stack = [ { pos = Known (Call_tree.root tree) } ];
+  }
+
+let current t =
+  match t.stack with
+  | { pos } :: _ -> pos
+  | [] -> assert false
+
+let depth t = List.length t.stack - 1
+
+let fid_of_known t = function
+  | Unknown -> None
+  | Known id -> (
+      match (Call_tree.node t.tree id).Call_tree.kind with
+      | Call_tree.Func_node { fid; _ } -> Some fid
+      | Call_tree.Root | Call_tree.Loop_node _ -> None)
+
+let folded_target t fid =
+  List.find_map
+    (fun e ->
+      match fid_of_known t e.pos with
+      | Some f when f = fid -> Some e.pos
+      | Some _ | None -> None)
+    t.stack
+
+let push t pos =
+  t.stack <- { pos } :: t.stack;
+  Entered pos
+
+let pop t =
+  match t.stack with
+  | [ _ ] | [] -> Ignored (* malformed stream: never pop the root *)
+  | _ :: rest ->
+      t.stack <- rest;
+      Exited { restored = current t }
+
+let enter_kind t kind =
+  match current t with
+  | Unknown -> push t Unknown
+  | Known id -> (
+      match Call_tree.child t.tree id kind with
+      | Some cid -> push t (Known cid)
+      | None -> push t Unknown)
+
+let on_marker t marker =
+  match marker with
+  | Walker.Enter_func { fid; site_id } -> (
+      (* recursion folds onto the ancestor's node, as during training *)
+      match folded_target t fid with
+      | Some pos -> push t pos
+      | None ->
+          let site =
+            if t.ctx.Context.sites then Option.value site_id ~default:(-1)
+            else -1
+          in
+          enter_kind t (Call_tree.Func_node { fid; site }))
+  | Walker.Exit_func _ -> pop t
+  | Walker.Enter_loop { loop_id } ->
+      if t.ctx.Context.loops then
+        enter_kind t (Call_tree.Loop_node { loop_id })
+      else Ignored
+  | Walker.Exit_loop _ -> if t.ctx.Context.loops then pop t else Ignored

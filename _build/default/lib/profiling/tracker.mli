@@ -1,0 +1,32 @@
+(** Run-time call-path tracking over a training tree.
+
+    This mirrors what the edited binary's instrumentation does during a
+    production run: prologues and epilogues maintain the current
+    call-tree node label by walking the tree recorded at training time.
+    Paths that did not occur during training map to the distinguished
+    label 0 — represented here as [Unknown] — and stay unknown until
+    control returns to a known node. Used by the profile-driven
+    reconfiguration policy (for path-tracking contexts) and by the trace
+    segmenter of the off-line analysis. *)
+
+type position =
+  | Known of int  (** node id in the training tree *)
+  | Unknown  (** label 0: a path not seen during training *)
+
+type change =
+  | Entered of position
+  | Exited of { restored : position }
+  | Ignored  (** marker not tracked under this context *)
+
+type t
+
+val create : Call_tree.t -> t
+(** Track under the tree's own context (loops and sites as the tree was
+    built; paths always). *)
+
+val on_marker : t -> Mcd_isa.Walker.marker -> change
+
+val current : t -> position
+
+val depth : t -> int
+(** Current stack depth (root = 0). *)

@@ -1,0 +1,1 @@
+lib/trace/collector.ml: Array Hashtbl List Mcd_cpu Mcd_profiling Mcd_util

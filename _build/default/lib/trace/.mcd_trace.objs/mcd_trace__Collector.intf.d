@@ -1,0 +1,1 @@
+lib/trace/collector.mli: Mcd_cpu Mcd_profiling

@@ -1,0 +1,1 @@
+lib/trace/interval_collector.ml: Array List Mcd_cpu Mcd_util

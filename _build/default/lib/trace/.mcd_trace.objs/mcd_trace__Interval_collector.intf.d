@@ -1,0 +1,1 @@
+lib/trace/interval_collector.mli: Mcd_cpu

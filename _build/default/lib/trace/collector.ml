@@ -1,0 +1,169 @@
+module Vec = Mcd_util.Vec
+module Probe = Mcd_cpu.Probe
+module Call_tree = Mcd_profiling.Call_tree
+module Tracker = Mcd_profiling.Tracker
+
+(* An attribution interval: instructions [start_seq, end_seq) belong to
+   [target] (a long-running node) or to nobody. [buf = None] means the
+   interval is not recorded (no target, over cap, or truncated). *)
+type interval = {
+  start_seq : int;
+  mutable end_seq : int; (* max_int while open *)
+  target : int; (* node id; -1 = none *)
+  mutable buf : Probe.event Vec.t option;
+  mutable truncated : bool;
+}
+
+type t = {
+  tree : Call_tree.t;
+  tracker : Tracker.t;
+  max_segments : int;
+  max_events : int;
+  intervals : interval Vec.t;
+  seg_count : (int, int) Hashtbl.t; (* node id -> recorded segments *)
+  (* current innermost long-node stack; head = attribution target *)
+  mutable long_stack : int list;
+  (* one bool per tracker frame we entered: was it a long node? *)
+  mutable shadow : bool list;
+}
+
+let create ~tree ?(max_segments_per_node = 4)
+    ?(max_events_per_segment = 200_000) () =
+  let t =
+    {
+      tree;
+      tracker = Tracker.create tree;
+      max_segments = max_segments_per_node;
+      max_events = max_events_per_segment;
+      intervals = Vec.create ();
+      seg_count = Hashtbl.create 32;
+      long_stack = [];
+      shadow = [];
+    }
+  in
+  Vec.push t.intervals
+    {
+      start_seq = 0;
+      end_seq = max_int;
+      target = -1;
+      buf = None;
+      truncated = false;
+    };
+  t
+
+let current_interval t = Vec.get t.intervals (Vec.length t.intervals - 1)
+
+let open_interval t ~seq ~target =
+  let cur = current_interval t in
+  if cur.target = target then ()
+  else begin
+    cur.end_seq <- seq;
+    let buf =
+      if target < 0 then None
+      else begin
+        let n = try Hashtbl.find t.seg_count target with Not_found -> 0 in
+        if n >= t.max_segments then None
+        else begin
+          Hashtbl.replace t.seg_count target (n + 1);
+          Some (Vec.create ())
+        end
+      end
+    in
+    Vec.push t.intervals
+      { start_seq = seq; end_seq = max_int; target; buf; truncated = false }
+  end
+
+let target_of_position t = function
+  | Tracker.Unknown -> None
+  | Tracker.Known id ->
+      if (Call_tree.node t.tree id).Call_tree.long then Some id else None
+
+let on_marker t marker ~seq =
+  match Tracker.on_marker t.tracker marker with
+  | Tracker.Ignored -> ()
+  | Tracker.Entered pos -> (
+      match target_of_position t pos with
+      | Some id ->
+          t.shadow <- true :: t.shadow;
+          t.long_stack <- id :: t.long_stack;
+          open_interval t ~seq ~target:id
+      | None -> t.shadow <- false :: t.shadow)
+  | Tracker.Exited _ -> (
+      match t.shadow with
+      | [] -> () (* malformed stream; ignore *)
+      | was_long :: rest ->
+          t.shadow <- rest;
+          if was_long then begin
+            (match t.long_stack with
+            | _ :: ls -> t.long_stack <- ls
+            | [] -> ());
+            let target =
+              match t.long_stack with [] -> -1 | top :: _ -> top
+            in
+            open_interval t ~seq ~target
+          end)
+
+(* Binary search for the interval containing [seq]. Intervals are
+   contiguous and ordered by start_seq. *)
+let interval_of_seq t seq =
+  let n = Vec.length t.intervals in
+  let rec go lo hi =
+    if lo >= hi then Vec.get t.intervals lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if (Vec.get t.intervals mid).start_seq <= seq then go mid hi
+      else go lo (mid - 1)
+  in
+  go 0 (n - 1)
+
+let on_event t (ev : Probe.event) =
+  let iv = interval_of_seq t ev.Probe.seq in
+  match iv.buf with
+  | None -> ()
+  | Some buf ->
+      if Vec.length buf >= t.max_events then iv.truncated <- true
+      else Vec.push buf ev
+
+let probe t =
+  {
+    Probe.on_event = on_event t;
+    on_marker = (fun m ~seq -> on_marker t m ~seq);
+  }
+
+let stage_rank = function
+  | Probe.Fetch_s -> 0
+  | Probe.Dispatch_s -> 1
+  | Probe.Execute_s -> 2
+  | Probe.Mem_s -> 2
+  | Probe.Retire_s -> 3
+
+let sort_events arr =
+  Array.sort
+    (fun (a : Probe.event) (b : Probe.event) ->
+      match compare a.Probe.seq b.Probe.seq with
+      | 0 -> compare (stage_rank a.Probe.stage) (stage_rank b.Probe.stage)
+      | c -> c)
+    arr;
+  arr
+
+let segments t =
+  let by_node = Hashtbl.create 32 in
+  let order = ref [] in
+  Vec.iter
+    (fun iv ->
+      match iv.buf with
+      | Some buf when Vec.length buf > 0 ->
+          let arr = sort_events (Array.of_list (Vec.to_list buf)) in
+          if not (Hashtbl.mem by_node iv.target) then begin
+            Hashtbl.add by_node iv.target [];
+            order := iv.target :: !order
+          end;
+          Hashtbl.replace by_node iv.target
+            (arr :: Hashtbl.find by_node iv.target)
+      | Some _ | None -> ())
+    t.intervals;
+  List.rev_map
+    (fun node_id -> (node_id, List.rev (Hashtbl.find by_node node_id)))
+    !order
+
+let intervals_seen t = Vec.length t.intervals

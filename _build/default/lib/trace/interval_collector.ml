@@ -1,0 +1,50 @@
+module Vec = Mcd_util.Vec
+module Probe = Mcd_cpu.Probe
+
+type t = {
+  interval : int;
+  max_events : int;
+  buckets : Probe.event Vec.t Vec.t;
+}
+
+let create ?(interval_insts = 10_000) ?(max_events_per_interval = 80_000) () =
+  {
+    interval = interval_insts;
+    max_events = max_events_per_interval;
+    buckets = Vec.create ();
+  }
+
+let bucket_for t seq =
+  let idx = seq / t.interval in
+  while Vec.length t.buckets <= idx do
+    Vec.push t.buckets (Vec.create ())
+  done;
+  Vec.get t.buckets idx
+
+let on_event t (ev : Probe.event) =
+  let bucket = bucket_for t ev.Probe.seq in
+  if Vec.length bucket < t.max_events then Vec.push bucket ev
+
+let probe t =
+  { Probe.on_event = on_event t; on_marker = (fun _ ~seq:_ -> ()) }
+
+let stage_rank = function
+  | Probe.Fetch_s -> 0
+  | Probe.Dispatch_s -> 1
+  | Probe.Execute_s -> 2
+  | Probe.Mem_s -> 2
+  | Probe.Retire_s -> 3
+
+let intervals t =
+  Vec.to_list t.buckets
+  |> List.map (fun bucket ->
+         let arr = Array.of_list (Vec.to_list bucket) in
+         Array.sort
+           (fun (a : Probe.event) (b : Probe.event) ->
+             compare
+               (a.Probe.seq, stage_rank a.Probe.stage)
+               (b.Probe.seq, stage_rank b.Probe.stage))
+           arr;
+         arr)
+
+let interval_insts t = t.interval

@@ -1,0 +1,20 @@
+(** Fixed-interval primitive-event collection.
+
+    The paper's off-line comparison point (its reference [30]) chooses
+    voltages and frequencies at fixed instruction intervals with perfect
+    future knowledge, regardless of program structure. This collector
+    supports that analysis: it files the probe's events into consecutive
+    buckets of [interval_insts] dynamic instructions each, ignoring
+    markers entirely. *)
+
+type t
+
+val create : ?interval_insts:int -> ?max_events_per_interval:int -> unit -> t
+(** Defaults: 10_000 instructions per interval, 80_000 events cap. *)
+
+val probe : t -> Mcd_cpu.Probe.t
+
+val intervals : t -> Mcd_cpu.Probe.event array list
+(** Buckets in stream order, each sorted by (seq, stage). *)
+
+val interval_insts : t -> int

@@ -1,0 +1,1 @@
+lib/util/time.ml: Float Format

@@ -1,0 +1,29 @@
+(** Horizontal ASCII bar charts for the benchmark harness.
+
+    The paper's evaluation figures are grouped bar charts (one group per
+    benchmark, one bar per reconfiguration method) and scatter lines
+    (figures 10/11). These helpers render both as text so the harness
+    output reads like the figures it reproduces. *)
+
+val bars :
+  ?width:int ->
+  ?unit_label:string ->
+  groups:(string * (string * float) list) list ->
+  unit ->
+  string
+(** [bars ~groups] renders one bar per (group, series) pair, scaled to
+    the largest absolute value. Negative values render leftward with a
+    distinct fill. [width] is the bar field width in characters
+    (default 40). *)
+
+val scatter :
+  ?width:int ->
+  ?height:int ->
+  xlabel:string ->
+  ylabel:string ->
+  series:(string * (float * float) list) list ->
+  unit ->
+  string
+(** Character-grid scatter plot; each series is drawn with its own
+    glyph. Axes are scaled to the data's bounding box (origin included
+    when close). *)

@@ -1,0 +1,47 @@
+type t = { weights : float array }
+
+let create ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  { weights = Array.make bins 0.0 }
+
+let bins t = Array.length t.weights
+
+let add t ~bin ~weight =
+  if bin < 0 || bin >= Array.length t.weights then
+    invalid_arg "Histogram.add: bin out of range";
+  if weight < 0.0 then invalid_arg "Histogram.add: negative weight";
+  t.weights.(bin) <- t.weights.(bin) +. weight
+
+let get t ~bin = t.weights.(bin)
+
+let total t = Array.fold_left ( +. ) 0.0 t.weights
+
+let merge_into ~dst ~src =
+  if Array.length dst.weights <> Array.length src.weights then
+    invalid_arg "Histogram.merge_into: bin count mismatch";
+  Array.iteri (fun i w -> dst.weights.(i) <- dst.weights.(i) +. w) src.weights
+
+let copy t = { weights = Array.copy t.weights }
+
+let fold t ~init ~f =
+  let acc = ref init in
+  Array.iteri (fun i w -> acc := f !acc ~bin:i ~weight:w) t.weights;
+  !acc
+
+let suffix_sum t ~from =
+  let n = Array.length t.weights in
+  let from = max 0 from in
+  let acc = ref 0.0 in
+  for i = from to n - 1 do
+    acc := !acc +. t.weights.(i)
+  done;
+  !acc
+
+let pp fmt t =
+  Format.fprintf fmt "[";
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%.1f" w)
+    t.weights;
+  Format.fprintf fmt "]"

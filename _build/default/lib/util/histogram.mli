@@ -1,0 +1,36 @@
+(** Weighted fixed-bin histograms.
+
+    The shaker algorithm summarises, per clock domain, how many cycles of
+    work were scaled to each frequency step; slowdown thresholding then
+    scans those histograms. Bins are indexed [0 .. bins-1] and carry float
+    weights (cycle counts may be fractional after scaling). *)
+
+type t
+
+val create : bins:int -> t
+(** All-zero histogram with [bins] bins. *)
+
+val bins : t -> int
+
+val add : t -> bin:int -> weight:float -> unit
+(** Accumulate [weight] into [bin]. Raises [Invalid_argument] if the bin
+    is out of range or the weight is negative. *)
+
+val get : t -> bin:int -> float
+
+val total : t -> float
+(** Sum of all bin weights. *)
+
+val merge_into : dst:t -> src:t -> unit
+(** Add every bin of [src] into [dst]. The histograms must have the same
+    number of bins. *)
+
+val copy : t -> t
+
+val fold : t -> init:'a -> f:('a -> bin:int -> weight:float -> 'a) -> 'a
+(** Left fold over bins in increasing index order. *)
+
+val suffix_sum : t -> from:int -> float
+(** Total weight in bins [from .. bins-1]. *)
+
+val pp : Format.formatter -> t -> unit

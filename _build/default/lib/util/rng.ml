@@ -1,0 +1,69 @@
+type t = { mutable state : int64; mutable cached_normal : float option }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  { state = mix64 (Int64.of_int seed); cached_normal = None }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+(* Fowler-Noll-Vo hash of the label, folded into the parent's seed. *)
+let hash_label label =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    label;
+  !h
+
+let split t ~label =
+  { state = mix64 (Int64.logxor t.state (hash_label label)); cached_normal = None }
+
+let int t bound =
+  assert (bound > 0);
+  (* mask to 62 bits: Int64.to_int keeps the low 63 bits and would
+     otherwise interpret bit 62 as the OCaml int's sign *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 1) land max_int in
+  v mod bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  v /. 9007199254740992.0 *. bound
+
+let bool t p = float t 1.0 < p
+
+let normal t ~mean ~sigma =
+  match t.cached_normal with
+  | Some z ->
+      t.cached_normal <- None;
+      mean +. (sigma *. z)
+  | None ->
+      let rec draw () =
+        let u = float t 1.0 in
+        if u <= 1e-12 then draw () else u
+      in
+      let u1 = draw () and u2 = float t 1.0 in
+      let r = sqrt (-2.0 *. log u1) in
+      let theta = 2.0 *. Float.pi *. u2 in
+      t.cached_normal <- Some (r *. sin theta);
+      mean +. (sigma *. r *. cos theta)
+
+let geometric t ~mean =
+  assert (mean >= 1.0);
+  let u =
+    let rec draw () =
+      let u = float t 1.0 in
+      if u <= 1e-12 then draw () else u
+    in
+    draw ()
+  in
+  let x = -.mean *. log u in
+  max 1 (int_of_float (ceil x))

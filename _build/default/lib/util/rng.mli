@@ -1,0 +1,39 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    Every stochastic element of the simulator (clock jitter, workload
+    address and branch streams) draws from a named stream derived from a
+    master seed, so identical configurations produce bit-identical runs.
+    The generator is SplitMix64, which is fast, has a 64-bit state, and
+    supports cheap derivation of statistically independent child streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Two generators created with
+    the same seed produce the same sequence. *)
+
+val split : t -> label:string -> t
+(** [split t ~label] derives a child generator whose stream is a pure
+    function of [t]'s seed and [label]; it does not advance [t].
+    Distinct labels give independent streams. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound). [bound] must be positive. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit draw. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val normal : t -> mean:float -> sigma:float -> float
+(** Normally distributed draw (Box-Muller). *)
+
+val geometric : t -> mean:float -> int
+(** [geometric t ~mean] draws a strictly positive integer with the given
+    mean (rounded up from an exponential draw); used for dependence
+    distances in synthetic instruction streams. *)

@@ -1,0 +1,31 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+      assert (List.for_all (fun x -> x > 0.0) xs);
+      let logsum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+      exp (logsum /. float_of_int (List.length xs))
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty list"
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty list"
+  | x :: xs -> List.fold_left max x xs
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+      sqrt var
+
+let percent part whole = if whole = 0.0 then 0.0 else 100.0 *. part /. whole
+
+let ratio_percent_change ~baseline ~value =
+  if baseline = 0.0 then 0.0 else 100.0 *. (value -. baseline) /. baseline

@@ -1,0 +1,23 @@
+(** Small descriptive-statistics helpers used by the experiment harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of strictly positive values; 0 for the empty list. *)
+
+val minimum : float list -> float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val maximum : float list -> float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for lists shorter than 2. *)
+
+val percent : float -> float -> float
+(** [percent part whole] is [100 * part / whole]; 0 when [whole = 0]. *)
+
+val ratio_percent_change : baseline:float -> value:float -> float
+(** Percentage change of [value] relative to [baseline]:
+    positive when [value] exceeds the baseline. *)

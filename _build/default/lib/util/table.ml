@@ -1,0 +1,58 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?align ~header ~rows () =
+  let ncols = List.length header in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let aligns =
+    let given = Option.value align ~default:[] in
+    List.init ncols (fun i ->
+        match List.nth_opt given i with
+        | Some a -> a
+        | None -> if i = 0 then Left else Right)
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let render_row cells =
+    let padded =
+      List.mapi
+        (fun i cell -> pad (List.nth aligns i) (List.nth widths i) cell)
+        cells
+    in
+    String.concat "  " padded
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let fmt_f1 x = Printf.sprintf "%.1f" x
+let fmt_f2 x = Printf.sprintf "%.2f" x
+let fmt_pct x = Printf.sprintf "%.1f%%" x

@@ -1,0 +1,26 @@
+(** Aligned text tables for benchmark and experiment output.
+
+    The benchmark harness prints each paper table/figure as an aligned
+    textual table; this module handles column sizing and alignment. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  rows:string list list ->
+  unit ->
+  string
+(** Render an aligned table with a separator line under the header.
+    [align] gives per-column alignment (default: first column left,
+    remaining columns right); missing entries default to [Right]. Rows
+    shorter than the header are padded with empty cells. *)
+
+val fmt_f1 : float -> string
+(** Format a float with one decimal, e.g. slowdown percentages. *)
+
+val fmt_f2 : float -> string
+(** Two decimals. *)
+
+val fmt_pct : float -> string
+(** One decimal with a trailing [%]. *)

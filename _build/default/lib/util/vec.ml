@@ -1,0 +1,50 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length t = t.len
+
+let grow t v =
+  let cap = Array.length t.data in
+  let ncap = max 8 (cap * 2) in
+  let ndata = Array.make ncap v in
+  Array.blit t.data 0 ndata 0 t.len;
+  t.data <- ndata
+
+let push t v =
+  if t.len >= Array.length t.data then grow t v;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  t.data.(i)
+
+let set t i v =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set: index out of bounds";
+  t.data.(i) <- v
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+
+let of_list l =
+  let t = create () in
+  List.iter (push t) l;
+  t
+
+let clear t = t.len <- 0

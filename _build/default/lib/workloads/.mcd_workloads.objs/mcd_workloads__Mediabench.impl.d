@@ -1,0 +1,1 @@
+lib/workloads/mediabench.ml: Mcd_isa Workload

@@ -1,0 +1,386 @@
+module B = Mcd_isa.Build
+module P = Mcd_isa.Program
+
+let kb n = n * 1024
+let l1_resident = kb 32
+
+(* --- block mix helpers --------------------------------------------- *)
+
+(* tight integer DSP kernel: predictable branches, L1-resident data *)
+let int_dsp b ~length ?(region = l1_resident) ?(dep_chain = 4.0) () =
+  B.straight b ~length ~frac_int_mult:0.03 ~frac_load:0.22 ~frac_store:0.10
+    ~frac_branch:0.08
+    ~mem:(P.Seq_stride { stride = 8; region })
+    ~branch:(P.Periodic [| true; true; true; false |])
+    ~dep_chain ()
+
+(* filter/transform kernel: fp-heavy, streaming *)
+let fp_filter b ~length ?(region = kb 256) ?(dep_chain = 5.0) () =
+  B.straight b ~length ~frac_fp_alu:0.28 ~frac_fp_mult:0.12 ~frac_load:0.24
+    ~frac_store:0.08 ~frac_branch:0.04
+    ~mem:(P.Seq_stride { stride = 8; region })
+    ~branch:(P.Periodic [| true; true; false |])
+    ~dep_chain ()
+
+(* table-driven integer code: random lookups, moderate predictability *)
+let table_lookup b ~length ?(region = kb 128) () =
+  B.straight b ~length ~frac_int_mult:0.02 ~frac_load:0.30 ~frac_store:0.06
+    ~frac_branch:0.10
+    ~mem:(P.Rand_in { region })
+    ~branch:(P.Biased 0.82) ~dep_chain:3.0 ()
+
+(* initialisation: streaming stores over a region *)
+let init_block b ~length ?(region = kb 256) () =
+  B.straight b ~length ~frac_load:0.05 ~frac_store:0.45 ~frac_branch:0.02
+    ~mem:(P.Seq_stride { stride = 8; region })
+    ~dep_chain:8.0 ()
+
+(* --- adpcm: tiny integer kernel, loops are the phases --------------- *)
+
+let adpcm name =
+  B.program ~name @@ fun b ->
+  B.func b "init" [ init_block b ~length:700 ~region:(kb 16) () ];
+  B.func b "codec_step"
+    [
+      (* the hot loop crosses the long-running threshold on its own *)
+      B.loop b (P.Const 120) [ int_dsp b ~length:110 ~region:(kb 8) () ];
+      (* step-size adaptation stays short *)
+      B.loop b (P.Const 40) [ int_dsp b ~length:60 ~region:(kb 8) () ];
+    ];
+  B.func b "main"
+    [
+      B.call b "init";
+      B.loop b
+        (P.Scaled { base = 2; per_scale = 6 })
+        [ B.call b "codec_step" ];
+    ];
+  "main"
+
+let adpcm_decode =
+  Workload.make ~name:"adpcm decode" ~program:(adpcm "adpcm_decode")
+    ~train_window:60_000 ~ref_window:120_000 ~kind:Workload.Media
+    ~trait:"tiny integer kernel; loop nodes carry the phases" ()
+
+let adpcm_encode =
+  Workload.make ~name:"adpcm encode" ~program:(adpcm "adpcm_encode")
+    ~train_window:65_000 ~ref_window:130_000 ~kind:Workload.Media
+    ~trait:"tiny integer kernel; slightly longer search loop than decode"
+    ()
+
+(* --- epic: multi-phase image codec --------------------------------- *)
+
+let epic_decode_prog =
+  B.program ~name:"epic_decode" @@ fun b ->
+  B.func b "read_and_huffman"
+    [ B.loop b (P.Const 115) [ table_lookup b ~length:100 () ] ];
+  B.func b "unquantize"
+    [ B.loop b (P.Const 130) [ int_dsp b ~length:90 ~region:(kb 64) () ] ];
+  B.func b "inverse_filter"
+    [
+      B.loop b (P.Const 45) [ fp_filter b ~length:180 ~region:(kb 128) () ];
+      B.loop b (P.Const 32) [ fp_filter b ~length:120 ~region:(kb 128) () ];
+    ];
+  B.func b "collapse_pyramid"
+    [
+      B.call b "inverse_filter";
+      B.call b "unquantize";
+      B.call b "inverse_filter";
+    ];
+  B.func b "write_image"
+    [ B.loop b (P.Const 95) [ init_block b ~length:100 ~region:(kb 512) () ] ];
+  B.func b "main"
+    [
+      B.call b "read_and_huffman";
+      B.loop b (P.Scaled { base = 1; per_scale = 1 })
+        [ B.call b "collapse_pyramid" ];
+      B.call b "write_image";
+    ];
+  "main"
+
+let epic_decode =
+  Workload.make ~name:"epic decode" ~program:epic_decode_prog
+    ~train_window:70_000 ~ref_window:140_000 ~kind:Workload.Media
+    ~trait:"fp inverse pyramid filters over an L2-resident image" ()
+
+(* internal_filter is called from six sites in build_level with genuinely
+   different behaviour per site (the argument skews the balance between
+   its fp-convolution loop and its memory-gather loop) — call-site
+   tracking pays off here, as the paper observes. *)
+let epic_encode_prog =
+  B.program ~name:"epic_encode" @@ fun b ->
+  B.func b "internal_filter"
+    [
+      B.loop b
+        (P.Arg_scaled { base = 30; per_arg = 14 })
+        [ fp_filter b ~length:110 ~region:(kb 64) () ];
+      B.loop b
+        (P.Arg_scaled { base = 85; per_arg = -11 })
+        [ table_lookup b ~length:90 ~region:(kb 512) () ];
+    ];
+  B.func b "build_level"
+    [
+      B.call b ~arg:7 "internal_filter";
+      B.call b ~arg:6 "internal_filter";
+      B.call b ~arg:4 "internal_filter";
+      B.call b ~arg:3 "internal_filter";
+      B.call b ~arg:1 "internal_filter";
+      B.call b ~arg:0 "internal_filter";
+    ];
+  B.func b "quantize_level"
+    [ B.loop b (P.Const 125) [ int_dsp b ~length:90 ~region:(kb 64) () ] ];
+  B.func b "huffman_encode"
+    [ B.loop b (P.Const 70) [ table_lookup b ~length:80 () ] ];
+  B.func b "run_length"
+    [ B.loop b (P.Const 50) [ int_dsp b ~length:60 ~region:(kb 32) () ] ];
+  B.func b "main"
+    [
+      B.loop b (P.Scaled { base = 1; per_scale = 1 })
+        [
+          B.call b "build_level";
+          B.call b "quantize_level";
+          B.call b "run_length";
+          B.call b "huffman_encode";
+        ];
+    ];
+  "main"
+
+let epic_encode =
+  Workload.make ~name:"epic encode" ~program:epic_encode_prog
+    ~train_window:110_000 ~ref_window:200_000 ~kind:Workload.Media
+    ~trait:
+      "internal_filter called from six sites with site-dependent behaviour"
+    ()
+
+(* --- g721: one dominant subroutine --------------------------------- *)
+
+let g721 name =
+  B.program ~name @@ fun b ->
+  B.func b "predictor_update"
+    [
+      B.loop b
+        (P.Scaled { base = 0; per_scale = 60 })
+        [ int_dsp b ~length:170 ~region:(kb 16) ~dep_chain:3.0 () ];
+    ];
+  B.func b "main" [ B.call b "predictor_update" ];
+  "main"
+
+let g721_decode =
+  Workload.make ~name:"g721 decode" ~program:(g721 "g721_decode")
+    ~train_window:55_000 ~ref_window:120_000 ~kind:Workload.Media
+    ~trait:"single hot subroutine dominates the whole run" ()
+
+let g721_encode =
+  Workload.make ~name:"g721 encode" ~program:(g721 "g721_encode")
+    ~train_window:55_000 ~ref_window:125_000 ~kind:Workload.Media
+    ~trait:"single hot subroutine; slightly richer branch mix" ()
+
+(* --- gsm: integer linear prediction -------------------------------- *)
+
+let gsm_decode_prog =
+  B.program ~name:"gsm_decode" @@ fun b ->
+  B.func b "short_term_synth"
+    [ B.loop b (P.Const 115) [ int_dsp b ~length:120 ~region:(kb 8) () ] ];
+  B.func b "long_term_synth"
+    [ B.loop b (P.Const 60) [ int_dsp b ~length:80 ~region:(kb 8) () ] ];
+  B.func b "main"
+    [
+      B.loop b
+        (P.Scaled { base = 0; per_scale = 4 })
+        [ B.call b "long_term_synth"; B.call b "short_term_synth" ];
+    ];
+  "main"
+
+let gsm_decode =
+  Workload.make ~name:"gsm decode" ~program:gsm_decode_prog
+    ~train_window:60_000 ~ref_window:140_000 ~kind:Workload.Media
+    ~trait:"two integer synthesis filters alternate per frame" ()
+
+let gsm_encode_prog =
+  B.program ~name:"gsm_encode" @@ fun b ->
+  B.func b "preprocess"
+    [ B.loop b (P.Const 40) [ int_dsp b ~length:70 ~region:(kb 8) () ] ];
+  B.func b "lpc_analysis"
+    [ B.loop b (P.Const 95) [ int_dsp b ~length:130 ~region:(kb 8) () ] ];
+  B.func b "short_term_analysis"
+    [ B.loop b (P.Const 105) [ int_dsp b ~length:110 ~region:(kb 8) () ] ];
+  B.func b "long_term_search"
+    [
+      B.loop b (P.Const 100)
+        [ int_dsp b ~length:100 ~region:(kb 8) ~dep_chain:2.5 () ];
+    ];
+  B.func b "main"
+    [
+      B.loop b
+        (P.Scaled { base = 0; per_scale = 3 })
+        [
+          B.call b "preprocess";
+          B.call b "lpc_analysis";
+          B.call b "short_term_analysis";
+          B.call b "long_term_search";
+        ];
+    ];
+  "main"
+
+let gsm_encode =
+  Workload.make ~name:"gsm encode" ~program:gsm_encode_prog
+    ~train_window:75_000 ~ref_window:160_000 ~kind:Workload.Media
+    ~trait:"four analysis kernels per frame, all integer" ()
+
+(* --- jpeg: blocked DCT codec ---------------------------------------- *)
+
+let jpeg_compress_prog =
+  B.program ~name:"jpeg_compress" @@ fun b ->
+  B.func b "color_convert"
+    [ B.loop b (P.Const 55) [ int_dsp b ~length:100 ~region:(kb 256) () ] ];
+  B.func b "forward_dct"
+    [ B.loop b (P.Const 90) [ fp_filter b ~length:140 ~region:(kb 64) () ] ];
+  B.func b "quantize"
+    [ B.loop b (P.Const 60) [ int_dsp b ~length:80 ~region:(kb 32) () ] ];
+  B.func b "huffman"
+    [ B.loop b (P.Const 120) [ table_lookup b ~length:90 () ] ];
+  B.func b "process_rows"
+    [
+      B.call b "color_convert";
+      B.call b "forward_dct";
+      B.call b "quantize";
+      B.call b "huffman";
+    ];
+  B.func b "main"
+    [
+      B.loop b (P.Scaled { base = 0; per_scale = 2 })
+        [ B.call b "process_rows" ];
+    ];
+  "main"
+
+let jpeg_compress =
+  Workload.make ~name:"jpeg compress" ~program:jpeg_compress_prog
+    ~train_window:70_000 ~ref_window:170_000 ~kind:Workload.Media
+    ~trait:"DCT (fp) and Huffman (int) phases alternate per row block" ()
+
+let jpeg_decompress_prog =
+  B.program ~name:"jpeg_decompress" @@ fun b ->
+  B.func b "huffman_decode"
+    [ B.loop b (P.Const 65) [ table_lookup b ~length:85 () ] ];
+  B.func b "inverse_dct"
+    [ B.loop b (P.Const 100) [ fp_filter b ~length:150 ~region:(kb 64) () ] ];
+  B.func b "main"
+    [
+      B.loop b (P.Scaled { base = 0; per_scale = 2 })
+        [ B.call b "huffman_decode"; B.call b "inverse_dct" ];
+    ];
+  "main"
+
+let jpeg_decompress =
+  Workload.make ~name:"jpeg decompress" ~program:jpeg_decompress_prog
+    ~train_window:55_000 ~ref_window:140_000 ~kind:Workload.Media
+    ~trait:"inverse DCT dominates; small call tree" ()
+
+(* --- mpeg2: decode takes paths in production that training misses ---
+   B-pictures run the same vld/iq/idct subroutines but over a call chain
+   the training input (almost) never exercises: path-tracking contexts
+   see label 0 there and do not reconfigure, while L+F and F reconfigure
+   the familiar units regardless of how they were reached. *)
+
+let mpeg2_decode_prog =
+  B.program ~name:"mpeg2_decode" @@ fun b ->
+  B.func b "variable_length_decode"
+    [ B.loop b (P.Const 120) [ table_lookup b ~length:95 () ] ];
+  B.func b "inverse_quantize"
+    [ B.loop b (P.Const 115) [ int_dsp b ~length:95 ~region:(kb 32) () ] ];
+  B.func b "idct_block"
+    [ B.loop b (P.Const 100) [ fp_filter b ~length:130 ~region:(kb 64) () ] ];
+  B.func b "motion_comp_forward"
+    [ B.loop b (P.Const 95) [ int_dsp b ~length:110 ~region:(kb 512) () ] ];
+  B.func b "motion_comp_bidir"
+    [
+      B.loop b (P.Const 100)
+        [ fp_filter b ~length:120 ~region:(kb 512) ~dep_chain:3.5 () ];
+    ];
+  B.func b "decode_ip_picture"
+    [
+      B.call b "variable_length_decode";
+      B.call b "inverse_quantize";
+      B.call b "idct_block";
+      B.call b "motion_comp_forward";
+    ];
+  B.func b "decode_b_picture"
+    [
+      B.call b "variable_length_decode";
+      B.call b "inverse_quantize";
+      B.call b "idct_block";
+      B.call b "motion_comp_bidir";
+    ];
+  B.func b "main"
+    [
+      B.loop b (P.Scaled { base = 0; per_scale = 2 })
+        [
+          B.choose b
+            ~prob:(fun inp -> inp.P.divergence)
+            [ B.call b "decode_b_picture" ]
+            [ B.call b "decode_ip_picture" ];
+        ];
+    ];
+  "main"
+
+let mpeg2_decode =
+  Workload.make ~name:"mpeg2 decode" ~program:mpeg2_decode_prog
+    ~train_divergence:0.0 ~ref_divergence:0.45 ~train_window:90_000
+    ~ref_window:180_000 ~kind:Workload.Media
+    ~trait:
+      "B-frame paths appear in production but (almost) never in training"
+    ()
+
+(* encode has subroutines containing more than one long-running loop —
+   reconfiguring loops individually trades a little performance for
+   extra energy, as the paper notes *)
+let mpeg2_encode_prog =
+  B.program ~name:"mpeg2_encode" @@ fun b ->
+  B.func b "motion_estimate"
+    [
+      B.loop b (P.Const 100)
+        [ int_dsp b ~length:130 ~region:(kb 512) ~dep_chain:2.5 () ];
+      B.loop b (P.Const 100) [ int_dsp b ~length:100 ~region:(kb 512) () ];
+    ];
+  B.func b "transform_quantize"
+    [
+      B.loop b (P.Const 90) [ fp_filter b ~length:120 ~region:(kb 64) () ];
+      B.loop b (P.Const 60) [ int_dsp b ~length:90 ~region:(kb 32) () ];
+    ];
+  B.func b "rate_control"
+    [ B.loop b (P.Const 30) [ int_dsp b ~length:60 ~region:(kb 16) () ] ];
+  B.func b "vlc_encode"
+    [ B.loop b (P.Const 45) [ table_lookup b ~length:80 () ] ];
+  B.func b "encode_picture"
+    [
+      B.call b "motion_estimate";
+      B.call b "transform_quantize";
+      B.call b "rate_control";
+      B.call b "vlc_encode";
+    ];
+  B.func b "main"
+    [
+      B.loop b (P.Scaled { base = 0; per_scale = 2 })
+        [ B.call b "encode_picture" ];
+    ];
+  "main"
+
+let mpeg2_encode =
+  Workload.make ~name:"mpeg2 encode" ~program:mpeg2_encode_prog
+    ~train_window:100_000 ~ref_window:190_000 ~kind:Workload.Media
+    ~trait:"subroutines contain multiple long-running loops" ()
+
+let all =
+  [
+    adpcm_decode;
+    adpcm_encode;
+    epic_decode;
+    epic_encode;
+    g721_decode;
+    g721_encode;
+    gsm_decode;
+    gsm_encode;
+    jpeg_compress;
+    jpeg_decompress;
+    mpeg2_decode;
+    mpeg2_encode;
+  ]

@@ -1,0 +1,19 @@
+(** The MediaBench half of the suite: adpcm, epic, g721, gsm, jpeg and
+    mpeg2, each with encode/decode (compress/decompress) variants —
+    twelve workloads mirroring the paper's Table 2 selection. *)
+
+val adpcm_decode : Workload.t
+val adpcm_encode : Workload.t
+val epic_decode : Workload.t
+val epic_encode : Workload.t
+val g721_decode : Workload.t
+val g721_encode : Workload.t
+val gsm_decode : Workload.t
+val gsm_encode : Workload.t
+val jpeg_compress : Workload.t
+val jpeg_decompress : Workload.t
+val mpeg2_decode : Workload.t
+val mpeg2_encode : Workload.t
+
+val all : Workload.t list
+(** In the paper's Table 2 order. *)

@@ -1,0 +1,335 @@
+module B = Mcd_isa.Build
+module P = Mcd_isa.Program
+
+let kb n = n * 1024
+let mb n = n * 1024 * 1024
+
+(* --- gzip: large call tree, recursion, data-dependent paths --------- *)
+
+let gzip_prog =
+  B.program ~name:"gzip" @@ fun b ->
+  let hash_block len =
+    B.straight b ~length:len ~frac_load:0.28 ~frac_store:0.08
+      ~frac_branch:0.12 ~frac_int_mult:0.01
+      ~mem:(P.Rand_in { region = kb 256 })
+      ~branch:(P.Biased 0.72) ~dep_chain:3.0 ()
+  in
+  B.func b "fill_window"
+    [
+      B.loop b (P.Const 40)
+        [
+          B.straight b ~length:90 ~frac_load:0.20 ~frac_store:0.25
+            ~frac_branch:0.05
+            ~mem:(P.Seq_stride { stride = 8; region = kb 512 })
+            ~dep_chain:6.0 ();
+        ];
+    ];
+  (* hot in both deflate variants — two long contexts of one unit *)
+  B.func b "longest_match"
+    [ B.loop b (P.Const 118) [ hash_block 95 ] ];
+  B.func b "insert_string" [ hash_block 70 ];
+  B.func b "deflate_fast"
+    [
+      B.loop b (P.Const 14)
+        [ B.call b "longest_match"; B.call b "insert_string"; hash_block 60 ];
+    ];
+  B.func b "deflate_slow"
+    [
+      B.loop b (P.Const 8)
+        [
+          B.call b "longest_match";
+          B.call b "longest_match";
+          B.call b "insert_string";
+          hash_block 50;
+        ];
+    ];
+  (* recursive Huffman tree construction: folded into one node *)
+  B.func b "build_tree"
+    [
+      hash_block 120;
+      B.choose b
+        ~prob:(fun _ -> 0.55)
+        [ B.call b "build_tree" ]
+        [ hash_block 80 ];
+    ];
+  B.func b "send_bits" [ hash_block 40 ];
+  B.func b "compress_block"
+    [
+      B.call b "build_tree";
+      B.call b "build_tree";
+      B.loop b (P.Const 95) [ hash_block 85; B.call b "send_bits" ];
+    ];
+  B.func b "flush_block"
+    [ B.call b "compress_block"; B.call b "send_bits" ];
+  B.func b "main"
+    [
+      B.loop b (P.Scaled { base = 0; per_scale = 2 })
+        [
+          B.call b "fill_window";
+          B.choose b
+            ~prob:(fun inp -> 0.75 -. inp.P.divergence)
+            [ B.call b "deflate_fast" ]
+            [ B.call b "deflate_slow" ];
+          B.call b "flush_block";
+        ];
+    ];
+  "main"
+
+let gzip =
+  Workload.make ~name:"gzip" ~program:gzip_prog ~train_divergence:0.05
+    ~ref_divergence:0.25 ~train_window:80_000 ~ref_window:170_000 ~ref_offset:20_000
+    ~kind:Workload.Spec_int
+    ~trait:"large call tree with recursion and data-dependent deflate paths"
+    ()
+
+(* --- vpr: training exercises placement, production exercises routing;
+   almost no common paths (the paper's 0.08 coverage) ----------------- *)
+
+let vpr_prog =
+  B.program ~name:"vpr" @@ fun b ->
+  let annealing_block len =
+    B.straight b ~length:len ~frac_load:0.26 ~frac_store:0.10
+      ~frac_branch:0.11 ~frac_int_mult:0.02
+      ~mem:(P.Rand_in { region = mb 1 })
+      ~branch:(P.Biased 0.68) ~dep_chain:3.0 ()
+  in
+  let maze_block len =
+    B.straight b ~length:len ~frac_load:0.32 ~frac_store:0.07
+      ~frac_branch:0.09
+      ~mem:(P.Chase { region = mb 2 })
+      ~branch:(P.Biased 0.74) ~dep_chain:2.2 ()
+  in
+  (* place and route share the timing updater — the only hot code the
+     two phases have in common, and the only reconfiguration point the
+     profile-based schemes can carry from training into production *)
+  B.func b "shared_timing_update"
+    [ B.loop b (P.Const 150) [ annealing_block 75 ] ];
+  B.func b "try_swap" [ B.loop b (P.Const 60) [ annealing_block 95 ] ];
+  B.func b "update_costs" [ B.loop b (P.Const 55) [ annealing_block 80 ] ];
+  B.func b "place_inner"
+    [
+      B.call b "try_swap";
+      B.call b "update_costs";
+      B.call b "shared_timing_update";
+    ];
+  B.func b "place" [ B.loop b (P.Const 18) [ B.call b "place_inner" ] ];
+  B.func b "expand_wavefront" [ B.loop b (P.Const 70) [ maze_block 90 ] ];
+  B.func b "rip_up_and_reroute" [ B.loop b (P.Const 60) [ maze_block 85 ] ];
+  B.func b "route_net"
+    [
+      B.call b "expand_wavefront";
+      B.call b "rip_up_and_reroute";
+      B.call b "shared_timing_update";
+    ];
+  B.func b "route" [ B.loop b (P.Const 16) [ B.call b "route_net" ] ];
+  B.func b "main"
+    [
+      B.loop b (P.Scaled { base = 1; per_scale = 1 })
+        [
+          B.choose b
+            ~prob:(fun inp -> 1.0 -. inp.P.divergence)
+            [ B.call b "place" ]
+            [ B.call b "route" ];
+        ];
+    ];
+  "main"
+
+let vpr =
+  Workload.make ~name:"vpr" ~program:vpr_prog ~train_divergence:0.03
+    ~ref_divergence:0.97 ~train_window:80_000 ~ref_window:160_000 ~ref_offset:20_000
+    ~kind:Workload.Spec_int
+    ~trait:"training sees placement, production sees routing (coverage ~0.1)"
+    ()
+
+(* --- mcf: memory-bound pointer chasing ------------------------------ *)
+
+let mcf_prog =
+  B.program ~name:"mcf" @@ fun b ->
+  let chase_block len =
+    B.straight b ~length:len ~frac_load:0.36 ~frac_store:0.05
+      ~frac_branch:0.08 ~frac_int_mult:0.01
+      ~mem:(P.Chase { region = mb 8 })
+      ~branch:(P.Biased 0.80) ~dep_chain:2.0 ()
+  in
+  B.func b "refresh_potential" [ B.loop b (P.Const 105) [ chase_block 100 ] ];
+  B.func b "price_out_impl" [ B.loop b (P.Const 110) [ chase_block 110 ] ];
+  B.func b "primal_bea_mpp"
+    [
+      B.loop b (P.Const 90)
+        [
+          chase_block 80;
+          B.straight b ~length:40 ~frac_load:0.15 ~frac_branch:0.10
+            ~mem:(P.Seq_stride { stride = 8; region = kb 64 })
+            ~dep_chain:4.0 ();
+        ];
+    ];
+  B.func b "main"
+    [
+      B.loop b (P.Scaled { base = 0; per_scale = 2 })
+        [
+          B.call b "refresh_potential";
+          B.call b "price_out_impl";
+          B.call b "primal_bea_mpp";
+        ];
+    ];
+  "main"
+
+let mcf =
+  Workload.make ~name:"mcf" ~program:mcf_prog ~train_window:60_000
+    ~ref_window:140_000 ~ref_offset:15_000 ~kind:Workload.Spec_int
+    ~trait:"memory-bound pointer chasing over an 8 MB working set" ()
+
+(* --- swim: loops cross the long-running threshold only at ref scale - *)
+
+let swim_prog =
+  B.program ~name:"swim" @@ fun b ->
+  let stencil len region =
+    B.straight b ~length:len ~frac_fp_alu:0.30 ~frac_fp_mult:0.10
+      ~frac_load:0.26 ~frac_store:0.09 ~frac_branch:0.02
+      ~mem:(P.Seq_stride { stride = 8; region })
+      ~branch:(P.Periodic [| true; true; true; true; false |])
+      ~dep_chain:6.0 ()
+  in
+  B.func b "calc1"
+    [ B.loop b (P.Scaled { base = 60; per_scale = 6 }) [ stencil 120 (mb 2) ] ];
+  B.func b "calc2"
+    [ B.loop b (P.Scaled { base = 55; per_scale = 6 }) [ stencil 110 (mb 2) ] ];
+  (* shorter loops: below 10k instructions per instance on the training
+     input, above it on the reference input *)
+  B.func b "calc3"
+    [ B.loop b (P.Scaled { base = 10; per_scale = 4 }) [ stencil 95 (mb 1) ] ];
+  B.func b "smooth"
+    [ B.loop b (P.Scaled { base = 8; per_scale = 5 }) [ stencil 80 (mb 1) ] ];
+  B.func b "main"
+    [
+      B.loop b (P.Const 40)
+        [
+          B.call b "calc1";
+          B.call b "calc2";
+          B.call b "calc3";
+          B.call b "smooth";
+        ];
+    ];
+  "main"
+
+let swim =
+  Workload.make ~name:"swim" ~program:swim_prog ~train_scale:8 ~ref_scale:28
+    ~train_window:70_000 ~ref_window:160_000 ~ref_offset:20_000 ~kind:Workload.Spec_fp
+    ~trait:"stencil loops cross the 10k threshold only at reference scale"
+    ()
+
+(* --- applu: nested fp loop nests; loop reconfiguration costs a bit of
+   performance for a little energy ------------------------------------ *)
+
+let applu_prog =
+  B.program ~name:"applu" @@ fun b ->
+  let solver len =
+    B.straight b ~length:len ~frac_fp_alu:0.26 ~frac_fp_mult:0.14
+      ~frac_load:0.24 ~frac_store:0.08 ~frac_branch:0.03
+      ~mem:(P.Seq_stride { stride = 8; region = mb 2 })
+      ~dep_chain:5.0 ()
+  in
+  B.func b "jacld" [ B.loop b (P.Const 95) [ solver 130 ] ];
+  B.func b "blts" [ B.loop b (P.Const 95) [ solver 120 ] ];
+  B.func b "jacu" [ B.loop b (P.Const 90) [ solver 125 ] ];
+  B.func b "buts" [ B.loop b (P.Const 95) [ solver 115 ] ];
+  B.func b "rhs"
+    [
+      B.loop b (P.Const 115) [ solver 95 ];
+      B.loop b (P.Const 110) [ solver 90 ];
+      B.loop b (P.Const 105) [ solver 85 ];
+    ];
+  B.func b "ssor_iteration"
+    [
+      B.call b "jacld";
+      B.call b "blts";
+      B.call b "jacu";
+      B.call b "buts";
+      B.call b "rhs";
+    ];
+  B.func b "main"
+    [
+      B.loop b (P.Scaled { base = 0; per_scale = 2 })
+        [ B.call b "ssor_iteration" ];
+    ];
+  "main"
+
+let applu =
+  Workload.make ~name:"applu" ~program:applu_prog ~train_window:80_000
+    ~ref_window:170_000 ~ref_offset:20_000 ~kind:Workload.Spec_fp
+    ~trait:"SSOR solver with many fp loop nests per subroutine" ()
+
+(* --- art: the core computation is a loop with seven sub-loops ------- *)
+
+let art_prog =
+  B.program ~name:"art" @@ fun b ->
+  let neural len ~fp =
+    if fp then
+      B.straight b ~length:len ~frac_fp_alu:0.32 ~frac_fp_mult:0.10
+        ~frac_load:0.24 ~frac_store:0.06 ~frac_branch:0.03
+        ~mem:(P.Seq_stride { stride = 8; region = mb 1 })
+        ~dep_chain:5.5 ()
+    else
+      B.straight b ~length:len ~frac_load:0.28 ~frac_store:0.08
+        ~frac_branch:0.07
+        ~mem:(P.Seq_stride { stride = 8; region = mb 1 })
+        ~dep_chain:4.0 ()
+  in
+  B.func b "match_f1"
+    [
+      B.loop b (P.Const 130) [ neural 85 ~fp:true ];
+      B.loop b (P.Const 128) [ neural 80 ~fp:true ];
+      B.loop b (P.Const 135) [ neural 75 ~fp:true ];
+      B.loop b (P.Const 145) [ neural 70 ~fp:false ];
+      B.loop b (P.Const 145) [ neural 70 ~fp:true ];
+      B.loop b (P.Const 155) [ neural 65 ~fp:true ];
+      B.loop b (P.Const 155) [ neural 65 ~fp:false ];
+    ];
+  B.func b "compute_train_match"
+    [ B.loop b (P.Const 140) [ neural 80 ~fp:true ] ];
+  B.func b "main"
+    [
+      B.loop b (P.Scaled { base = 0; per_scale = 3 })
+        [ B.call b "match_f1"; B.call b "compute_train_match" ];
+    ];
+  "main"
+
+let art =
+  Workload.make ~name:"art" ~program:art_prog ~train_window:70_000
+    ~ref_window:160_000 ~ref_offset:15_000 ~kind:Workload.Spec_fp
+    ~trait:"core loop contains seven sub-loops (fp neural matching)" ()
+
+(* --- equake: stable fp sparse solver -------------------------------- *)
+
+let equake_prog =
+  B.program ~name:"equake" @@ fun b ->
+  let smvp len =
+    B.straight b ~length:len ~frac_fp_alu:0.28 ~frac_fp_mult:0.12
+      ~frac_load:0.28 ~frac_store:0.06 ~frac_branch:0.03
+      ~mem:(P.Rand_in { region = mb 4 })
+      ~dep_chain:4.5 ()
+  in
+  B.func b "smvp_product" [ B.loop b (P.Const 95) [ smvp 130 ] ];
+  B.func b "time_integration"
+    [
+      B.loop b (P.Const 115)
+        [
+          B.straight b ~length:90 ~frac_fp_alu:0.34 ~frac_fp_mult:0.08
+            ~frac_load:0.22 ~frac_store:0.10 ~frac_branch:0.02
+            ~mem:(P.Seq_stride { stride = 8; region = mb 2 })
+            ~dep_chain:6.0 ();
+        ];
+    ];
+  B.func b "main"
+    [
+      B.loop b (P.Scaled { base = 0; per_scale = 2 })
+        [ B.call b "smvp_product"; B.call b "time_integration" ];
+    ];
+  "main"
+
+let equake =
+  Workload.make ~name:"equake" ~program:equake_prog ~train_window:65_000
+    ~ref_window:150_000 ~ref_offset:15_000 ~kind:Workload.Spec_fp
+    ~trait:"sparse matrix-vector product plus regular time integration" ()
+
+let all = [ gzip; vpr; mcf; swim; applu; art; equake ]

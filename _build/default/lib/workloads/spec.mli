@@ -1,0 +1,18 @@
+(** The SPEC CPU2000 half of the suite: three integer benchmarks (gzip,
+    vpr, mcf) and four floating-point ones (swim, applu, art, equake),
+    mirroring the paper's selection and the behaviours its evaluation
+    highlights (vpr's near-zero train/ref coverage, swim's input-size
+    dependent loop classification, art's seven sub-loops, mcf's
+    memory-bound pointer chasing). *)
+
+val gzip : Workload.t
+val vpr : Workload.t
+val mcf : Workload.t
+val swim : Workload.t
+val applu : Workload.t
+val art : Workload.t
+val equake : Workload.t
+
+val all : Workload.t list
+(** In the paper's Table 2 order: gzip, vpr, mcf, swim, applu, art,
+    equake. *)

@@ -1,0 +1,13 @@
+let all = Mediabench.all @ Spec.all
+
+let by_name name =
+  match List.find_opt (fun w -> w.Workload.name = name) all with
+  | Some w -> w
+  | None -> raise Not_found
+
+let names = List.map (fun w -> w.Workload.name) all
+
+let of_kind k = List.filter (fun w -> w.Workload.kind = k) all
+let media = of_kind Workload.Media
+let spec_int = of_kind Workload.Spec_int
+let spec_fp = of_kind Workload.Spec_fp

@@ -1,0 +1,12 @@
+(** The full 19-benchmark suite (Table 2 order). *)
+
+val all : Workload.t list
+
+val by_name : string -> Workload.t
+(** Raises [Not_found]. *)
+
+val names : string list
+
+val media : Workload.t list
+val spec_int : Workload.t list
+val spec_fp : Workload.t list

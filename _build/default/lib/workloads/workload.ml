@@ -1,0 +1,51 @@
+type kind = Media | Spec_int | Spec_fp
+
+type t = {
+  name : string;
+  program : Mcd_isa.Program.t;
+  train : Mcd_isa.Program.input;
+  reference : Mcd_isa.Program.input;
+  train_window : int;
+  ref_window : int;
+  ref_offset : int;
+  kind : kind;
+  trait : string;
+}
+
+let seed_of_string s =
+  let h = ref 5381 in
+  String.iter (fun c -> h := (!h * 33) + Char.code c) s;
+  !h land 0x3FFFFFFF
+
+let make ~name ~program ?(train_scale = 8) ?(ref_scale = 24)
+    ?(train_divergence = 0.0) ?(ref_divergence = 0.0)
+    ?(train_window = 60_000) ?(ref_window = 150_000) ?(ref_offset = 0) ~kind
+    ~trait () =
+  {
+    name;
+    program;
+    train =
+      {
+        Mcd_isa.Program.input_name = "train";
+        scale = train_scale;
+        divergence = train_divergence;
+        seed = seed_of_string (name ^ ":train");
+      };
+    reference =
+      {
+        Mcd_isa.Program.input_name = "ref";
+        scale = ref_scale;
+        divergence = ref_divergence;
+        seed = seed_of_string (name ^ ":ref");
+      };
+    train_window;
+    ref_window;
+    ref_offset;
+    kind;
+    trait;
+  }
+
+let kind_name = function
+  | Media -> "MediaBench"
+  | Spec_int -> "SPECint"
+  | Spec_fp -> "SPECfp"

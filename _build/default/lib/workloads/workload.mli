@@ -1,0 +1,50 @@
+(** A benchmark: a program plus its training and reference inputs.
+
+    The suite stands in for the paper's MediaBench + SPEC CPU2000
+    selection. Each synthetic program reproduces the *behavioural
+    traits* the paper's evaluation depends on for its namesake — phase
+    structure (functions, loop nests, call sites), instruction mix,
+    working-set size, branch predictability, and the degree to which the
+    reference input exercises paths the training input never takes.
+    Instruction windows are scaled down from the paper's 200M-instruction
+    windows to keep whole-suite simulation tractable; the synthetic
+    programs' phases repeat at a much shorter period, so the windows
+    still observe every phase. *)
+
+type kind = Media | Spec_int | Spec_fp
+
+type t = {
+  name : string;
+  program : Mcd_isa.Program.t;
+  train : Mcd_isa.Program.input;
+  reference : Mcd_isa.Program.input;
+  train_window : int;  (** max dynamic instructions for training runs *)
+  ref_window : int;  (** max dynamic instructions for production runs *)
+  ref_offset : int;
+      (** instructions retired (with full microarchitectural effect)
+          before the measured reference window opens — the analogue of
+          the paper's mid-program instruction windows; 0 for the
+          MediaBench codecs, which run "entire program" *)
+  kind : kind;
+  trait : string;  (** one-line description of the behaviour modelled *)
+}
+
+val make :
+  name:string ->
+  program:Mcd_isa.Program.t ->
+  ?train_scale:int ->
+  ?ref_scale:int ->
+  ?train_divergence:float ->
+  ?ref_divergence:float ->
+  ?train_window:int ->
+  ?ref_window:int ->
+  ?ref_offset:int ->
+  kind:kind ->
+  trait:string ->
+  unit ->
+  t
+(** Seeds are derived from the benchmark name (train and reference
+    differ). Defaults: scales 8/24, divergence 0/0, windows
+    60_000/150_000. *)
+
+val kind_name : kind -> string

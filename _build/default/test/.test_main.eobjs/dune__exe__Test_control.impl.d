@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array List Mcd_control Mcd_cpu Mcd_domains Mcd_isa

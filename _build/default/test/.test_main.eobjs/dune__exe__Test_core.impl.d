@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Filename Float Fun Gen Hashtbl List Mcd_core Mcd_cpu Mcd_domains Mcd_isa Mcd_profiling Mcd_util Option QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Format List Mcd_cpu Mcd_domains Mcd_isa Mcd_power QCheck QCheck_alcotest String

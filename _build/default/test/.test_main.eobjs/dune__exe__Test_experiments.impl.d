@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float List Mcd_domains Mcd_experiments Mcd_power Mcd_profiling Mcd_workloads String

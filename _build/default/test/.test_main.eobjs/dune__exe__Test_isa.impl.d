@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Fun List Mcd_isa QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_control Test_core Test_cpu Test_experiments Test_isa Test_mcd Test_power Test_profiling Test_trace Test_util Test_workloads

@@ -1,0 +1,1 @@
+test/test_mcd.ml: Alcotest Array Float List Mcd_domains Mcd_util QCheck QCheck_alcotest

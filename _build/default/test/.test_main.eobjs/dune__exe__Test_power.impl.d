@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array List Mcd_domains Mcd_power Mcd_util

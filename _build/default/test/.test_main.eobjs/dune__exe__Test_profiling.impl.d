@@ -1,0 +1,1 @@
+test/test_profiling.ml: Alcotest Format List Mcd_isa Mcd_profiling QCheck QCheck_alcotest String

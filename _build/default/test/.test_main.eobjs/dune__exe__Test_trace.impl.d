@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Hashtbl List Mcd_cpu Mcd_isa Mcd_profiling Mcd_trace

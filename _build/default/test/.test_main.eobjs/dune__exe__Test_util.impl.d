@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Float Format Gen List Mcd_util QCheck QCheck_alcotest String

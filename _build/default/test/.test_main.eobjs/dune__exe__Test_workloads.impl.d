@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Mcd_isa Mcd_profiling Mcd_workloads String

@@ -1,0 +1,162 @@
+(* Tests for the on-line attack/decay controller and simple policies,
+   driven with synthetic samples. *)
+
+module AD = Mcd_control.Attack_decay
+module Policies = Mcd_control.Policies
+module Controller = Mcd_cpu.Controller
+module Domain = Mcd_domains.Domain
+module Freq = Mcd_domains.Freq
+module Reconfig = Mcd_domains.Reconfig
+module Walker = Mcd_isa.Walker
+
+let sample ?(elapsed = 10_000) ?(retired = 5_000) ~int_occ ~fp_occ ~mem_occ () =
+  let occ = Array.make Domain.count 0.0 in
+  occ.(Domain.index Domain.Integer) <- int_occ;
+  occ.(Domain.index Domain.Floating) <- fp_occ;
+  occ.(Domain.index Domain.Memory) <- mem_occ;
+  {
+    Controller.elapsed_cycles = elapsed;
+    avg_occupancy = occ;
+    retired;
+    total_retired = retired;
+  }
+
+let feed ctl samples =
+  let last = ref None in
+  List.iteri
+    (fun i s ->
+      match ctl.Controller.on_sample s ~now:(i * 10_000_000) with
+      | Some setting -> last := Some setting
+      | None -> ())
+    samples;
+  !last
+
+let test_idle_fp_plunges () =
+  let ctl = AD.controller () in
+  let samples =
+    List.init 12 (fun _ -> sample ~int_occ:8.0 ~fp_occ:0.0 ~mem_occ:10.0 ())
+  in
+  match feed ctl samples with
+  | Some setting ->
+      Alcotest.(check int) "fp plunged to floor" Freq.fmin_mhz
+        (Reconfig.get setting Domain.Floating)
+  | None -> Alcotest.fail "controller never reconfigured"
+
+let test_backlogged_domain_stays_fast () =
+  let ctl = AD.controller () in
+  let samples =
+    List.init 12 (fun _ -> sample ~int_occ:14.0 ~fp_occ:0.0 ~mem_occ:5.0 ())
+  in
+  match feed ctl samples with
+  | Some setting ->
+      Alcotest.(check int) "backlogged integer stays at fmax" Freq.fmax_mhz
+        (Reconfig.get setting Domain.Integer)
+  | None -> Alcotest.fail "controller never reconfigured"
+
+let test_low_util_decays () =
+  let ctl = AD.controller () in
+  (* integer lightly used and IPC steady: should drift downward *)
+  let samples =
+    List.init 30 (fun _ -> sample ~int_occ:1.5 ~fp_occ:6.0 ~mem_occ:10.0 ())
+  in
+  match feed ctl samples with
+  | Some setting ->
+      Alcotest.(check bool) "integer decayed" true
+        (Reconfig.get setting Domain.Integer < Freq.fmax_mhz)
+  | None -> Alcotest.fail "controller never reconfigured"
+
+let test_guard_reverts_on_ipc_drop () =
+  let ctl = AD.controller () in
+  (* run stable, then decay happens; afterwards IPC collapses: the guard
+     must push the frequency back up *)
+  let stable =
+    List.init 6 (fun _ ->
+        sample ~retired:6_000 ~int_occ:1.5 ~fp_occ:5.0 ~mem_occ:10.0 ())
+  in
+  let collapsed =
+    List.init 8 (fun _ ->
+        sample ~retired:1_000 ~int_occ:1.5 ~fp_occ:5.0 ~mem_occ:10.0 ())
+  in
+  let _ = feed ctl stable in
+  let after = feed ctl collapsed in
+  match after with
+  | Some setting ->
+      (* after reverts and cooldowns the integer frequency should not be
+         at the floor *)
+      Alcotest.(check bool) "guard kept frequency off the floor" true
+        (Reconfig.get setting Domain.Integer > Freq.fmin_mhz)
+  | None ->
+      (* no reconfiguration at all also means no runaway decay *)
+      ()
+
+let test_attack_on_rising_util () =
+  let ctl = AD.controller () in
+  (* establish low utilisation, decay a bit, then a surge *)
+  let low =
+    List.init 10 (fun _ -> sample ~int_occ:1.0 ~fp_occ:2.0 ~mem_occ:5.0 ())
+  in
+  let surge = [ sample ~int_occ:19.0 ~fp_occ:2.0 ~mem_occ:5.0 () ] in
+  let _ = feed ctl low in
+  match feed ctl surge with
+  | Some setting ->
+      Alcotest.(check int) "deep backlog jumps to fmax" Freq.fmax_mhz
+        (Reconfig.get setting Domain.Integer)
+  | None -> Alcotest.fail "no reaction to surge"
+
+let test_front_end_never_scaled () =
+  let ctl = AD.controller () in
+  let samples =
+    List.init 20 (fun _ -> sample ~int_occ:0.0 ~fp_occ:0.0 ~mem_occ:0.0 ())
+  in
+  match feed ctl samples with
+  | Some setting ->
+      Alcotest.(check int) "front-end fixed" Freq.fmax_mhz
+        (Reconfig.get setting Domain.Front_end)
+  | None -> Alcotest.fail "controller never reconfigured"
+
+let test_markers_ignored () =
+  let ctl = AD.controller () in
+  let r =
+    ctl.Controller.on_marker (Walker.Enter_func { fid = 0; site_id = None })
+      ~now:0
+  in
+  Alcotest.(check bool) "no marker reaction" true (r = Controller.no_reaction)
+
+let test_params_interval_exposed () =
+  let p = { AD.default_params with AD.interval_cycles = 1234 } in
+  let ctl = AD.controller ~params:p () in
+  Alcotest.(check int) "interval" 1234 ctl.Controller.sample_interval_cycles
+
+(* --- Policies --------------------------------------------------------- *)
+
+let test_fixed_policy_fires_once () =
+  let setting =
+    Reconfig.make ~front_end:1000 ~integer:500 ~floating:250 ~memory:1000
+  in
+  let ctl = Policies.fixed setting in
+  let m = Walker.Enter_func { fid = 0; site_id = None } in
+  let r1 = ctl.Controller.on_marker m ~now:0 in
+  let r2 = ctl.Controller.on_marker m ~now:1 in
+  Alcotest.(check bool) "first marker sets" true (r1.Controller.set = Some setting);
+  Alcotest.(check bool) "second marker silent" true (r2.Controller.set = None)
+
+let test_baseline_policy_inert () =
+  let ctl = Policies.baseline in
+  let m = Walker.Enter_func { fid = 0; site_id = None } in
+  Alcotest.(check bool) "no reaction" true
+    (ctl.Controller.on_marker m ~now:0 = Controller.no_reaction);
+  Alcotest.(check int) "no sampling" 0 ctl.Controller.sample_interval_cycles
+
+let suite =
+  [
+    ("idle fp plunges", `Quick, test_idle_fp_plunges);
+    ("backlogged domain stays fast", `Quick, test_backlogged_domain_stays_fast);
+    ("low utilisation decays", `Quick, test_low_util_decays);
+    ("guard reverts on ipc drop", `Quick, test_guard_reverts_on_ipc_drop);
+    ("attack on rising utilisation", `Quick, test_attack_on_rising_util);
+    ("front-end never scaled", `Quick, test_front_end_never_scaled);
+    ("markers ignored", `Quick, test_markers_ignored);
+    ("params interval exposed", `Quick, test_params_interval_exposed);
+    ("fixed policy fires once", `Quick, test_fixed_policy_fires_once);
+    ("baseline policy inert", `Quick, test_baseline_policy_inert);
+  ]

@@ -1,0 +1,139 @@
+(* Tests for the experiment harness: comparison math, caching, and the
+   figure/table formatters (on a single small benchmark to stay fast). *)
+
+module Runner = Mcd_experiments.Runner
+module Headline = Mcd_experiments.Headline
+module Context_sense = Mcd_experiments.Context_sense
+module Sweep = Mcd_experiments.Sweep
+module Tables = Mcd_experiments.Tables
+module Suite = Mcd_workloads.Suite
+module Workload = Mcd_workloads.Workload
+module Context = Mcd_profiling.Context
+module Metrics = Mcd_power.Metrics
+module Freq = Mcd_domains.Freq
+
+let w () = Suite.by_name "adpcm decode"
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_compare_runs () =
+  let base = Runner.baseline (w ()) in
+  let c = Runner.compare_runs ~baseline:base base in
+  Alcotest.(check (float 1e-9)) "self degradation" 0.0 c.Runner.degradation_pct;
+  Alcotest.(check (float 1e-9)) "self savings" 0.0 c.Runner.savings_pct;
+  Alcotest.(check (float 1e-9)) "self ed" 0.0 c.Runner.ed_improvement_pct
+
+let test_baseline_cached () =
+  let a = Runner.baseline (w ()) in
+  let b = Runner.baseline (w ()) in
+  Alcotest.(check bool) "same object" true (a == b)
+
+let test_single_clock_cached_per_freq () =
+  let a = Runner.single_clock (w ()) ~mhz:1000 in
+  let b = Runner.single_clock (w ()) ~mhz:500 in
+  Alcotest.(check bool) "distinct runs" true (a != b);
+  Alcotest.(check bool) "slower at 500" true
+    (b.Metrics.runtime_ps > a.Metrics.runtime_ps)
+
+let test_profile_run_produces_savings () =
+  let base = Runner.baseline (w ()) in
+  let pr = Runner.profile_run (w ()) ~context:Context.lf ~train:`Train in
+  let c = Runner.compare_runs ~baseline:base pr.Runner.run in
+  Alcotest.(check bool) "saves energy" true (c.Runner.savings_pct > 2.0);
+  Alcotest.(check bool) "bounded degradation" true
+    (c.Runner.degradation_pct < 20.0);
+  Alcotest.(check bool) "reconfigured" true
+    (pr.Runner.run.Metrics.reconfigurations > 0)
+
+let test_global_dvs_targets_runtime () =
+  let base = Runner.baseline (w ()) in
+  let target = base.Metrics.runtime_ps * 105 / 100 in
+  let run, mhz = Runner.global_dvs_run (w ()) ~target_runtime_ps:target in
+  Alcotest.(check bool) "legal frequency" true
+    (mhz >= Freq.fmin_mhz && mhz <= Freq.fmax_mhz);
+  Alcotest.(check bool) "within target" true
+    (run.Metrics.runtime_ps <= target)
+
+let test_headline_row_sane () =
+  let rows = Headline.rows ~workloads:[ w () ] () in
+  match rows with
+  | [ row ] ->
+      Alcotest.(check bool) "profile close to offline" true
+        (Float.abs
+           (row.Headline.profile.Runner.savings_pct
+           -. row.Headline.offline.Runner.savings_pct)
+        < 10.0);
+      let s = Headline.fig4 rows in
+      Alcotest.(check bool) "fig4 mentions benchmark" true
+        (contains ~needle:"adpcm decode" s);
+      Alcotest.(check bool) "fig5 renders" true
+        (String.length (Headline.fig5 rows) > 0);
+      Alcotest.(check bool) "fig6 renders" true
+        (String.length (Headline.fig6 rows) > 0)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_context_rows_and_tables () =
+  let rows =
+    Context_sense.rows ~workloads:[ w () ]
+      ~contexts:[ Context.lfcp; Context.lf ] ()
+  in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "static instr >= reconfig" true
+        (r.Context_sense.static_instr >= r.Context_sense.static_reconfig);
+      Alcotest.(check bool) "overhead bounded" true
+        (r.Context_sense.overhead_pct >= 0.0
+        && r.Context_sense.overhead_pct < 50.0))
+    rows;
+  let t4 = Context_sense.table4 rows in
+  Alcotest.(check bool) "table4 renders" true (contains ~needle:"Table 4" t4);
+  let f12 = Context_sense.fig12 rows in
+  Alcotest.(check bool) "fig12 renders" true (contains ~needle:"Figure 12" f12)
+
+let test_lf_overhead_below_lfcp () =
+  let rows =
+    Context_sense.rows ~workloads:[ w () ]
+      ~contexts:[ Context.lfcp; Context.lf ] ()
+  in
+  let find name =
+    List.find (fun r -> r.Context_sense.context.Context.name = name) rows
+  in
+  let lfcp = find "L+F+C+P" and lf = find "L+F" in
+  Alcotest.(check bool) "L+F cheaper than L+F+C+P" true
+    (lf.Context_sense.overhead_pct <= lfcp.Context_sense.overhead_pct)
+
+let test_sweep_monotone_savings () =
+  let points =
+    Sweep.profile_curve ~workloads:[ w () ] ~deltas:[ 2.0; 14.0 ] ()
+  in
+  match points with
+  | [ tight; loose ] ->
+      Alcotest.(check bool) "looser budget saves at least as much" true
+        (loose.Sweep.savings >= tight.Sweep.savings -. 0.5)
+  | _ -> Alcotest.fail "expected two points"
+
+let test_tables_render () =
+  let t1 = Tables.table1 () in
+  Alcotest.(check bool) "table1" true (contains ~needle:"Reorder buffer" t1);
+  let t2 = Tables.table2 () in
+  Alcotest.(check bool) "table2 lists suite" true (contains ~needle:"mcf" t2);
+  let t3 = Tables.table3 ~workloads:[ w () ] () in
+  Alcotest.(check bool) "table3" true (contains ~needle:"cov long" t3)
+
+let suite =
+  [
+    ("compare runs", `Quick, test_compare_runs);
+    ("baseline cached", `Quick, test_baseline_cached);
+    ("single clock cached per freq", `Quick, test_single_clock_cached_per_freq);
+    ("profile run saves energy", `Slow, test_profile_run_produces_savings);
+    ("global dvs targets runtime", `Slow, test_global_dvs_targets_runtime);
+    ("headline row sane", `Slow, test_headline_row_sane);
+    ("context rows and tables", `Slow, test_context_rows_and_tables);
+    ("L+F overhead below L+F+C+P", `Slow, test_lf_overhead_below_lfcp);
+    ("sweep monotone savings", `Slow, test_sweep_monotone_savings);
+    ("tables render", `Quick, test_tables_render);
+  ]

@@ -1,0 +1,350 @@
+(* Tests for the program IR, builder, and walker. *)
+
+module B = Mcd_isa.Build
+module P = Mcd_isa.Program
+module Inst = Mcd_isa.Inst
+module Walker = Mcd_isa.Walker
+
+let input ?(scale = 2) ?(divergence = 0.0) ?(seed = 11) () =
+  { P.input_name = "test"; scale; divergence; seed }
+
+let simple_program () =
+  B.program ~name:"simple" @@ fun b ->
+  B.func b "leaf"
+    [ B.loop b (P.Const 3) [ B.straight b ~length:10 () ] ];
+  B.func b "main" [ B.call b "leaf"; B.call b "leaf" ];
+  "main"
+
+let walk_all ?input:(inp = input ()) program =
+  let w = Walker.create program ~input:inp in
+  let rec go acc =
+    match Walker.next w with None -> List.rev acc | Some e -> go (e :: acc)
+  in
+  go []
+
+let insts events =
+  List.filter_map
+    (function Walker.Inst d -> Some d | Walker.Marker _ -> None)
+    events
+
+let markers events =
+  List.filter_map
+    (function Walker.Marker m -> Some m | Walker.Inst _ -> None)
+    events
+
+(* --- builder / validation ------------------------------------------- *)
+
+let test_build_simple () =
+  let p = simple_program () in
+  Alcotest.(check int) "two functions" 2 (List.length p.P.funcs);
+  Alcotest.(check string) "main" "main" p.P.main
+
+let test_validate_unresolved_callee () =
+  Alcotest.check_raises "unresolved"
+    (Invalid_argument "Program.validate: unresolved callee nowhere")
+    (fun () ->
+      ignore
+        ( B.program ~name:"bad" @@ fun b ->
+          B.func b "main" [ B.call b "nowhere" ];
+          "main" ))
+
+let test_validate_missing_main () =
+  Alcotest.check_raises "no main"
+    (Invalid_argument "Program.validate: main function not defined")
+    (fun () ->
+      ignore
+        ( B.program ~name:"bad" @@ fun b ->
+          B.func b "f" [ B.straight b ~length:1 () ];
+          "main" ))
+
+let test_validate_bad_fractions () =
+  Alcotest.check_raises "fractions"
+    (Invalid_argument "Program.validate: block fractions exceed 1")
+    (fun () ->
+      ignore
+        ( B.program ~name:"bad" @@ fun b ->
+          B.func b "main"
+            [ B.straight b ~length:10 ~frac_load:0.7 ~frac_store:0.7 () ];
+          "main" ))
+
+let test_static_instructions () =
+  let p = simple_program () in
+  (* one block of 10 plus a statement slot for the loop and two calls *)
+  Alcotest.(check bool) "positive" true (P.static_instructions p > 10)
+
+let test_trip_count () =
+  Alcotest.(check int) "const" 5 (P.trip_count (P.Const 5) (input ()) ~arg:0);
+  Alcotest.(check int) "scaled" 23
+    (P.trip_count (P.Scaled { base = 3; per_scale = 10 }) (input ()) ~arg:0);
+  Alcotest.(check int) "arg scaled" 17
+    (P.trip_count (P.Arg_scaled { base = 3; per_arg = 7 }) (input ()) ~arg:2)
+
+(* --- walker --------------------------------------------------------- *)
+
+let test_walker_deterministic () =
+  let p = simple_program () in
+  let a = walk_all p and b = walk_all p in
+  Alcotest.(check int) "same length" (List.length a) (List.length b);
+  List.iter2
+    (fun x y ->
+      match (x, y) with
+      | Walker.Inst dx, Walker.Inst dy ->
+          if dx <> dy then Alcotest.fail "instruction streams diverge"
+      | Walker.Marker _, Walker.Marker _ -> ()
+      | Walker.Inst _, Walker.Marker _ | Walker.Marker _, Walker.Inst _ ->
+          Alcotest.fail "event kinds diverge")
+    a b
+
+let test_walker_seed_changes_stream () =
+  let p =
+    B.program ~name:"r" @@ fun b ->
+    B.func b "main"
+      [ B.straight b ~length:200 ~frac_load:0.5 ~mem:(P.Rand_in { region = 4096 }) () ];
+    "main"
+  in
+  let a = insts (walk_all ~input:(input ~seed:1 ()) p) in
+  let b = insts (walk_all ~input:(input ~seed:2 ()) p) in
+  let addrs evs =
+    List.filter_map
+      (fun (d : Inst.dyn) -> if d.Inst.addr >= 0 then Some d.Inst.addr else None)
+      evs
+  in
+  Alcotest.(check bool) "different addresses" true (addrs a <> addrs b)
+
+let test_walker_marker_nesting () =
+  let p = simple_program () in
+  let depth = ref 0 and min_depth = ref 0 in
+  List.iter
+    (fun m ->
+      (match m with
+      | Walker.Enter_func _ | Walker.Enter_loop _ -> incr depth
+      | Walker.Exit_func _ | Walker.Exit_loop _ -> decr depth);
+      min_depth := min !min_depth !depth)
+    (markers (walk_all p));
+  Alcotest.(check int) "balanced" 0 !depth;
+  Alcotest.(check int) "never negative" 0 !min_depth
+
+let test_walker_instruction_count () =
+  let p = simple_program () in
+  let events = walk_all p in
+  (* leaf: 3 iterations x (10 + 1 back edge) = 33 per call, 2 calls with
+     call + return branches, i.e. 2 x (1 + 33 + 1) = 70 *)
+  Alcotest.(check int) "dynamic instructions" 70 (List.length (insts events))
+
+let test_walker_zero_trip_loop () =
+  let p =
+    B.program ~name:"z" @@ fun b ->
+    B.func b "main"
+      [
+        B.loop b (P.Const 0) [ B.straight b ~length:10 () ];
+        B.straight b ~length:5 ();
+      ];
+    "main"
+  in
+  let events = walk_all p in
+  Alcotest.(check int) "only the block" 5 (List.length (insts events));
+  (* a zero-trip loop emits no markers *)
+  let loop_markers =
+    List.filter
+      (function
+        | Walker.Enter_loop _ | Walker.Exit_loop _ -> true
+        | Walker.Enter_func _ | Walker.Exit_func _ -> false)
+      (markers events)
+  in
+  Alcotest.(check int) "no loop markers" 0 (List.length loop_markers)
+
+let test_walker_loop_backedge_outcomes () =
+  let p =
+    B.program ~name:"l" @@ fun b ->
+    B.func b "main" [ B.loop b (P.Const 4) [ B.straight b ~length:2 () ] ];
+    "main"
+  in
+  let branches =
+    List.filter (fun (d : Inst.dyn) -> d.Inst.klass = Inst.Branch)
+      (insts (walk_all p))
+  in
+  Alcotest.(check int) "4 back edges" 4 (List.length branches);
+  let outcomes = List.map (fun (d : Inst.dyn) -> d.Inst.taken) branches in
+  Alcotest.(check (list bool)) "taken except last" [ true; true; true; false ]
+    outcomes
+
+let test_walker_arg_scaled () =
+  let p =
+    B.program ~name:"a" @@ fun b ->
+    B.func b "callee"
+      [ B.loop b (P.Arg_scaled { base = 1; per_arg = 2 }) [ B.straight b ~length:1 () ] ];
+    B.func b "main" [ B.call b ~arg:0 "callee"; B.call b ~arg:3 "callee" ];
+    "main"
+  in
+  let events = walk_all p in
+  (* call1: 1 iter x (1 + backedge), call2: 7 x 2; plus 2 calls + 2 rets *)
+  Alcotest.(check int) "arg changes trip count" (2 + 14 + 4)
+    (List.length (insts events))
+
+let test_walker_choose_divergence () =
+  let p =
+    B.program ~name:"c" @@ fun b ->
+    B.func b "left" [ B.straight b ~length:3 () ];
+    B.func b "right" [ B.straight b ~length:7 () ];
+    B.func b "main"
+      [
+        B.loop b (P.Const 20)
+          [
+            B.choose b
+              ~prob:(fun inp -> inp.P.divergence)
+              [ B.call b "left" ]
+              [ B.call b "right" ];
+          ];
+      ];
+    "main"
+  in
+  let count_left inp =
+    List.length
+      (List.filter
+         (function
+           | Walker.Enter_func { fid; _ } ->
+               fid = (P.find_func p "left").P.fid
+           | Walker.Enter_loop _ | Walker.Exit_loop _ | Walker.Exit_func _ ->
+               false)
+         (markers (walk_all ~input:inp p)))
+  in
+  Alcotest.(check int) "divergence 0 never goes left" 0
+    (count_left (input ~divergence:0.0 ()));
+  Alcotest.(check int) "divergence 1 always goes left" 20
+    (count_left (input ~divergence:1.0 ()))
+
+let test_walker_call_markers_carry_sites () =
+  let p = simple_program () in
+  let sites =
+    List.filter_map
+      (function
+        | Walker.Enter_func { site_id; _ } -> site_id
+        | Walker.Exit_func _ | Walker.Enter_loop _ | Walker.Exit_loop _ ->
+            None)
+      (markers (walk_all p))
+  in
+  Alcotest.(check int) "two sited entries" 2 (List.length sites);
+  Alcotest.(check bool) "distinct sites" true
+    (List.nth sites 0 <> List.nth sites 1)
+
+let test_walker_chase_dependence () =
+  let p =
+    B.program ~name:"chase" @@ fun b ->
+    B.func b "main"
+      [
+        B.straight b ~length:300 ~frac_load:1.0
+          ~mem:(P.Chase { region = 65536 })
+          ();
+      ];
+    "main"
+  in
+  let loads =
+    List.filter (fun (d : Inst.dyn) -> d.Inst.klass = Inst.Load)
+      (insts (walk_all p))
+  in
+  (* after warmup, each load's address register is the previous load's
+     destination *)
+  let rec chained = function
+    | (a : Inst.dyn) :: (b : Inst.dyn) :: rest ->
+        (b.Inst.srcs.(0) = a.Inst.dst || a.Inst.dst < 0) && chained (b :: rest)
+    | [ _ ] | [] -> true
+  in
+  (match loads with
+  | _ :: rest -> Alcotest.(check bool) "pointer chain" true (chained rest)
+  | [] -> Alcotest.fail "no loads");
+  Alcotest.(check int) "all loads" 300 (List.length loads)
+
+let test_pc_spaces_disjoint () =
+  let a = Walker.pc_of_block_slot ~block_id:100 ~slot:4095 in
+  let b = Walker.pc_of_loop_branch ~loop_id:100 in
+  let c = Walker.pc_of_call ~site_id:100 in
+  let d = Walker.pc_of_return ~fid:100 in
+  let all = [ a; b; c; d ] in
+  Alcotest.(check int) "distinct" 4 (List.length (List.sort_uniq compare all))
+
+let test_instructions_emitted_counter () =
+  let p = simple_program () in
+  let w = Walker.create p ~input:(input ()) in
+  let rec drain n =
+    match Walker.next w with
+    | None -> n
+    | Some (Walker.Inst _) -> drain (n + 1)
+    | Some (Walker.Marker _) -> drain n
+  in
+  let n = drain 0 in
+  Alcotest.(check int) "emitted matches stream" n
+    (Walker.instructions_emitted w)
+
+(* --- qcheck: random programs keep markers well nested ---------------- *)
+
+let random_program_gen =
+  QCheck.Gen.(
+    let block_len = int_range 1 20 in
+    map
+      (fun (lens, trips, seed) ->
+        let prog =
+          B.program ~name:"rand" @@ fun b ->
+          B.func b "leaf"
+            [ B.loop b (P.Const trips) [ B.straight b ~length:(List.nth lens 0) () ] ];
+          B.func b "mid"
+            [
+              B.call b "leaf";
+              B.straight b ~length:(List.nth lens 1) ();
+              B.loop b (P.Const (trips / 2)) [ B.call b "leaf" ];
+            ];
+          B.func b "main"
+            [ B.call b "mid"; B.call b "leaf"; B.call b "mid" ];
+          "main"
+        in
+        (prog, seed))
+      (triple (list_repeat 2 block_len) (int_range 0 6) small_int))
+
+let prop_random_walk_well_nested =
+  QCheck.Test.make ~name:"random programs walk well-nested" ~count:100
+    (QCheck.make random_program_gen)
+    (fun (prog, seed) ->
+      let events = walk_all ~input:(input ~seed ()) prog in
+      let depth = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun m ->
+          (match m with
+          | Walker.Enter_func _ | Walker.Enter_loop _ -> incr depth
+          | Walker.Exit_func _ | Walker.Exit_loop _ -> decr depth);
+          if !depth < 0 then ok := false)
+        (markers events);
+      !ok && !depth = 0)
+
+let prop_seq_numbers_dense =
+  QCheck.Test.make ~name:"instruction seq numbers dense from 0" ~count:50
+    (QCheck.make random_program_gen)
+    (fun (prog, seed) ->
+      let ds = insts (walk_all ~input:(input ~seed ()) prog) in
+      List.for_all2
+        (fun (d : Inst.dyn) i -> d.Inst.seq = i)
+        ds
+        (List.init (List.length ds) Fun.id))
+
+let suite =
+  [
+    ("build simple", `Quick, test_build_simple);
+    ("validate unresolved callee", `Quick, test_validate_unresolved_callee);
+    ("validate missing main", `Quick, test_validate_missing_main);
+    ("validate bad fractions", `Quick, test_validate_bad_fractions);
+    ("static instructions", `Quick, test_static_instructions);
+    ("trip count", `Quick, test_trip_count);
+    ("walker deterministic", `Quick, test_walker_deterministic);
+    ("walker seed changes stream", `Quick, test_walker_seed_changes_stream);
+    ("walker marker nesting", `Quick, test_walker_marker_nesting);
+    ("walker instruction count", `Quick, test_walker_instruction_count);
+    ("walker zero-trip loop", `Quick, test_walker_zero_trip_loop);
+    ("walker back-edge outcomes", `Quick, test_walker_loop_backedge_outcomes);
+    ("walker arg-scaled trips", `Quick, test_walker_arg_scaled);
+    ("walker choose divergence", `Quick, test_walker_choose_divergence);
+    ("walker call sites", `Quick, test_walker_call_markers_carry_sites);
+    ("walker chase dependence", `Quick, test_walker_chase_dependence);
+    ("pc spaces disjoint", `Quick, test_pc_spaces_disjoint);
+    ("instructions_emitted counter", `Quick, test_instructions_emitted_counter);
+    QCheck_alcotest.to_alcotest prop_random_walk_well_nested;
+    QCheck_alcotest.to_alcotest prop_seq_numbers_dense;
+  ]

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "mcd_dvfs"
+    [
+      ("util", Test_util.suite);
+      ("isa", Test_isa.suite);
+      ("mcd", Test_mcd.suite);
+      ("cpu", Test_cpu.suite);
+      ("power", Test_power.suite);
+      ("profiling", Test_profiling.suite);
+      ("trace", Test_trace.suite);
+      ("core", Test_core.suite);
+      ("control", Test_control.suite);
+      ("workloads", Test_workloads.suite);
+      ("experiments", Test_experiments.suite);
+    ]

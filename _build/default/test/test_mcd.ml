@@ -1,0 +1,305 @@
+(* Tests for the MCD clocking layer: frequencies, DVFS slew, clocks,
+   synchronization, and the reconfiguration register. *)
+
+module Domain = Mcd_domains.Domain
+module Freq = Mcd_domains.Freq
+module Dvfs = Mcd_domains.Dvfs
+module Clock = Mcd_domains.Clock
+module Sync = Mcd_domains.Sync
+module Reconfig = Mcd_domains.Reconfig
+module Time = Mcd_util.Time
+module Rng = Mcd_util.Rng
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* --- Domain --------------------------------------------------------- *)
+
+let test_domain_indexing () =
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "roundtrip" true (Domain.of_index (Domain.index d) = d))
+    Domain.all;
+  Alcotest.(check int) "count" 4 (List.length Domain.all);
+  Alcotest.check_raises "bad index" (Invalid_argument "Domain.of_index: 4")
+    (fun () -> ignore (Domain.of_index 4))
+
+let test_domain_power_weights () =
+  let total = List.fold_left (fun a d -> a +. Domain.relative_power d) 0.0 Domain.all in
+  check_float "weights sum to 1" 1.0 total
+
+(* --- Freq ----------------------------------------------------------- *)
+
+let test_freq_steps () =
+  Alcotest.(check int) "16 steps" 16 Freq.num_steps;
+  Alcotest.(check int) "first" 250 Freq.steps.(0);
+  Alcotest.(check int) "last" 1000 Freq.steps.(Freq.num_steps - 1);
+  Array.iter
+    (fun f -> Alcotest.(check int) "index roundtrip" f (Freq.of_index (Freq.index_of f)))
+    Freq.steps
+
+let test_freq_clamp () =
+  Alcotest.(check int) "below" 250 (Freq.clamp 100);
+  Alcotest.(check int) "above" 1000 (Freq.clamp 5000);
+  Alcotest.(check int) "snap down" 500 (Freq.clamp 510);
+  Alcotest.(check int) "snap up" 550 (Freq.clamp 530);
+  Alcotest.(check int) "exact" 700 (Freq.clamp 700)
+
+let test_freq_voltage () =
+  check_float "vmax at fmax" 1.20 (Freq.voltage 1000);
+  check_float "vmin at fmin" 0.65 (Freq.voltage 250);
+  let v625 = Freq.voltage 625 in
+  check_float "midpoint" ((1.20 +. 0.65) /. 2.0) v625;
+  Alcotest.(check bool) "monotone" true
+    (Array.for_all
+       (fun f -> Freq.voltage f <= Freq.voltage (f + 50) +. 1e-9)
+       (Array.sub Freq.steps 0 (Freq.num_steps - 1)))
+
+let test_freq_period () =
+  Alcotest.(check int) "1GHz period" 1000 (Freq.period_ps 1000.0);
+  Alcotest.(check int) "250MHz period" 4000 (Freq.period_ps 250.0);
+  Alcotest.(check int) "750MHz period" 1333 (Freq.period_ps 750.0)
+
+let test_freq_energy_scale () =
+  check_float "full speed scale" 1.0 (Freq.energy_scale 1000.0);
+  let s = Freq.energy_scale 250.0 in
+  check_float "min scale is (vmin/vmax)^2" (0.65 *. 0.65 /. (1.2 *. 1.2)) s
+
+(* --- Dvfs ----------------------------------------------------------- *)
+
+let test_dvfs_initial () =
+  let d = Dvfs.create () in
+  List.iter
+    (fun dom ->
+      check_float "starts at fmax" 1000.0 (Dvfs.current_mhz d dom ~now:Time.zero))
+    Domain.all
+
+let test_dvfs_slew_rate () =
+  let d = Dvfs.create () in
+  Dvfs.set_target d Domain.Integer ~now:Time.zero ~mhz:250;
+  (* 73.3 ns/MHz: after 73.3 ns the frequency has moved 1 MHz *)
+  let f1 = Dvfs.current_mhz d Domain.Integer ~now:(Time.of_ns_float 73.3) in
+  Alcotest.(check bool) "one MHz down" true (Float.abs (f1 -. 999.0) < 0.01);
+  (* the full 750 MHz traversal takes about 55 us *)
+  let f_before = Dvfs.current_mhz d Domain.Integer ~now:(Time.us 54) in
+  Alcotest.(check bool) "not yet at floor" true (f_before > 250.0);
+  let f_after = Dvfs.current_mhz d Domain.Integer ~now:(Time.us 56) in
+  check_float "at floor after 55us" 250.0 f_after
+
+let test_dvfs_transition_flag () =
+  let d = Dvfs.create () in
+  Alcotest.(check bool) "stable initially" false
+    (Dvfs.in_transition d Domain.Memory ~now:Time.zero);
+  Dvfs.set_target d Domain.Memory ~now:Time.zero ~mhz:500;
+  Alcotest.(check bool) "in transition" true
+    (Dvfs.in_transition d Domain.Memory ~now:(Time.us 1));
+  Alcotest.(check bool) "settled" false
+    (Dvfs.in_transition d Domain.Memory ~now:(Time.us 50))
+
+let test_dvfs_retarget_mid_ramp () =
+  let d = Dvfs.create () in
+  Dvfs.set_target d Domain.Floating ~now:Time.zero ~mhz:250;
+  (* halfway down, turn around *)
+  let mid = Dvfs.current_mhz d Domain.Floating ~now:(Time.us 20) in
+  Dvfs.set_target d Domain.Floating ~now:(Time.us 20) ~mhz:1000;
+  let later = Dvfs.current_mhz d Domain.Floating ~now:(Time.us 30) in
+  Alcotest.(check bool) "coming back up" true (later > mid);
+  Alcotest.(check int) "target" 1000 (Dvfs.target_mhz d Domain.Floating)
+
+let test_dvfs_past_query_no_rewind () =
+  let d = Dvfs.create () in
+  Dvfs.set_target d Domain.Integer ~now:Time.zero ~mhz:500;
+  let at_10us = Dvfs.current_mhz d Domain.Integer ~now:(Time.us 10) in
+  (* a query at an earlier time answers with the current point *)
+  let past = Dvfs.current_mhz d Domain.Integer ~now:(Time.us 5) in
+  check_float "no rewind" at_10us past
+
+let test_dvfs_clamps_target () =
+  let d = Dvfs.create () in
+  Dvfs.set_target d Domain.Integer ~now:Time.zero ~mhz:123;
+  Alcotest.(check int) "snapped" 250 (Dvfs.target_mhz d Domain.Integer)
+
+(* --- Clock ---------------------------------------------------------- *)
+
+let fixed_freq f = fun ~now:_ -> f
+
+let test_clock_advance () =
+  let c =
+    Clock.create ~jitter_sigma_ps:0.0 ~rng:(Rng.create 1)
+      ~freq_mhz:(fixed_freq 1000.0) ()
+  in
+  Alcotest.(check int) "first edge at zero" 0 (Clock.next_edge c);
+  Clock.advance c;
+  Alcotest.(check int) "next edge" 1000 (Clock.next_edge c);
+  Clock.advance c;
+  Alcotest.(check int) "cycles" 2 (Clock.cycles c)
+
+let test_clock_jitter_bounded () =
+  let c =
+    Clock.create ~rng:(Rng.create 2) ~freq_mhz:(fixed_freq 1000.0) ()
+  in
+  let prev = ref (Clock.next_edge c) in
+  for _ = 1 to 1000 do
+    Clock.advance c;
+    let e = Clock.next_edge c in
+    let delta = e - !prev in
+    if delta < 1000 - 110 || delta > 1000 + 110 then
+      Alcotest.failf "edge spacing %d outside jitter bound" delta;
+    prev := e
+  done
+
+let test_clock_monotone () =
+  let c = Clock.create ~rng:(Rng.create 3) ~freq_mhz:(fixed_freq 250.0) () in
+  let prev = ref (-1) in
+  for _ = 1 to 500 do
+    let e = Clock.next_edge c in
+    if e <= !prev then Alcotest.fail "clock went backward";
+    prev := e;
+    Clock.advance c
+  done
+
+let test_clock_project_edge () =
+  let c =
+    Clock.create ~jitter_sigma_ps:0.0 ~rng:(Rng.create 4)
+      ~freq_mhz:(fixed_freq 1000.0) ()
+  in
+  Clock.advance c;
+  Clock.advance c;
+  (* next edge at 2000 *)
+  Alcotest.(check int) "at edge" 2000 (Clock.project_edge c ~at_or_after:2000);
+  Alcotest.(check int) "between" 3000 (Clock.project_edge c ~at_or_after:2001);
+  Alcotest.(check int) "future" 5000 (Clock.project_edge c ~at_or_after:4001);
+  Alcotest.(check int) "past extrapolation" 1000
+    (Clock.project_edge c ~at_or_after:500);
+  Alcotest.(check int) "past exact" 1000
+    (Clock.project_edge c ~at_or_after:1000)
+
+(* --- Sync ----------------------------------------------------------- *)
+
+let mk_consumer ?(offset = 0) period_mhz =
+  let c =
+    Clock.create ~jitter_sigma_ps:0.0 ~rng:(Rng.create 5)
+      ~freq_mhz:(fixed_freq period_mhz) ()
+  in
+  for _ = 1 to offset do
+    Clock.advance c
+  done;
+  c
+
+let test_sync_clean_capture () =
+  let consumer = mk_consumer 1000.0 in
+  (* production at 400 ps: next edge 1000, distance 600 > 300 window,
+     and 1000-600=400 > window on the other side too *)
+  let a =
+    Sync.arrival ~consumer ~producer_period_ps:1000 ~t:400 ()
+  in
+  Alcotest.(check int) "captured at next edge" 1000 a
+
+let test_sync_window_penalty_close_after () =
+  let consumer = mk_consumer 1000.0 in
+  (* production at 900 ps: distance to edge 1000 is 100 < 300 *)
+  let a = Sync.arrival ~consumer ~producer_period_ps:1000 ~t:900 () in
+  Alcotest.(check int) "slipped one cycle" 2000 a
+
+let test_sync_window_penalty_close_before () =
+  let consumer = mk_consumer 1000.0 in
+  (* production at 1100: distance to capturing edge 2000 is 900; but the
+     edge just missed (1000) is only 100 behind -> unsafe *)
+  let a = Sync.arrival ~consumer ~producer_period_ps:1000 ~t:1100 () in
+  Alcotest.(check int) "slipped one cycle" 3000 a
+
+let test_sync_stats () =
+  let consumer = mk_consumer 1000.0 in
+  let stats = Sync.create_stats () in
+  let _ = Sync.arrival ~stats ~consumer ~producer_period_ps:1000 ~t:400 () in
+  let _ = Sync.arrival ~stats ~consumer ~producer_period_ps:1000 ~t:900 () in
+  Alcotest.(check int) "crossings" 2 stats.Sync.crossings;
+  Alcotest.(check int) "penalties" 1 stats.Sync.penalties
+
+let test_sync_window_uses_faster_clock () =
+  (* consumer at 250 MHz (4000 ps): window is 30% of the faster
+     (producer, 1000 ps) = 300 ps *)
+  let consumer = mk_consumer 250.0 in
+  let a = Sync.arrival ~consumer ~producer_period_ps:1000 ~t:1000 () in
+  (* distance to edge 4000 is 3000 ps; other side 1000 ps: both safe *)
+  Alcotest.(check int) "safe capture" 4000 a
+
+(* --- Reconfig ------------------------------------------------------- *)
+
+let test_reconfig_make () =
+  let s = Reconfig.make ~front_end:480 ~integer:1200 ~floating:250 ~memory:20 in
+  Alcotest.(check int) "snap fe" 500 (Reconfig.get s Domain.Front_end);
+  Alcotest.(check int) "clamp int" 1000 (Reconfig.get s Domain.Integer);
+  Alcotest.(check int) "fp" 250 (Reconfig.get s Domain.Floating);
+  Alcotest.(check int) "clamp mem" 250 (Reconfig.get s Domain.Memory)
+
+let test_reconfig_write () =
+  let dvfs = Dvfs.create () in
+  let r = Reconfig.create dvfs in
+  Alcotest.(check int) "no writes" 0 (Reconfig.writes r);
+  let s = Reconfig.make ~front_end:1000 ~integer:500 ~floating:250 ~memory:750 in
+  Reconfig.write r s ~now:Time.zero;
+  Alcotest.(check int) "one write" 1 (Reconfig.writes r);
+  Alcotest.(check int) "target set" 500 (Dvfs.target_mhz dvfs Domain.Integer);
+  Alcotest.(check int) "target set fp" 250 (Dvfs.target_mhz dvfs Domain.Floating);
+  Alcotest.(check bool) "last setting" true
+    (Reconfig.equal (Reconfig.last_setting r) s)
+
+let test_reconfig_full_speed_fresh () =
+  let a = Reconfig.full_speed () in
+  a.(0) <- 250;
+  let b = Reconfig.full_speed () in
+  Alcotest.(check int) "fresh array" 1000 b.(0)
+
+(* --- qcheck properties ---------------------------------------------- *)
+
+let prop_clamp_idempotent =
+  QCheck.Test.make ~name:"freq clamp idempotent" ~count:500
+    QCheck.(int_range (-1000) 5000)
+    (fun f -> Freq.clamp (Freq.clamp f) = Freq.clamp f)
+
+let prop_voltage_in_range =
+  QCheck.Test.make ~name:"voltage within rails" ~count:500
+    QCheck.(float_range 0.0 2000.0)
+    (fun f ->
+      let v = Freq.voltage_f f in
+      v >= Freq.vmin -. 1e-9 && v <= Freq.vmax +. 1e-9)
+
+let prop_sync_arrival_after_production =
+  QCheck.Test.make ~name:"sync arrival never precedes production" ~count:300
+    QCheck.(pair (int_range 0 100_000) (int_range 0 15))
+    (fun (t, step) ->
+      let mhz = float_of_int (Freq.of_index step) in
+      let consumer = mk_consumer mhz in
+      Sync.arrival ~consumer ~producer_period_ps:1000 ~t () >= t)
+
+let suite =
+  [
+    ("domain indexing", `Quick, test_domain_indexing);
+    ("domain power weights", `Quick, test_domain_power_weights);
+    ("freq steps", `Quick, test_freq_steps);
+    ("freq clamp", `Quick, test_freq_clamp);
+    ("freq voltage", `Quick, test_freq_voltage);
+    ("freq period", `Quick, test_freq_period);
+    ("freq energy scale", `Quick, test_freq_energy_scale);
+    ("dvfs initial", `Quick, test_dvfs_initial);
+    ("dvfs slew rate", `Quick, test_dvfs_slew_rate);
+    ("dvfs transition flag", `Quick, test_dvfs_transition_flag);
+    ("dvfs retarget mid-ramp", `Quick, test_dvfs_retarget_mid_ramp);
+    ("dvfs past query", `Quick, test_dvfs_past_query_no_rewind);
+    ("dvfs clamps target", `Quick, test_dvfs_clamps_target);
+    ("clock advance", `Quick, test_clock_advance);
+    ("clock jitter bounded", `Quick, test_clock_jitter_bounded);
+    ("clock monotone", `Quick, test_clock_monotone);
+    ("clock project edge", `Quick, test_clock_project_edge);
+    ("sync clean capture", `Quick, test_sync_clean_capture);
+    ("sync penalty after", `Quick, test_sync_window_penalty_close_after);
+    ("sync penalty before", `Quick, test_sync_window_penalty_close_before);
+    ("sync stats", `Quick, test_sync_stats);
+    ("sync faster-clock window", `Quick, test_sync_window_uses_faster_clock);
+    ("reconfig make", `Quick, test_reconfig_make);
+    ("reconfig write", `Quick, test_reconfig_write);
+    ("reconfig full-speed fresh", `Quick, test_reconfig_full_speed_fresh);
+    QCheck_alcotest.to_alcotest prop_clamp_idempotent;
+    QCheck_alcotest.to_alcotest prop_voltage_in_range;
+    QCheck_alcotest.to_alcotest prop_sync_arrival_after_production;
+  ]

@@ -1,0 +1,368 @@
+(* Tests for call-tree construction, context definitions, coverage, and
+   run-time path tracking — including the paper's Figure 2 example. *)
+
+module B = Mcd_isa.Build
+module P = Mcd_isa.Program
+module Walker = Mcd_isa.Walker
+module Context = Mcd_profiling.Context
+module Call_tree = Mcd_profiling.Call_tree
+module Coverage = Mcd_profiling.Coverage
+module Tracker = Mcd_profiling.Tracker
+
+let input ?(scale = 2) ?(divergence = 0.0) ?(seed = 5) () =
+  { P.input_name = "t"; scale; divergence; seed }
+
+(* The paper's Figure 2: initm called from two sites in main; initm
+   contains loops L1 and L2; L2's body calls drand48 100 times. *)
+let figure2_program () =
+  B.program ~name:"figure2" @@ fun b ->
+  B.func b "drand48" [ B.straight b ~length:12 () ];
+  B.func b "initm"
+    [
+      B.loop b (P.Const 10) (* L1 *)
+        [
+          B.loop b (P.Const 10) (* L2 *)
+            [ B.call b "drand48"; B.straight b ~length:3 () ];
+        ];
+    ];
+  B.func b "main" [ B.call b "initm"; B.call b "initm" ];
+  "main"
+
+let build ?(context = Context.lfcp) ?(threshold = 10_000)
+    ?(max_insts = 1_000_000) ?input:(inp = input ()) program =
+  Call_tree.build program ~input:inp ~context ~threshold ~max_insts ()
+
+let count_nodes t =
+  let n = ref 0 in
+  Call_tree.iter t ~f:(fun node ->
+      match node.Call_tree.kind with
+      | Call_tree.Root -> ()
+      | Call_tree.Func_node _ | Call_tree.Loop_node _ -> incr n);
+  !n
+
+let find_nodes t pred =
+  let acc = ref [] in
+  Call_tree.iter t ~f:(fun n -> if pred n then acc := n :: !acc);
+  List.rev !acc
+
+let func_nodes_of t program fname =
+  let fid = (P.find_func program fname).P.fid in
+  find_nodes t (fun n ->
+      match n.Call_tree.kind with
+      | Call_tree.Func_node { fid = f; _ } -> f = fid
+      | Call_tree.Root | Call_tree.Loop_node _ -> false)
+
+(* --- context definitions -------------------------------------------- *)
+
+let test_context_names_unique () =
+  let names = List.map (fun c -> c.Context.name) Context.all in
+  Alcotest.(check int) "six contexts" 6 (List.length names);
+  Alcotest.(check int) "unique" 6 (List.length (List.sort_uniq compare names))
+
+let test_context_tree_mapping () =
+  Alcotest.(check string) "lf uses lfp tree" "L+F+P"
+    (Context.tree_context Context.lf).Context.name;
+  Alcotest.(check string) "f uses fp tree" "F+P"
+    (Context.tree_context Context.f).Context.name;
+  Alcotest.(check string) "lfcp is itself" "L+F+C+P"
+    (Context.tree_context Context.lfcp).Context.name
+
+let test_context_of_name () =
+  Alcotest.(check bool) "lookup" true (Context.of_name "L+F" == Context.lf);
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Context.of_name "bogus"))
+
+(* --- Figure 2 -------------------------------------------------------- *)
+
+let test_figure2_lfcp () =
+  let p = figure2_program () in
+  let t = build ~context:Context.lfcp p in
+  (* two initm children of main (two call sites), each with L1, L2, and
+     one drand48 child under L2: main + 2 x (initm, L1, L2, drand48) *)
+  Alcotest.(check int) "node count" 9 (count_nodes t);
+  Alcotest.(check int) "two initm nodes" 2
+    (List.length (func_nodes_of t p "initm"));
+  (* drand48 is called 100 times per initm but is one node per path *)
+  let drands = func_nodes_of t p "drand48" in
+  Alcotest.(check int) "two drand48 nodes" 2 (List.length drands);
+  List.iter
+    (fun (n : Call_tree.node) ->
+      Alcotest.(check int) "100 instances" 100 n.Call_tree.instances)
+    drands
+
+let test_figure2_lfp () =
+  let p = figure2_program () in
+  let t = build ~context:Context.lfp p in
+  (* call sites not distinguished: one initm child of main *)
+  Alcotest.(check int) "one initm node" 1
+    (List.length (func_nodes_of t p "initm"));
+  let initm = List.hd (func_nodes_of t p "initm") in
+  Alcotest.(check int) "initm instances" 2 initm.Call_tree.instances;
+  Alcotest.(check int) "node count" 5 (count_nodes t)
+
+let test_figure2_fcp () =
+  let p = figure2_program () in
+  let t = build ~context:Context.fcp p in
+  (* loops invisible: main + 2 initm + 2 drand48 *)
+  Alcotest.(check int) "node count" 5 (count_nodes t);
+  let loops =
+    find_nodes t (fun n ->
+        match n.Call_tree.kind with
+        | Call_tree.Loop_node _ -> true
+        | Call_tree.Root | Call_tree.Func_node _ -> false)
+  in
+  Alcotest.(check int) "no loop nodes" 0 (List.length loops)
+
+let test_figure2_fp () =
+  let p = figure2_program () in
+  let t = build ~context:Context.fp p in
+  (* the CCT of Ammons et al.: main + initm + drand48 *)
+  Alcotest.(check int) "node count" 3 (count_nodes t)
+
+let test_figure2_instruction_totals () =
+  let p = figure2_program () in
+  let t = build ~context:Context.lfp p in
+  let initm = List.hd (func_nodes_of t p "initm") in
+  let main = List.hd (func_nodes_of t p "main") in
+  Alcotest.(check bool) "main covers everything" true
+    (main.Call_tree.total_insts >= initm.Call_tree.total_insts);
+  Alcotest.(check bool) "initm nonempty" true (initm.Call_tree.total_insts > 0)
+
+(* --- long-running marking ------------------------------------------- *)
+
+let test_long_running_threshold () =
+  let p = figure2_program () in
+  (* total work per initm instance is ~1800 instructions: with a 500
+     threshold initm (or its loops) is long, with 1M nothing is *)
+  let t_small = build ~threshold:500 p in
+  Alcotest.(check bool) "some long nodes" true (Call_tree.long_count t_small > 0);
+  let t_huge = build ~threshold:1_000_000 p in
+  Alcotest.(check int) "no long nodes" 0 (Call_tree.long_count t_huge)
+
+let test_long_excludes_long_children () =
+  (* a parent whose time is entirely in a long child is not itself long *)
+  let p =
+    B.program ~name:"nest" @@ fun b ->
+    B.func b "inner"
+      [ B.loop b (P.Const 100) [ B.straight b ~length:20 () ] ];
+    B.func b "outer" [ B.call b "inner"; B.straight b ~length:30 () ];
+    B.func b "main" [ B.call b "outer" ];
+    "main"
+  in
+  let t = build ~threshold:1000 p in
+  let inner = List.hd (func_nodes_of t p "inner") in
+  let outer = List.hd (func_nodes_of t p "outer") in
+  (* inner's loop is the long node; inner and outer, once their long
+     descendants are excluded, are short *)
+  let loop_long =
+    find_nodes t (fun n ->
+        match n.Call_tree.kind with
+        | Call_tree.Loop_node _ -> n.Call_tree.long
+        | Call_tree.Root | Call_tree.Func_node _ -> false)
+  in
+  Alcotest.(check int) "the loop is long" 1 (List.length loop_long);
+  Alcotest.(check bool) "inner not long" false inner.Call_tree.long;
+  Alcotest.(check bool) "outer not long" false outer.Call_tree.long;
+  Alcotest.(check bool) "inner reaches long" true inner.Call_tree.reaches_long;
+  Alcotest.(check bool) "outer reaches long" true outer.Call_tree.reaches_long;
+  (* without loop tracking, inner itself becomes the long node *)
+  let t_fp = build ~threshold:1000 ~context:Context.fp p in
+  let inner_fp = List.hd (func_nodes_of t_fp p "inner") in
+  Alcotest.(check bool) "inner long under F+P" true inner_fp.Call_tree.long
+
+let test_recursion_folded () =
+  let p =
+    B.program ~name:"rec" @@ fun b ->
+    B.func b "fib"
+      [
+        B.straight b ~length:5 ();
+        B.choose b
+          ~prob:(fun _ -> 0.6)
+          [ B.call b "fib" ]
+          [ B.straight b ~length:2 () ];
+      ];
+    B.func b "main" [ B.call b "fib" ];
+    "main"
+  in
+  let t = build p in
+  (* recursion folds into a single fib node *)
+  Alcotest.(check int) "one fib node" 1 (List.length (func_nodes_of t p "fib"));
+  let fib = List.hd (func_nodes_of t p "fib") in
+  Alcotest.(check int) "one recorded instance" 1 fib.Call_tree.instances
+
+let test_static_units () =
+  let p = figure2_program () in
+  let t = build ~threshold:500 ~context:Context.lfcp p in
+  let reconfig = Call_tree.long_static_units t in
+  let instr = Call_tree.instrumented_static_units t in
+  Alcotest.(check bool) "reconfig subset of instrumented" true
+    (List.for_all (fun u -> List.mem u instr) reconfig);
+  Alcotest.(check bool) "instrumented nonempty" true (List.length instr > 0)
+
+let test_tree_pp () =
+  let p = figure2_program () in
+  let t = build p in
+  let s = Format.asprintf "%a" Call_tree.pp t in
+  Alcotest.(check bool) "renders" true (String.length s > 50)
+
+let test_instructions_profiled () =
+  let p = figure2_program () in
+  let t = build ~max_insts:100 p in
+  Alcotest.(check bool) "window respected" true
+    (Call_tree.instructions_profiled t <= 101)
+
+(* --- coverage -------------------------------------------------------- *)
+
+let test_coverage_identical () =
+  let p = figure2_program () in
+  let a = build ~threshold:500 p and b = build ~threshold:500 p in
+  let c = Coverage.compare ~train:a ~reference:b in
+  Alcotest.(check (float 1e-9)) "full total coverage" 1.0 c.Coverage.total_coverage;
+  Alcotest.(check (float 1e-9)) "full long coverage" 1.0 c.Coverage.long_coverage;
+  Alcotest.(check int) "common = total" c.Coverage.ref_total c.Coverage.common_total
+
+let test_coverage_divergent_paths () =
+  let p =
+    B.program ~name:"div" @@ fun b ->
+    B.func b "a" [ B.loop b (P.Const 50) [ B.straight b ~length:30 () ] ];
+    B.func b "bb" [ B.loop b (P.Const 50) [ B.straight b ~length:30 () ] ];
+    B.func b "main"
+      [
+        B.loop b (P.Const 10)
+          [
+            B.choose b
+              ~prob:(fun inp -> inp.P.divergence)
+              [ B.call b "bb" ]
+              [ B.call b "a" ];
+          ];
+      ];
+    "main"
+  in
+  let train = build ~threshold:800 ~input:(input ~divergence:0.0 ()) p in
+  let refr = build ~threshold:800 ~input:(input ~divergence:1.0 ()) p in
+  let c = Coverage.compare ~train ~reference:refr in
+  Alcotest.(check bool) "partial coverage" true
+    (c.Coverage.total_coverage < 1.0)
+
+let test_coverage_context_mismatch () =
+  let p = figure2_program () in
+  let a = build ~context:Context.lfcp p and b = build ~context:Context.fp p in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Coverage.compare: trees built under different contexts")
+    (fun () -> ignore (Coverage.compare ~train:a ~reference:b))
+
+(* --- tracker --------------------------------------------------------- *)
+
+let drive_tracker tree program inp =
+  let tracker = Tracker.create tree in
+  let w = Walker.create program ~input:inp in
+  let trace = ref [] in
+  let rec go () =
+    match Walker.next w with
+    | None -> ()
+    | Some (Walker.Inst _) -> go ()
+    | Some (Walker.Marker m) ->
+        trace := Tracker.on_marker tracker m :: !trace;
+        go ()
+  in
+  go ();
+  (tracker, List.rev !trace)
+
+let test_tracker_follows_known_paths () =
+  let p = figure2_program () in
+  let tree = build p in
+  let _, trace = drive_tracker tree p (input ()) in
+  List.iter
+    (function
+      | Tracker.Entered Tracker.Unknown -> Alcotest.fail "unknown on a trained path"
+      | Tracker.Entered (Tracker.Known _) | Tracker.Exited _ | Tracker.Ignored
+        -> ())
+    trace
+
+let test_tracker_unknown_on_new_path () =
+  let p =
+    B.program ~name:"u" @@ fun b ->
+    B.func b "x" [ B.straight b ~length:5 () ];
+    B.func b "main"
+      [
+        B.choose b
+          ~prob:(fun inp -> inp.P.divergence)
+          [ B.call b "x"; B.call b "x" ]
+          [ B.straight b ~length:5 () ];
+      ];
+    "main"
+  in
+  let tree = build ~input:(input ~divergence:0.0 ()) p in
+  let _, trace = drive_tracker tree p (input ~divergence:1.0 ()) in
+  let unknowns =
+    List.filter (function Tracker.Entered Tracker.Unknown -> true | _ -> false)
+      trace
+  in
+  Alcotest.(check bool) "untrained calls are unknown" true
+    (List.length unknowns > 0)
+
+let test_tracker_depth_balanced () =
+  let p = figure2_program () in
+  let tree = build p in
+  let tracker, _ = drive_tracker tree p (input ()) in
+  Alcotest.(check int) "back at root" 0 (Tracker.depth tracker)
+
+let test_tracker_restores_position () =
+  let p = figure2_program () in
+  let tree = build p in
+  let tracker = Tracker.create tree in
+  let main_fid = (P.find_func p "main").P.fid in
+  let initm_fid = (P.find_func p "initm").P.fid in
+  let _ = Tracker.on_marker tracker (Walker.Enter_func { fid = main_fid; site_id = None }) in
+  let main_pos = Tracker.current tracker in
+  let _ =
+    Tracker.on_marker tracker
+      (Walker.Enter_func { fid = initm_fid; site_id = Some 0 })
+  in
+  (match Tracker.on_marker tracker (Walker.Exit_func { fid = initm_fid }) with
+  | Tracker.Exited { restored } ->
+      Alcotest.(check bool) "restored to main" true (restored = main_pos)
+  | Tracker.Entered _ | Tracker.Ignored -> Alcotest.fail "expected exit");
+  Alcotest.(check bool) "current is main" true (Tracker.current tracker = main_pos)
+
+(* --- qcheck ---------------------------------------------------------- *)
+
+let prop_totals_bounded_by_window =
+  QCheck.Test.make ~name:"node totals bounded by profiled window" ~count:50
+    QCheck.(pair (int_range 1 4) small_int)
+    (fun (scale, seed) ->
+      let p = figure2_program () in
+      let t =
+        build ~max_insts:2_000 ~input:(input ~scale ~seed ()) p
+      in
+      let ok = ref true in
+      Call_tree.iter t ~f:(fun n ->
+          if n.Call_tree.total_insts > Call_tree.instructions_profiled t then
+            ok := false);
+      !ok)
+
+let suite =
+  [
+    ("context names unique", `Quick, test_context_names_unique);
+    ("context tree mapping", `Quick, test_context_tree_mapping);
+    ("context of_name", `Quick, test_context_of_name);
+    ("figure2 L+F+C+P", `Quick, test_figure2_lfcp);
+    ("figure2 L+F+P", `Quick, test_figure2_lfp);
+    ("figure2 F+C+P", `Quick, test_figure2_fcp);
+    ("figure2 F+P", `Quick, test_figure2_fp);
+    ("figure2 totals", `Quick, test_figure2_instruction_totals);
+    ("long-running threshold", `Quick, test_long_running_threshold);
+    ("long excludes long children", `Quick, test_long_excludes_long_children);
+    ("recursion folded", `Quick, test_recursion_folded);
+    ("static units", `Quick, test_static_units);
+    ("tree pp", `Quick, test_tree_pp);
+    ("instructions profiled", `Quick, test_instructions_profiled);
+    ("coverage identical", `Quick, test_coverage_identical);
+    ("coverage divergent", `Quick, test_coverage_divergent_paths);
+    ("coverage context mismatch", `Quick, test_coverage_context_mismatch);
+    ("tracker follows known paths", `Quick, test_tracker_follows_known_paths);
+    ("tracker unknown on new path", `Quick, test_tracker_unknown_on_new_path);
+    ("tracker depth balanced", `Quick, test_tracker_depth_balanced);
+    ("tracker restores position", `Quick, test_tracker_restores_position);
+    QCheck_alcotest.to_alcotest prop_totals_bounded_by_window;
+  ]

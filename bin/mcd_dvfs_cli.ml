@@ -4,7 +4,11 @@
      mcd-dvfs run mcf --policy profile      simulate one benchmark
      mcd-dvfs tree "gsm encode"             print the training call tree
      mcd-dvfs plan "gsm encode"             print the reconfiguration plan
-     mcd-dvfs compare mcf                   baseline/off-line/on-line/L+F *)
+     mcd-dvfs compare mcf                   baseline/off-line/on-line/L+F
+     mcd-dvfs robustness --seed 7           fault-injection campaign
+
+   Exit codes: 0 success, 1 campaign failure, 2 plan validation error,
+   3 plan I/O error (see Mcd_robust.Error.exit_code). *)
 
 open Cmdliner
 
@@ -13,8 +17,11 @@ module Workload = Mcd_workloads.Workload
 module Context = Mcd_profiling.Context
 module Call_tree = Mcd_profiling.Call_tree
 module Runner = Mcd_experiments.Runner
+module Robustness = Mcd_experiments.Robustness
 module Metrics = Mcd_power.Metrics
 module Table = Mcd_util.Table
+module Error = Mcd_robust.Error
+module Inject = Mcd_robust.Inject
 
 let workload_arg =
   let parse s =
@@ -45,7 +52,8 @@ let suite_cmd =
         Printf.printf "%-16s %-10s %s\n" w.Workload.name
           (Workload.kind_name w.Workload.kind)
           w.Workload.trait)
-      Suite.all
+      Suite.all;
+    0
   in
   Cmd.v (Cmd.info "suite" ~doc:"List the benchmark suite")
     Term.(const run $ const ())
@@ -118,7 +126,8 @@ let run_cmd =
         "vs baseline: slowdown %.1f%%, energy savings %.1f%%, ExD %+.1f%%@."
         c.Runner.degradation_pct c.Runner.savings_pct
         c.Runner.ed_improvement_pct
-    end
+    end;
+    0
   in
   let w = Arg.(required & pos 0 (some workload_arg) None & info [] ~docv:"BENCHMARK") in
   let policy =
@@ -152,7 +161,8 @@ let tree_cmd =
       Format.printf "%a@." Call_tree.pp tree;
       Format.printf "%d nodes, %d long-running@." (Call_tree.size tree - 1)
         (Call_tree.long_count tree)
-    end
+    end;
+    0
   in
   let w = Arg.(required & pos 0 (some workload_arg) None & info [] ~docv:"BENCHMARK") in
   let context =
@@ -172,32 +182,40 @@ let tree_cmd =
 (* --- plan ------------------------------------------------------------ *)
 
 let plan_cmd =
+  let show plan save =
+    Format.printf "%a@." Mcd_core.Plan.pp plan;
+    Printf.printf "static points: %d reconfiguration, %d instrumented\n"
+      (Mcd_core.Plan.static_reconfig_points plan)
+      (Mcd_core.Plan.static_instr_points plan);
+    (match save with
+    | Some path ->
+        Mcd_core.Plan_io.save plan ~path;
+        Printf.printf "saved to %s\n" path
+    | None -> ());
+    0
+  in
   let run w context delta save load =
-    let plan =
-      match load with
-      | Some path ->
-          let tree =
-            Call_tree.build w.Workload.program ~input:w.Workload.train
-              ~context ~max_insts:400_000 ()
-          in
-          Mcd_core.Plan_io.load ~path ~tree
-      | None ->
+    match load with
+    | Some path -> (
+        match Runner.load_plan w ~context ~path with
+        | Error errors ->
+            Format.eprintf "%s: rejected:@.%a" path Error.pp_list errors;
+            Error.exit_code_of_list errors
+        | Ok { Mcd_core.Plan_io.plan; warnings } ->
+            if warnings <> [] then
+              Format.eprintf "%s: loaded with repairs:@.%a" path Error.pp_list
+                warnings;
+            show plan save)
+    | None ->
+        let plan =
           if delta = Runner.default_slowdown_pct then
             Runner.plan_for w ~context ~train:`Train
           else
             Mcd_core.Plan.with_slowdown
               (Runner.plan_for w ~context ~train:`Train)
               ~slowdown_pct:delta
-    in
-    Format.printf "%a@." Mcd_core.Plan.pp plan;
-    Printf.printf "static points: %d reconfiguration, %d instrumented\n"
-      (Mcd_core.Plan.static_reconfig_points plan)
-      (Mcd_core.Plan.static_instr_points plan);
-    match save with
-    | Some path ->
-        Mcd_core.Plan_io.save plan ~path;
-        Printf.printf "saved to %s\n" path
-    | None -> ()
+        in
+        show plan save
   in
   let w = Arg.(required & pos 0 (some workload_arg) None & info [] ~docv:"BENCHMARK") in
   let context =
@@ -254,16 +272,65 @@ let compare_cmd =
              row "profile L+F" profile;
              row (Printf.sprintf "global DVS @%d MHz" mhz) global;
            ]
-         ())
+         ());
+    0
   in
   let w = Arg.(required & pos 0 (some workload_arg) None & info [] ~docv:"BENCHMARK") in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare all policies on one benchmark")
     Term.(const run $ w)
 
+(* --- robustness -------------------------------------------------------- *)
+
+let fault_arg =
+  let parse s =
+    match Inject.of_name s with
+    | Some f -> Ok f
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown fault %S (one of: %s)" s
+               (String.concat ", " Inject.names)))
+  in
+  let print fmt f = Format.pp_print_string fmt (Inject.name f) in
+  Arg.conv (parse, print)
+
+let robustness_cmd =
+  let run seed faults workloads =
+    let faults = if faults = [] then Inject.all else faults in
+    let workloads = if workloads = [] then Suite.all else workloads in
+    let report = Robustness.run ~workloads ~faults ~seed () in
+    print_string (Robustness.render report);
+    if Robustness.clean report then 0 else 1
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Master seed for all stochastic fault choices")
+  in
+  let faults =
+    Arg.(value & opt_all fault_arg []
+         & info [ "fault" ] ~docv:"FAULT"
+             ~doc:
+               ("Restrict to a fault class (repeatable). One of: "
+               ^ String.concat ", " Inject.names))
+  in
+  let workloads =
+    Arg.(value & pos_all workload_arg [] & info [] ~docv:"BENCHMARK")
+  in
+  Cmd.v
+    (Cmd.info "robustness"
+       ~doc:
+         "Run the fault-injection campaign: every fault class over the \
+          benchmark suite, asserting zero crashes and bounded slowdown")
+    Term.(const run $ seed $ faults $ workloads)
+
 let () =
   let info =
     Cmd.info "mcd-dvfs"
       ~doc:"Profile-based DVFS for a multiple clock domain microprocessor"
   in
-  exit (Cmd.eval (Cmd.group info [ suite_cmd; run_cmd; tree_cmd; plan_cmd; compare_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ suite_cmd; run_cmd; tree_cmd; plan_cmd; compare_cmd; robustness_cmd ]))

@@ -1,0 +1,104 @@
+(* Fault injection and graceful degradation.
+
+   What happens when the shipped plan file is corrupted in transit, or
+   when the reconfiguration hardware itself misbehaves? This example
+   walks the failure modes one at a time:
+
+   1. a corrupted plan file is loaded through the validating loader —
+      fatal corruption is rejected with typed diagnostics (and the
+      machine would run the full-speed baseline), while near-miss
+      corruption is repaired with warnings;
+   2. a broken run-time policy (here: one that raises) is wrapped in the
+      degradation guard, which swallows the fault and falls back to the
+      full-speed baseline mid-run;
+   3. a domain with a stuck frequency is injected into the hardware
+      model, and the guard's watchdog detects that its writes are being
+      ignored.
+
+     dune exec examples/fault_injection.exe *)
+
+module Suite = Mcd_workloads.Suite
+module Workload = Mcd_workloads.Workload
+module Context = Mcd_profiling.Context
+module Analyze = Mcd_core.Analyze
+module Plan_io = Mcd_core.Plan_io
+module Editor = Mcd_core.Editor
+module Pipeline = Mcd_cpu.Pipeline
+module Config = Mcd_cpu.Config
+module Controller = Mcd_cpu.Controller
+module Metrics = Mcd_power.Metrics
+module Domain = Mcd_domains.Domain
+module Freq = Mcd_domains.Freq
+module Dvfs = Mcd_domains.Dvfs
+module Rng = Mcd_util.Rng
+module Error = Mcd_robust.Error
+module Inject = Mcd_robust.Inject
+module Degrade = Mcd_robust.Degrade
+
+let run_reference (w : Workload.t) ?(dvfs_faults = []) controller =
+  Pipeline.run ?controller ~dvfs_faults ~config:Config.alpha21264_like
+    ~warmup_insts:w.Workload.ref_offset ~program:w.Workload.program
+    ~input:w.Workload.reference ~max_insts:w.Workload.ref_window ()
+
+let () =
+  let w = Suite.by_name "gsm encode" in
+  let rng = Rng.create 2003 in
+  let plan, _ =
+    Analyze.analyze ~program:w.Workload.program ~train:w.Workload.train
+      ~context:Context.lf ~trace_insts:w.Workload.train_window ()
+  in
+  let baseline = run_reference w None in
+
+  (* --- 1. artifact corruption -------------------------------------- *)
+  print_endline "== corrupting the shipped plan file ==";
+  List.iter
+    (fun ff ->
+      let path = Filename.temp_file "fault_injection" ".plan" in
+      Plan_io.save plan ~path;
+      Inject.corrupt_file ff ~rng ~path;
+      (match Plan_io.load_result ~path ~tree:plan.Mcd_core.Plan.tree with
+      | Error errors ->
+          Printf.printf "%-18s rejected -> full-speed baseline\n"
+            (Inject.name (Inject.File ff));
+          List.iter
+            (fun e -> Printf.printf "    %s\n" (Error.to_string e))
+            errors
+      | Ok { Plan_io.plan = repaired; warnings } ->
+          Printf.printf "%-18s loaded with %d repair(s)\n"
+            (Inject.name (Inject.File ff))
+            (List.length warnings);
+          List.iter
+            (fun e -> Printf.printf "    %s\n" (Error.to_string e))
+            warnings;
+          ignore (Editor.edit repaired));
+      Sys.remove path)
+    [ Inject.Truncate; Inject.Mutate_frequency; Inject.Stale_fingerprint ];
+
+  (* --- 2. a policy that crashes mid-run ----------------------------- *)
+  print_endline "\n== a run-time policy that raises ==";
+  let raising =
+    {
+      Controller.name = "sabotaged";
+      on_marker = (fun _ ~now:_ -> failwith "corrupt frequency table");
+      on_sample = (fun _ ~now:_ -> None);
+      sample_interval_cycles = 0;
+    }
+  in
+  let counters = Degrade.counters () in
+  let run = run_reference w (Some (Degrade.guard ~counters raising)) in
+  Printf.printf "guarded run completed: %.1f%% slowdown vs baseline, %s\n"
+    (Metrics.perf_degradation_pct ~baseline run)
+    (Format.asprintf "%a" Degrade.pp_counters counters);
+
+  (* --- 3. a stuck hardware domain ----------------------------------- *)
+  print_endline "\n== a domain whose frequency is stuck ==";
+  let edited = Editor.edit plan in
+  let counters = Degrade.counters () in
+  let guarded = Degrade.guard ~counters edited.Editor.controller in
+  let stuck = [ Dvfs.Stuck_at (Domain.Integer, Freq.fmin_mhz) ] in
+  let run = run_reference w ~dvfs_faults:stuck (Some guarded) in
+  Printf.printf
+    "integer domain stuck at %d MHz: %.1f%% slowdown vs baseline, %s\n"
+    Freq.fmin_mhz
+    (Metrics.perf_degradation_pct ~baseline run)
+    (Format.asprintf "%a" Degrade.pp_counters counters)

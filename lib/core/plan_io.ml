@@ -4,6 +4,8 @@ module Histogram = Mcd_util.Histogram
 module Domain = Mcd_domains.Domain
 module Freq = Mcd_domains.Freq
 module Reconfig = Mcd_domains.Reconfig
+module Error = Mcd_robust.Error
+module Validate = Mcd_robust.Validate
 
 (* FNV-1a over a canonical rendering of the tree structure. *)
 let fingerprint tree =
@@ -30,26 +32,12 @@ let fingerprint tree =
 let setting_to_string (s : Reconfig.setting) =
   String.concat "," (Array.to_list (Array.map string_of_int s))
 
-let setting_of_string str =
-  let parts = String.split_on_char ',' str in
-  if List.length parts <> Domain.count then failwith "Plan_io: bad setting";
-  Array.of_list (List.map int_of_string parts)
-
 let floats_to_string arr =
   String.concat "," (Array.to_list (Array.map (Printf.sprintf "%h") arr))
-
-let floats_of_string str =
-  Array.of_list (List.map float_of_string (String.split_on_char ',' str))
 
 let unit_to_string = function
   | Call_tree.Func_unit fid -> Printf.sprintf "func:%d" fid
   | Call_tree.Loop_unit id -> Printf.sprintf "loop:%d" id
-
-let unit_of_string s =
-  match String.split_on_char ':' s with
-  | [ "func"; n ] -> Call_tree.Func_unit (int_of_string n)
-  | [ "loop"; n ] -> Call_tree.Loop_unit (int_of_string n)
-  | _ -> failwith "Plan_io: bad static unit"
 
 let save (plan : Plan.t) ~path =
   let oc = open_out path in
@@ -91,86 +79,276 @@ let save (plan : Plan.t) ~path =
                 seg.Path_model.signatures;
               Printf.fprintf oc "\n")
             pm.Path_model.segments)
-        plan.Plan.node_paths)
+        plan.Plan.node_paths;
+      (* trailer so a truncated copy is detectable *)
+      Printf.fprintf oc "end\n")
+
+(* --- loading ----------------------------------------------------------- *)
+
+(* Per-line parsing failures are reported through this local exception
+   and turned into typed diagnostics by the caller; it never escapes
+   [load_result]. *)
+exception Reject of string
+
+let parse_int s =
+  match int_of_string s with
+  | v -> v
+  | exception Failure _ -> raise (Reject (Printf.sprintf "bad integer %S" s))
+
+let parse_float s =
+  match float_of_string s with
+  | v -> v
+  | exception Failure _ -> raise (Reject (Printf.sprintf "bad float %S" s))
+
+let setting_of_string str =
+  let parts = String.split_on_char ',' str in
+  if List.length parts <> Domain.count then
+    raise
+      (Reject
+         (Printf.sprintf "setting has %d fields, expected %d"
+            (List.length parts) Domain.count));
+  Array.of_list (List.map parse_int parts)
+
+let floats_of_string str =
+  Array.of_list (List.map parse_float (String.split_on_char ',' str))
+
+let unit_of_string s =
+  match String.split_on_char ':' s with
+  | [ "func"; n ] -> Call_tree.Func_unit (parse_int n)
+  | [ "loop"; n ] -> Call_tree.Loop_unit (parse_int n)
+  | _ -> raise (Reject (Printf.sprintf "bad static unit %S" s))
+
+type loaded = { plan : Plan.t; warnings : Error.t list }
+
+let load_result ~path ~tree =
+  match open_in path with
+  | exception Sys_error message -> Result.Error [ Error.Io_error { path; message } ]
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let fatals = ref [] in
+          let warnings = ref [] in
+          let fatal e = fatals := e :: !fatals in
+          let warn e = warnings := e :: !warnings in
+          let context = ref Context.lf in
+          let slowdown = ref 7.0 in
+          let node_settings = Hashtbl.create 32 in
+          let unit_settings = Hashtbl.create 32 in
+          let node_histograms : (int, Histogram.t array) Hashtbl.t =
+            Hashtbl.create 32
+          in
+          let node_paths : (int, Path_model.t) Hashtbl.t = Hashtbl.create 32 in
+          let fp_checked = ref false in
+          let saw_end = ref false in
+          let tree_size = Call_tree.size tree in
+          let node_known id ~what =
+            if id >= 0 && id < tree_size then true
+            else begin
+              warn
+                (Error.Tree_shape_drift
+                   { path; node = id; detail = what ^ " for an unknown node" });
+              false
+            end
+          in
+          (* A validated setting: wrong arity and out-of-range values are
+             fatal (a corrupt field, not a near-miss); in-range off-grid
+             values are snapped with a diagnostic. *)
+          let checked_setting ~where str k =
+            let s = setting_of_string str in
+            match Validate.setting ~where s with
+            | Result.Error e -> fatal e
+            | Result.Ok (repaired, ws) ->
+                List.iter warn ws;
+                k repaired
+          in
+          (match input_line ic with
+          | "mcd-dvfs-plan 1" -> ()
+          | found -> fatal (Error.Bad_header { path; found })
+          | exception End_of_file -> fatal (Error.Empty_file { path }));
+          let line_no = ref 1 in
+          (if !fatals = [] then
+             try
+               while true do
+                 let line = input_line ic in
+                 incr line_no;
+                 let where = Printf.sprintf "%s:%d" path !line_no in
+                 try
+                   if !saw_end then
+                     raise (Reject "content after the end-of-plan marker");
+                   match String.split_on_char ' ' line with
+                   | [ "end" ] -> saw_end := true
+                   | [ "context"; name ] -> (
+                       match Context.of_name name with
+                       | c -> context := c
+                       | exception Not_found ->
+                           raise (Reject (Printf.sprintf "unknown context %S" name)))
+                   | [ "slowdown"; v ] ->
+                       let v, w = Validate.slowdown_pct (parse_float v) in
+                       Option.iter warn w;
+                       slowdown := v
+                   | [ "tree"; fp ] ->
+                       fp_checked := true;
+                       let expected = fingerprint tree in
+                       if fp <> expected then
+                         fatal
+                           (Error.Fingerprint_mismatch
+                              { path; expected; found = fp })
+                   | [ "node"; id; s ] ->
+                       let id = parse_int id in
+                       if node_known id ~what:"setting" then
+                         checked_setting ~where s (fun repaired ->
+                             Hashtbl.replace node_settings id repaired)
+                   | [ "unit"; u; s ] ->
+                       let u = unit_of_string u in
+                       checked_setting ~where s (fun repaired ->
+                           Hashtbl.replace unit_settings u repaired)
+                   | [ "hist"; id; d; weights ] ->
+                       let id = parse_int id and d = parse_int d in
+                       if d < 0 || d >= Domain.count then
+                         raise
+                           (Reject (Printf.sprintf "bad domain index %d" d));
+                       let weights = floats_of_string weights in
+                       if Array.length weights > Freq.num_steps then
+                         raise
+                           (Reject
+                              (Printf.sprintf "%d histogram bins, expected %d"
+                                 (Array.length weights) Freq.num_steps));
+                       if node_known id ~what:"histogram" then begin
+                         let hists =
+                           match Hashtbl.find_opt node_histograms id with
+                           | Some hs -> hs
+                           | None ->
+                               let hs =
+                                 Array.init Domain.count (fun _ ->
+                                     Histogram.create ~bins:Freq.num_steps)
+                               in
+                               Hashtbl.add node_histograms id hs;
+                               hs
+                         in
+                         Array.iteri
+                           (fun bin weight ->
+                             let weight, w =
+                               Validate.weight ~node:id ~domain:d ~bin weight
+                             in
+                             Option.iter warn w;
+                             if weight > 0.0 then
+                               Histogram.add hists.(d) ~bin ~weight)
+                           weights
+                       end
+                   | "seg" :: id :: base :: signatures ->
+                       let id = parse_int id in
+                       if node_known id ~what:"path segment" then begin
+                         let base = parse_float base in
+                         if Float.is_nan base || base < 0.0 then
+                           raise (Reject "negative or NaN segment base");
+                         let seg =
+                           {
+                             Path_model.base_ps = base;
+                             signatures = List.map floats_of_string signatures;
+                           }
+                         in
+                         let pm =
+                           match Hashtbl.find_opt node_paths id with
+                           | Some pm -> pm
+                           | None -> Path_model.empty
+                         in
+                         Hashtbl.replace node_paths id
+                           (Path_model.add_segment pm seg)
+                       end
+                   | [] | [ "" ] -> ()
+                   | directive :: _ ->
+                       raise
+                         (Reject (Printf.sprintf "unknown directive %S" directive))
+                 with Reject reason ->
+                   fatal
+                     (Error.Malformed_line
+                        { path; line = !line_no; content = line; reason })
+               done
+             with End_of_file -> ());
+          if !fatals = [] && not !fp_checked then
+            fatal (Error.Missing_fingerprint { path });
+          if !fatals = [] && not !saw_end then
+            fatal (Error.Truncated_file { path });
+          match List.rev !fatals with
+          | _ :: _ as errors -> Result.Error errors
+          | [] ->
+              Result.Ok
+                {
+                  plan =
+                    {
+                      Plan.tree;
+                      context = !context;
+                      slowdown_pct = !slowdown;
+                      node_settings;
+                      unit_settings;
+                      node_histograms;
+                      node_paths;
+                    };
+                  warnings = List.rev !warnings;
+                })
 
 let load ~path ~tree =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let context = ref Context.lf in
-      let slowdown = ref 7.0 in
-      let node_settings = Hashtbl.create 32 in
-      let unit_settings = Hashtbl.create 32 in
-      let node_histograms : (int, Histogram.t array) Hashtbl.t =
-        Hashtbl.create 32
-      in
-      let node_paths : (int, Path_model.t) Hashtbl.t = Hashtbl.create 32 in
-      let fp_checked = ref false in
-      (match input_line ic with
-      | "mcd-dvfs-plan 1" -> ()
-      | _ -> failwith "Plan_io: not a plan file"
-      | exception End_of_file -> failwith "Plan_io: empty file");
-      (try
-         while true do
-           let line = input_line ic in
-           match String.split_on_char ' ' line with
-           | [ "context"; name ] -> context := Context.of_name name
-           | [ "slowdown"; v ] -> slowdown := float_of_string v
-           | [ "tree"; fp ] ->
-               fp_checked := true;
-               if fp <> fingerprint tree then
-                 failwith
-                   "Plan_io: tree fingerprint mismatch (program or training \
-                    input changed since the plan was saved)"
-           | [ "node"; id; s ] ->
-               Hashtbl.replace node_settings (int_of_string id)
-                 (setting_of_string s)
-           | [ "unit"; u; s ] ->
-               Hashtbl.replace unit_settings (unit_of_string u)
-                 (setting_of_string s)
-           | [ "hist"; id; d; weights ] ->
-               let id = int_of_string id and d = int_of_string d in
-               let hists =
-                 match Hashtbl.find_opt node_histograms id with
-                 | Some hs -> hs
-                 | None ->
-                     let hs =
-                       Array.init Domain.count (fun _ ->
-                           Histogram.create ~bins:Freq.num_steps)
-                     in
-                     Hashtbl.add node_histograms id hs;
-                     hs
-               in
-               Array.iteri
-                 (fun bin weight ->
-                   if weight > 0.0 then Histogram.add hists.(d) ~bin ~weight)
-                 (floats_of_string weights)
-           | "seg" :: id :: base :: signatures ->
-               let id = int_of_string id in
-               let seg =
-                 {
-                   Path_model.base_ps = float_of_string base;
-                   signatures = List.map floats_of_string signatures;
-                 }
-               in
-               let pm =
-                 match Hashtbl.find_opt node_paths id with
-                 | Some pm -> pm
-                 | None -> Path_model.empty
-               in
-               Hashtbl.replace node_paths id (Path_model.add_segment pm seg)
-           | [] | [ "" ] -> ()
-           | _ -> failwith ("Plan_io: bad line: " ^ line)
-         done
-       with End_of_file -> ());
-      if not !fp_checked then failwith "Plan_io: missing tree fingerprint";
-      {
-        Plan.tree;
-        context = !context;
-        slowdown_pct = !slowdown;
-        node_settings;
-        unit_settings;
-        node_histograms;
-        node_paths;
-      })
+  match load_result ~path ~tree with
+  | Result.Ok { plan; warnings = _ } -> plan
+  | Result.Error errors ->
+      failwith
+        ("Plan_io: "
+        ^ String.concat "; " (List.map Error.to_string errors))
+
+(* --- whole-plan validation --------------------------------------------- *)
+
+let validate (plan : Plan.t) =
+  let errors = ref [] in
+  let emit e = errors := e :: !errors in
+  let tree_size = Call_tree.size plan.Plan.tree in
+  let check_setting ~where s =
+    match Validate.setting ~where s with
+    | Result.Error e -> emit e
+    | Result.Ok (_, ws) -> List.iter emit ws
+  in
+  Hashtbl.iter
+    (fun id s ->
+      if id < 0 || id >= tree_size then
+        emit
+          (Error.Tree_shape_drift
+             { path = "<plan>"; node = id; detail = "setting for an unknown node" });
+      check_setting ~where:(Printf.sprintf "node %d" id) s)
+    plan.Plan.node_settings;
+  Hashtbl.iter
+    (fun u s -> check_setting ~where:(unit_to_string u) s)
+    plan.Plan.unit_settings;
+  Hashtbl.iter
+    (fun id hists ->
+      if Array.length hists <> Domain.count then
+        emit
+          (Error.Bad_setting_arity
+             {
+               where = Printf.sprintf "node %d histograms" id;
+               expected = Domain.count;
+               found = Array.length hists;
+             })
+      else
+        Array.iteri
+          (fun d h ->
+            if Histogram.bins h <> Freq.num_steps then
+              emit
+                (Error.Bad_histogram_shape
+                   {
+                     node = id;
+                     expected_bins = Freq.num_steps;
+                     found_bins = Histogram.bins h;
+                   })
+            else
+              for bin = 0 to Freq.num_steps - 1 do
+                let w = Histogram.get h ~bin in
+                match Validate.weight ~node:id ~domain:d ~bin w with
+                | _, Some e -> emit e
+                | _, None -> ()
+              done)
+          hists)
+    plan.Plan.node_histograms;
+  (match Validate.slowdown_pct plan.Plan.slowdown_pct with
+  | _, Some e -> emit e
+  | _, None -> ());
+  List.rev !errors

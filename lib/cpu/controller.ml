@@ -3,6 +3,8 @@ type sample = {
   avg_occupancy : float array;
   retired : int;
   total_retired : int;
+  target_mhz : int array;
+  current_mhz : float array;
 }
 
 type reaction = {

@@ -17,6 +17,14 @@ type sample = {
           fetch-buffer occupancy *)
   retired : int;  (** instructions retired during the interval *)
   total_retired : int;  (** instructions retired since the run began *)
+  target_mhz : int array;
+      (** programmed DVFS target per {!Mcd_domains.Domain.index} — what
+          the hardware {e admits} it was asked for, which a watchdog can
+          compare against what the policy {e believes} it asked for
+          (a lost or ignored reconfiguration write shows up here) *)
+  current_mhz : float array;
+      (** instantaneous operating point per domain; together with
+          [target_mhz] this exposes slews that never complete *)
 }
 
 type reaction = {

@@ -576,6 +576,12 @@ let sample_stage t ~now =
           avg_occupancy = Array.map (fun s -> s /. ticks) t.occ_sum;
           retired = t.retired - t.retired_at_sample;
           total_retired = t.retired;
+          target_mhz =
+            Array.init Domain.count (fun i ->
+                Dvfs.target_mhz t.dvfs (Domain.of_index i));
+          current_mhz =
+            Array.init Domain.count (fun i ->
+                Dvfs.current_mhz t.dvfs (Domain.of_index i) ~now);
         }
       in
       (match t.controller.Controller.on_sample sample ~now with
@@ -741,12 +747,13 @@ let metrics t ~now =
 
 let deadlock_horizon = Time.us 100_000 (* 100 ms of simulated time *)
 
-let run ?probe ?controller ?warmup_insts ~config ~program ~input ~max_insts
-    () =
+let run ?probe ?controller ?warmup_insts ?(dvfs_faults = []) ~config ~program
+    ~input ~max_insts () =
   let t =
     create ?probe ?controller ?warmup_insts ~config ~program ~input
       ~max_insts ()
   in
+  List.iter (Dvfs.inject t.dvfs) dvfs_faults;
   let now = ref Time.zero in
   let last_progress_time = ref Time.zero in
   let last_progress_count = ref 0 in

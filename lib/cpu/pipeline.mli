@@ -18,6 +18,7 @@ val run :
   ?probe:Probe.t ->
   ?controller:Controller.t ->
   ?warmup_insts:int ->
+  ?dvfs_faults:Mcd_domains.Dvfs.fault list ->
   config:Config.t ->
   program:Mcd_isa.Program.t ->
   input:Mcd_isa.Program.input ->
@@ -29,5 +30,7 @@ val run :
     instructions first with full microarchitectural effect — caches,
     predictors, DVFS state and the controller all run — then resets the
     measured statistics (energy, runtime, counters), mirroring the
-    paper's mid-program instruction windows. Raises [Failure] if the
-    pipeline deadlocks (a simulator bug). *)
+    paper's mid-program instruction windows. [dvfs_faults] (default
+    none) injects hardware faults into the clock/voltage system before
+    the first cycle — the robustness harness's hook. Raises [Failure]
+    if the pipeline deadlocks (a simulator bug). *)

@@ -1,0 +1,63 @@
+(** The robustness campaign: every fault class over the workload suite.
+
+    The paper's premise is that a binary edited from a {e training}
+    profile must still run safely on {e reference} inputs; this
+    campaign stress-tests the stronger claim that it runs safely even
+    when the shipped artifact or the reconfiguration hardware is
+    broken. For each (workload, fault) cell it injects the fault
+    ({!Mcd_robust.Inject}), routes the run through the degradation
+    envelope ({!Mcd_robust.Degrade.guard} and the validating plan
+    loader), and checks the contract:
+
+    - {e no crash}: every cell completes, whatever the fault did;
+    - {e bounded deviation}: the degraded run is never slower than the
+      synchronous-machine bound — a globally synchronous core pinned at
+      the frequency floor (every guard-sanitised setting keeps all
+      domains at legal frequencies, so a whole machine at 250 MHz is
+      the worst the degraded MCD machine could approach);
+    - {e plan corruption degrades to baseline}: when the loader rejects
+      a corrupt plan outright, the run {e is} the full-speed MCD
+      baseline (zero measured slowdown). *)
+
+type recovery =
+  | Clean  (** the fault had no observable effect *)
+  | Repaired
+      (** validation or the watchdog intervened (clamp, reissue,
+          fallback) and the run completed degraded *)
+  | Rejected_to_baseline
+      (** the plan failed validation and the workload ran the
+          full-speed baseline instead *)
+
+type outcome = {
+  workload : string;
+  fault : string;
+  crashed : string option;  (** exception text if the cell crashed *)
+  recovery : recovery;
+  load_diagnostics : int;  (** loader errors + warnings *)
+  interventions : int;  (** {!Mcd_robust.Degrade.interventions} *)
+  slowdown_pct : float;  (** vs the fault-free MCD baseline *)
+  bound_pct : float;  (** the synchronous-machine bound for this cell *)
+  within_bound : bool;
+}
+
+type report = {
+  outcomes : outcome list;
+  crashes : int;
+  bound_violations : int;
+}
+
+val clean : report -> bool
+(** No crashes and no bound violations. *)
+
+val run :
+  ?workloads:Mcd_workloads.Workload.t list ->
+  ?faults:Mcd_robust.Inject.fault list ->
+  seed:int ->
+  unit ->
+  report
+(** Defaults: the full 19-workload suite, every fault class. All
+    stochastic fault choices derive from [seed], so a campaign is
+    reproducible. *)
+
+val render : report -> string
+(** Per-cell table plus a summary line. *)

@@ -88,6 +88,16 @@ let plan_for (w : Workload.t) ~context ~train =
   in
   plan
 
+(* The result path for shipped plans: rebuild the training tree exactly
+   as Analyze does (same context, same default windows), then load with
+   typed diagnostics instead of exceptions. *)
+let load_plan (w : Workload.t) ~context ~path =
+  let tree =
+    Mcd_profiling.Call_tree.build w.Workload.program ~input:w.Workload.train
+      ~context ~max_insts:400_000 ()
+  in
+  Mcd_core.Plan_io.load_result ~path ~tree
+
 let oracle_analysis (w : Workload.t) =
   memoize oracle_memo (w.Workload.name ^ "/oracle") @@ fun () ->
   Mcd_core.Oracle.analyze ~program:w.Workload.program

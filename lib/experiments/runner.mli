@@ -34,6 +34,15 @@ val plan_for :
     (benchmark, context, input). [`Reference] training is the off-line
     oracle. *)
 
+val load_plan :
+  Mcd_workloads.Workload.t ->
+  context:Mcd_profiling.Context.t ->
+  path:string ->
+  (Mcd_core.Plan_io.loaded, Mcd_robust.Error.t list) result
+(** Load a previously shipped plan against a freshly rebuilt training
+    tree, reporting typed diagnostics rather than raising — the entry
+    point the CLI and the robustness campaign use. *)
+
 val offline_run :
   ?slowdown_pct:float -> Mcd_workloads.Workload.t -> Mcd_power.Metrics.run
 (** The interval-based off-line oracle ({!Mcd_core.Oracle}): analyse the

@@ -4,9 +4,13 @@ type dstate = {
   mutable current : float; (* MHz *)
   mutable target : float;
   mutable last : Time.t;
+  mutable stuck : bool; (* ignores set_target entirely *)
+  mutable frozen : bool; (* accepts targets but the ramp never moves *)
 }
 
 type t = { domains : dstate array }
+
+type fault = Stuck_at of Domain.t * int | Frozen_slew of Domain.t
 
 let slew_ns_per_mhz = 73.3
 
@@ -18,6 +22,8 @@ let create () =
             current = float_of_int Freq.fmax_mhz;
             target = float_of_int Freq.fmax_mhz;
             last = Time.zero;
+            stuck = false;
+            frozen = false;
           });
   }
 
@@ -25,7 +31,7 @@ let create () =
    the arrival of a result produced in the past) answer with the current
    operating point rather than rewinding the ramp. *)
 let advance ds ~now =
-  if now > ds.last && ds.current <> ds.target then begin
+  if now > ds.last && ds.current <> ds.target && not ds.frozen then begin
     let elapsed_ns = Time.to_ns (now - ds.last) in
     let delta_mhz = elapsed_ns /. slew_ns_per_mhz in
     if ds.current < ds.target then
@@ -34,16 +40,28 @@ let advance ds ~now =
   end;
   if now > ds.last then ds.last <- now
 
-let set_target t domain ~now ~mhz =
+let set_target ?on_snap t domain ~now ~mhz =
   let ds = t.domains.(Domain.index domain) in
   advance ds ~now;
-  ds.target <- float_of_int (Freq.clamp mhz)
+  let snapped = Freq.clamp mhz in
+  if snapped <> mhz then
+    Option.iter (fun f -> f ~requested:mhz ~snapped) on_snap;
+  if not ds.stuck then ds.target <- float_of_int snapped
 
 let force t domain ~mhz =
   let ds = t.domains.(Domain.index domain) in
   let f = float_of_int (Freq.clamp mhz) in
   ds.current <- f;
   ds.target <- f
+
+let inject t = function
+  | Stuck_at (domain, mhz) ->
+      let ds = t.domains.(Domain.index domain) in
+      let f = float_of_int (Freq.clamp mhz) in
+      ds.current <- f;
+      ds.target <- f;
+      ds.stuck <- true
+  | Frozen_slew domain -> t.domains.(Domain.index domain).frozen <- true
 
 let target_mhz t domain =
   int_of_float t.domains.(Domain.index domain).target

@@ -4,7 +4,13 @@
     reconfiguration write incurs no idle time — the domain keeps
     executing through the change — but frequency slews toward the target
     at 73.3 ns per MHz, so traversing the full 750 MHz range takes 55 us.
-    Voltage tracks the instantaneous frequency. *)
+    Voltage tracks the instantaneous frequency.
+
+    The module also hosts the hardware half of the fault-injection
+    story ({!fault}): a domain can be pinned at a frequency (ignoring
+    all subsequent writes) or have its ramp frozen mid-slew, modelling
+    a broken voltage regulator. Faults are injected by the robustness
+    harness through {!Mcd_cpu.Pipeline.run}'s [dvfs_faults] argument. *)
 
 type t
 
@@ -14,8 +20,34 @@ val create : unit -> t
 val slew_ns_per_mhz : float
 (** 73.3 ns/MHz. *)
 
-val set_target : t -> Domain.t -> now:Mcd_util.Time.t -> mhz:int -> unit
-(** Begin slewing the domain toward [mhz] (snapped to a legal step). *)
+type fault =
+  | Stuck_at of Domain.t * int
+      (** the domain is forced to the given frequency (snapped to a
+          legal step) and every later {!set_target} is ignored *)
+  | Frozen_slew of Domain.t
+      (** {!set_target} still updates the target, but the operating
+          point never moves toward it — the slew never completes *)
+
+val inject : t -> fault -> unit
+(** Apply a hardware fault. Irreversible for the life of the value. *)
+
+val set_target :
+  ?on_snap:(requested:int -> snapped:int -> unit) ->
+  t ->
+  Domain.t ->
+  now:Mcd_util.Time.t ->
+  mhz:int ->
+  unit
+(** Begin slewing the domain toward [mhz].
+
+    Off-grid requests are {e silently snapped} to the nearest legal
+    step of the {!Freq} grid ([Freq.clamp]): the register behaves like
+    real hardware, which implements only the legal operating points.
+    Callers that need to surface the discrepancy — validation and the
+    robustness watchdog — pass [on_snap], which is invoked with the
+    requested and substituted values whenever snapping changed the
+    request. A domain with an injected {!Stuck_at} fault ignores the
+    write entirely (the [on_snap] diagnostic still fires). *)
 
 val force : t -> Domain.t -> mhz:int -> unit
 (** Set the domain's operating point instantaneously (no slew). Used to

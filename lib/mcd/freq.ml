@@ -11,6 +11,9 @@ let clamp mhz =
   let snapped = fmin_mhz + (step_mhz * ((mhz - fmin_mhz + (step_mhz / 2)) / step_mhz)) in
   max fmin_mhz (min fmax_mhz snapped)
 
+let is_step mhz =
+  mhz >= fmin_mhz && mhz <= fmax_mhz && (mhz - fmin_mhz) mod step_mhz = 0
+
 let index_of mhz =
   if mhz < fmin_mhz || mhz > fmax_mhz || (mhz - fmin_mhz) mod step_mhz <> 0 then
     invalid_arg (Printf.sprintf "Freq.index_of: %d MHz is not a step" mhz);

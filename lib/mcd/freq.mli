@@ -29,6 +29,10 @@ val clamp : int -> int
 (** Clamp an arbitrary MHz value into range and snap it to the nearest
     step. *)
 
+val is_step : int -> bool
+(** True when the value is exactly one of [steps] — i.e. {!clamp} would
+    return it unchanged. *)
+
 val index_of : int -> int
 (** Step index (0 = 250 MHz ... 15 = 1000 MHz) of a frequency that must
     be one of [steps]. Raises [Invalid_argument] otherwise. *)

@@ -26,9 +26,10 @@ type t = {
 
 let create dvfs = { dvfs; count = 0; last = full_speed () }
 
-let write t setting ~now =
+let write ?on_snap t setting ~now =
   List.iter
-    (fun d -> Dvfs.set_target t.dvfs d ~now ~mhz:setting.(Domain.index d))
+    (fun d ->
+      Dvfs.set_target ?on_snap t.dvfs d ~now ~mhz:setting.(Domain.index d))
     Domain.all;
   t.count <- t.count + 1;
   t.last <- Array.copy setting

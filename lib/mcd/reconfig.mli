@@ -22,8 +22,16 @@ type t
 
 val create : Dvfs.t -> t
 
-val write : t -> setting -> now:Mcd_util.Time.t -> unit
-(** Program all four domain targets; no idle time is incurred. *)
+val write :
+  ?on_snap:(requested:int -> snapped:int -> unit) ->
+  t ->
+  setting ->
+  now:Mcd_util.Time.t ->
+  unit
+(** Program all four domain targets; no idle time is incurred. Off-grid
+    frequencies are snapped exactly as {!Dvfs.set_target} does; [on_snap]
+    receives each snapped value so callers can emit a validation
+    diagnostic instead of losing the discrepancy silently. *)
 
 val writes : t -> int
 (** Number of register writes so far (reconfigurations performed). *)

@@ -1,0 +1,77 @@
+type t =
+  | Io_error of { path : string; message : string }
+  | Empty_file of { path : string }
+  | Bad_header of { path : string; found : string }
+  | Malformed_line of {
+      path : string;
+      line : int;
+      content : string;
+      reason : string;
+    }
+  | Missing_fingerprint of { path : string }
+  | Truncated_file of { path : string }
+  | Fingerprint_mismatch of { path : string; expected : string; found : string }
+  | Tree_shape_drift of { path : string; node : int; detail : string }
+  | Illegal_frequency of { where : string; requested_mhz : int; snapped_mhz : int }
+  | Bad_setting_arity of { where : string; expected : int; found : int }
+  | Bad_histogram_weight of { node : int; domain : int; bin : int; weight : float }
+  | Bad_histogram_shape of { node : int; expected_bins : int; found_bins : int }
+  | Bad_slowdown of { value : float }
+  | Runtime_fault of { where : string; detail : string }
+
+let class_ = function
+  | Io_error _ -> `Io
+  | Empty_file _ | Bad_header _ | Malformed_line _ | Missing_fingerprint _
+  | Truncated_file _ | Fingerprint_mismatch _ | Tree_shape_drift _
+  | Illegal_frequency _
+  | Bad_setting_arity _ | Bad_histogram_weight _ | Bad_histogram_shape _
+  | Bad_slowdown _ | Runtime_fault _ ->
+      `Validation
+
+let exit_code t = match class_ t with `Validation -> 2 | `Io -> 3
+
+let exit_code_of_list = function
+  | [] -> 0
+  | errors ->
+      if List.exists (fun e -> class_ e = `Io) errors then 3 else 2
+
+let to_string = function
+  | Io_error { path; message } -> Printf.sprintf "%s: I/O error: %s" path message
+  | Empty_file { path } -> Printf.sprintf "%s: empty plan file" path
+  | Bad_header { path; found } ->
+      Printf.sprintf "%s: not a plan file (first line %S)" path found
+  | Malformed_line { path; line; content; reason } ->
+      Printf.sprintf "%s:%d: malformed line %S (%s)" path line content reason
+  | Missing_fingerprint { path } ->
+      Printf.sprintf "%s: missing tree fingerprint" path
+  | Truncated_file { path } ->
+      Printf.sprintf "%s: missing end-of-plan marker (file truncated?)" path
+  | Fingerprint_mismatch { path; expected; found } ->
+      Printf.sprintf
+        "%s: tree fingerprint mismatch (plan %s, program %s): the program or \
+         training input changed since the plan was saved"
+        path found expected
+  | Tree_shape_drift { path; node; detail } ->
+      Printf.sprintf "%s: node %d is not in the rebuilt call tree (%s)" path
+        node detail
+  | Illegal_frequency { where; requested_mhz; snapped_mhz } ->
+      Printf.sprintf "%s: %d MHz is not a legal frequency step (snapped to %d)"
+        where requested_mhz snapped_mhz
+  | Bad_setting_arity { where; expected; found } ->
+      Printf.sprintf "%s: setting has %d domains, expected %d" where found
+        expected
+  | Bad_histogram_weight { node; domain; bin; weight } ->
+      Printf.sprintf "node %d: bad histogram weight %h (domain %d, bin %d)"
+        node weight domain bin
+  | Bad_histogram_shape { node; expected_bins; found_bins } ->
+      Printf.sprintf "node %d: histogram has %d bins, expected %d" node
+        found_bins expected_bins
+  | Bad_slowdown { value } ->
+      Printf.sprintf "bad slowdown tolerance %h" value
+  | Runtime_fault { where; detail } ->
+      Printf.sprintf "%s: runtime fault: %s" where detail
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let pp_list fmt errors =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp e) errors

@@ -1,0 +1,64 @@
+(** Structured diagnostics for the profile→edit→run pipeline.
+
+    Every failure the robustness subsystem can detect — in plan files,
+    in plan values, or in run-time reconfiguration behaviour — is a
+    variant here, carrying enough context to render a one-line
+    actionable message. Diagnostics are split into two classes:
+    [`Io] (the artifact could not be read at all) and [`Validation]
+    (the artifact was read but violates an invariant). The CLI maps the
+    classes to distinct exit codes so harnesses can script against
+    them. *)
+
+type t =
+  | Io_error of { path : string; message : string }
+      (** the file could not be opened or read *)
+  | Empty_file of { path : string }
+  | Bad_header of { path : string; found : string }
+      (** first line is not the plan-format magic *)
+  | Malformed_line of {
+      path : string;
+      line : int;  (** 1-based line number *)
+      content : string;
+      reason : string;
+    }
+  | Missing_fingerprint of { path : string }
+  | Truncated_file of { path : string }
+      (** the end-of-plan marker is missing: the tail of the file was
+          lost in transit *)
+  | Fingerprint_mismatch of { path : string; expected : string; found : string }
+      (** the program or training input changed shape since the plan
+          was saved *)
+  | Tree_shape_drift of { path : string; node : int; detail : string }
+      (** the plan names a call-tree node the rebuilt tree does not
+          have *)
+  | Illegal_frequency of { where : string; requested_mhz : int; snapped_mhz : int }
+      (** a frequency outside the legal grid; [snapped_mhz] is what the
+          degradation policy substituted *)
+  | Bad_setting_arity of { where : string; expected : int; found : int }
+      (** a reconfiguration setting with the wrong number of domains *)
+  | Bad_histogram_weight of { node : int; domain : int; bin : int; weight : float }
+      (** NaN or negative weight in a retained histogram *)
+  | Bad_histogram_shape of { node : int; expected_bins : int; found_bins : int }
+      (** a retained histogram whose bin count does not match the
+          frequency grid *)
+  | Bad_slowdown of { value : float }
+      (** NaN or negative slowdown tolerance *)
+  | Runtime_fault of { where : string; detail : string }
+      (** a run-time watchdog observation: a domain that ignores
+          reconfiguration writes, a slew that never completes, ... *)
+
+val class_ : t -> [ `Io | `Validation ]
+
+val exit_code : t -> int
+(** 2 for [`Validation], 3 for [`Io] — the CLI contract. *)
+
+val exit_code_of_list : t list -> int
+(** The I/O code dominates: 3 if any error is [`Io], else 2.
+    0 for the empty list. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val pp_list : Format.formatter -> t list -> unit
+(** One diagnostic per line. *)

@@ -1,0 +1,44 @@
+module Domain = Mcd_domains.Domain
+module Freq = Mcd_domains.Freq
+
+let frequency ~where mhz =
+  let snapped = Freq.clamp mhz in
+  if snapped = mhz then (mhz, None)
+  else
+    ( snapped,
+      Some (Error.Illegal_frequency { where; requested_mhz = mhz; snapped_mhz = snapped })
+    )
+
+let frequency_fatal mhz = mhz < Freq.fmin_mhz || mhz > Freq.fmax_mhz
+
+let setting ~where s =
+  if Array.length s <> Domain.count then
+    Result.Error
+      (Error.Bad_setting_arity
+         { where; expected = Domain.count; found = Array.length s })
+  else
+    match Array.to_list s |> List.find_opt frequency_fatal with
+    | Some bad ->
+        Result.Error
+          (Error.Illegal_frequency
+             { where; requested_mhz = bad; snapped_mhz = Freq.clamp bad })
+    | None ->
+        let errors = ref [] in
+        let repaired =
+          Array.map
+            (fun mhz ->
+              let mhz', err = frequency ~where mhz in
+              Option.iter (fun e -> errors := e :: !errors) err;
+              mhz')
+            s
+        in
+        Result.Ok (repaired, List.rev !errors)
+
+let weight ~node ~domain ~bin w =
+  if Float.is_nan w || w < 0.0 then
+    (0.0, Some (Error.Bad_histogram_weight { node; domain; bin; weight = w }))
+  else (w, None)
+
+let slowdown_pct v =
+  if Float.is_nan v || v < 0.0 then (0.0, Some (Error.Bad_slowdown { value = v }))
+  else (v, None)

@@ -1,0 +1,39 @@
+(** Validation primitives over plan ingredients.
+
+    These check the raw values a plan is made of — frequencies,
+    reconfiguration settings, histogram weights, slowdown tolerances —
+    against the machine's invariants, and implement the repair half of
+    the degradation policy: every recoverable violation is repaired
+    (clamped to the legal {!Mcd_domains.Freq} grid, dropped, or reset)
+    and reported as a diagnostic, never silently. {!Mcd_core.Plan_io}
+    composes these into a whole-plan validation pass. *)
+
+val frequency : where:string -> int -> int * Error.t option
+(** [frequency ~where mhz] returns the legal operating point for [mhz]:
+    [mhz] itself when it is already a step of the grid, otherwise the
+    nearest legal step plus an {!Error.Illegal_frequency} diagnostic.
+    Out-of-range values are additionally flagged as unrecoverable by
+    {!frequency_fatal}. *)
+
+val frequency_fatal : int -> bool
+(** True when the value is outside [fmin, fmax] entirely — a corrupt
+    field rather than a near-miss, which validation refuses to repair
+    (snapping 0 or 999999 to the nearest bound would fabricate a
+    setting the profile never chose). *)
+
+val setting :
+  where:string -> int array -> (int array * Error.t list, Error.t) result
+(** Validate a reconfiguration setting: arity must equal
+    {!Mcd_domains.Domain.count} ([Error] otherwise, unrecoverable) and
+    every frequency must be in range ([Error] when {!frequency_fatal});
+    in-range off-grid frequencies are snapped and reported. Returns the
+    repaired setting and its diagnostics. *)
+
+val weight :
+  node:int -> domain:int -> bin:int -> float -> float * Error.t option
+(** NaN and negative histogram weights are replaced with 0 (the bin is
+    dropped) and reported. *)
+
+val slowdown_pct : float -> float * Error.t option
+(** NaN and negative tolerances are reset to 0 (most conservative:
+    full speed everywhere) and reported. *)

@@ -19,6 +19,8 @@ let sample ?(elapsed = 10_000) ?(retired = 5_000) ~int_occ ~fp_occ ~mem_occ () =
     avg_occupancy = occ;
     retired;
     total_retired = retired;
+    target_mhz = Array.make Domain.count Freq.fmax_mhz;
+    current_mhz = Array.make Domain.count (float_of_int Freq.fmax_mhz);
   }
 
 let feed ctl samples =

@@ -572,6 +572,8 @@ let test_oracle_policy_playback () =
       avg_occupancy = Array.make Domain.count 0.0;
       retired = 0;
       total_retired = total;
+      target_mhz = Array.make Domain.count Freq.fmax_mhz;
+      current_mhz = Array.make Domain.count (float_of_int Freq.fmax_mhz);
     }
   in
   (match ctl.Controller.on_sample (sample 10) ~now:0 with
@@ -653,6 +655,142 @@ let test_plan_io_rejects_garbage () =
       match Mcd_core.Plan_io.load ~path ~tree:plan.Plan.tree with
       | _ -> Alcotest.fail "expected failure"
       | exception Failure _ -> ())
+
+(* typed-error loading: corruption yields diagnostics, not exceptions *)
+
+module RError = Mcd_robust.Error
+
+let saved_two_phase f =
+  let plan, _ = analyze_two_phase () in
+  let path = Filename.temp_file "mcd_plan" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Mcd_core.Plan_io.save plan ~path;
+      f plan path)
+
+let map_plan_lines path ~f =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (f l ^ "\n")) (List.rev !lines);
+  close_out oc
+
+let test_load_result_truncated_file () =
+  saved_two_phase (fun plan path ->
+      let s =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let oc = open_out_bin path in
+      output_string oc (String.sub s 0 (String.length s * 3 / 5));
+      close_out oc;
+      match Mcd_core.Plan_io.load_result ~path ~tree:plan.Plan.tree with
+      | Ok _ -> Alcotest.fail "truncated plan loaded"
+      | Error errors ->
+          Alcotest.(check bool) "diagnostics produced" true (errors <> []);
+          Alcotest.(check int) "validation exit code" 2
+            (RError.exit_code_of_list errors))
+
+let test_load_result_flipped_frequency () =
+  saved_two_phase (fun plan path ->
+      (* out of range: the whole plan is rejected with a typed error *)
+      let flipped = ref false in
+      map_plan_lines path ~f:(fun l ->
+          if (not !flipped) && String.length l > 5 && String.sub l 0 5 = "node "
+          then begin
+            flipped := true;
+            match String.rindex_opt l ',' with
+            | Some i -> String.sub l 0 (i + 1) ^ "999999"
+            | None -> l
+          end
+          else l);
+      Alcotest.(check bool) "a setting was flipped" true !flipped;
+      match Mcd_core.Plan_io.load_result ~path ~tree:plan.Plan.tree with
+      | Ok _ -> Alcotest.fail "out-of-range frequency accepted"
+      | Error errors ->
+          Alcotest.(check bool) "illegal frequency reported" true
+            (List.exists
+               (function RError.Illegal_frequency _ -> true | _ -> false)
+               errors))
+
+let test_load_result_off_grid_snapped () =
+  saved_two_phase (fun plan path ->
+      (* in range but off the 50 MHz grid: snapped with a warning *)
+      let flipped = ref false in
+      map_plan_lines path ~f:(fun l ->
+          if (not !flipped) && String.length l > 5 && String.sub l 0 5 = "node "
+          then begin
+            flipped := true;
+            match String.rindex_opt l ',' with
+            | Some i -> String.sub l 0 (i + 1) ^ "313"
+            | None -> l
+          end
+          else l);
+      Alcotest.(check bool) "a setting was flipped" true !flipped;
+      match Mcd_core.Plan_io.load_result ~path ~tree:plan.Plan.tree with
+      | Error _ -> Alcotest.fail "recoverable off-grid value rejected"
+      | Ok { Mcd_core.Plan_io.plan = loaded; warnings } ->
+          Alcotest.(check bool) "warning emitted" true
+            (List.exists
+               (function RError.Illegal_frequency _ -> true | _ -> false)
+               warnings);
+          Hashtbl.iter
+            (fun _ s ->
+              Array.iter
+                (fun mhz ->
+                  Alcotest.(check bool) "every loaded setting on grid" true
+                    (Freq.is_step mhz))
+                s)
+            loaded.Plan.node_settings)
+
+let test_load_result_fingerprint_mismatch () =
+  saved_two_phase (fun plan path ->
+      let other_program =
+        B.program ~name:"other2" @@ fun b ->
+        B.func b "k" [ B.loop b (P.Const 50) [ B.straight b ~length:30 () ] ];
+        B.func b "main" [ B.call b "k"; B.call b "k" ];
+        "main"
+      in
+      let other_tree =
+        Call_tree.build other_program ~input:test_input ~context:Context.lf
+          ~threshold:400 ~max_insts:20_000 ()
+      in
+      ignore plan;
+      match Mcd_core.Plan_io.load_result ~path ~tree:other_tree with
+      | Ok _ -> Alcotest.fail "stale plan accepted"
+      | Error errors ->
+          Alcotest.(check bool) "typed fingerprint mismatch" true
+            (List.exists
+               (function RError.Fingerprint_mismatch _ -> true | _ -> false)
+               errors))
+
+let test_load_result_missing_file () =
+  let plan, _ = analyze_two_phase () in
+  match
+    Mcd_core.Plan_io.load_result ~path:"/nonexistent/dir/plan.txt"
+      ~tree:plan.Plan.tree
+  with
+  | Ok _ -> Alcotest.fail "missing file loaded"
+  | Error errors ->
+      Alcotest.(check int) "io exit code" 3 (RError.exit_code_of_list errors)
+
+let test_plan_validate_clean_and_dirty () =
+  let plan, _ = analyze_two_phase () in
+  Alcotest.(check int) "fresh plan validates clean" 0
+    (List.length (Mcd_core.Plan_io.validate plan));
+  let bad = Array.make Domain.count 313 in
+  Hashtbl.replace plan.Plan.node_settings 1 bad;
+  Alcotest.(check bool) "off-grid setting reported" true
+    (Mcd_core.Plan_io.validate plan <> [])
 
 let test_call_tree_dot () =
   let plan, _ = analyze_two_phase () in
@@ -800,6 +938,14 @@ let suite =
     ("plan_io roundtrip", `Quick, test_plan_io_roundtrip);
     ("plan_io fingerprint mismatch", `Quick, test_plan_io_fingerprint_mismatch);
     ("plan_io rejects garbage", `Quick, test_plan_io_rejects_garbage);
+    ("load_result truncated file", `Quick, test_load_result_truncated_file);
+    ("load_result flipped frequency", `Quick, test_load_result_flipped_frequency);
+    ("load_result off-grid snapped", `Quick, test_load_result_off_grid_snapped);
+    ( "load_result fingerprint mismatch",
+      `Quick,
+      test_load_result_fingerprint_mismatch );
+    ("load_result missing file", `Quick, test_load_result_missing_file);
+    ("plan validate", `Quick, test_plan_validate_clean_and_dirty);
     ("call tree dot export", `Quick, test_call_tree_dot);
     QCheck_alcotest.to_alcotest prop_threshold_choice_meets_budget;
     QCheck_alcotest.to_alcotest prop_shaker_conserves_work;

@@ -9,6 +9,7 @@ let () =
       ("profiling", Test_profiling.suite);
       ("trace", Test_trace.suite);
       ("core", Test_core.suite);
+      ("robust", Test_robust.suite);
       ("control", Test_control.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);

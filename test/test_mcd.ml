@@ -118,6 +118,34 @@ let test_dvfs_clamps_target () =
   Dvfs.set_target d Domain.Integer ~now:Time.zero ~mhz:123;
   Alcotest.(check int) "snapped" 250 (Dvfs.target_mhz d Domain.Integer)
 
+let test_dvfs_snap_diagnostic () =
+  let d = Dvfs.create () in
+  let snaps = ref [] in
+  let on_snap ~requested ~snapped = snaps := (requested, snapped) :: !snaps in
+  (* off-grid request: the hook fires with both values *)
+  Dvfs.set_target ~on_snap d Domain.Integer ~now:Time.zero ~mhz:313;
+  Alcotest.(check (list (pair int int))) "snap reported" [ (313, 300) ] !snaps;
+  (* on-grid request: silent *)
+  Dvfs.set_target ~on_snap d Domain.Integer ~now:Time.zero ~mhz:500;
+  Alcotest.(check int) "no spurious report" 1 (List.length !snaps)
+
+let test_dvfs_stuck_fault () =
+  let d = Dvfs.create () in
+  Dvfs.inject d (Dvfs.Stuck_at (Domain.Memory, 313));
+  Alcotest.(check int) "pinned on a legal step" 300
+    (Dvfs.target_mhz d Domain.Memory);
+  Dvfs.set_target d Domain.Memory ~now:Time.zero ~mhz:500;
+  Alcotest.(check int) "writes ignored" 300 (Dvfs.target_mhz d Domain.Memory)
+
+let test_dvfs_frozen_slew_fault () =
+  let d = Dvfs.create () in
+  Dvfs.inject d (Dvfs.Frozen_slew Domain.Floating);
+  Dvfs.set_target d Domain.Floating ~now:Time.zero ~mhz:250;
+  Alcotest.(check int) "target accepted" 250
+    (Dvfs.target_mhz d Domain.Floating);
+  check_float "operating point never moves" 1000.0
+    (Dvfs.current_mhz d Domain.Floating ~now:(Time.us 100))
+
 (* --- Clock ---------------------------------------------------------- *)
 
 let fixed_freq f = fun ~now:_ -> f
@@ -287,6 +315,9 @@ let suite =
     ("dvfs retarget mid-ramp", `Quick, test_dvfs_retarget_mid_ramp);
     ("dvfs past query", `Quick, test_dvfs_past_query_no_rewind);
     ("dvfs clamps target", `Quick, test_dvfs_clamps_target);
+    ("dvfs snap diagnostic", `Quick, test_dvfs_snap_diagnostic);
+    ("dvfs stuck fault", `Quick, test_dvfs_stuck_fault);
+    ("dvfs frozen slew fault", `Quick, test_dvfs_frozen_slew_fault);
     ("clock advance", `Quick, test_clock_advance);
     ("clock jitter bounded", `Quick, test_clock_jitter_bounded);
     ("clock monotone", `Quick, test_clock_monotone);

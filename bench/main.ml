@@ -6,15 +6,23 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- --only fig4  # one experiment
      dune exec bench/main.exe -- --quick      # reduced suite (CI-sized)
+     dune exec bench/main.exe -- --jobs 4     # fan experiments out on 4 cores
+     dune exec bench/main.exe -- --json BENCH_pr2.json  # perf artifact
      dune exec bench/main.exe -- --micro      # Bechamel kernels
      dune exec bench/main.exe -- --list       # available ids *)
 
 module Suite = Mcd_workloads.Suite
+module Runner = Mcd_experiments.Runner
 module Headline = Mcd_experiments.Headline
 module Context_sense = Mcd_experiments.Context_sense
 module Sweep = Mcd_experiments.Sweep
 module Tables = Mcd_experiments.Tables
 module Ablations = Mcd_experiments.Ablations
+
+(* Monotonic wall clock (CLOCK_MONOTONIC, ns). [Unix.gettimeofday] is
+   subject to NTP steps, which would corrupt the wall-clock numbers
+   recorded into the BENCH JSON artifact. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 let quick_suite () =
   List.map Suite.by_name
@@ -24,20 +32,43 @@ let quick_contexts () =
   [ Mcd_profiling.Context.lfcp; Mcd_profiling.Context.lf;
     Mcd_profiling.Context.f ]
 
-let headline_rows ~quick =
-  let workloads = if quick then quick_suite () else Suite.all in
-  Headline.rows ~workloads ()
+(* Shared row sets are cached at the harness level (keyed by --quick),
+   not only in Runner: with --jobs > 1 the simulations happen on
+   short-lived worker domains whose memo tables die with them, so
+   without this cache fig5/fig6 would re-simulate everything fig4 just
+   computed. The harness itself is single-domain, so plain laziness per
+   key is safe. *)
+let cached tbl key f =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = f () in
+      Hashtbl.add tbl key v;
+      v
 
-let context_rows ~quick =
-  if quick then
-    Context_sense.rows
-      ~workloads:(List.map Suite.by_name [ "mpeg2 decode"; "adpcm decode" ])
-      ~contexts:(quick_contexts ()) ()
-  else Context_sense.rows ()
+let headline_rows =
+  let tbl = Hashtbl.create 2 in
+  fun ~quick ->
+    cached tbl quick @@ fun () ->
+    let workloads = if quick then quick_suite () else Suite.all in
+    Headline.rows ~workloads ()
 
-let table4_rows ~quick =
-  let workloads = if quick then quick_suite () else Suite.all in
-  Context_sense.rows ~workloads ~contexts:[ Mcd_profiling.Context.lfcp ] ()
+let context_rows =
+  let tbl = Hashtbl.create 2 in
+  fun ~quick ->
+    cached tbl quick @@ fun () ->
+    if quick then
+      Context_sense.rows
+        ~workloads:(List.map Suite.by_name [ "mpeg2 decode"; "adpcm decode" ])
+        ~contexts:(quick_contexts ()) ()
+    else Context_sense.rows ()
+
+let table4_rows =
+  let tbl = Hashtbl.create 2 in
+  fun ~quick ->
+    cached tbl quick @@ fun () ->
+    let workloads = if quick then quick_suite () else Suite.all in
+    Context_sense.rows ~workloads ~contexts:[ Mcd_profiling.Context.lfcp ] ()
 
 let sweep_args ~quick =
   if quick then
@@ -45,6 +76,16 @@ let sweep_args ~quick =
       Some [ 4.0; 8.0; 12.0 ],
       Some [ 0.985; 0.93 ] )
   else (None, None, None)
+
+(* fig10 and fig11 plot the same three curves *)
+let sweep_curves =
+  let tbl = Hashtbl.create 2 in
+  fun ~quick ->
+    cached tbl quick @@ fun () ->
+    let workloads, deltas, guards = sweep_args ~quick in
+    ( Sweep.offline_curve ?workloads ?deltas (),
+      Sweep.online_curve ?workloads ?guards (),
+      Sweep.profile_curve ?workloads ?deltas () )
 
 type experiment = { id : string; descr : string; run : quick:bool -> string }
 
@@ -76,19 +117,13 @@ let experiments =
     { id = "fig10"; descr = "energy savings vs slowdown sweep";
       run =
         (fun ~quick ->
-          let workloads, deltas, guards = sweep_args ~quick in
-          Sweep.fig10
-            ~offline:(Sweep.offline_curve ?workloads ?deltas ())
-            ~online:(Sweep.online_curve ?workloads ?guards ())
-            ~profile:(Sweep.profile_curve ?workloads ?deltas ())) };
+          let offline, online, profile = sweep_curves ~quick in
+          Sweep.fig10 ~offline ~online ~profile) };
     { id = "fig11"; descr = "energy x delay vs slowdown sweep";
       run =
         (fun ~quick ->
-          let workloads, deltas, guards = sweep_args ~quick in
-          Sweep.fig11
-            ~offline:(Sweep.offline_curve ?workloads ?deltas ())
-            ~online:(Sweep.online_curve ?workloads ?guards ())
-            ~profile:(Sweep.profile_curve ?workloads ?deltas ())) };
+          let offline, online, profile = sweep_curves ~quick in
+          Sweep.fig11 ~offline ~online ~profile) };
     { id = "fig12"; descr = "instrumentation cost by context";
       run = (fun ~quick -> Context_sense.fig12 (context_rows ~quick)) };
     { id = "table4"; descr = "static/dynamic points and overhead (L+F+C+P)";
@@ -220,8 +255,84 @@ let run_micro () =
     (micro_benches ())
 
 (* ------------------------------------------------------------------ *)
+(* BENCH JSON artifact: wall-clock per experiment plus the simulated
+   headline metrics, the repo's perf trajectory record.               *)
+(* ------------------------------------------------------------------ *)
 
-let run_experiments only quick list_only micro =
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~path ~quick ~jobs ~timings ~total_s =
+  let rows = headline_rows ~quick in
+  let cmp_fields (c : Runner.comparison) =
+    Printf.sprintf
+      "\"degradation_pct\": %.6f, \"savings_pct\": %.6f, \
+       \"ed_improvement_pct\": %.6f"
+      c.Runner.degradation_pct c.Runner.savings_pct c.Runner.ed_improvement_pct
+  in
+  let workload_json (r : Headline.row) =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"offline\": {%s}, \"online\": {%s}, \
+       \"profile_lf\": {%s}}"
+      (json_escape r.Headline.workload.Mcd_workloads.Workload.name)
+      (cmp_fields r.Headline.offline)
+      (cmp_fields r.Headline.online)
+      (cmp_fields r.Headline.profile)
+  in
+  let timing_json (id, seconds) =
+    Printf.sprintf "    {\"id\": \"%s\", \"wall_s\": %.3f}" (json_escape id)
+      seconds
+  in
+  let avg extract kind =
+    Mcd_util.Stats.mean (List.map (fun r -> extract (kind r)) rows)
+  in
+  let avg_json name kind =
+    Printf.sprintf
+      "    \"%s\": {\"degradation_pct\": %.6f, \"savings_pct\": %.6f, \
+       \"ed_improvement_pct\": %.6f}"
+      name
+      (avg (fun c -> c.Runner.degradation_pct) kind)
+      (avg (fun c -> c.Runner.savings_pct) kind)
+      (avg (fun c -> c.Runner.ed_improvement_pct) kind)
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"mcd-dvfs-bench/2\",\n\
+    \  \"quick\": %b,\n\
+    \  \"jobs\": %d,\n\
+    \  \"host_cores\": %d,\n\
+    \  \"total_wall_s\": %.3f,\n\
+    \  \"experiments\": [\n%s\n  ],\n\
+    \  \"headline_avg\": {\n%s\n  },\n\
+    \  \"headline_workloads\": [\n%s\n  ]\n\
+     }\n"
+    quick jobs
+    (Mcd_util.Par.recommended_jobs ())
+    total_s
+    (String.concat ",\n" (List.map timing_json (List.rev timings)))
+    (String.concat ",\n"
+       [
+         avg_json "offline" (fun r -> r.Headline.offline);
+         avg_json "online" (fun r -> r.Headline.online);
+         avg_json "profile_lf" (fun r -> r.Headline.profile);
+       ])
+    (String.concat ",\n" (List.map workload_json rows));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let run_experiments only quick list_only micro jobs json_path =
   if list_only then begin
     List.iter (fun e -> Printf.printf "%-16s %s\n" e.id e.descr) experiments;
     `Ok ()
@@ -231,6 +342,7 @@ let run_experiments only quick list_only micro =
     `Ok ()
   end
   else begin
+    Runner.set_jobs jobs;
     let selected =
       match only with
       | [] -> experiments
@@ -245,14 +357,21 @@ let run_experiments only quick list_only micro =
                   exit 2)
             ids
     in
+    let t_start = now_s () in
+    let timings = ref [] in
     List.iter
       (fun e ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = now_s () in
         let out = e.run ~quick in
-        Printf.printf "=== %s: %s (%.1fs)\n%s\n%!" e.id e.descr
-          (Unix.gettimeofday () -. t0)
-          out)
+        let dt = now_s () -. t0 in
+        timings := (e.id, dt) :: !timings;
+        Printf.printf "=== %s: %s (%.1fs)\n%s\n%!" e.id e.descr dt out)
       selected;
+    (match json_path with
+    | None -> ()
+    | Some path ->
+        write_json ~path ~quick ~jobs ~timings:!timings
+          ~total_s:(now_s () -. t_start));
     `Ok ()
   end
 
@@ -278,8 +397,33 @@ let () =
       & info [ "micro" ]
           ~doc:"Run Bechamel micro-benchmarks of the analysis kernels.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Fan experiment sweeps out over $(docv) OCaml domains \
+             (default 1 = sequential; 0 = all cores). Output is \
+             byte-identical at any jobs count.")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write wall-clock per experiment and the simulated headline \
+             metrics to $(docv) (the perf trajectory artifact).")
+  in
+  let jobs_resolved =
+    Term.(
+      const (fun j -> if j <= 0 then Mcd_util.Par.recommended_jobs () else j)
+      $ jobs)
+  in
   let term =
-    Term.(ret (const run_experiments $ only $ quick $ list_only $ micro))
+    Term.(
+      ret
+        (const run_experiments $ only $ quick $ list_only $ micro
+       $ jobs_resolved $ json))
   in
   let info =
     Cmd.info "mcd-bench"

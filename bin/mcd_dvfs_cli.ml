@@ -25,9 +25,9 @@ module Inject = Mcd_robust.Inject
 
 let workload_arg =
   let parse s =
-    match Suite.by_name s with
-    | w -> Ok w
-    | exception Not_found ->
+    match Suite.find_opt s with
+    | Some w -> Ok w
+    | None ->
         Error (`Msg (Printf.sprintf "unknown benchmark %S (try `suite`)" s))
   in
   let print fmt w = Format.pp_print_string fmt w.Workload.name in

@@ -1,5 +1,6 @@
 module Time = Mcd_util.Time
 module Rng = Mcd_util.Rng
+module Agequeue = Mcd_util.Agequeue
 module Inst = Mcd_isa.Inst
 module Walker = Mcd_isa.Walker
 module Domain = Mcd_domains.Domain
@@ -76,9 +77,10 @@ type t = {
   mutable rob_count : int;
   fetch_buf : inflight Queue.t;
   mutable fetch_buf_count : int;
-  mutable iq_int : inflight list; (* program order *)
-  mutable iq_fp : inflight list;
-  mutable lsq : inflight list;
+  iq_int : inflight Agequeue.t; (* program order, oldest first *)
+  iq_fp : inflight Agequeue.t;
+  lsq : inflight Agequeue.t;
+  mutable dep_scratch : int array; (* reused by dep_seqs_of *)
   reg_src : inflight array; (* logical register -> youngest producer *)
   mutable int_renames : int;
   mutable fp_renames : int;
@@ -162,9 +164,10 @@ let create ?probe ?(controller = Controller.nop) ?(warmup_insts = 0) ~config
     rob_count = 0;
     fetch_buf = Queue.create ();
     fetch_buf_count = 0;
-    iq_int = [];
-    iq_fp = [];
-    lsq = [];
+    iq_int = Agequeue.create ~capacity:cfg.iq_int_size ~dummy:sentinel;
+    iq_fp = Agequeue.create ~capacity:cfg.iq_fp_size ~dummy:sentinel;
+    lsq = Agequeue.create ~capacity:cfg.lsq_size ~dummy:sentinel;
+    dep_scratch = Array.make 8 0;
     reg_src = Array.make Inst.num_logical_regs sentinel;
     int_renames = 0;
     fp_renames = 0;
@@ -262,14 +265,46 @@ let emit_event t inf stage ~start ~duration ~deps =
           dep_seqs = deps;
         }
 
-let dep_seqs_of inf =
-  let deps =
-    Array.to_list inf.producers
-    |> List.filter (fun p -> p != sentinel)
-    |> List.map (fun p -> p.di.Inst.seq)
-    |> List.sort_uniq compare
-  in
-  Array.of_list deps
+(* Sorted, deduplicated producer seqs, built in a preallocated scratch
+   buffer (producer fan-in is tiny, so insertion sort wins). Only the
+   probe consumes dependence edges, so call sites gate on its presence
+   through [deps_of]. *)
+let dep_seqs_of t inf =
+  let n = Array.length inf.producers in
+  if n = 0 then [||]
+  else begin
+    if Array.length t.dep_scratch < n then
+      t.dep_scratch <- Array.make n 0;
+    let scratch = t.dep_scratch in
+    let m = ref 0 in
+    for i = 0 to n - 1 do
+      let p = inf.producers.(i) in
+      if p != sentinel then begin
+        scratch.(!m) <- p.di.Inst.seq;
+        incr m
+      end
+    done;
+    for i = 1 to !m - 1 do
+      let v = scratch.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && scratch.(!j) > v do
+        scratch.(!j + 1) <- scratch.(!j);
+        decr j
+      done;
+      scratch.(!j + 1) <- v
+    done;
+    let uniq = ref 0 in
+    for i = 0 to !m - 1 do
+      if i = 0 || scratch.(i) <> scratch.(!uniq - 1) then begin
+        scratch.(!uniq) <- scratch.(i);
+        incr uniq
+      end
+    done;
+    Array.sub scratch 0 !uniq
+  end
+
+let deps_of t inf =
+  match t.probe with None -> [||] | Some _ -> dep_seqs_of t inf
 
 (* ------------------------------------------------------------------ *)
 (* Front-end: retire, dispatch, fetch, controller sampling             *)
@@ -320,9 +355,9 @@ let retire_stage t ~now =
 
 let queue_has_space t domain =
   match domain with
-  | Domain.Integer -> List.length t.iq_int < t.cfg.iq_int_size
-  | Domain.Floating -> List.length t.iq_fp < t.cfg.iq_fp_size
-  | Domain.Memory -> List.length t.lsq < t.cfg.lsq_size
+  | Domain.Integer -> not (Agequeue.is_full t.iq_int)
+  | Domain.Floating -> not (Agequeue.is_full t.iq_fp)
+  | Domain.Memory -> not (Agequeue.is_full t.lsq)
   | Domain.Front_end -> assert false
 
 let rename_has_space t inf =
@@ -363,13 +398,13 @@ let dispatch_stage t ~now =
       t.rob_count <- t.rob_count + 1;
       (match cand.exec_domain with
       | Domain.Integer ->
-          t.iq_int <- t.iq_int @ [ cand ];
+          Agequeue.push t.iq_int cand;
           charge t ~now Energy.Iq_write_int
       | Domain.Floating ->
-          t.iq_fp <- t.iq_fp @ [ cand ];
+          Agequeue.push t.iq_fp cand;
           charge t ~now Energy.Iq_write_fp
       | Domain.Memory ->
-          t.lsq <- t.lsq @ [ cand ];
+          Agequeue.push t.lsq cand;
           charge t ~now Energy.Lsq_op
       | Domain.Front_end -> assert false);
       charge t ~now Energy.Decode_rename;
@@ -551,7 +586,7 @@ let sample_stage t ~now =
         in
         go 0 true
       in
-      List.fold_left (fun acc inf -> if owned inf then acc + 1 else acc) 0 queue
+      Agequeue.fold (fun acc inf -> if owned inf then acc + 1 else acc) 0 queue
     in
     t.occ_sum.(Domain.index Domain.Front_end) <-
       t.occ_sum.(Domain.index Domain.Front_end)
@@ -662,14 +697,14 @@ let tick_exec t domain ~now =
                     Energy.Fp_alu_op)
           | Domain.Memory | Domain.Front_end -> assert false);
           emit_event t inf Probe.Execute_s ~start:now
-            ~duration:(completion - now) ~deps:(dep_seqs_of inf);
+            ~duration:(completion - now) ~deps:(deps_of t inf);
           if inf.di.Inst.klass = Inst.Branch then complete_branch t inf ~now;
           false (* remove from queue *)
     end
   in
   match domain with
-  | Domain.Integer -> t.iq_int <- List.filter try_one t.iq_int
-  | Domain.Floating -> t.iq_fp <- List.filter try_one t.iq_fp
+  | Domain.Integer -> Agequeue.filter_in_place try_one t.iq_int
+  | Domain.Floating -> Agequeue.filter_in_place try_one t.iq_fp
   | Domain.Memory | Domain.Front_end -> assert false
 
 (* ------------------------------------------------------------------ *)
@@ -709,11 +744,11 @@ let tick_mem t ~now =
       inf.completion <- completion;
       inf.state <- Completed;
       emit_event t inf Probe.Mem_s ~start:now ~duration:(completion - now)
-        ~deps:(dep_seqs_of inf);
+        ~deps:(deps_of t inf);
       false
     end
   in
-  t.lsq <- List.filter try_one t.lsq
+  Agequeue.filter_in_place try_one t.lsq
 
 (* ------------------------------------------------------------------ *)
 (* Main loop                                                           *)

@@ -17,7 +17,7 @@ let default_sync_workloads =
 let sync_penalty ?(workloads = default_sync_workloads) () =
   let header = [ "benchmark"; "perf penalty"; "energy penalty" ] in
   let results =
-    List.map
+    Runner.map_workloads
       (fun (w : Workload.t) ->
         let mcd = Runner.baseline w in
         let single = Runner.single_clock w ~mhz:Freq.fmax_mhz in
@@ -90,13 +90,14 @@ let narrow_core ?(workloads = default_narrow_workloads) () =
     ]
   in
   let body =
-    List.concat_map
-      (fun w ->
-        [
-          rows_for w Config.alpha21264_like "4-wide (Table 1)";
-          rows_for w narrow_config "2-wide narrow";
-        ])
-      workloads
+    List.concat
+      (Runner.map_workloads
+         (fun w ->
+           [
+             rows_for w Config.alpha21264_like "4-wide (Table 1)";
+             rows_for w narrow_config "2-wide narrow";
+           ])
+         workloads)
   in
   "Ablation: profile-based DVFS on a narrow core (train and run on the \
    same microarchitecture)\n"
@@ -116,7 +117,7 @@ let shaker_passes ?(workload = Suite.by_name "gsm encode")
     [ "shaker passes"; "degradation"; "energy savings"; "ExD improvement" ]
   in
   let body =
-    List.map
+    Runner.par_map
       (fun p ->
         let plan, _ =
           Analyze.analyze ~program:w.Workload.program ~train:w.Workload.train
@@ -148,7 +149,7 @@ let long_threshold ?(workload = Suite.by_name "epic encode")
     ]
   in
   let body =
-    List.map
+    Runner.par_map
       (fun threshold ->
         let plan, stats =
           Analyze.analyze ~program:w.Workload.program ~train:w.Workload.train

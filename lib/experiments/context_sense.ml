@@ -68,9 +68,10 @@ let row_of (w : Workload.t) context =
   }
 
 let rows ?(workloads = default_workloads) ?(contexts = Context.all) () =
-  List.concat_map
-    (fun w -> List.map (row_of w) contexts)
-    workloads
+  (* fan out per workload: all of a workload's contexts stay on one
+     domain, so its baseline and plans are computed once per worker *)
+  List.concat
+    (Runner.map_workloads (fun w -> List.map (row_of w) contexts) workloads)
 
 let by_workload rows =
   let names =

@@ -25,7 +25,7 @@ let row_of (w : Workload.t) =
     profile = Runner.compare_runs ~baseline profile;
   }
 
-let rows ?(workloads = Suite.all) () = List.map row_of workloads
+let rows ?(workloads = Suite.all) () = Runner.map_workloads row_of workloads
 
 let render ~title ~extract rows =
   let header = [ "benchmark"; "off-line"; "on-line"; "profile L+F" ] in
@@ -101,7 +101,7 @@ let bands_of comparisons =
 
 let summary rows =
   let globals =
-    List.map
+    Runner.par_map
       (fun r ->
         let w = r.workload in
         let baseline = Runner.baseline w in

@@ -32,20 +32,35 @@ type profiled_run = {
   counters : Editor.counters;
 }
 
-let memo : (string, Metrics.run) Hashtbl.t = Hashtbl.create 64
-let plan_memo : (string, Plan.t) Hashtbl.t = Hashtbl.create 64
+(* Memo tables are domain-local: experiment sweeps fan out across OCaml
+   domains (see [map_workloads]) and [Hashtbl] is not safe under
+   concurrent mutation. Each domain lazily builds its own table, so a
+   worker keeps full memoization within its share of a sweep while the
+   main domain retains its cache across experiments, exactly as the old
+   global tables did in sequential runs. Results are deterministic per
+   key, so duplicated computation across domains cannot change output. *)
+let dls_table () = Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
-let oracle_memo : (string, Mcd_core.Oracle.analysis) Hashtbl.t =
-  Hashtbl.create 32
+let memo_key : (string, Metrics.run) Hashtbl.t Domain.DLS.key = dls_table ()
+let plan_memo_key : (string, Plan.t) Hashtbl.t Domain.DLS.key = dls_table ()
+
+let oracle_memo_key : (string, Mcd_core.Oracle.analysis) Hashtbl.t Domain.DLS.key =
+  dls_table ()
 
 (* full profiled runs (with counters) at the default slowdown *)
-let profiled_memo : (string, profiled_run) Hashtbl.t = Hashtbl.create 64
+let profiled_memo_key : (string, profiled_run) Hashtbl.t Domain.DLS.key =
+  dls_table ()
+
+let memo () = Domain.DLS.get memo_key
+let plan_memo () = Domain.DLS.get plan_memo_key
+let oracle_memo () = Domain.DLS.get oracle_memo_key
+let profiled_memo () = Domain.DLS.get profiled_memo_key
 
 let clear_caches () =
-  Hashtbl.reset memo;
-  Hashtbl.reset plan_memo;
-  Hashtbl.reset oracle_memo;
-  Hashtbl.reset profiled_memo
+  Hashtbl.reset (memo ());
+  Hashtbl.reset (plan_memo ());
+  Hashtbl.reset (oracle_memo ());
+  Hashtbl.reset (profiled_memo ())
 
 let memoize tbl key f =
   match Hashtbl.find_opt tbl key with
@@ -55,14 +70,25 @@ let memoize tbl key f =
       Hashtbl.add tbl key v;
       v
 
+(* Concurrency of the experiment fan-out. Mutable configuration rather
+   than a parameter so every figure/table module inherits it without
+   threading [?jobs] through each signature; set once at startup by the
+   bench/CLI drivers. *)
+let jobs = ref 1
+let set_jobs n = jobs := max 1 n
+let get_jobs () = !jobs
+
+let par_map f xs = Mcd_util.Par.map ~jobs:!jobs f xs
+let map_workloads f ws = par_map f ws
+
 let baseline (w : Workload.t) =
-  memoize memo (w.Workload.name ^ "/baseline") @@ fun () ->
+  memoize (memo ()) (w.Workload.name ^ "/baseline") @@ fun () ->
   Pipeline.run ~config ~warmup_insts:w.Workload.ref_offset
     ~program:w.Workload.program ~input:w.Workload.reference
     ~max_insts:w.Workload.ref_window ()
 
 let single_clock (w : Workload.t) ~mhz =
-  memoize memo (Printf.sprintf "%s/single/%d" w.Workload.name mhz)
+  memoize (memo ()) (Printf.sprintf "%s/single/%d" w.Workload.name mhz)
   @@ fun () ->
   Pipeline.run ~config:(Config.single_clock ~mhz)
     ~warmup_insts:w.Workload.ref_offset ~program:w.Workload.program
@@ -75,7 +101,7 @@ let plan_for (w : Workload.t) ~context ~train =
     Printf.sprintf "%s/%s/%s" w.Workload.name context.Context.name
       (input_tag train)
   in
-  memoize plan_memo key @@ fun () ->
+  memoize (plan_memo ()) key @@ fun () ->
   let input, window =
     match train with
     | `Train -> (w.Workload.train, w.Workload.train_window)
@@ -99,7 +125,7 @@ let load_plan (w : Workload.t) ~context ~path =
   Mcd_core.Plan_io.load_result ~path ~tree
 
 let oracle_analysis (w : Workload.t) =
-  memoize oracle_memo (w.Workload.name ^ "/oracle") @@ fun () ->
+  memoize (oracle_memo ()) (w.Workload.name ^ "/oracle") @@ fun () ->
   Mcd_core.Oracle.analyze ~program:w.Workload.program
     ~input:w.Workload.reference
     ~trace_insts:(w.Workload.ref_offset + w.Workload.ref_window)
@@ -117,7 +143,7 @@ let offline_run ?(slowdown_pct = default_slowdown_pct) (w : Workload.t) =
       ~max_insts:w.Workload.ref_window ()
   in
   if slowdown_pct = default_slowdown_pct then
-    memoize memo (w.Workload.name ^ "/offline") go
+    memoize (memo ()) (w.Workload.name ^ "/offline") go
   else go ()
 
 let profile_run_uncached (w : Workload.t) ~plan =
@@ -133,7 +159,7 @@ let profile_run ?(slowdown_pct = default_slowdown_pct) (w : Workload.t)
     ~context ~train =
   let base_plan = plan_for w ~context ~train in
   if slowdown_pct = default_slowdown_pct then
-    memoize profiled_memo
+    memoize (profiled_memo ())
       (Printf.sprintf "%s/%s/%s/run" w.Workload.name context.Context.name
          (input_tag train))
       (fun () -> profile_run_uncached w ~plan:base_plan)
@@ -151,7 +177,7 @@ let online_run ?params (w : Workload.t) =
   in
   match params with
   | Some _ -> run ()
-  | None -> memoize memo (w.Workload.name ^ "/online") run
+  | None -> memoize (memo ()) (w.Workload.name ^ "/online") run
 
 (* The paper's "global" bar: a single-clock processor scaled so that its
    total runtime matches the off-line algorithm's. A first-order 1/f

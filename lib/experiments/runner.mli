@@ -16,6 +16,26 @@ type comparison = {
 val compare_runs :
   baseline:Mcd_power.Metrics.run -> Mcd_power.Metrics.run -> comparison
 
+val set_jobs : int -> unit
+(** Number of OCaml domains the experiment sweeps fan out over
+    (default 1 = fully sequential; values below 1 are clamped to 1).
+    Simulation results are deterministic per workload and
+    {!map_workloads} preserves input order, so any jobs count produces
+    byte-identical tables. *)
+
+val get_jobs : unit -> int
+
+val par_map : ('a -> 'b) -> 'a list -> 'b list
+(** [Mcd_util.Par.map] at the configured jobs count, preserving input
+    order. Memo tables are domain-local ([Domain.DLS]), so worker
+    domains memoize within their share of a sweep and the caches stay
+    race-free. *)
+
+val map_workloads :
+  (Mcd_workloads.Workload.t -> 'a) -> Mcd_workloads.Workload.t list -> 'a list
+(** {!par_map} — named entry point for the common per-benchmark
+    fan-out. *)
+
 val default_slowdown_pct : float
 (** 7.0, the paper's headline operating point. *)
 
@@ -78,3 +98,4 @@ val global_dvs_run :
     the target. Returns the run and the chosen frequency. *)
 
 val clear_caches : unit -> unit
+(** Reset the calling domain's memo tables. *)

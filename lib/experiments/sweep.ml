@@ -33,56 +33,70 @@ let average_point comparisons =
         (List.map (fun c -> c.Runner.ed_improvement_pct) comparisons);
   }
 
+(* Each curve fans out per workload — one worker domain computes every
+   point of a workload's column, so the expensive shared prefix
+   (baseline run, off-line analysis) is memoized once per worker — then
+   transposes back to per-delta averages in the sequential caller. The
+   transpose keeps comparisons in workload order, so the averages are
+   bit-identical to the old delta-major loop. *)
+let transpose_average ~points per_workload =
+  List.mapi
+    (fun i _ ->
+      average_point (List.map (fun column -> List.nth column i) per_workload))
+    points
+
 let profile_curve ?(workloads = default_workloads)
     ?(deltas = default_deltas) () =
-  List.map
-    (fun delta ->
-      let comparisons =
+  let per_workload =
+    Runner.map_workloads
+      (fun w ->
+        let baseline = Runner.baseline w in
         List.map
-          (fun w ->
-            let baseline = Runner.baseline w in
+          (fun delta ->
             let pr =
               Runner.profile_run ~slowdown_pct:delta w ~context:Context.lf
                 ~train:`Train
             in
             Runner.compare_runs ~baseline pr.Runner.run)
-          workloads
-      in
-      average_point comparisons)
-    deltas
+          deltas)
+      workloads
+  in
+  transpose_average ~points:deltas per_workload
 
 let offline_curve ?(workloads = default_workloads)
     ?(deltas = default_deltas) () =
-  List.map
-    (fun delta ->
-      let comparisons =
+  let per_workload =
+    Runner.map_workloads
+      (fun w ->
+        let baseline = Runner.baseline w in
         List.map
-          (fun w ->
-            let baseline = Runner.baseline w in
+          (fun delta ->
             let run = Runner.offline_run ~slowdown_pct:delta w in
             Runner.compare_runs ~baseline run)
-          workloads
-      in
-      average_point comparisons)
-    deltas
+          deltas)
+      workloads
+  in
+  transpose_average ~points:deltas per_workload
 
 let default_guards = [ 0.995; 0.985; 0.975; 0.96; 0.93; 0.88; 0.80 ]
 
 let online_curve ?(workloads = default_workloads)
     ?(guards = default_guards) () =
-  List.map
-    (fun guard ->
-      let params = { Attack_decay.default_params with ipc_guard = guard } in
-      let comparisons =
+  let per_workload =
+    Runner.map_workloads
+      (fun w ->
+        let baseline = Runner.baseline w in
         List.map
-          (fun w ->
-            let baseline = Runner.baseline w in
+          (fun guard ->
+            let params =
+              { Attack_decay.default_params with ipc_guard = guard }
+            in
             let run = Runner.online_run ~params w in
             Runner.compare_runs ~baseline run)
-          workloads
-      in
-      average_point comparisons)
-    guards
+          guards)
+      workloads
+  in
+  transpose_average ~points:guards per_workload
 
 let render ~title ~ylabel ~extract ~offline ~online ~profile =
   let header = [ "series"; "point"; "slowdown"; "value" ] in

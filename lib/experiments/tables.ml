@@ -49,7 +49,7 @@ let table3 ?(workloads = Suite.all) () =
     ]
   in
   let body =
-    List.map
+    Runner.map_workloads
       (fun (w : Workload.t) ->
         let build input =
           Call_tree.build w.Workload.program ~input ~context:Context.lfcp

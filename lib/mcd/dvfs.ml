@@ -34,9 +34,15 @@ let advance ds ~now =
   if now > ds.last && ds.current <> ds.target && not ds.frozen then begin
     let elapsed_ns = Time.to_ns (now - ds.last) in
     let delta_mhz = elapsed_ns /. slew_ns_per_mhz in
-    if ds.current < ds.target then
-      ds.current <- Float.min ds.target (ds.current +. delta_mhz)
-    else ds.current <- Float.max ds.target (ds.current -. delta_mhz)
+    (* Snap exactly onto the target the moment the ramp reaches (or
+       overshoots) it, rather than relying on min/max clamping to make
+       the float equality in [in_transition] come out true. The slew
+       arithmetic must terminate for any interleaving of queries. *)
+    if Float.abs (ds.target -. ds.current) <= delta_mhz then
+      ds.current <- ds.target
+    else if ds.current < ds.target then
+      ds.current <- ds.current +. delta_mhz
+    else ds.current <- ds.current -. delta_mhz
   end;
   if now > ds.last then ds.last <- now
 

@@ -1,0 +1,49 @@
+(** Fixed-capacity, age-ordered queues for simulator hot paths.
+
+    An [Agequeue.t] holds elements in insertion (program) order inside a
+    preallocated array: O(1) [push], O(1) occupancy via {!length}, and
+    an in-place, order-preserving {!filter_in_place} that replaces the
+    allocate-per-tick [List.filter] idiom. It is the backing store for
+    the pipeline's issue queues and load/store queue, where capacity is
+    a hardware parameter and oldest-first scan order is the issue
+    priority.
+
+    A [dummy] element fills vacated slots so removed entries do not
+    leak through the array. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> 'a t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append as youngest. Raises [Invalid_argument] when full — hardware
+    occupancy checks must gate insertion, exactly as dispatch does. *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the i-th oldest element. Raises [Invalid_argument]
+    out of bounds. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest-first. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Oldest-first. *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** Keep the elements satisfying the predicate, preserving age order.
+    The predicate is applied to {e every} element oldest-first (like
+    [List.filter]), so effectful predicates observe the same call
+    sequence as the list idiom this replaces. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Oldest-first; for tests and debugging. *)

@@ -1,0 +1,45 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+type 'b slot = Pending | Done of 'b | Failed of exn
+
+let map ?(jobs = 1) f xs =
+  if jobs <= 1 then List.map f xs
+  else begin
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    if n = 0 then []
+    else begin
+      let jobs = min jobs n in
+      let results = Array.make n Pending in
+      let next = Atomic.make 0 in
+      (* Workers drain a shared index counter; each slot is written by
+         exactly one domain and read only after the joins, so the array
+         accesses are race-free. Exceptions are captured per item and
+         re-raised (first item in input order) once every worker has
+         stopped, so no domain is ever left unjoined. *)
+      let worker () =
+        let continue_ = ref true in
+        while !continue_ do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue_ := false
+          else
+            results.(i) <-
+              (match f items.(i) with
+              | v -> Done v
+              | exception e -> Failed e)
+        done
+      in
+      let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join spawned;
+      Array.to_list
+        (Array.map
+           (function
+             | Done v -> v
+             | Failed e -> raise e
+             | Pending -> assert false)
+           results)
+    end
+  end
+
+let iter ?jobs f xs = ignore (map ?jobs (fun x -> f x) xs : unit list)

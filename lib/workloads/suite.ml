@@ -1,11 +1,17 @@
 let all = Mediabench.all @ Spec.all
 
-let by_name name =
-  match List.find_opt (fun w -> w.Workload.name = name) all with
-  | Some w -> w
-  | None -> raise Not_found
-
 let names = List.map (fun w -> w.Workload.name) all
+
+let find_opt name = List.find_opt (fun w -> w.Workload.name = name) all
+
+let by_name name =
+  match find_opt name with
+  | Some w -> w
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Suite.by_name: unknown benchmark %S (valid: %s)"
+           name
+           (String.concat ", " names))
 
 let of_kind k = List.filter (fun w -> w.Workload.kind = k) all
 let media = of_kind Workload.Media

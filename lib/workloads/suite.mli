@@ -2,8 +2,14 @@
 
 val all : Workload.t list
 
+val find_opt : string -> Workload.t option
+(** Lookup by Table-2 name; [None] if unknown. *)
+
 val by_name : string -> Workload.t
-(** Raises [Not_found]. *)
+(** Raises [Invalid_argument] with the list of valid names if the
+    benchmark is unknown — library call sites get a self-describing
+    error instead of a bare [Not_found] backtrace. Use {!find_opt} for
+    a non-raising lookup. *)
 
 val names : string list
 

@@ -116,6 +116,78 @@ let test_sweep_monotone_savings () =
         (loose.Sweep.savings >= tight.Sweep.savings -. 0.5)
   | _ -> Alcotest.fail "expected two points"
 
+(* Golden cycle-exactness: every constant below was captured from the
+   list-based simulator before the array-queue rewrite. The refactor
+   contract is bit-identical simulation, so any drift — a single cycle,
+   sync penalty, or picojoule — fails this test. Energies are compared
+   with zero tolerance on purpose: the event order inside a cycle feeds
+   the power model, so float identity is the real invariant. *)
+let check_golden name (r : Metrics.run) ~runtime_ps ~energy_pj ~instructions
+    ~cycles ~sync_crossings ~sync_penalties ~reconfigurations =
+  Alcotest.(check int) (name ^ ": runtime_ps") runtime_ps r.Metrics.runtime_ps;
+  Alcotest.(check (float 0.0)) (name ^ ": energy_pj") energy_pj
+    r.Metrics.energy_pj;
+  Alcotest.(check int) (name ^ ": instructions") instructions
+    r.Metrics.instructions;
+  Alcotest.(check int) (name ^ ": cycles_front") cycles r.Metrics.cycles_front;
+  Alcotest.(check int) (name ^ ": sync_crossings") sync_crossings
+    r.Metrics.sync_crossings;
+  Alcotest.(check int) (name ^ ": sync_penalties") sync_penalties
+    r.Metrics.sync_penalties;
+  Alcotest.(check int) (name ^ ": reconfigurations") reconfigurations
+    r.Metrics.reconfigurations
+
+let test_golden_cycle_exact () =
+  let adpcm = Suite.by_name "adpcm decode" in
+  let gsm = Suite.by_name "gsm encode" in
+  check_golden "adpcm baseline" (Runner.baseline adpcm)
+    ~runtime_ps:150_198_724 ~energy_pj:634901.7799991403
+    ~instructions:120_000 ~cycles:150_204 ~sync_crossings:292_143
+    ~sync_penalties:171_883 ~reconfigurations:0;
+  check_golden "adpcm online" (Runner.online_run adpcm)
+    ~runtime_ps:168_092_029 ~energy_pj:558057.09852451785
+    ~instructions:120_000 ~cycles:168_101 ~sync_crossings:292_142
+    ~sync_penalties:159_714 ~reconfigurations:9;
+  let adpcm_pr = Runner.profile_run adpcm ~context:Context.lf ~train:`Train in
+  check_golden "adpcm profile L+F" adpcm_pr.Runner.run
+    ~runtime_ps:159_474_437 ~energy_pj:547978.1986847776
+    ~instructions:120_000 ~cycles:149_918 ~sync_crossings:292_142
+    ~sync_penalties:170_865 ~reconfigurations:16;
+  Alcotest.(check int) "adpcm profile L+F: instr_points" 16
+    adpcm_pr.Runner.run.Metrics.instr_points;
+  Alcotest.(check int) "adpcm profile L+F: instr_overhead_ps" 17_182
+    adpcm_pr.Runner.run.Metrics.instr_overhead_ps;
+  check_golden "gsm baseline" (Runner.baseline gsm)
+    ~runtime_ps:319_951_932 ~energy_pj:1118708.7899937588
+    ~instructions:160_000 ~cycles:319_965 ~sync_crossings:390_521
+    ~sync_penalties:229_532 ~reconfigurations:0;
+  let gsm_pr = Runner.profile_run gsm ~context:Context.lf ~train:`Train in
+  check_golden "gsm profile L+F" gsm_pr.Runner.run
+    ~runtime_ps:340_979_955 ~energy_pj:905049.84638683696
+    ~instructions:160_000 ~cycles:300_411 ~sync_crossings:390_521
+    ~sync_penalties:229_200 ~reconfigurations:18
+
+(* The parallel runner must be invisible in the output: running the same
+   experiment sequentially and with four domains has to produce
+   byte-identical tables (order-preserving map + deterministic
+   simulation; per-domain memo tables only affect speed). *)
+let test_parallel_runs_deterministic () =
+  let workloads = [ Suite.by_name "adpcm decode"; Suite.by_name "adpcm encode" ] in
+  let render () =
+    let rows = Headline.rows ~workloads () in
+    Headline.fig4 rows ^ Headline.fig5 rows
+    ^ Tables.table3 ~workloads ()
+  in
+  let saved = Runner.get_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Runner.set_jobs saved)
+    (fun () ->
+      Runner.set_jobs 1;
+      let seq = render () in
+      Runner.set_jobs 4;
+      let par = render () in
+      Alcotest.(check string) "jobs=4 matches sequential" seq par)
+
 let test_tables_render () =
   let t1 = Tables.table1 () in
   Alcotest.(check bool) "table1" true (contains ~needle:"Reorder buffer" t1);
@@ -136,4 +208,6 @@ let suite =
     ("L+F overhead below L+F+C+P", `Slow, test_lf_overhead_below_lfcp);
     ("sweep monotone savings", `Slow, test_sweep_monotone_savings);
     ("tables render", `Quick, test_tables_render);
+    ("golden cycle-exact metrics", `Slow, test_golden_cycle_exact);
+    ("parallel runs deterministic", `Slow, test_parallel_runs_deterministic);
   ]

@@ -105,6 +105,33 @@ let test_dvfs_retarget_mid_ramp () =
   Alcotest.(check bool) "coming back up" true (later > mid);
   Alcotest.(check int) "target" 1000 (Dvfs.target_mhz d Domain.Floating)
 
+(* Regression: the slew must land exactly on the target — not merely
+   asymptotically close — no matter how finely queries are interleaved,
+   because [in_transition] compares [current] and [target] with float
+   equality. Drive a full-range ramp with many irregular tiny steps and
+   demand an exact arrival. *)
+let test_dvfs_interleaved_slew_terminates () =
+  let d = Dvfs.create () in
+  Dvfs.set_target d Domain.Integer ~now:Time.zero ~mhz:250;
+  (* 750 MHz at 73.3 ns/MHz ~ 55 us; step with awkward increments *)
+  let now = ref Time.zero in
+  let steps = [| 137; 731; 7; 1; 4099; 53 |] in
+  let i = ref 0 in
+  while
+    Dvfs.in_transition d Domain.Integer ~now:!now
+    && !now < Time.us 60 (* bound the loop if the fix regresses *)
+  do
+    now := !now + Time.ps steps.(!i mod Array.length steps);
+    incr i;
+    ignore (Dvfs.current_mhz d Domain.Integer ~now:!now)
+  done;
+  Alcotest.(check bool) "terminates within the ramp time" true
+    (!now < Time.us 60);
+  Alcotest.(check bool) "settled" false
+    (Dvfs.in_transition d Domain.Integer ~now:!now);
+  Alcotest.(check (float 0.0)) "landed exactly on the target" 250.0
+    (Dvfs.current_mhz d Domain.Integer ~now:!now)
+
 let test_dvfs_past_query_no_rewind () =
   let d = Dvfs.create () in
   Dvfs.set_target d Domain.Integer ~now:Time.zero ~mhz:500;
@@ -313,6 +340,8 @@ let suite =
     ("dvfs slew rate", `Quick, test_dvfs_slew_rate);
     ("dvfs transition flag", `Quick, test_dvfs_transition_flag);
     ("dvfs retarget mid-ramp", `Quick, test_dvfs_retarget_mid_ramp);
+    ("dvfs interleaved slew terminates", `Quick,
+     test_dvfs_interleaved_slew_terminates);
     ("dvfs past query", `Quick, test_dvfs_past_query_no_rewind);
     ("dvfs clamps target", `Quick, test_dvfs_clamps_target);
     ("dvfs snap diagnostic", `Quick, test_dvfs_snap_diagnostic);

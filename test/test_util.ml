@@ -6,6 +6,8 @@ module Stats = Mcd_util.Stats
 module Table = Mcd_util.Table
 module Time = Mcd_util.Time
 module Vec = Mcd_util.Vec
+module Agequeue = Mcd_util.Agequeue
+module Par = Mcd_util.Par
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -323,6 +325,139 @@ let prop_vec_roundtrip =
     QCheck.(list int)
     (fun xs -> Vec.to_list (Vec.of_list xs) = xs)
 
+(* --- Agequeue ------------------------------------------------------- *)
+
+let test_agequeue_basic () =
+  let q = Agequeue.create ~capacity:3 ~dummy:(-1) in
+  Alcotest.(check bool) "empty" true (Agequeue.is_empty q);
+  Agequeue.push q 10;
+  Agequeue.push q 20;
+  Alcotest.(check int) "length" 2 (Agequeue.length q);
+  Alcotest.(check int) "oldest first" 10 (Agequeue.get q 0);
+  Agequeue.push q 30;
+  Alcotest.(check bool) "full" true (Agequeue.is_full q);
+  Alcotest.check_raises "push on full"
+    (Invalid_argument "Agequeue.push: queue is full") (fun () ->
+      Agequeue.push q 40);
+  Agequeue.filter_in_place (fun v -> v <> 20) q;
+  Alcotest.(check (list int)) "order kept" [ 10; 30 ] (Agequeue.to_list q);
+  Agequeue.clear q;
+  Alcotest.(check int) "cleared" 0 (Agequeue.length q)
+
+let test_agequeue_filter_visits_all_in_age_order () =
+  let q = Agequeue.create ~capacity:8 ~dummy:0 in
+  List.iter (Agequeue.push q) [ 1; 2; 3; 4; 5 ];
+  let visited = ref [] in
+  Agequeue.filter_in_place
+    (fun v ->
+      visited := v :: !visited;
+      v mod 2 = 1)
+    q;
+  Alcotest.(check (list int)) "visited every element oldest-first"
+    [ 1; 2; 3; 4; 5 ] (List.rev !visited);
+  Alcotest.(check (list int)) "survivors" [ 1; 3; 5 ] (Agequeue.to_list q)
+
+(* Differential property: an [Agequeue] driven by random
+   dispatch/issue/flush sequences behaves exactly like the immutable
+   age-ordered list the pipeline used before the rewrite, including the
+   order in which an effectful issue predicate observes entries. *)
+let prop_agequeue_matches_list_reference =
+  let gen_ops =
+    QCheck.Gen.(
+      list_size (int_range 0 120)
+        (oneof
+           [
+             map (fun v -> `Dispatch v) (int_range 0 999);
+             map (fun m -> `Issue m) (int_range 0 255);
+             return `Flush;
+           ]))
+  in
+  let pp_ops ops =
+    String.concat ";"
+      (List.map
+         (function
+           | `Dispatch v -> Printf.sprintf "D%d" v
+           | `Issue m -> Printf.sprintf "I%d" m
+           | `Flush -> "F")
+         ops)
+  in
+  QCheck.Test.make ~name:"agequeue matches the list reference" ~count:300
+    (QCheck.make ~print:pp_ops gen_ops)
+    (fun ops ->
+      let capacity = 6 in
+      let q = Agequeue.create ~capacity ~dummy:(-1) in
+      let reference = ref [] in
+      let seen_q = ref [] and seen_l = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | `Dispatch v ->
+              (* dispatch is gated on occupancy, exactly like the
+                 pipeline's [queue_has_space] *)
+              let has_space_q = not (Agequeue.is_full q) in
+              let has_space_l = List.length !reference < capacity in
+              assert (has_space_q = has_space_l);
+              if has_space_q then begin
+                Agequeue.push q v;
+                reference := !reference @ [ v ]
+              end
+          | `Issue mask ->
+              (* an effectful oldest-first scan with an issue budget,
+                 like [tick_exec]: keep entries whose low bits miss the
+                 mask, issue (remove) at most two others *)
+              let issue_one seen budget v =
+                seen := v :: !seen;
+                if !budget > 0 && (v land 7) land mask <> 0 then begin
+                  decr budget;
+                  false
+                end
+                else true
+              in
+              let bq = ref 2 in
+              Agequeue.filter_in_place (issue_one seen_q bq) q;
+              let bl = ref 2 in
+              reference := List.filter (issue_one seen_l bl) !reference
+          | `Flush ->
+              Agequeue.clear q;
+              reference := [])
+        ops;
+      Agequeue.to_list q = !reference
+      && Agequeue.length q = List.length !reference
+      && !seen_q = !seen_l)
+
+(* --- Par ------------------------------------------------------------ *)
+
+let test_par_matches_sequential () =
+  let xs = List.init 97 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" jobs)
+        (List.map f xs) (Par.map ~jobs f xs))
+    [ 1; 2; 4; 128 ]
+
+let test_par_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Par.map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Par.map ~jobs:4 succ [ 1 ])
+
+let test_par_propagates_exception () =
+  Alcotest.check_raises "raises" (Failure "boom") (fun () ->
+      ignore
+        (Par.map ~jobs:4
+           (fun x -> if x = 5 then failwith "boom" else x)
+           (List.init 20 Fun.id)))
+
+let test_par_iter () =
+  let hits = Array.make 16 0 in
+  Par.iter ~jobs:4 (fun i -> hits.(i) <- hits.(i) + 1) (List.init 16 Fun.id);
+  Alcotest.(check (array int)) "each item once" (Array.make 16 1) hits
+
+let prop_par_map_deterministic =
+  QCheck.Test.make ~name:"par map is order-preserving at any jobs" ~count:50
+    QCheck.(pair (int_range 1 8) (small_list small_int))
+    (fun (jobs, xs) -> Par.map ~jobs (fun x -> x * 3) xs = List.map (fun x -> x * 3) xs)
+
 let suite =
   [
     ("rng deterministic", `Quick, test_rng_deterministic);
@@ -356,6 +491,14 @@ let suite =
     ("vec push/get", `Quick, test_vec_push_get);
     ("vec bounds", `Quick, test_vec_bounds);
     ("vec iter/fold", `Quick, test_vec_iter_fold);
+    ("agequeue basic", `Quick, test_agequeue_basic);
+    ("agequeue filter order", `Quick, test_agequeue_filter_visits_all_in_age_order);
+    ("par matches sequential", `Quick, test_par_matches_sequential);
+    ("par empty/singleton", `Quick, test_par_empty_and_singleton);
+    ("par propagates exception", `Quick, test_par_propagates_exception);
+    ("par iter", `Quick, test_par_iter);
+    QCheck_alcotest.to_alcotest prop_agequeue_matches_list_reference;
+    QCheck_alcotest.to_alcotest prop_par_map_deterministic;
     QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
     QCheck_alcotest.to_alcotest prop_histogram_merge_total;
     QCheck_alcotest.to_alcotest prop_stats_mean_bounds;

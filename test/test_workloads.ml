@@ -21,8 +21,23 @@ let test_names_unique () =
 let test_by_name () =
   let w = Suite.by_name "mcf" in
   Alcotest.(check string) "found" "mcf" w.Workload.name;
-  Alcotest.check_raises "missing" Not_found (fun () ->
-      ignore (Suite.by_name "doom"))
+  (match Suite.by_name "doom" with
+  | _ -> Alcotest.fail "by_name accepted an unknown benchmark"
+  | exception Invalid_argument msg ->
+      (* the message must name the offender and list the valid names *)
+      let contains needle =
+        let nl = String.length needle and hl = String.length msg in
+        let rec go i = i + nl <= hl && (String.sub msg i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "mentions the bad name" true (contains {|"doom"|});
+      Alcotest.(check bool) "lists valid names" true (contains "mcf"));
+  (match Suite.find_opt "doom" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "find_opt accepted an unknown benchmark");
+  (match Suite.find_opt "gzip" with
+  | Some w -> Alcotest.(check string) "find_opt found" "gzip" w.Workload.name
+  | None -> Alcotest.fail "find_opt missed a known benchmark")
 
 let test_programs_validate () =
   (* Program.validate runs in the builder; re-run it explicitly *)

@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- --quick      # reduced suite (CI-sized)
      dune exec bench/main.exe -- --jobs 4     # fan experiments out on 4 cores
      dune exec bench/main.exe -- --json BENCH_pr2.json  # perf artifact
+     dune exec bench/main.exe -- --trace-dir traces     # obs trace bundles
      dune exec bench/main.exe -- --micro      # Bechamel kernels
      dune exec bench/main.exe -- --list       # available ids *)
 
@@ -332,7 +333,40 @@ let write_json ~path ~quick ~jobs ~timings ~total_s =
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
-let run_experiments only quick list_only micro jobs json_path =
+(* --trace-dir: after the experiments, re-run the quick/full suite's
+   profile policy with the observability sink attached and export one
+   trace bundle per workload. Separate passes on purpose — the traced
+   runs bypass Runner's memo tables, so the timed experiments above
+   stay untraced and their wall clock honest. *)
+let sanitize_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '-')
+    name
+
+let trace_suite ~quick ~dir =
+  let workloads = if quick then quick_suite () else Suite.all in
+  let domain_names =
+    Array.of_list (List.map Mcd_domains.Domain.name Mcd_domains.Domain.all)
+  in
+  List.iter
+    (fun w ->
+      let name = w.Mcd_workloads.Workload.name in
+      let sink = Mcd_obs.Sink.create ~domains:Mcd_domains.Domain.count () in
+      let t0 = now_s () in
+      let _run = Runner.observed_run ~sink w in
+      let dt = now_s () -. t0 in
+      let sub = Filename.concat dir (sanitize_name name) in
+      ignore (Mcd_obs.Export.write_dir ~domain_names ~dir:sub sink : string list);
+      Printf.printf "traced %-16s -> %s (%.1fs, %d samples, %d events)\n%!"
+        name sub dt
+        (Mcd_obs.Series.length (Mcd_obs.Sink.series sink))
+        (List.length (Mcd_obs.Sink.events sink)))
+    workloads
+
+let run_experiments only quick list_only micro jobs json_path trace_dir =
   if list_only then begin
     List.iter (fun e -> Printf.printf "%-16s %s\n" e.id e.descr) experiments;
     `Ok ()
@@ -372,6 +406,9 @@ let run_experiments only quick list_only micro jobs json_path =
     | Some path ->
         write_json ~path ~quick ~jobs ~timings:!timings
           ~total_s:(now_s () -. t_start));
+    (match trace_dir with
+    | None -> ()
+    | Some dir -> trace_suite ~quick ~dir);
     `Ok ()
   end
 
@@ -414,6 +451,16 @@ let () =
             "Write wall-clock per experiment and the simulated headline \
              metrics to $(docv) (the perf trajectory artifact).")
   in
+  let trace_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "After the experiments, re-run the suite's profile policy with \
+             the observability sink attached and write one trace bundle \
+             (metrics.jsonl, series.csv, trace.json) per workload under \
+             $(docv).")
+  in
   let jobs_resolved =
     Term.(
       const (fun j -> if j <= 0 then Mcd_util.Par.recommended_jobs () else j)
@@ -423,7 +470,7 @@ let () =
     Term.(
       ret
         (const run_experiments $ only $ quick $ list_only $ micro
-       $ jobs_resolved $ json))
+       $ jobs_resolved $ json $ trace_dir))
   in
   let info =
     Cmd.info "mcd-bench"

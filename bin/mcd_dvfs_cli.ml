@@ -5,6 +5,7 @@
      mcd-dvfs tree "gsm encode"             print the training call tree
      mcd-dvfs plan "gsm encode"             print the reconfiguration plan
      mcd-dvfs compare mcf                   baseline/off-line/on-line/L+F
+     mcd-dvfs trace mcf --out dir           traced run + exporters
      mcd-dvfs robustness --seed 7           fault-injection campaign
 
    Exit codes: 0 success, 1 campaign failure, 2 plan validation error,
@@ -280,6 +281,64 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Compare all policies on one benchmark")
     Term.(const run $ w)
 
+(* --- trace ------------------------------------------------------------- *)
+
+let trace_cmd =
+  let run w policy context out stride =
+    let sink =
+      Mcd_obs.Sink.create ~stride_cycles:stride
+        ~domains:Mcd_domains.Domain.count ()
+    in
+    let metrics = Runner.observed_run ~policy ~context ~sink w in
+    let domain_names =
+      Array.of_list (List.map Mcd_domains.Domain.name Mcd_domains.Domain.all)
+    in
+    let files = Mcd_obs.Export.write_dir ~domain_names ~dir:out sink in
+    Format.printf "%a@." Metrics.pp metrics;
+    Printf.printf "%d samples, %d events retained (%d dropped)\n"
+      (Mcd_obs.Series.length (Mcd_obs.Sink.series sink))
+      (List.length (Mcd_obs.Sink.events sink))
+      (Mcd_obs.Sink.dropped_events sink);
+    List.iter (fun f -> Printf.printf "wrote %s\n" f) files;
+    0
+  in
+  let w = Arg.(required & pos 0 (some workload_arg) None & info [] ~docv:"BENCHMARK") in
+  let policy_enum =
+    Arg.enum
+      [
+        ("baseline", `Baseline);
+        ("offline", `Offline);
+        ("online", `Online);
+        ("profile", `Profile);
+      ]
+  in
+  let policy =
+    Arg.(value & opt policy_enum `Profile
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"baseline | offline | online | profile")
+  in
+  let context =
+    Arg.(value & opt context_arg Context.lf
+         & info [ "context" ] ~docv:"CTX" ~doc:"Calling-context definition")
+  in
+  let out =
+    Arg.(value & opt string "trace-out"
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Output directory (created if missing)")
+  in
+  let stride =
+    Arg.(value & opt int 2048
+         & info [ "stride" ] ~docv:"CYCLES"
+             ~doc:"Front-end cycles between time-series samples")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Simulate one benchmark with the observability sink attached and \
+          export metrics.jsonl, series.csv and a Chrome trace (trace.json, \
+          one track per clock domain)")
+    Term.(const run $ w $ policy $ context $ out $ stride)
+
 (* --- robustness -------------------------------------------------------- *)
 
 let fault_arg =
@@ -333,4 +392,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ suite_cmd; run_cmd; tree_cmd; plan_cmd; compare_cmd; robustness_cmd ]))
+          [
+            suite_cmd;
+            run_cmd;
+            tree_cmd;
+            plan_cmd;
+            compare_cmd;
+            trace_cmd;
+            robustness_cmd;
+          ]))

@@ -31,15 +31,16 @@ let scaled_domains = [ Domain.Integer; Domain.Floating; Domain.Memory ]
 
 let revert_cooldown = 6
 
-let controller ?(params = default_params) () =
+let controller ?(params = default_params) ?sink () =
   let prev_util = Array.make Domain.count (-1.0) in
   let cur_freq = Array.make Domain.count Freq.fmax_mhz in
   let cooldown = Array.make Domain.count 0 in
   let pending_check = Array.make Domain.count 0 in
   let ipc_before = Array.make Domain.count 0.0 in
+  let pre_decay = Array.make Domain.count Freq.fmax_mhz in
   let idle_streak = Array.make Domain.count 0 in
   let smooth_ipc = ref (-1.0) in
-  let on_sample (s : Controller.sample) ~now:_ =
+  let on_sample (s : Controller.sample) ~now =
     let raw_ipc =
       float_of_int s.Controller.retired
       /. float_of_int (max 1 s.Controller.elapsed_cycles)
@@ -52,10 +53,19 @@ let controller ?(params = default_params) () =
     in
     smooth_ipc := ipc;
     let changed = ref false in
-    let set d f' =
+    let set d f' why =
       let i = Domain.index d in
       let f' = Freq.clamp f' in
       if f' <> cur_freq.(i) then begin
+        (match sink with
+        | None -> ()
+        | Some snk ->
+            Mcd_obs.Sink.decision snk ~t_ps:now ~source:"on-line"
+              ~trigger:Mcd_obs.Sink.Sample
+              ~detail:
+                (Printf.sprintf "%s %s %d->%d MHz" why (Domain.name d)
+                   cur_freq.(i) f')
+              ());
         cur_freq.(i) <- f';
         changed := true
       end
@@ -71,7 +81,10 @@ let controller ?(params = default_params) () =
           pending_check.(i) <- pending_check.(i) - 1;
           if pending_check.(i) = 0 && ipc < params.ipc_guard *. ipc_before.(i)
           then begin
-            set d (cur_freq.(i) + params.attack_step_mhz);
+            (* undo the decay exactly: restore the frequency recorded
+               just before it, not cur + attack_step (150 MHz up for a
+               50 MHz decay would overshoot the pre-decay point) *)
+            set d pre_decay.(i) "revert";
             cooldown.(i) <- revert_cooldown
           end
         end;
@@ -80,21 +93,29 @@ let controller ?(params = default_params) () =
         else idle_streak.(i) <- 0;
         if prev_util.(i) >= 0.0 then begin
           let delta = util -. prev_util.(i) in
-          if util > 0.85 then
+          if util > 0.85 then begin
             (* deep backlog: a phase change caught the domain far too
-               slow — jump straight back to full speed *)
-            set d Freq.fmax_mhz
-          else if delta > params.attack_threshold || util > 0.45 then
-            set d (cur_freq.(i) + params.attack_step_mhz)
-          else if idle_streak.(i) >= 2 then
+               slow — jump straight back to full speed. Any decay still
+               under guard observation is superseded. *)
+            set d Freq.fmax_mhz "surge";
+            pending_check.(i) <- 0
+          end
+          else if delta > params.attack_threshold || util > 0.45 then begin
+            set d (cur_freq.(i) + params.attack_step_mhz) "attack";
+            pending_check.(i) <- 0
+          end
+          else if idle_streak.(i) >= 2 then begin
             (* persistently idle: plunge without consulting the guard *)
-            set d (cur_freq.(i) - params.attack_step_mhz)
+            set d (cur_freq.(i) - params.attack_step_mhz) "plunge";
+            pending_check.(i) <- 0
+          end
           else if
             util >= 0.02 && util < 0.20 && cooldown.(i) = 0
             && pending_check.(i) = 0
             && cur_freq.(i) > Freq.fmin_mhz
           then begin
-            set d (cur_freq.(i) - params.decay_step_mhz);
+            pre_decay.(i) <- cur_freq.(i);
+            set d (cur_freq.(i) - params.decay_step_mhz) "decay";
             pending_check.(i) <- 3;
             ipc_before.(i) <- ipc
           end

@@ -28,5 +28,9 @@ type params = {
 
 val default_params : params
 
-val controller : ?params:params -> unit -> Mcd_cpu.Controller.t
-(** Fresh controller (single-use: carries per-run state). *)
+val controller :
+  ?params:params -> ?sink:Mcd_obs.Sink.t -> unit -> Mcd_cpu.Controller.t
+(** Fresh controller (single-use: carries per-run state). With a
+    [sink], every frequency move is recorded as a [Decision] event
+    labelled with its cause (attack / decay / revert / plunge /
+    surge). *)

@@ -133,6 +133,8 @@ let load_result ~path ~tree =
           let warn e = warnings := e :: !warnings in
           let context = ref Context.lf in
           let slowdown = ref 7.0 in
+          let saw_context = ref false in
+          let saw_slowdown = ref false in
           let node_settings = Hashtbl.create 32 in
           let unit_settings = Hashtbl.create 32 in
           let node_histograms : (int, Histogram.t array) Hashtbl.t =
@@ -180,12 +182,15 @@ let load_result ~path ~tree =
                    | [ "end" ] -> saw_end := true
                    | [ "context"; name ] -> (
                        match Context.of_name name with
-                       | c -> context := c
+                       | c ->
+                           saw_context := true;
+                           context := c
                        | exception Not_found ->
                            raise (Reject (Printf.sprintf "unknown context %S" name)))
                    | [ "slowdown"; v ] ->
                        let v, w = Validate.slowdown_pct (parse_float v) in
                        Option.iter warn w;
+                       saw_slowdown := true;
                        slowdown := v
                    | [ "tree"; fp ] ->
                        fp_checked := true;
@@ -209,7 +214,7 @@ let load_result ~path ~tree =
                          raise
                            (Reject (Printf.sprintf "bad domain index %d" d));
                        let weights = floats_of_string weights in
-                       if Array.length weights > Freq.num_steps then
+                       if Array.length weights <> Freq.num_steps then
                          raise
                            (Reject
                               (Printf.sprintf "%d histogram bins, expected %d"
@@ -270,6 +275,21 @@ let load_result ~path ~tree =
             fatal (Error.Missing_fingerprint { path });
           if !fatals = [] && not !saw_end then
             fatal (Error.Truncated_file { path });
+          (* Absent header lines are survivable (the defaults below are
+             sane) but never silent: a plan written by [save] always has
+             both, so a missing one means hand-editing or damage. *)
+          if not !saw_context then
+            warn
+              (Error.Missing_header_field
+                 {
+                   path;
+                   field = "context";
+                   default = Context.lf.Context.name;
+                 });
+          if not !saw_slowdown then
+            warn
+              (Error.Missing_header_field
+                 { path; field = "slowdown"; default = "7.0%" });
           match List.rev !fatals with
           | _ :: _ as errors -> Result.Error errors
           | [] ->

@@ -33,7 +33,8 @@ type loaded = {
   warnings : Mcd_robust.Error.t list;
       (** recoverable issues that were repaired: off-grid frequencies
           snapped to the legal grid, bad histogram weights dropped,
-          entries for unknown nodes discarded *)
+          entries for unknown nodes discarded, missing [context] /
+          [slowdown] header lines replaced by their defaults *)
 }
 
 val load_result :

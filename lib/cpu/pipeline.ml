@@ -6,10 +6,12 @@ module Walker = Mcd_isa.Walker
 module Domain = Mcd_domains.Domain
 module Clock = Mcd_domains.Clock
 module Dvfs = Mcd_domains.Dvfs
+module Freq = Mcd_domains.Freq
 module Sync = Mcd_domains.Sync
 module Reconfig = Mcd_domains.Reconfig
 module Energy = Mcd_power.Energy
 module Metrics = Mcd_power.Metrics
+module Sink = Mcd_obs.Sink
 
 type istate = In_fetch_buffer | In_queue | Completed | Retired_inst
 
@@ -106,12 +108,24 @@ type t = {
   (* instrumentation cost accounting *)
   mutable instr_points : int;
   mutable instr_overhead_ps : int;
+  (* observability: all [obs_*] fields are dead weight when [sink] is
+     [None] — every producer site guards on the option first *)
+  sink : Sink.t option;
+  mutable next_obs_cycle : int; (* max_int when no sink *)
+  mutable obs_prev_cycles : int;
+  mutable obs_prev_retired : int;
+  obs_prev_pj : float array; (* Domain.count + 1; last slot external *)
+  obs_mhz : float array; (* per-sample scratch, reused *)
+  obs_volt : float array;
+  obs_occ : float array;
+  obs_pj : float array;
+  obs_freq_hist : Mcd_obs.Metrics.histogram array;
 }
 
 let fetch_buffer_cap = 16
 
-let create ?probe ?(controller = Controller.nop) ?(warmup_insts = 0) ~config
-    ~program ~input ~max_insts () =
+let create ?probe ?(controller = Controller.nop) ?sink ?(warmup_insts = 0)
+    ~config ~program ~input ~max_insts () =
   let cfg : Config.t = config in
   let dvfs = Dvfs.create () in
   let rng = Rng.create cfg.seed in
@@ -194,6 +208,34 @@ let create ?probe ?(controller = Controller.nop) ?(warmup_insts = 0) ~config
     retired_at_sample = 0;
     instr_points = 0;
     instr_overhead_ps = 0;
+    sink;
+    next_obs_cycle =
+      (match sink with Some s -> Sink.stride_cycles s | None -> max_int);
+    obs_prev_cycles = 0;
+    obs_prev_retired = 0;
+    obs_prev_pj =
+      (match sink with
+      | Some _ -> Array.make (Domain.count + 1) 0.0
+      | None -> [||]);
+    obs_mhz =
+      (match sink with Some _ -> Array.make Domain.count 0.0 | None -> [||]);
+    obs_volt =
+      (match sink with Some _ -> Array.make Domain.count 0.0 | None -> [||]);
+    obs_occ =
+      (match sink with Some _ -> Array.make Domain.count 0.0 | None -> [||]);
+    obs_pj =
+      (match sink with
+      | Some _ -> Array.make (Domain.count + 1) 0.0
+      | None -> [||]);
+    obs_freq_hist =
+      (match sink with
+      | Some s ->
+          Array.init Domain.count (fun i ->
+              Mcd_obs.Metrics.histogram (Sink.metrics s)
+                (Printf.sprintf "freq_residency.%s"
+                   (Domain.name (Domain.of_index i)))
+                ~bins:Freq.num_steps)
+      | None -> [||]);
   }
 
 let clock t domain = t.clocks.(Domain.index domain)
@@ -210,9 +252,21 @@ let charge t ~now activity = Energy.Accum.charge t.energy t.dvfs ~now activity
 let cross_arrival t ~producer ~consumer ~when_ =
   if producer = consumer || t.single then when_ + 1
   else
-    Sync.arrival ~stats:t.sync_stats ~consumer:(clock t consumer)
-      ~producer_period_ps:(period t producer ~now:when_)
-      ~t:when_ ()
+    match t.sink with
+    | None ->
+        Sync.arrival ~stats:t.sync_stats ~consumer:(clock t consumer)
+          ~producer_period_ps:(period t producer ~now:when_)
+          ~t:when_ ()
+    | Some sink ->
+        let penalties_before = t.sync_stats.Sync.penalties in
+        let a =
+          Sync.arrival ~stats:t.sync_stats ~consumer:(clock t consumer)
+            ~producer_period_ps:(period t producer ~now:when_)
+            ~t:when_ ()
+        in
+        if t.sync_stats.Sync.penalties <> penalties_before then
+          Sink.sync_penalty sink ~t_ps:when_ ~domain:(Domain.index consumer);
+        a
 
 (* Cached arrival of an instruction's result into [domain]. *)
 let result_arrival t inf domain =
@@ -346,7 +400,10 @@ let retire_stage t ~now =
         t.sync_stats.Sync.crossings <- 0;
         t.sync_stats.Sync.penalties <- 0;
         t.instr_points <- 0;
-        t.instr_overhead_ps <- 0
+        t.instr_overhead_ps <- 0;
+        (* the energy accumulator was just reset; realign the sampler's
+           per-domain baselines or the next pJ delta clamps to zero *)
+        Array.fill t.obs_prev_pj 0 (Array.length t.obs_prev_pj) 0.0
       end;
       decr budget
     end
@@ -478,7 +535,13 @@ let apply_reaction t ~now (reaction : Controller.reaction) =
   end;
   match reaction.set with
   | None -> ()
-  | Some setting -> Reconfig.write t.reconfig setting ~now
+  | Some setting ->
+      (match t.sink with
+      | None -> ()
+      | Some sink ->
+          Sink.decision sink ~t_ps:now ~source:t.controller.Controller.name
+            ~trigger:Sink.Marker ~setting ~detail:"marker reaction" ());
+      Reconfig.write ?sink:t.sink t.reconfig setting ~now
 
 let fetch_stage t ~now =
   if now >= t.fetch_resume && t.pending_redirect = None then begin
@@ -621,7 +684,13 @@ let sample_stage t ~now =
       in
       (match t.controller.Controller.on_sample sample ~now with
       | None -> ()
-      | Some setting -> Reconfig.write t.reconfig setting ~now);
+      | Some setting ->
+          (match t.sink with
+          | None -> ()
+          | Some sink ->
+              Sink.decision sink ~t_ps:now ~source:t.controller.Controller.name
+                ~trigger:Sink.Sample ~setting ~detail:"sample reaction" ());
+          Reconfig.write ?sink:t.sink t.reconfig setting ~now);
       Array.fill t.occ_sum 0 Domain.count 0.0;
       t.occ_ticks <- 0;
       t.retired_at_sample <- t.retired;
@@ -629,11 +698,66 @@ let sample_stage t ~now =
     end
   end
 
+(* Interval sampler for the observability sink: every [stride_cycles]
+   front-end cycles, capture per-domain frequency/voltage, raw queue
+   occupancy, IPC over the interval, and the per-domain energy delta.
+   All scratch arrays are preallocated in [create], so a sample costs a
+   few loads per domain plus one Series row append. *)
+let obs_stage t ~now =
+  match t.sink with
+  | None -> ()
+  | Some sink ->
+      let cycles = Clock.cycles (clock t Domain.Front_end) in
+      if cycles >= t.next_obs_cycle then begin
+        let dcycles = cycles - t.obs_prev_cycles in
+        let ipc =
+          float_of_int (t.retired - t.obs_prev_retired)
+          /. float_of_int (max 1 dcycles)
+        in
+        for i = 0 to Domain.count - 1 do
+          let d = Domain.of_index i in
+          let f = Dvfs.current_mhz t.dvfs d ~now in
+          t.obs_mhz.(i) <- f;
+          t.obs_volt.(i) <- Freq.voltage_f f;
+          (* residency weighted by the cycles spent since the previous
+             sample; the operating point is snapped to its nearest
+             legal step to pick the bin *)
+          Mcd_obs.Metrics.observe t.obs_freq_hist.(i)
+            ~bin:(Freq.index_of (Freq.clamp (int_of_float (Float.round f))))
+            ~weight:(float_of_int dcycles)
+        done;
+        t.obs_occ.(Domain.index Domain.Front_end) <-
+          float_of_int t.fetch_buf_count;
+        t.obs_occ.(Domain.index Domain.Integer) <-
+          float_of_int (Agequeue.length t.iq_int);
+        t.obs_occ.(Domain.index Domain.Floating) <-
+          float_of_int (Agequeue.length t.iq_fp);
+        t.obs_occ.(Domain.index Domain.Memory) <-
+          float_of_int (Agequeue.length t.lsq);
+        for i = 0 to Domain.count do
+          let pj =
+            if i < Domain.count then
+              Energy.Accum.domain_pj t.energy (Domain.of_index i)
+            else Energy.Accum.external_pj t.energy
+          in
+          (* the accumulator is reset at the warm-up boundary, so clamp
+             the delta against a higher previous reading *)
+          t.obs_pj.(i) <- Float.max 0.0 (pj -. t.obs_prev_pj.(i));
+          t.obs_prev_pj.(i) <- pj
+        done;
+        Sink.sample sink ~t_ps:now ~cycles ~ipc ~mhz:t.obs_mhz ~volt:t.obs_volt
+          ~occ:t.obs_occ ~pj:t.obs_pj;
+        t.obs_prev_cycles <- cycles;
+        t.obs_prev_retired <- t.retired;
+        t.next_obs_cycle <- cycles + Sink.stride_cycles sink
+      end
+
 let tick_front t ~now =
   retire_stage t ~now;
   dispatch_stage t ~now;
   fetch_stage t ~now;
-  sample_stage t ~now
+  sample_stage t ~now;
+  obs_stage t ~now
 
 (* ------------------------------------------------------------------ *)
 (* Execution domains                                                   *)
@@ -782,10 +906,10 @@ let metrics t ~now =
 
 let deadlock_horizon = Time.us 100_000 (* 100 ms of simulated time *)
 
-let run ?probe ?controller ?warmup_insts ?(dvfs_faults = []) ~config ~program
-    ~input ~max_insts () =
+let run ?probe ?controller ?sink ?warmup_insts ?(dvfs_faults = []) ~config
+    ~program ~input ~max_insts () =
   let t =
-    create ?probe ?controller ?warmup_insts ~config ~program ~input
+    create ?probe ?controller ?sink ?warmup_insts ~config ~program ~input
       ~max_insts ()
   in
   List.iter (Dvfs.inject t.dvfs) dvfs_faults;

@@ -12,11 +12,16 @@
 
     A {!Controller.t} supplies the run-time reconfiguration policy; a
     {!Probe.t} (profiling runs) receives every primitive event for
-    dependence-DAG construction. *)
+    dependence-DAG construction; an {!Mcd_obs.Sink.t} (tracing runs)
+    receives structured events (reconfigurations, DVFS retargets, sync
+    penalties, controller decisions) and interval samples of the
+    per-domain frequency/voltage/occupancy/energy signals. With no sink
+    the observability code is a single [None] branch per site. *)
 
 val run :
   ?probe:Probe.t ->
   ?controller:Controller.t ->
+  ?sink:Mcd_obs.Sink.t ->
   ?warmup_insts:int ->
   ?dvfs_faults:Mcd_domains.Dvfs.fault list ->
   config:Config.t ->

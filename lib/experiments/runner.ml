@@ -179,6 +179,42 @@ let online_run ?params (w : Workload.t) =
   | Some _ -> run ()
   | None -> memoize (memo ()) (w.Workload.name ^ "/online") run
 
+(* Traced variant of the per-policy runs: never memoized (the sink is a
+   side channel — a cached Metrics.run would leave it empty), and the
+   end-of-run aggregates are mirrored into the sink's registry as
+   gauges so an exported metrics.jsonl is self-contained. *)
+let observed_run ?(policy = `Profile) ?(context = Context.lf) ~sink
+    (w : Workload.t) =
+  let controller =
+    match policy with
+    | `Baseline -> None
+    | `Online -> Some (Attack_decay.controller ~sink ())
+    | `Offline ->
+        let schedule =
+          Mcd_core.Oracle.schedule_of (oracle_analysis w)
+            ~slowdown_pct:default_slowdown_pct
+        in
+        Some (Mcd_core.Oracle.policy schedule)
+    | `Profile ->
+        let plan = plan_for w ~context ~train:`Train in
+        Some (Editor.edit plan).Editor.controller
+  in
+  let run =
+    Pipeline.run ?controller ~sink ~config
+      ~warmup_insts:w.Workload.ref_offset ~program:w.Workload.program
+      ~input:w.Workload.reference ~max_insts:w.Workload.ref_window ()
+  in
+  let m = Mcd_obs.Sink.metrics sink in
+  let g name v = Mcd_obs.Metrics.set (Mcd_obs.Metrics.gauge m name) v in
+  g "run.runtime_ps" (float_of_int run.Metrics.runtime_ps);
+  g "run.energy_pj" run.Metrics.energy_pj;
+  g "run.instructions" (float_of_int run.Metrics.instructions);
+  g "run.cycles_front" (float_of_int run.Metrics.cycles_front);
+  g "run.sync_crossings" (float_of_int run.Metrics.sync_crossings);
+  g "run.sync_penalties" (float_of_int run.Metrics.sync_penalties);
+  g "run.reconfigurations" (float_of_int run.Metrics.reconfigurations);
+  run
+
 (* The paper's "global" bar: a single-clock processor scaled so that its
    total runtime matches the off-line algorithm's. A first-order 1/f
    estimate is refined by direct simulation of neighbouring steps. *)

@@ -90,6 +90,21 @@ val online_run :
 (** Attack/decay run on the reference input. Cached for default
     params. *)
 
+val observed_run :
+  ?policy:[ `Baseline | `Online | `Offline | `Profile ] ->
+  ?context:Mcd_profiling.Context.t ->
+  sink:Mcd_obs.Sink.t ->
+  Mcd_workloads.Workload.t ->
+  Mcd_power.Metrics.run
+(** Run the reference input under the chosen policy (default [`Profile]
+    in [context], default LF) with the observability [sink] attached:
+    interval samples, reconfiguration/decision/sync events and
+    frequency-residency histograms land in the sink, and the run's
+    end-of-run aggregates are mirrored into its registry as [run.*]
+    gauges. Never cached — a memoized result would leave the sink
+    empty. The plan/oracle analyses behind [`Profile] and [`Offline]
+    still come from the shared caches. *)
+
 val global_dvs_run :
   Mcd_workloads.Workload.t -> target_runtime_ps:int -> Mcd_power.Metrics.run * int
 (** Single-clock processor scaled to finish in approximately

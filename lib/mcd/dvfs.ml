@@ -46,13 +46,22 @@ let advance ds ~now =
   end;
   if now > ds.last then ds.last <- now
 
-let set_target ?on_snap t domain ~now ~mhz =
+let set_target ?on_snap ?sink t domain ~now ~mhz =
   let ds = t.domains.(Domain.index domain) in
   advance ds ~now;
   let snapped = Freq.clamp mhz in
   if snapped <> mhz then
     Option.iter (fun f -> f ~requested:mhz ~snapped) on_snap;
-  if not ds.stuck then ds.target <- float_of_int snapped
+  if not ds.stuck then begin
+    let before = int_of_float ds.target in
+    ds.target <- float_of_int snapped;
+    if snapped <> before then
+      match sink with
+      | None -> ()
+      | Some s ->
+          Mcd_obs.Sink.dvfs_retarget s ~t_ps:now ~domain:(Domain.index domain)
+            ~before ~after:snapped
+  end
 
 let force t domain ~mhz =
   let ds = t.domains.(Domain.index domain) in

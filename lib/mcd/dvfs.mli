@@ -33,12 +33,17 @@ val inject : t -> fault -> unit
 
 val set_target :
   ?on_snap:(requested:int -> snapped:int -> unit) ->
+  ?sink:Mcd_obs.Sink.t ->
   t ->
   Domain.t ->
   now:Mcd_util.Time.t ->
   mhz:int ->
   unit
 (** Begin slewing the domain toward [mhz].
+
+    When a [sink] is supplied, a [Dvfs_retarget] event is recorded
+    whenever the write actually moves the (snapped) target — no-op
+    retargets and writes to a stuck domain stay silent.
 
     Off-grid requests are {e silently snapped} to the nearest legal
     step of the {!Freq} grid ([Freq.clamp]): the register behaves like

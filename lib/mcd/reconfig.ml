@@ -26,13 +26,25 @@ type t = {
 
 let create dvfs = { dvfs; count = 0; last = full_speed () }
 
-let write ?on_snap t setting ~now =
+let write ?on_snap ?sink t setting ~now =
+  (* A write of the setting already held by the register is not a
+     reconfiguration: the hardware targets don't move, so it must not
+     inflate the paper's reconfiguration-count metric. The DVFS targets
+     are still (re)programmed — harmless for a true no-op, and it keeps
+     the watchdog's reissue path working on a faulty domain. *)
+  let noop = equal setting t.last in
   List.iter
     (fun d ->
-      Dvfs.set_target ?on_snap t.dvfs d ~now ~mhz:setting.(Domain.index d))
+      Dvfs.set_target ?on_snap ?sink t.dvfs d ~now ~mhz:setting.(Domain.index d))
     Domain.all;
-  t.count <- t.count + 1;
-  t.last <- Array.copy setting
+  (match sink with
+  | None -> ()
+  | Some s ->
+      Mcd_obs.Sink.reconfig_write s ~t_ps:now ~before:t.last ~after:setting ~noop);
+  if not noop then begin
+    t.count <- t.count + 1;
+    t.last <- Array.copy setting
+  end
 
 let writes t = t.count
 let last_setting t = t.last

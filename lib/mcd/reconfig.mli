@@ -24,6 +24,7 @@ val create : Dvfs.t -> t
 
 val write :
   ?on_snap:(requested:int -> snapped:int -> unit) ->
+  ?sink:Mcd_obs.Sink.t ->
   t ->
   setting ->
   now:Mcd_util.Time.t ->
@@ -31,9 +32,16 @@ val write :
 (** Program all four domain targets; no idle time is incurred. Off-grid
     frequencies are snapped exactly as {!Dvfs.set_target} does; [on_snap]
     receives each snapped value so callers can emit a validation
-    diagnostic instead of losing the discrepancy silently. *)
+    diagnostic instead of losing the discrepancy silently.
+
+    Writing the setting the register already holds is a {e no-op}: the
+    reconfiguration counter is untouched (it feeds the paper's
+    reconfiguration-count metric). When a [sink] is given, every write
+    records a [Reconfig_write] event carrying the old and new settings
+    and whether it was a no-op. *)
 
 val writes : t -> int
-(** Number of register writes so far (reconfigurations performed). *)
+(** Number of effective register writes so far (reconfigurations
+    performed); no-op writes are not counted. *)
 
 val last_setting : t -> setting

@@ -1,0 +1,24 @@
+(** Exporters over a populated {!Sink.t}.
+
+    Three formats: JSON-lines for the metrics registry (one instrument
+    per line), CSV for the interval time series, and Chrome
+    trace-event JSON ([chrome://tracing] / Perfetto) with one thread
+    track per clock domain carrying its frequency counter plus instant
+    events for reconfigurations, retargets, sync penalties,
+    decisions and degradations. *)
+
+val metrics_jsonl : Sink.t -> string
+(** One JSON object per line:
+    [{"name":...,"kind":"counter"|"gauge"|"histogram",...}]. *)
+
+val series_csv : ?domain_names:string array -> Sink.t -> string
+(** Header then one row per sample. Per-domain columns are suffixed
+    with the domain name (or [d<i>] when names are not supplied). *)
+
+val chrome_trace : ?domain_names:string array -> Sink.t -> string
+(** A [{"traceEvents":[...]}] document; timestamps are microseconds. *)
+
+val write_dir : ?domain_names:string array -> dir:string -> Sink.t -> string list
+(** Writes [metrics.jsonl], [series.csv] and [trace.json] under [dir]
+    (created, along with parents, if missing) and returns the paths
+    written. *)

@@ -1,0 +1,33 @@
+(** Minimal JSON value type with a writer and a parser.
+
+    Just enough for the exporters and the @verify smoke test to
+    round-trip their own output; not a general-purpose JSON library
+    (no streaming, surrogate pairs decode to U+FFFD). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Errors carry a character offset and a short description. Trailing
+    whitespace is allowed; trailing garbage is an error. *)
+
+(** {2 Accessors} — shallow helpers for the smoke test. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)]; [None] on missing key or non-object. *)
+
+val to_list_opt : t -> t list option
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** Accepts both [Int] and [Float]. *)
+
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option

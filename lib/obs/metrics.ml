@@ -1,0 +1,77 @@
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+type histogram = { h_name : string; h_weights : float array }
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = {
+  by_name : (string, instrument) Hashtbl.t;
+  mutable order : instrument list; (* reverse registration order *)
+}
+
+let create () = { by_name = Hashtbl.create 32; order = [] }
+
+let register t inst_name make =
+  match Hashtbl.find_opt t.by_name inst_name with
+  | Some existing -> existing
+  | None ->
+      let inst = make () in
+      Hashtbl.replace t.by_name inst_name inst;
+      t.order <- inst :: t.order;
+      inst
+
+let kind_error inst_name want =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S already registered as a different kind than %s"
+       inst_name want)
+
+let counter t inst_name =
+  match register t inst_name (fun () -> Counter { c_name = inst_name; c_value = 0 }) with
+  | Counter c -> c
+  | _ -> kind_error inst_name "counter"
+
+let gauge t inst_name =
+  match register t inst_name (fun () -> Gauge { g_name = inst_name; g_value = 0.0 }) with
+  | Gauge g -> g
+  | _ -> kind_error inst_name "gauge"
+
+let histogram t inst_name ~bins =
+  if bins <= 0 then invalid_arg "Metrics.histogram: bins must be positive";
+  match
+    register t inst_name (fun () ->
+        Histogram { h_name = inst_name; h_weights = Array.make bins 0.0 })
+  with
+  | Histogram h ->
+      if Array.length h.h_weights <> bins then
+        invalid_arg
+          (Printf.sprintf "Metrics: histogram %S has %d bins, asked for %d"
+             inst_name (Array.length h.h_weights) bins);
+      h
+  | _ -> kind_error inst_name "histogram"
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let value c = c.c_value
+
+let set g v = g.g_value <- v
+let peek g = g.g_value
+
+let observe h ~bin ~weight =
+  if bin < 0 || bin >= Array.length h.h_weights then
+    invalid_arg
+      (Printf.sprintf "Metrics.observe: bin %d out of range for %S" bin h.h_name);
+  h.h_weights.(bin) <- h.h_weights.(bin) +. weight
+
+let bins h = Array.length h.h_weights
+let weights h = Array.copy h.h_weights
+
+let name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Histogram h -> h.h_name
+
+let to_list t = List.rev t.order
+let iter f t = List.iter f (to_list t)

@@ -1,0 +1,55 @@
+(** Named-metric registry.
+
+    Three instrument kinds, all with O(1) hot-path updates and no
+    allocation after registration:
+
+    - {b counters}: monotonically increasing integers;
+    - {b gauges}: last-written floats;
+    - {b histograms}: fixed-bin weighted histograms — [observe] adds an
+      arbitrary float weight to one bin, so a frequency-residency
+      histogram can weight each bin by cycles spent there.
+
+    Registration is idempotent: asking for an existing name returns the
+    same instrument. Asking for a name already registered as a different
+    kind raises [Invalid_argument]. Iteration follows registration
+    order, which keeps exports stable. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+val histogram : t -> string -> bins:int -> histogram
+(** Raises [Invalid_argument] if [bins <= 0], or if [name] exists as a
+    histogram with a different bin count. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val set : gauge -> float -> unit
+val peek : gauge -> float
+
+val observe : histogram -> bin:int -> weight:float -> unit
+(** Adds [weight] to [bin]. Raises [Invalid_argument] on an
+    out-of-range bin. *)
+
+val bins : histogram -> int
+val weights : histogram -> float array
+(** A copy of the per-bin accumulated weights. *)
+
+val name : instrument -> string
+val iter : (instrument -> unit) -> t -> unit
+(** Registration order. *)
+
+val to_list : t -> instrument list

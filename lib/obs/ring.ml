@@ -1,0 +1,44 @@
+type 'a t = {
+  data : 'a array;
+  dummy : 'a;
+  mutable start : int; (* index of the oldest element *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ~capacity ~dummy =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { data = Array.make capacity dummy; dummy; start = 0; len = 0; dropped = 0 }
+
+let capacity t = Array.length t.data
+let length t = t.len
+let dropped t = t.dropped
+
+let push t v =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    (* overwrite the oldest slot and advance the window *)
+    t.data.(t.start) <- v;
+    t.start <- (t.start + 1) mod cap;
+    t.dropped <- t.dropped + 1
+  end
+  else begin
+    t.data.((t.start + t.len) mod cap) <- v;
+    t.len <- t.len + 1
+  end
+
+let iter f t =
+  let cap = Array.length t.data in
+  for i = 0 to t.len - 1 do
+    f t.data.((t.start + i) mod cap)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun v -> acc := v :: !acc) t;
+  List.rev !acc
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) t.dummy;
+  t.start <- 0;
+  t.len <- 0

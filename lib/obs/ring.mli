@@ -1,0 +1,30 @@
+(** Preallocated fixed-capacity ring buffer.
+
+    The event tracer's backing store: one array allocated up front, O(1)
+    [push] that overwrites the oldest element once the ring is full (the
+    overwrite is counted in {!dropped}), and oldest-first traversal. A
+    [dummy] element fills unused and vacated slots so values never leak
+    through the array. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> 'a t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val dropped : 'a t -> int
+(** Elements overwritten because the ring was full. *)
+
+val push : 'a t -> 'a -> unit
+(** O(1), never allocates. When full, the oldest element is dropped. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest-first over the retained elements. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest-first. *)
+
+val clear : 'a t -> unit
+(** Forget every element (the drop counter survives a clear). *)

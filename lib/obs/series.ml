@@ -1,0 +1,97 @@
+type t = {
+  domains : int;
+  mutable cap : int;
+  mutable len : int;
+  mutable t_ps : int array;
+  mutable cycles : int array;
+  mutable ipc : float array;
+  mutable mhz : float array; (* cap * domains *)
+  mutable volt : float array; (* cap * domains *)
+  mutable occ : float array; (* cap * domains *)
+  mutable pj : float array; (* cap * (domains + 1) *)
+}
+
+type row = {
+  t_ps : int;
+  cycles : int;
+  ipc : float;
+  mhz : float array;
+  volt : float array;
+  occ : float array;
+  pj : float array;
+}
+
+let create ?(initial_capacity = 256) ~domains () =
+  if domains <= 0 then invalid_arg "Series.create: domains must be positive";
+  let cap = max 1 initial_capacity in
+  {
+    domains;
+    cap;
+    len = 0;
+    t_ps = Array.make cap 0;
+    cycles = Array.make cap 0;
+    ipc = Array.make cap 0.0;
+    mhz = Array.make (cap * domains) 0.0;
+    volt = Array.make (cap * domains) 0.0;
+    occ = Array.make (cap * domains) 0.0;
+    pj = Array.make (cap * (domains + 1)) 0.0;
+  }
+
+let domains t = t.domains
+let length t = t.len
+
+let grow_float old cap' =
+  let fresh = Array.make cap' 0.0 in
+  Array.blit old 0 fresh 0 (Array.length old);
+  fresh
+
+let grow t =
+  let cap' = t.cap * 2 in
+  let ints old =
+    let fresh = Array.make cap' 0 in
+    Array.blit old 0 fresh 0 (Array.length old);
+    fresh
+  in
+  t.t_ps <- ints t.t_ps;
+  t.cycles <- ints t.cycles;
+  t.ipc <- grow_float t.ipc cap';
+  t.mhz <- grow_float t.mhz (cap' * t.domains);
+  t.volt <- grow_float t.volt (cap' * t.domains);
+  t.occ <- grow_float t.occ (cap' * t.domains);
+  t.pj <- grow_float t.pj (cap' * (t.domains + 1));
+  t.cap <- cap'
+
+let append t ~t_ps ~cycles ~ipc ~mhz ~volt ~occ ~pj =
+  if
+    Array.length mhz <> t.domains
+    || Array.length volt <> t.domains
+    || Array.length occ <> t.domains
+    || Array.length pj <> t.domains + 1
+  then invalid_arg "Series.append: column arity mismatch";
+  if t.len = t.cap then grow t;
+  let i = t.len in
+  t.t_ps.(i) <- t_ps;
+  t.cycles.(i) <- cycles;
+  t.ipc.(i) <- ipc;
+  Array.blit mhz 0 t.mhz (i * t.domains) t.domains;
+  Array.blit volt 0 t.volt (i * t.domains) t.domains;
+  Array.blit occ 0 t.occ (i * t.domains) t.domains;
+  Array.blit pj 0 t.pj (i * (t.domains + 1)) (t.domains + 1);
+  t.len <- i + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Series.get: index out of range";
+  {
+    t_ps = t.t_ps.(i);
+    cycles = t.cycles.(i);
+    ipc = t.ipc.(i);
+    mhz = Array.sub t.mhz (i * t.domains) t.domains;
+    volt = Array.sub t.volt (i * t.domains) t.domains;
+    occ = Array.sub t.occ (i * t.domains) t.domains;
+    pj = Array.sub t.pj (i * (t.domains + 1)) (t.domains + 1);
+  }
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done

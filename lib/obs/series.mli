@@ -1,0 +1,44 @@
+(** Interval time-series storage for the sampler.
+
+    Struct-of-arrays layout: one flat float array per column family, so
+    appending a sample copies a handful of floats and never boxes.
+    Capacity doubles on demand; rows are never removed. Per-domain
+    columns ([mhz], [volt], [occ]) hold [domains] entries per row; the
+    energy column holds [domains + 1] (the extra slot is
+    external/off-domain energy). *)
+
+type t
+
+type row = {
+  t_ps : int;
+  cycles : int;
+  ipc : float;
+  mhz : float array;
+  volt : float array;
+  occ : float array;
+  pj : float array; (* length domains + 1; last entry is external energy *)
+}
+
+val create : ?initial_capacity:int -> domains:int -> unit -> t
+val domains : t -> int
+val length : t -> int
+
+val append :
+  t ->
+  t_ps:int ->
+  cycles:int ->
+  ipc:float ->
+  mhz:float array ->
+  volt:float array ->
+  occ:float array ->
+  pj:float array ->
+  unit
+(** Copies the caller's scratch arrays into the columns. [mhz], [volt]
+    and [occ] must have length [domains]; [pj] must have
+    [domains + 1]. Raises [Invalid_argument] otherwise. *)
+
+val get : t -> int -> row
+(** Materialises row [i] (fresh arrays); intended for export, not the
+    hot path. *)
+
+val iter : (row -> unit) -> t -> unit

@@ -1,0 +1,113 @@
+type trigger = Marker | Sample | Watchdog
+
+let trigger_name = function
+  | Marker -> "marker"
+  | Sample -> "sample"
+  | Watchdog -> "watchdog"
+
+type event =
+  | Reconfig_write of {
+      t_ps : int;
+      before : int array;
+      after : int array;
+      noop : bool;
+    }
+  | Dvfs_retarget of { t_ps : int; domain : int; before : int; after : int }
+  | Sync_penalty of { t_ps : int; domain : int }
+  | Decision of {
+      t_ps : int;
+      source : string;
+      trigger : trigger;
+      setting : int array option;
+      detail : string;
+    }
+  | Degraded of { t_ps : int; source : string; detail : string }
+
+let event_time = function
+  | Reconfig_write { t_ps; _ }
+  | Dvfs_retarget { t_ps; _ }
+  | Sync_penalty { t_ps; _ }
+  | Decision { t_ps; _ }
+  | Degraded { t_ps; _ } ->
+      t_ps
+
+type t = {
+  metrics : Metrics.t;
+  series : Series.t;
+  control : event Ring.t;
+  hot : event Ring.t;
+  stride_cycles : int;
+  domains : int;
+  reconfigs : Metrics.counter;
+  noop_writes : Metrics.counter;
+  retargets : Metrics.counter;
+  penalties : Metrics.counter;
+  decisions : Metrics.counter;
+  degradations : Metrics.counter;
+  samples : Metrics.counter;
+}
+
+let dummy_event = Sync_penalty { t_ps = 0; domain = 0 }
+
+let create ?(stride_cycles = 2048) ?(control_capacity = 4096)
+    ?(hot_capacity = 1024) ~domains () =
+  if stride_cycles <= 0 then invalid_arg "Sink.create: stride_cycles must be positive";
+  let metrics = Metrics.create () in
+  {
+    metrics;
+    series = Series.create ~domains ();
+    control = Ring.create ~capacity:control_capacity ~dummy:dummy_event;
+    hot = Ring.create ~capacity:hot_capacity ~dummy:dummy_event;
+    stride_cycles;
+    domains;
+    reconfigs = Metrics.counter metrics "obs.reconfig_writes";
+    noop_writes = Metrics.counter metrics "obs.noop_writes";
+    retargets = Metrics.counter metrics "obs.dvfs_retargets";
+    penalties = Metrics.counter metrics "obs.sync_penalties";
+    decisions = Metrics.counter metrics "obs.decisions";
+    degradations = Metrics.counter metrics "obs.degradations";
+    samples = Metrics.counter metrics "obs.samples";
+  }
+
+let metrics t = t.metrics
+let series t = t.series
+let stride_cycles t = t.stride_cycles
+let domains t = t.domains
+
+let reconfig_write t ~t_ps ~before ~after ~noop =
+  if noop then Metrics.incr t.noop_writes else Metrics.incr t.reconfigs;
+  Ring.push t.control
+    (Reconfig_write { t_ps; before = Array.copy before; after = Array.copy after; noop })
+
+let dvfs_retarget t ~t_ps ~domain ~before ~after =
+  Metrics.incr t.retargets;
+  Ring.push t.control (Dvfs_retarget { t_ps; domain; before; after })
+
+let sync_penalty t ~t_ps ~domain =
+  Metrics.incr t.penalties;
+  Ring.push t.hot (Sync_penalty { t_ps; domain })
+
+let decision t ~t_ps ~source ~trigger ?setting ~detail () =
+  Metrics.incr t.decisions;
+  let setting = Option.map Array.copy setting in
+  Ring.push t.control (Decision { t_ps; source; trigger; setting; detail })
+
+let degraded t ~t_ps ~source ~detail =
+  Metrics.incr t.degradations;
+  Ring.push t.control (Degraded { t_ps; source; detail })
+
+let sample t ~t_ps ~cycles ~ipc ~mhz ~volt ~occ ~pj =
+  Metrics.incr t.samples;
+  Series.append t.series ~t_ps ~cycles ~ipc ~mhz ~volt ~occ ~pj
+
+let events t =
+  (* Both rings are individually time-ordered; merge them. *)
+  let rec merge a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | x :: xs, y :: ys ->
+        if event_time x <= event_time y then x :: merge xs b else y :: merge a ys
+  in
+  merge (Ring.to_list t.control) (Ring.to_list t.hot)
+
+let dropped_events t = Ring.dropped t.control + Ring.dropped t.hot

@@ -1,0 +1,96 @@
+(** Observability sink: one handle bundling the metrics registry, the
+    interval time-series, and the structured event tracer.
+
+    Producers (pipeline, DVFS plumbing, controllers, the robustness
+    guard) hold a [Sink.t option]; the disabled path is a single branch
+    on [None]. Domains are identified by their integer index and
+    frequency settings travel as plain [int array]s so this library
+    stays below [mcd_domains] in the dependency order.
+
+    Events land in two preallocated rings: a {e control} ring for the
+    rare, high-value events (reconfiguration writes, DVFS retargets,
+    controller decisions, degradations) and a {e hot} ring for sync
+    penalties, which occur a few hundred thousand times per run and
+    would otherwise evict everything else. Totals survive ring
+    eviction as registry counters. *)
+
+type trigger = Marker | Sample | Watchdog
+
+val trigger_name : trigger -> string
+
+type event =
+  | Reconfig_write of {
+      t_ps : int;
+      before : int array; (* per-domain MHz, domain-index order *)
+      after : int array;
+      noop : bool; (* write equalled the live setting; not counted *)
+    }
+  | Dvfs_retarget of { t_ps : int; domain : int; before : int; after : int }
+  | Sync_penalty of { t_ps : int; domain : int (* consumer domain *) }
+  | Decision of {
+      t_ps : int;
+      source : string; (* controller / policy name *)
+      trigger : trigger;
+      setting : int array option;
+      detail : string;
+    }
+  | Degraded of { t_ps : int; source : string; detail : string }
+
+val event_time : event -> int
+
+type t
+
+val create :
+  ?stride_cycles:int ->
+  ?control_capacity:int ->
+  ?hot_capacity:int ->
+  domains:int ->
+  unit ->
+  t
+(** [stride_cycles] (default 2048) is the sampling interval consumed by
+    the pipeline; [control_capacity] defaults to 4096 events,
+    [hot_capacity] to 1024. *)
+
+val metrics : t -> Metrics.t
+val series : t -> Series.t
+val stride_cycles : t -> int
+val domains : t -> int
+
+(** {2 Recording} — all O(1); events allocate one block, counters none. *)
+
+val reconfig_write :
+  t -> t_ps:int -> before:int array -> after:int array -> noop:bool -> unit
+
+val dvfs_retarget : t -> t_ps:int -> domain:int -> before:int -> after:int -> unit
+val sync_penalty : t -> t_ps:int -> domain:int -> unit
+
+val decision :
+  t ->
+  t_ps:int ->
+  source:string ->
+  trigger:trigger ->
+  ?setting:int array ->
+  detail:string ->
+  unit ->
+  unit
+
+val degraded : t -> t_ps:int -> source:string -> detail:string -> unit
+
+val sample :
+  t ->
+  t_ps:int ->
+  cycles:int ->
+  ipc:float ->
+  mhz:float array ->
+  volt:float array ->
+  occ:float array ->
+  pj:float array ->
+  unit
+
+(** {2 Reading} *)
+
+val events : t -> event list
+(** Both rings merged into one timestamp-ordered list. *)
+
+val dropped_events : t -> int
+(** Total events evicted from either ring. *)

@@ -34,7 +34,7 @@ let default_max_reissues = 3
 let stall_epsilon_mhz = 1.0
 let stall_streak_limit = 4
 
-let guard ?(log = fun (_ : Error.t) -> ())
+let guard ?(log = fun (_ : Error.t) -> ()) ?sink
     ?(watchdog_interval_cycles = default_watchdog_interval_cycles)
     ?(max_reissues = default_max_reissues) ~counters:c inner =
   let degraded = ref false in
@@ -45,7 +45,12 @@ let guard ?(log = fun (_ : Error.t) -> ())
   let prev_gap = Array.make Domain.count 0.0 in
   let prev_target = Array.make Domain.count (-1) in
   let where = inner.Controller.name in
-  let sanitize set =
+  let emit ~now detail =
+    match sink with
+    | None -> ()
+    | Some snk -> Mcd_obs.Sink.degraded snk ~t_ps:now ~source:where ~detail
+  in
+  let sanitize ~now set =
     match set with
     | None -> None
     | Some s -> (
@@ -53,20 +58,23 @@ let guard ?(log = fun (_ : Error.t) -> ())
         | Result.Error e ->
             log e;
             c.suppressed <- c.suppressed + 1;
+            emit ~now ("suppressed: " ^ Error.to_string e);
             None
         | Result.Ok (repaired, []) -> Some repaired
         | Result.Ok (repaired, warnings) ->
             List.iter log warnings;
             c.clamped <- c.clamped + 1;
+            emit ~now "clamped off-grid setting";
             Some repaired)
   in
   let command s =
     commanded := Some (Array.copy s);
     Some s
   in
-  let fall_back ~detail =
+  let fall_back ~now ~detail =
     c.fallbacks <- c.fallbacks + 1;
     log (Error.Runtime_fault { where; detail });
+    emit ~now ("fallback: " ^ detail);
     degraded := true;
     mismatch_streak := 0;
     stall_streak := 0;
@@ -79,18 +87,18 @@ let guard ?(log = fun (_ : Error.t) -> ())
       | exception e ->
           c.controller_faults <- c.controller_faults + 1;
           let set =
-            fall_back ~detail:("policy raised " ^ Printexc.to_string e)
+            fall_back ~now ~detail:("policy raised " ^ Printexc.to_string e)
           in
           { Controller.stall_cycles = 0; table_reads = 0; set }
       | r -> (
-          match sanitize r.Controller.set with
+          match sanitize ~now r.Controller.set with
           | Some s -> { r with Controller.set = command s }
           | None -> { r with Controller.set = None })
   in
   (* The watchdog: compare what we commanded against what the hardware
      admits it was asked for (lost/ignored writes), and watch for target
      gaps that stop closing (a slew that never completes). *)
-  let watchdog (s : Controller.sample) =
+  let watchdog (s : Controller.sample) ~now =
     if !quiet then None
     else begin
       let action = ref None in
@@ -106,11 +114,12 @@ let guard ?(log = fun (_ : Error.t) -> ())
             incr mismatch_streak;
             if !mismatch_streak <= max_reissues then begin
               c.reissues <- c.reissues + 1;
+              emit ~now "watchdog: reissuing lost reconfiguration write";
               action := Some (Array.copy cmd)
             end
             else if not !degraded then
               action :=
-                fall_back
+                fall_back ~now
                   ~detail:
                     "reconfiguration-register writes are being ignored \
                      (lost write or stuck domain)"
@@ -123,7 +132,8 @@ let guard ?(log = fun (_ : Error.t) -> ())
                      where;
                      detail =
                        "domain ignores even the full-speed fallback; giving up";
-                   })
+                   });
+              emit ~now "watchdog: fallback ignored too; giving up"
             end
           end
           else mismatch_streak := 0);
@@ -146,13 +156,13 @@ let guard ?(log = fun (_ : Error.t) -> ())
          done;
          if !stalled then incr stall_streak else stall_streak := 0;
          if !stall_streak >= stall_streak_limit && not !degraded then
-           action := fall_back ~detail:"frequency slew is not completing"
+           action := fall_back ~now ~detail:"frequency slew is not completing"
        end);
       !action
     end
   in
   let on_sample s ~now =
-    match watchdog s with
+    match watchdog s ~now with
     | Some _ as reissue -> reissue
     | None ->
         if !degraded || inner.Controller.sample_interval_cycles = 0 then None
@@ -160,9 +170,9 @@ let guard ?(log = fun (_ : Error.t) -> ())
           match inner.Controller.on_sample s ~now with
           | exception e ->
               c.controller_faults <- c.controller_faults + 1;
-              fall_back ~detail:("policy raised " ^ Printexc.to_string e)
+              fall_back ~now ~detail:("policy raised " ^ Printexc.to_string e)
           | set -> (
-              match sanitize set with
+              match sanitize ~now set with
               | Some s -> command s
               | None -> None))
   in

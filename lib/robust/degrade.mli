@@ -63,11 +63,14 @@ val stall_streak_limit : int
 
 val guard :
   ?log:(Error.t -> unit) ->
+  ?sink:Mcd_obs.Sink.t ->
   ?watchdog_interval_cycles:int ->
   ?max_reissues:int ->
   counters:counters ->
   Mcd_cpu.Controller.t ->
   Mcd_cpu.Controller.t
 (** Wrap a policy in the safety envelope. [log] (default: drop)
-    receives a diagnostic for every intervention. The returned
-    controller is single-use, like the one it wraps. *)
+    receives a diagnostic for every intervention; [sink] additionally
+    records each intervention (clamp, suppression, reissue, fallback)
+    as a [Degraded] trace event. The returned controller is
+    single-use, like the one it wraps. *)

@@ -9,6 +9,7 @@ type t =
       reason : string;
     }
   | Missing_fingerprint of { path : string }
+  | Missing_header_field of { path : string; field : string; default : string }
   | Truncated_file of { path : string }
   | Fingerprint_mismatch of { path : string; expected : string; found : string }
   | Tree_shape_drift of { path : string; node : int; detail : string }
@@ -22,6 +23,7 @@ type t =
 let class_ = function
   | Io_error _ -> `Io
   | Empty_file _ | Bad_header _ | Malformed_line _ | Missing_fingerprint _
+  | Missing_header_field _
   | Truncated_file _ | Fingerprint_mismatch _ | Tree_shape_drift _
   | Illegal_frequency _
   | Bad_setting_arity _ | Bad_histogram_weight _ | Bad_histogram_shape _
@@ -44,6 +46,9 @@ let to_string = function
       Printf.sprintf "%s:%d: malformed line %S (%s)" path line content reason
   | Missing_fingerprint { path } ->
       Printf.sprintf "%s: missing tree fingerprint" path
+  | Missing_header_field { path; field; default } ->
+      Printf.sprintf "%s: missing %S header line (defaulting to %s)" path field
+        default
   | Truncated_file { path } ->
       Printf.sprintf "%s: missing end-of-plan marker (file truncated?)" path
   | Fingerprint_mismatch { path; expected; found } ->

@@ -22,6 +22,10 @@ type t =
       reason : string;
     }
   | Missing_fingerprint of { path : string }
+  | Missing_header_field of { path : string; field : string; default : string }
+      (** a [context]/[slowdown] header line is absent; the loader
+          substituted the stated default instead of failing — but the
+          plan was probably written by hand or damaged, so say so *)
   | Truncated_file of { path : string }
       (** the end-of-plan marker is missing: the tail of the file was
           lost in transit *)

@@ -1,6 +1,6 @@
 let recommended_jobs () = Domain.recommended_domain_count ()
 
-type 'b slot = Pending | Done of 'b | Failed of exn
+type 'b slot = Pending | Done of 'b | Failed of exn * Printexc.raw_backtrace
 
 let map ?(jobs = 1) f xs =
   if jobs <= 1 then List.map f xs
@@ -26,7 +26,10 @@ let map ?(jobs = 1) f xs =
             results.(i) <-
               (match f items.(i) with
               | v -> Done v
-              | exception e -> Failed e)
+              | exception e ->
+                  (* capture the backtrace in the worker, where the
+                     raise happened — it is gone after the join *)
+                  Failed (e, Printexc.get_raw_backtrace ()))
         done
       in
       let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
@@ -36,7 +39,7 @@ let map ?(jobs = 1) f xs =
         (Array.map
            (function
              | Done v -> v
-             | Failed e -> raise e
+             | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
              | Pending -> assert false)
            results)
     end

@@ -13,7 +13,8 @@
     balances automatically. Domains are spawned per call and joined
     before returning; if [f] raises, every worker is still drained and
     joined, then the exception of the earliest failing item re-raises in
-    the caller.
+    the caller, carrying the backtrace captured at the original raise
+    site inside the worker domain.
 
     Callers are responsible for [f] being domain-safe: no writes to
     shared mutable state. Per-domain memo tables (see

@@ -91,6 +91,35 @@ let test_guard_reverts_on_ipc_drop () =
       (* no reconfiguration at all also means no runaway decay *)
       ()
 
+let test_guard_revert_is_exact () =
+  (* Regression: the guard used to undo a decay_step_mhz (50) decay by
+     adding attack_step_mhz (150), overshooting the pre-decay frequency
+     by 100 MHz. Drive the integer domain down to 700 MHz with two idle
+     plunges, trigger one decay to 650, then collapse the IPC so the
+     guard fires: it must restore exactly 700 MHz, not 800. *)
+  let ctl = AD.controller () in
+  (* three idle samples: prev_util primes on the first, the next two
+     plunge 1000 -> 850 -> 700 *)
+  let idle =
+    List.init 3 (fun _ -> sample ~int_occ:0.1 ~fp_occ:6.0 ~mem_occ:30.0 ())
+  in
+  (* light-but-present utilisation with steady IPC: decays 700 -> 650
+     and arms the guard (pending_check = 3) *)
+  let decay = [ sample ~int_occ:0.8 ~fp_occ:6.0 ~mem_occ:30.0 () ] in
+  (* IPC collapses while utilisation holds: when the pending check
+     expires the guard must revert the decay *)
+  let collapsed =
+    List.init 3 (fun _ ->
+        sample ~retired:500 ~int_occ:0.8 ~fp_occ:6.0 ~mem_occ:30.0 ())
+  in
+  let last = feed ctl (idle @ decay @ collapsed) in
+  match last with
+  | Some setting ->
+      Alcotest.(check int) "revert restores the exact pre-decay frequency"
+        700
+        (Reconfig.get setting Domain.Integer)
+  | None -> Alcotest.fail "guard never fired"
+
 let test_attack_on_rising_util () =
   let ctl = AD.controller () in
   (* establish low utilisation, decay a bit, then a surge *)
@@ -155,6 +184,7 @@ let suite =
     ("backlogged domain stays fast", `Quick, test_backlogged_domain_stays_fast);
     ("low utilisation decays", `Quick, test_low_util_decays);
     ("guard reverts on ipc drop", `Quick, test_guard_reverts_on_ipc_drop);
+    ("guard revert is exact", `Quick, test_guard_revert_is_exact);
     ("attack on rising utilisation", `Quick, test_attack_on_rising_util);
     ("front-end never scaled", `Quick, test_front_end_never_scaled);
     ("markers ignored", `Quick, test_markers_ignored);

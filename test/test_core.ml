@@ -773,6 +773,51 @@ let test_load_result_fingerprint_mismatch () =
                (function RError.Fingerprint_mismatch _ -> true | _ -> false)
                errors))
 
+let test_load_result_missing_headers_warn () =
+  (* Regression: a plan with its context/slowdown header lines stripped
+     used to load silently on the defaults. The defaults still apply,
+     but each absent field must now surface a warning. *)
+  saved_two_phase (fun plan path ->
+      map_plan_lines path ~f:(fun l ->
+          let starts p =
+            String.length l >= String.length p
+            && String.sub l 0 (String.length p) = p
+          in
+          if starts "context " || starts "slowdown " then "" else l);
+      match Mcd_core.Plan_io.load_result ~path ~tree:plan.Plan.tree with
+      | Error errors ->
+          Alcotest.failf "headerless plan rejected: %s"
+            (String.concat "; " (List.map RError.to_string errors))
+      | Ok { Mcd_core.Plan_io.plan = loaded; warnings } ->
+          let missing =
+            List.filter_map
+              (function
+                | RError.Missing_header_field { field; _ } -> Some field
+                | _ -> None)
+              warnings
+          in
+          Alcotest.(check (list string)) "both fields flagged"
+            [ "context"; "slowdown" ] missing;
+          Alcotest.(check string) "context defaulted"
+            Context.lf.Context.name loaded.Plan.context.Context.name;
+          Alcotest.(check (float 1e-9)) "slowdown defaulted" 7.0
+            loaded.Plan.slowdown_pct)
+
+let test_load_result_bad_hist_arity () =
+  (* Regression: histogram lines whose weight vector is shorter than the
+     frequency grid used to be accepted, leaving partially-filled
+     histograms. Any arity other than Freq.num_steps is now fatal. *)
+  saved_two_phase (fun plan path ->
+      map_plan_lines path ~f:(fun l ->
+          if l = "end" then "hist 0 0 1.0,2.0\nend" else l);
+      match Mcd_core.Plan_io.load_result ~path ~tree:plan.Plan.tree with
+      | Ok _ -> Alcotest.fail "short histogram line accepted"
+      | Error errors ->
+          Alcotest.(check bool) "malformed-line diagnostic" true
+            (List.exists
+               (function RError.Malformed_line _ -> true | _ -> false)
+               errors))
+
 let test_load_result_missing_file () =
   let plan, _ = analyze_two_phase () in
   match
@@ -944,6 +989,10 @@ let suite =
     ( "load_result fingerprint mismatch",
       `Quick,
       test_load_result_fingerprint_mismatch );
+    ( "load_result missing headers warn",
+      `Quick,
+      test_load_result_missing_headers_warn );
+    ("load_result bad hist arity", `Quick, test_load_result_bad_hist_arity);
     ("load_result missing file", `Quick, test_load_result_missing_file);
     ("plan validate", `Quick, test_plan_validate_clean_and_dirty);
     ("call tree dot export", `Quick, test_call_tree_dot);

@@ -144,10 +144,13 @@ let test_golden_cycle_exact () =
     ~runtime_ps:150_198_724 ~energy_pj:634901.7799991403
     ~instructions:120_000 ~cycles:150_204 ~sync_crossings:292_143
     ~sync_penalties:171_883 ~reconfigurations:0;
+  (* Recaptured after the attack/decay guard fix: the revert now
+     restores the exact pre-decay frequency instead of overshooting it
+     by attack_step - decay_step, which shifts the on-line trajectory. *)
   check_golden "adpcm online" (Runner.online_run adpcm)
-    ~runtime_ps:168_092_029 ~energy_pj:558057.09852451785
-    ~instructions:120_000 ~cycles:168_101 ~sync_crossings:292_142
-    ~sync_penalties:159_714 ~reconfigurations:9;
+    ~runtime_ps:168_114_178 ~energy_pj:557966.74518739036
+    ~instructions:120_000 ~cycles:168_123 ~sync_crossings:292_142
+    ~sync_penalties:159_676 ~reconfigurations:9;
   let adpcm_pr = Runner.profile_run adpcm ~context:Context.lf ~train:`Train in
   check_golden "adpcm profile L+F" adpcm_pr.Runner.run
     ~runtime_ps:159_474_437 ~energy_pj:547978.1986847776

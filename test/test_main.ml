@@ -2,6 +2,7 @@ let () =
   Alcotest.run "mcd_dvfs"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("isa", Test_isa.suite);
       ("mcd", Test_mcd.suite);
       ("cpu", Test_cpu.suite);

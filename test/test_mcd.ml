@@ -270,6 +270,21 @@ let test_sync_stats () =
   Alcotest.(check int) "crossings" 2 stats.Sync.crossings;
   Alcotest.(check int) "penalties" 1 stats.Sync.penalties
 
+let test_sync_window_boundaries () =
+  (* Window = 30% of the 1000 ps period = 300 ps, and the unsafe test is
+     strict on both sides: a production edge exactly [window] away from
+     either consumer edge captures cleanly; one ps closer slips. *)
+  let stats = Sync.create_stats () in
+  let at t = Sync.arrival ~stats ~consumer:(mk_consumer 1000.0)
+      ~producer_period_ps:1000 ~t () in
+  Alcotest.(check int) "distance = window is safe" 1000 (at 700);
+  Alcotest.(check int) "period - distance = window is safe" 1000 (at 300);
+  Alcotest.(check int) "distance = window - 1 slips" 2000 (at 701);
+  Alcotest.(check int) "hold-side window - 1 slips" 2000 (at 299);
+  (* each unsafe crossing counts exactly once *)
+  Alcotest.(check int) "crossings" 4 stats.Sync.crossings;
+  Alcotest.(check int) "penalties" 2 stats.Sync.penalties
+
 let test_sync_window_uses_faster_clock () =
   (* consumer at 250 MHz (4000 ps): window is 30% of the faster
      (producer, 1000 ps) = 300 ps *)
@@ -298,6 +313,45 @@ let test_reconfig_write () =
   Alcotest.(check int) "target set fp" 250 (Dvfs.target_mhz dvfs Domain.Floating);
   Alcotest.(check bool) "last setting" true
     (Reconfig.equal (Reconfig.last_setting r) s)
+
+let test_reconfig_noop_writes_not_counted () =
+  (* Regression: rewriting the live setting used to bump the write
+     counter even though nothing changed. *)
+  let dvfs = Dvfs.create () in
+  let r = Reconfig.create dvfs in
+  let s = Reconfig.make ~front_end:1000 ~integer:500 ~floating:250 ~memory:750 in
+  Reconfig.write r s ~now:Time.zero;
+  Reconfig.write r s ~now:(Time.us 1);
+  Alcotest.(check int) "second identical write is a no-op" 1
+    (Reconfig.writes r);
+  (* the register starts at full speed, so writing full speed first is
+     also a no-op *)
+  let r2 = Reconfig.create (Dvfs.create ()) in
+  Reconfig.write r2 (Reconfig.full_speed ()) ~now:Time.zero;
+  Alcotest.(check int) "initial full-speed write is a no-op" 0
+    (Reconfig.writes r2)
+
+let test_reconfig_noop_event_traced () =
+  (* With a sink attached, the skipped write still leaves an audit
+     event, flagged noop, and lands in the noop counter. *)
+  let sink = Mcd_obs.Sink.create ~domains:Domain.count () in
+  let r = Reconfig.create (Dvfs.create ()) in
+  let s = Reconfig.make ~front_end:1000 ~integer:500 ~floating:250 ~memory:750 in
+  Reconfig.write ~sink r s ~now:Time.zero;
+  Reconfig.write ~sink r s ~now:(Time.us 1);
+  let noops =
+    List.filter
+      (function
+        | Mcd_obs.Sink.Reconfig_write { noop; _ } -> noop
+        | _ -> false)
+      (Mcd_obs.Sink.events sink)
+  in
+  Alcotest.(check int) "one noop event" 1 (List.length noops);
+  let m = Mcd_obs.Sink.metrics sink in
+  Alcotest.(check int) "obs.noop_writes" 1
+    (Mcd_obs.Metrics.value (Mcd_obs.Metrics.counter m "obs.noop_writes"));
+  Alcotest.(check int) "obs.reconfig_writes counts the real one" 1
+    (Mcd_obs.Metrics.value (Mcd_obs.Metrics.counter m "obs.reconfig_writes"))
 
 let test_reconfig_full_speed_fresh () =
   let a = Reconfig.full_speed () in
@@ -355,9 +409,13 @@ let suite =
     ("sync penalty after", `Quick, test_sync_window_penalty_close_after);
     ("sync penalty before", `Quick, test_sync_window_penalty_close_before);
     ("sync stats", `Quick, test_sync_stats);
+    ("sync window boundaries", `Quick, test_sync_window_boundaries);
     ("sync faster-clock window", `Quick, test_sync_window_uses_faster_clock);
     ("reconfig make", `Quick, test_reconfig_make);
     ("reconfig write", `Quick, test_reconfig_write);
+    ("reconfig noop writes not counted", `Quick,
+     test_reconfig_noop_writes_not_counted);
+    ("reconfig noop event traced", `Quick, test_reconfig_noop_event_traced);
     ("reconfig full-speed fresh", `Quick, test_reconfig_full_speed_fresh);
     QCheck_alcotest.to_alcotest prop_clamp_idempotent;
     QCheck_alcotest.to_alcotest prop_voltage_in_range;

@@ -448,6 +448,28 @@ let test_par_propagates_exception () =
            (fun x -> if x = 5 then failwith "boom" else x)
            (List.init 20 Fun.id)))
 
+(* A raising function the runtime cannot inline away, so the worker's
+   backtrace has at least one frame to capture. *)
+let[@inline never] deep_raise x =
+  if x >= 0 then raise Not_found else x
+
+let test_par_preserves_backtrace () =
+  (* Regression: worker exceptions were captured without their
+     backtrace, so the re-raise on the joining domain reported the join
+     site instead of the raise site. The slot now stores the raw
+     backtrace and re-raises with it. *)
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect
+    ~finally:(fun () -> Printexc.record_backtrace prev)
+    (fun () ->
+      match Par.map ~jobs:4 deep_raise (List.init 20 Fun.id) with
+      | _ -> Alcotest.fail "expected the worker exception to propagate"
+      | exception Not_found ->
+          let bt = Printexc.get_raw_backtrace () in
+          Alcotest.(check bool) "re-raised with the worker's backtrace" true
+            (Printexc.raw_backtrace_length bt > 0))
+
 let test_par_iter () =
   let hits = Array.make 16 0 in
   Par.iter ~jobs:4 (fun i -> hits.(i) <- hits.(i) + 1) (List.init 16 Fun.id);
@@ -496,6 +518,7 @@ let suite =
     ("par matches sequential", `Quick, test_par_matches_sequential);
     ("par empty/singleton", `Quick, test_par_empty_and_singleton);
     ("par propagates exception", `Quick, test_par_propagates_exception);
+    ("par preserves backtrace", `Quick, test_par_preserves_backtrace);
     ("par iter", `Quick, test_par_iter);
     QCheck_alcotest.to_alcotest prop_agequeue_matches_list_reference;
     QCheck_alcotest.to_alcotest prop_par_map_deterministic;

@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- --only fig4  # one experiment
      dune exec bench/main.exe -- --quick      # reduced suite (CI-sized)
      dune exec bench/main.exe -- --jobs 4     # fan experiments out on 4 cores
-     dune exec bench/main.exe -- --json BENCH_pr2.json  # perf artifact
+     dune exec bench/main.exe -- --json BENCH_pr4.json  # perf artifact
+     dune exec bench/main.exe -- --cache-dir .cache     # cold+warm passes
      dune exec bench/main.exe -- --trace-dir traces     # obs trace bundles
      dune exec bench/main.exe -- --micro      # Bechamel kernels
      dune exec bench/main.exe -- --list       # available ids *)
@@ -38,7 +39,17 @@ let quick_contexts () =
    short-lived worker domains whose memo tables die with them, so
    without this cache fig5/fig6 would re-simulate everything fig4 just
    computed. The harness itself is single-domain, so plain laziness per
-   key is safe. *)
+   key is safe. Tables register themselves so the warm-cache pass can
+   reset every in-memory layer and measure the disk store alone. *)
+let harness_resets : (unit -> unit) list ref = ref []
+
+let harness_table () =
+  let tbl = Hashtbl.create 2 in
+  harness_resets := (fun () -> Hashtbl.reset tbl) :: !harness_resets;
+  tbl
+
+let reset_harness_caches () = List.iter (fun f -> f ()) !harness_resets
+
 let cached tbl key f =
   match Hashtbl.find_opt tbl key with
   | Some v -> v
@@ -48,14 +59,14 @@ let cached tbl key f =
       v
 
 let headline_rows =
-  let tbl = Hashtbl.create 2 in
+  let tbl = harness_table () in
   fun ~quick ->
     cached tbl quick @@ fun () ->
     let workloads = if quick then quick_suite () else Suite.all in
     Headline.rows ~workloads ()
 
 let context_rows =
-  let tbl = Hashtbl.create 2 in
+  let tbl = harness_table () in
   fun ~quick ->
     cached tbl quick @@ fun () ->
     if quick then
@@ -65,7 +76,7 @@ let context_rows =
     else Context_sense.rows ()
 
 let table4_rows =
-  let tbl = Hashtbl.create 2 in
+  let tbl = harness_table () in
   fun ~quick ->
     cached tbl quick @@ fun () ->
     let workloads = if quick then quick_suite () else Suite.all in
@@ -274,7 +285,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path ~quick ~jobs ~timings ~total_s =
+let write_json ~path ~quick ~jobs ~timings ~total_s ~warm =
   let rows = headline_rows ~quick in
   let cmp_fields (c : Runner.comparison) =
     Printf.sprintf
@@ -292,8 +303,16 @@ let write_json ~path ~quick ~jobs ~timings ~total_s =
       (cmp_fields r.Headline.profile)
   in
   let timing_json (id, seconds) =
-    Printf.sprintf "    {\"id\": \"%s\", \"wall_s\": %.3f}" (json_escape id)
-      seconds
+    let warm_col =
+      match warm with
+      | None -> ""
+      | Some (warm_timings, _, _) -> (
+          match List.assoc_opt id warm_timings with
+          | Some s -> Printf.sprintf ", \"warm_wall_s\": %.3f" s
+          | None -> "")
+    in
+    Printf.sprintf "    {\"id\": \"%s\", \"wall_s\": %.3f%s}" (json_escape id)
+      seconds warm_col
   in
   let avg extract kind =
     Mcd_util.Stats.mean (List.map (fun r -> extract (kind r)) rows)
@@ -307,21 +326,31 @@ let write_json ~path ~quick ~jobs ~timings ~total_s =
       (avg (fun c -> c.Runner.savings_pct) kind)
       (avg (fun c -> c.Runner.ed_improvement_pct) kind)
   in
+  let warm_fields =
+    match warm with
+    | None -> ""
+    | Some (_, warm_total_s, identical) ->
+        Printf.sprintf
+          "  \"warm_total_wall_s\": %.3f,\n\
+          \  \"warm_outputs_identical\": %b,\n"
+          warm_total_s identical
+  in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"mcd-dvfs-bench/2\",\n\
+    \  \"schema\": \"mcd-dvfs-bench/3\",\n\
     \  \"quick\": %b,\n\
     \  \"jobs\": %d,\n\
     \  \"host_cores\": %d,\n\
     \  \"total_wall_s\": %.3f,\n\
+     %s\
     \  \"experiments\": [\n%s\n  ],\n\
     \  \"headline_avg\": {\n%s\n  },\n\
     \  \"headline_workloads\": [\n%s\n  ]\n\
      }\n"
     quick jobs
     (Mcd_util.Par.recommended_jobs ())
-    total_s
+    total_s warm_fields
     (String.concat ",\n" (List.map timing_json (List.rev timings)))
     (String.concat ",\n"
        [
@@ -366,7 +395,8 @@ let trace_suite ~quick ~dir =
         (List.length (Mcd_obs.Sink.events sink)))
     workloads
 
-let run_experiments only quick list_only micro jobs json_path trace_dir =
+let run_experiments only quick list_only micro jobs json_path trace_dir
+    cache_dir fresh_cache =
   if list_only then begin
     List.iter (fun e -> Printf.printf "%-16s %s\n" e.id e.descr) experiments;
     `Ok ()
@@ -377,6 +407,16 @@ let run_experiments only quick list_only micro jobs json_path trace_dir =
   end
   else begin
     Runner.set_jobs jobs;
+    (match cache_dir with
+    | Some dir ->
+        Mcd_cache.Store.set_default (Some (Mcd_cache.Store.create ~dir))
+    | None -> ignore (Mcd_cache.Store.default () : Mcd_cache.Store.t option));
+    (match Mcd_cache.Store.default () with
+    | Some store when fresh_cache ->
+        let removed, freed = Mcd_cache.Store.gc store in
+        Printf.printf "fresh cache %s: removed %d objects (%d bytes)\n%!"
+          (Mcd_cache.Store.dir store) removed freed
+    | _ -> ());
     let selected =
       match only with
       | [] -> experiments
@@ -391,21 +431,69 @@ let run_experiments only quick list_only micro jobs json_path trace_dir =
                   exit 2)
             ids
     in
-    let t_start = now_s () in
-    let timings = ref [] in
-    List.iter
-      (fun e ->
-        let t0 = now_s () in
-        let out = e.run ~quick in
-        let dt = now_s () -. t0 in
-        timings := (e.id, dt) :: !timings;
-        Printf.printf "=== %s: %s (%.1fs)\n%s\n%!" e.id e.descr dt out)
-      selected;
+    let run_pass ~warm =
+      let t_start = now_s () in
+      let results =
+        List.map
+          (fun e ->
+            let t0 = now_s () in
+            let out = e.run ~quick in
+            let dt = now_s () -. t0 in
+            if warm then Printf.printf "=== warm %s: %.1fs\n%!" e.id dt
+            else Printf.printf "=== %s: %s (%.1fs)\n%s\n%!" e.id e.descr dt out;
+            (e.id, dt, out))
+          selected
+      in
+      (results, now_s () -. t_start)
+    in
+    let cold, cold_total = run_pass ~warm:false in
+    (* With a persistent store active, run everything a second time with
+       every in-memory layer dropped: what remains is the disk cache.
+       Byte-comparing the rendered tables is the cold-vs-warm
+       determinism check — a decode bug can't slip through as a
+       plausible-looking number. *)
+    let warm =
+      match Mcd_cache.Store.default () with
+      | None -> None
+      | Some store ->
+          Printf.printf
+            "=== warm pass (memo tables cleared; serving from %s)\n%!"
+            (Mcd_cache.Store.dir store);
+          Runner.clear_caches ();
+          reset_harness_caches ();
+          let warm_results, warm_total = run_pass ~warm:true in
+          let identical =
+            List.for_all2
+              (fun (_, _, a) (_, _, b) -> String.equal a b)
+              cold warm_results
+          in
+          let s = Mcd_cache.Store.stats store in
+          Printf.printf
+            "warm pass: %.1fs vs cold %.1fs (%.0f%%), outputs %s \
+             (cache: %d hits, %d misses, %d corrupt)\n%!"
+            warm_total cold_total
+            (100.0 *. warm_total /. Float.max cold_total 1e-9)
+            (if identical then "identical" else "DIFFER")
+            s.Mcd_cache.Store.hits s.Mcd_cache.Store.misses
+            s.Mcd_cache.Store.corrupt;
+          if not identical then begin
+            List.iter2
+              (fun (id, _, a) (_, _, b) ->
+                if not (String.equal a b) then
+                  Printf.eprintf "cold/warm mismatch in %s\n" id)
+              cold warm_results;
+            exit 1
+          end;
+          Some
+            ( List.map (fun (id, dt, _) -> (id, dt)) warm_results,
+              warm_total,
+              identical )
+    in
     (match json_path with
     | None -> ()
     | Some path ->
-        write_json ~path ~quick ~jobs ~timings:!timings
-          ~total_s:(now_s () -. t_start));
+        let timings = List.rev_map (fun (id, dt, _) -> (id, dt)) cold in
+        write_json ~path ~quick ~jobs ~timings ~total_s:cold_total ~warm);
     (match trace_dir with
     | None -> ()
     | Some dir -> trace_suite ~quick ~dir);
@@ -461,6 +549,25 @@ let () =
              (metrics.jsonl, series.csv, trace.json) per workload under \
              $(docv).")
   in
+  let cache_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persistent result cache directory (overrides the \
+             $(b,MCD_DVFS_CACHE) environment variable). With a cache \
+             active the selected experiments run twice — a cold pass, \
+             then a warm pass with every in-memory memo cleared so only \
+             the disk store serves — and the JSON artifact records both \
+             wall clocks. The run fails if the two passes are not \
+             byte-identical.")
+  in
+  let fresh_cache =
+    Arg.(
+      value & flag
+      & info [ "fresh-cache" ]
+          ~doc:"Empty the cache store before the cold pass.")
+  in
   let jobs_resolved =
     Term.(
       const (fun j -> if j <= 0 then Mcd_util.Par.recommended_jobs () else j)
@@ -470,7 +577,7 @@ let () =
     Term.(
       ret
         (const run_experiments $ only $ quick $ list_only $ micro
-       $ jobs_resolved $ json $ trace_dir))
+       $ jobs_resolved $ json $ trace_dir $ cache_dir $ fresh_cache))
   in
   let info =
     Cmd.info "mcd-bench"

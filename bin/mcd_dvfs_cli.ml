@@ -6,6 +6,7 @@
      mcd-dvfs plan "gsm encode"             print the reconfiguration plan
      mcd-dvfs compare mcf                   baseline/off-line/on-line/L+F
      mcd-dvfs trace mcf --out dir           traced run + exporters
+     mcd-dvfs cache stats                   persistent result cache usage
      mcd-dvfs robustness --seed 7           fault-injection campaign
 
    Exit codes: 0 success, 1 campaign failure, 2 plan validation error,
@@ -43,6 +44,24 @@ let context_arg =
   in
   let print fmt c = Format.pp_print_string fmt c.Context.name in
   Arg.conv (parse, print)
+
+(* --- persistent result cache ------------------------------------------- *)
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persistent result cache directory (overrides the \
+           $(b,MCD_DVFS_CACHE) environment variable). Simulation results \
+           are stored content-addressed and reused across invocations.")
+
+(* Flag wins over environment; with neither, caching stays off. *)
+let init_cache = function
+  | Some dir ->
+      Mcd_cache.Store.set_default (Some (Mcd_cache.Store.create ~dir))
+  | None -> ignore (Mcd_cache.Store.default ())
 
 (* --- suite ----------------------------------------------------------- *)
 
@@ -102,7 +121,8 @@ let print_breakdown (m : Metrics.run) =
     (Table.render ~header:[ "domain"; "energy (nJ)"; "share" ] ~rows ())
 
 let run_cmd =
-  let run w policy context breakdown =
+  let run w policy context breakdown cache_dir =
+    init_cache cache_dir;
     let baseline = Runner.baseline w in
     let metrics =
       match policy with
@@ -147,16 +167,14 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a benchmark under a policy")
-    Term.(const run $ w $ policy $ context $ breakdown)
+    Term.(const run $ w $ policy $ context $ breakdown $ cache_dir_arg)
 
 (* --- tree ------------------------------------------------------------ *)
 
 let tree_cmd =
   let run w context reference dot =
-    let input = if reference then w.Workload.reference else w.Workload.train in
-    let tree =
-      Call_tree.build w.Workload.program ~input ~context ~max_insts:400_000 ()
-    in
+    let train = if reference then `Reference else `Train in
+    let tree = Runner.training_tree w ~context ~train in
     if dot then print_string (Call_tree.to_dot tree)
     else begin
       Format.printf "%a@." Call_tree.pp tree;
@@ -195,7 +213,8 @@ let plan_cmd =
     | None -> ());
     0
   in
-  let run w context delta save load =
+  let run w context delta save load cache_dir =
+    init_cache cache_dir;
     match load with
     | Some path -> (
         match Runner.load_plan w ~context ~path with
@@ -238,12 +257,13 @@ let plan_cmd =
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Print a benchmark's reconfiguration plan")
-    Term.(const run $ w $ context $ delta $ save $ load)
+    Term.(const run $ w $ context $ delta $ save $ load $ cache_dir_arg)
 
 (* --- compare ---------------------------------------------------------- *)
 
 let compare_cmd =
-  let run w =
+  let run w cache_dir =
+    init_cache cache_dir;
     let baseline = Runner.baseline w in
     let row name m =
       let c = Runner.compare_runs ~baseline m in
@@ -279,7 +299,7 @@ let compare_cmd =
   let w = Arg.(required & pos 0 (some workload_arg) None & info [] ~docv:"BENCHMARK") in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare all policies on one benchmark")
-    Term.(const run $ w)
+    Term.(const run $ w $ cache_dir_arg)
 
 (* --- trace ------------------------------------------------------------- *)
 
@@ -338,6 +358,78 @@ let trace_cmd =
           export metrics.jsonl, series.csv and a Chrome trace (trace.json, \
           one track per clock domain)")
     Term.(const run $ w $ policy $ context $ out $ stride)
+
+(* --- cache ------------------------------------------------------------- *)
+
+let cache_cmd =
+  (* stats/gc address a directory, not a run: the flag wins, then the
+     environment; with neither there is nothing to inspect. *)
+  let resolve_dir = function
+    | Some dir -> Ok dir
+    | None -> (
+        match Sys.getenv_opt "MCD_DVFS_CACHE" with
+        | Some dir when dir <> "" -> Ok dir
+        | _ ->
+            prerr_endline
+              "mcd-dvfs cache: no cache directory (give --cache-dir or set \
+               MCD_DVFS_CACHE)";
+            Error 3)
+  in
+  let human_bytes b =
+    if b >= 1_048_576 then Printf.sprintf "%.1f MiB" (float_of_int b /. 1_048_576.0)
+    else if b >= 1_024 then Printf.sprintf "%.1f KiB" (float_of_int b /. 1_024.0)
+    else Printf.sprintf "%d B" b
+  in
+  let stats dir =
+    match resolve_dir dir with
+    | Error code -> code
+    | Ok dir ->
+        let store = Mcd_cache.Store.create ~dir in
+        let objects, bytes = Mcd_cache.Store.disk_usage store in
+        print_string
+          (Table.render
+             ~header:[ "cache"; "value" ]
+             ~rows:
+               [
+                 [ "directory"; dir ];
+                 [ "objects"; string_of_int objects ];
+                 [ "bytes"; Printf.sprintf "%d (%s)" bytes (human_bytes bytes) ];
+               ]
+             ());
+        0
+  in
+  let gc dir max_bytes =
+    match resolve_dir dir with
+    | Error code -> code
+    | Ok dir ->
+        let store = Mcd_cache.Store.create ~dir in
+        let removed, freed = Mcd_cache.Store.gc ~max_bytes store in
+        Printf.printf "removed %d objects, freed %s\n" removed
+          (human_bytes freed);
+        0
+  in
+  let max_bytes =
+    Arg.(
+      value & opt int 0
+      & info [ "max-bytes" ] ~docv:"N"
+          ~doc:
+            "Byte budget to shrink the cache to, oldest objects first \
+             (default 0: remove everything)")
+  in
+  let stats_cmd =
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Show object count and on-disk size")
+      Term.(const stats $ cache_dir_arg)
+  in
+  let gc_cmd =
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Delete oldest cache objects until under a byte budget")
+      Term.(const gc $ cache_dir_arg $ max_bytes)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect or prune the persistent result cache")
+    [ stats_cmd; gc_cmd ]
 
 (* --- robustness -------------------------------------------------------- *)
 
@@ -399,5 +491,6 @@ let () =
             plan_cmd;
             compare_cmd;
             trace_cmd;
+            cache_cmd;
             robustness_cmd;
           ]))

@@ -1,0 +1,115 @@
+module Program = Mcd_isa.Program
+module Config = Mcd_cpu.Config
+module Freq = Mcd_domains.Freq
+
+let format_version = 1
+let model_version = 1
+
+type t = { kind : string; canonical : string; digest : string }
+
+(* Part names and values are joined with spaces into a single-line
+   canonical string, so the three characters that would make the
+   rendering ambiguous or multi-line are percent-encoded. *)
+let encode_value v =
+  let plain =
+    String.for_all (fun c -> c <> ' ' && c <> '%' && c <> '\n') v
+  in
+  if plain then v
+  else begin
+    let buf = Buffer.create (String.length v + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | ' ' -> Buffer.add_string buf "%20"
+        | '%' -> Buffer.add_string buf "%25"
+        | '\n' -> Buffer.add_string buf "%0a"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+  end
+
+let make ~kind ~parts =
+  let canonical =
+    String.concat " "
+      (Printf.sprintf "mcd-dvfs-cache/%d" format_version
+      :: Printf.sprintf "model/%d" model_version
+      :: Printf.sprintf "kind=%s" (encode_value kind)
+      :: List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=%s" (encode_value k) (encode_value v))
+           parts)
+  in
+  { kind; canonical; digest = Digest.to_hex (Digest.string canonical) }
+
+let kind t = t.kind
+let canonical t = t.canonical
+let digest t = t.digest
+
+(* --- standard fragments ------------------------------------------------ *)
+
+let program_fragment program ~input =
+  (* The full structural rendering runs to kilobytes; store its digest
+     so key strings stay short enough to embed in object headers. *)
+  [
+    ( "program",
+      Digest.to_hex (Digest.string (Program.canonical program ~input)) );
+  ]
+
+let input_fragment (input : Program.input) =
+  [
+    ( "input",
+      Printf.sprintf "%s:%d:%h:%d" input.Program.input_name
+        input.Program.scale input.Program.divergence input.Program.seed );
+  ]
+
+let config_fragment (c : Config.t) =
+  let geo (g : Config.cache_geometry) =
+    Printf.sprintf "%d.%d.%d.%d" g.Config.sets g.Config.ways
+      g.Config.line_bytes g.Config.latency_cycles
+  in
+  let clocking =
+    match c.Config.clocking with
+    | Config.Mcd -> "mcd"
+    | Config.Single_clock mhz -> Printf.sprintf "single.%d" mhz
+  in
+  [
+    ( "config",
+      String.concat ":"
+        [
+          string_of_int c.Config.fetch_width;
+          string_of_int c.Config.decode_depth;
+          string_of_int c.Config.dispatch_width;
+          string_of_int c.Config.retire_width;
+          string_of_int c.Config.rob_size;
+          string_of_int c.Config.int_phys_regs;
+          string_of_int c.Config.fp_phys_regs;
+          string_of_int c.Config.iq_int_size;
+          string_of_int c.Config.iq_fp_size;
+          string_of_int c.Config.lsq_size;
+          string_of_int c.Config.int_alus;
+          string_of_int c.Config.int_mults;
+          string_of_int c.Config.fp_alus;
+          string_of_int c.Config.fp_mults;
+          string_of_int c.Config.int_alu_latency;
+          string_of_int c.Config.int_mult_latency;
+          string_of_int c.Config.fp_alu_latency;
+          string_of_int c.Config.fp_mult_latency;
+          string_of_int c.Config.issue_per_domain;
+          string_of_int c.Config.mem_ports;
+          geo c.Config.l1i;
+          geo c.Config.l1d;
+          geo c.Config.l2;
+          string_of_int c.Config.main_memory_ns;
+          string_of_int c.Config.branch_penalty_cycles;
+          clocking;
+          string_of_bool c.Config.jitter;
+          string_of_int c.Config.seed;
+        ] );
+  ]
+
+let freq_fragment () =
+  [
+    ( "freq",
+      Printf.sprintf "%d-%d:%d:%d:%h-%h" Freq.fmin_mhz Freq.fmax_mhz
+        Freq.step_mhz Freq.num_steps Freq.vmin Freq.vmax );
+  ]

@@ -18,6 +18,142 @@ type analysis = { interval_insts : int; intervals : interval_data array }
 type schedule = { interval_insts : int; settings : Reconfig.setting array }
 
 let min_interval_events = 50
+let default_interval_insts = 10_000
+
+(* Canonical codec for cached analyses. Same conventions as Plan_io /
+   Metrics: line-based, floats in lossless %h form, `end` trailer so a
+   truncated payload is detected. List orders (segments, signatures) are
+   preserved exactly so decode (encode a) rebuilds a bit for bit. *)
+let encode_analysis (a : analysis) =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let floats arr =
+    String.concat ","
+      (List.map (Printf.sprintf "%h") (Array.to_list arr))
+  in
+  add "oracle-analysis 1\n";
+  add "interval_insts %d\n" a.interval_insts;
+  add "intervals %d\n" (Array.length a.intervals);
+  Array.iter
+    (fun iv ->
+      add "interval %h\n" iv.duration_ps;
+      (match iv.histograms with
+      | None -> add "hists none\n"
+      | Some hs ->
+          add "hists %d\n" (Array.length hs);
+          Array.iter
+            (fun h ->
+              let ws =
+                List.rev
+                  (Histogram.fold h ~init:[] ~f:(fun acc ~bin:_ ~weight ->
+                       weight :: acc))
+              in
+              add "hist %d %s\n" (Histogram.bins h)
+                (String.concat "," (List.map (Printf.sprintf "%h") ws)))
+            hs);
+      add "paths %d\n" (List.length iv.paths.Path_model.segments);
+      List.iter
+        (fun (seg : Path_model.segment) ->
+          add "seg %h %d\n" seg.base_ps (List.length seg.signatures);
+          List.iter (fun s -> add "sig %s\n" (floats s)) seg.signatures)
+        iv.paths.Path_model.segments)
+    a.intervals;
+  add "end\n";
+  Buffer.contents buf
+
+exception Corrupt of string
+
+let decode_analysis s =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt in
+  let lines = String.split_on_char '\n' s in
+  let lines =
+    Array.of_list
+      (match List.rev lines with "" :: rest -> List.rev rest | _ -> lines)
+  in
+  let pos = ref 0 in
+  let next () =
+    if !pos >= Array.length lines then fail "truncated oracle payload"
+    else begin
+      let l = lines.(!pos) in
+      incr pos;
+      l
+    end
+  in
+  let int what v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> fail "bad %s %S" what v
+  in
+  let float what v =
+    match float_of_string_opt v with
+    | Some f -> f
+    | None -> fail "bad %s %S" what v
+  in
+  let float_list what v =
+    List.map (float what) (String.split_on_char ',' v)
+  in
+  let field name =
+    let l = next () in
+    match String.index_opt l ' ' with
+    | Some i when String.sub l 0 i = name ->
+        String.sub l (i + 1) (String.length l - i - 1)
+    | _ -> fail "expected %S line, got %S" name l
+  in
+  try
+    let header = next () in
+    if header <> "oracle-analysis 1" then
+      fail "bad oracle header %S" header;
+    let interval_insts = int "interval_insts" (field "interval_insts") in
+    let n_intervals = int "interval count" (field "intervals") in
+    let intervals =
+      Array.init n_intervals (fun _ ->
+          let duration_ps = float "duration" (field "interval") in
+          let histograms =
+            match field "hists" with
+            | "none" -> None
+            | n ->
+                let n = int "histogram count" n in
+                Some
+                  (Array.init n (fun _ ->
+                       match String.split_on_char ' ' (field "hist") with
+                       | [ bins; ws ] ->
+                           let bins = int "histogram bins" bins in
+                           let ws = float_list "histogram weight" ws in
+                           if List.length ws <> bins then
+                             fail "histogram bin count mismatch";
+                           let h = Histogram.create ~bins in
+                           List.iteri
+                             (fun bin weight -> Histogram.add h ~bin ~weight)
+                             ws;
+                           h
+                       | _ -> fail "malformed hist line"))
+          in
+          let n_segs = int "segment count" (field "paths") in
+          let segments =
+            List.init n_segs (fun _ ->
+                match String.split_on_char ' ' (field "seg") with
+                | [ base; n_sigs ] ->
+                    let base_ps = float "segment base" base in
+                    let n_sigs = int "signature count" n_sigs in
+                    let signatures =
+                      List.init n_sigs (fun _ ->
+                          Array.of_list
+                            (float_list "signature" (field "sig")))
+                    in
+                    { Path_model.base_ps; signatures }
+                | _ -> fail "malformed seg line")
+          in
+          { duration_ps; histograms; paths = { Path_model.segments } })
+    in
+    let trailer = next () in
+    if trailer <> "end" then fail "missing end-of-analysis marker";
+    if !pos <> Array.length lines then fail "content after end marker";
+    Result.Ok ({ interval_insts; intervals } : analysis)
+  with
+  | Corrupt m -> Result.Error m
+  (* Histogram.create/add validate bins and weights; a corrupted payload
+     can trip those checks before ours. *)
+  | Invalid_argument m -> Result.Error m
 
 let analyze ~program ~input ?(interval_insts = 10_000)
     ?(trace_insts = 120_000) ?(config = Config.alpha21264_like) () =

@@ -8,9 +8,29 @@
     validation), and plays the resulting per-interval schedule back
     during the measured run, reconfiguring at interval boundaries. *)
 
-type analysis
+type interval_data = {
+  histograms : Mcd_util.Histogram.t array option;
+      (** [None] when the interval retired too few events to analyse *)
+  paths : Path_model.t;
+  duration_ps : float;
+}
+
+type analysis = { interval_insts : int; intervals : interval_data array }
 (** Retained per-interval shaker output (histograms, path models,
-    durations), so schedules at different slowdown budgets are cheap. *)
+    durations), so schedules at different slowdown budgets are cheap.
+    Exposed concretely so the result cache can serialize it. *)
+
+val default_interval_insts : int
+(** The [interval_insts] default used by {!analyze} (10_000); exported so
+    cache keys can name the effective interval size explicitly. *)
+
+val encode_analysis : analysis -> string
+(** Canonical text rendering (floats in lossless [%h] form, [end]
+    trailer); [decode_analysis] inverts it bit for bit. *)
+
+val decode_analysis : string -> (analysis, string) result
+(** Parse an {!encode_analysis} payload. Any malformation — bad header,
+    truncation, field mismatch — yields [Error reason]; never raises. *)
 
 val analyze :
   program:Mcd_isa.Program.t ->

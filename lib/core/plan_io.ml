@@ -39,49 +39,67 @@ let unit_to_string = function
   | Call_tree.Func_unit fid -> Printf.sprintf "func:%d" fid
   | Call_tree.Loop_unit id -> Printf.sprintf "loop:%d" id
 
+let to_string (plan : Plan.t) =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "mcd-dvfs-plan 1\n";
+  add "context %s\n" plan.Plan.context.Context.name;
+  add "slowdown %h\n" plan.Plan.slowdown_pct;
+  add "tree %s\n" (fingerprint plan.Plan.tree);
+  (* Hashtbl.iter order is deterministic for identically-built tables
+     but arbitrary; sort by key so structurally equal plans render
+     identically — the cache's byte-level comparisons depend on it. *)
+  let sorted_by key_of tbl =
+    List.sort
+      (fun a b -> compare (key_of a) (key_of b))
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  List.iter
+    (fun (id, s) -> add "node %d %s\n" id (setting_to_string s))
+    (sorted_by fst plan.Plan.node_settings);
+  List.iter
+    (fun (u, s) -> add "unit %s %s\n" (unit_to_string u) (setting_to_string s))
+    (sorted_by (fun (u, _) -> unit_to_string u) plan.Plan.unit_settings);
+  List.iter
+    (fun (id, hists) ->
+      Array.iteri
+        (fun d h ->
+          let weights =
+            Array.init (Histogram.bins h) (fun bin -> Histogram.get h ~bin)
+          in
+          add "hist %d %d %s\n" id d (floats_to_string weights))
+        hists)
+    (sorted_by fst plan.Plan.node_histograms);
+  List.iter
+    (fun (id, (pm : Path_model.t)) ->
+      (* Segment list order is construction-dependent (add_segment
+         prepends, so a parsed plan holds them reversed); render each
+         node's segments sorted by their line text so semantically
+         equal plans are byte-equal. *)
+      let lines =
+        List.map
+          (fun (seg : Path_model.segment) ->
+            let b = Buffer.create 128 in
+            Buffer.add_string b (Printf.sprintf "seg %d %h" id seg.Path_model.base_ps);
+            List.iter
+              (fun signature ->
+                Buffer.add_char b ' ';
+                Buffer.add_string b (floats_to_string signature))
+              seg.Path_model.signatures;
+            Buffer.contents b)
+          pm.Path_model.segments
+      in
+      List.iter (fun l -> add "%s\n" l) (List.sort compare lines))
+    (sorted_by fst plan.Plan.node_paths);
+  (* trailer so a truncated copy is detectable *)
+  add "end\n";
+  Buffer.contents buf
+
 let save (plan : Plan.t) ~path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc "mcd-dvfs-plan 1\n";
-      Printf.fprintf oc "context %s\n" plan.Plan.context.Context.name;
-      Printf.fprintf oc "slowdown %h\n" plan.Plan.slowdown_pct;
-      Printf.fprintf oc "tree %s\n" (fingerprint plan.Plan.tree);
-      Hashtbl.iter
-        (fun id s -> Printf.fprintf oc "node %d %s\n" id (setting_to_string s))
-        plan.Plan.node_settings;
-      Hashtbl.iter
-        (fun u s ->
-          Printf.fprintf oc "unit %s %s\n" (unit_to_string u)
-            (setting_to_string s))
-        plan.Plan.unit_settings;
-      Hashtbl.iter
-        (fun id hists ->
-          Array.iteri
-            (fun d h ->
-              let weights =
-                Array.init (Histogram.bins h) (fun bin ->
-                    Histogram.get h ~bin)
-              in
-              Printf.fprintf oc "hist %d %d %s\n" id d
-                (floats_to_string weights))
-            hists)
-        plan.Plan.node_histograms;
-      Hashtbl.iter
-        (fun id (pm : Path_model.t) ->
-          List.iter
-            (fun (seg : Path_model.segment) ->
-              Printf.fprintf oc "seg %d %h" id seg.Path_model.base_ps;
-              List.iter
-                (fun signature ->
-                  Printf.fprintf oc " %s" (floats_to_string signature))
-                seg.Path_model.signatures;
-              Printf.fprintf oc "\n")
-            pm.Path_model.segments)
-        plan.Plan.node_paths;
-      (* trailer so a truncated copy is detectable *)
-      Printf.fprintf oc "end\n")
+    (fun () -> output_string oc (to_string plan))
 
 (* --- loading ----------------------------------------------------------- *)
 
@@ -120,12 +138,20 @@ let unit_of_string s =
 
 type loaded = { plan : Plan.t; warnings : Error.t list }
 
-let load_result ~path ~tree =
-  match open_in path with
-  | exception Sys_error message -> Result.Error [ Error.Io_error { path; message } ]
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
+let of_string_result ?(path = "<string>") ~tree content =
+  if content = "" then Result.Error [ Error.Empty_file { path } ]
+  else begin
+    let all_lines = String.split_on_char '\n' content in
+    (* drop the empty fragment after a final newline, mirroring what
+       line-by-line file reading used to see *)
+    let all_lines =
+      match List.rev all_lines with
+      | "" :: rest -> List.rev rest
+      | _ -> all_lines
+    in
+    match all_lines with
+    | [] -> Result.Error [ Error.Empty_file { path } ]
+    | header :: body ->
         (fun () ->
           let fatals = ref [] in
           let warnings = ref [] in
@@ -164,15 +190,13 @@ let load_result ~path ~tree =
                 List.iter warn ws;
                 k repaired
           in
-          (match input_line ic with
+          (match header with
           | "mcd-dvfs-plan 1" -> ()
-          | found -> fatal (Error.Bad_header { path; found })
-          | exception End_of_file -> fatal (Error.Empty_file { path }));
+          | found -> fatal (Error.Bad_header { path; found }));
           let line_no = ref 1 in
           (if !fatals = [] then
-             try
-               while true do
-                 let line = input_line ic in
+             List.iter
+               (fun line ->
                  incr line_no;
                  let where = Printf.sprintf "%s:%d" path !line_no in
                  try
@@ -268,9 +292,8 @@ let load_result ~path ~tree =
                  with Reject reason ->
                    fatal
                      (Error.Malformed_line
-                        { path; line = !line_no; content = line; reason })
-               done
-             with End_of_file -> ());
+                        { path; line = !line_no; content = line; reason }))
+               body);
           if !fatals = [] && not !fp_checked then
             fatal (Error.Missing_fingerprint { path });
           if !fatals = [] && not !saw_end then
@@ -307,6 +330,14 @@ let load_result ~path ~tree =
                     };
                   warnings = List.rev !warnings;
                 })
+          ()
+  end
+
+let load_result ~path ~tree =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error message ->
+      Result.Error [ Error.Io_error { path; message } ]
+  | content -> of_string_result ~path ~tree content
 
 let load ~path ~tree =
   match load_result ~path ~tree with

@@ -25,8 +25,14 @@
 val fingerprint : Mcd_profiling.Call_tree.t -> string
 (** Hex digest of the tree's structure (kinds, parentage, long flags). *)
 
+val to_string : Plan.t -> string
+(** The plan's canonical text rendering (the exact bytes {!save}
+    writes). Table entries are emitted in sorted key order, so
+    structurally equal plans render identically — the result cache
+    stores this rendering and compares it byte-wise. *)
+
 val save : Plan.t -> path:string -> unit
-(** Write the plan to a text file. *)
+(** Write the plan to a text file ([to_string] contents). *)
 
 type loaded = {
   plan : Plan.t;
@@ -36,6 +42,15 @@ type loaded = {
           entries for unknown nodes discarded, missing [context] /
           [slowdown] header lines replaced by their defaults *)
 }
+
+val of_string_result :
+  ?path:string ->
+  tree:Mcd_profiling.Call_tree.t ->
+  string ->
+  (loaded, Mcd_robust.Error.t list) result
+(** Parse a plan from its text rendering, attaching it to a freshly
+    rebuilt tree. [path] (default ["<string>"]) only labels
+    diagnostics. Same degradation policy as {!load_result}. *)
 
 val load_result :
   path:string ->

@@ -8,6 +8,8 @@ module Editor = Mcd_core.Editor
 module Analyze = Mcd_core.Analyze
 module Attack_decay = Mcd_control.Attack_decay
 module Freq = Mcd_domains.Freq
+module Ckey = Mcd_cache.Key
+module Cstore = Mcd_cache.Store
 
 type comparison = {
   degradation_pct : float;
@@ -38,7 +40,12 @@ type profiled_run = {
    worker keeps full memoization within its share of a sweep while the
    main domain retains its cache across experiments, exactly as the old
    global tables did in sequential runs. Results are deterministic per
-   key, so duplicated computation across domains cannot change output. *)
+   key, so duplicated computation across domains cannot change output.
+
+   Below the memo tables sits the optional persistent content-addressed
+   store ({!Mcd_cache.Store.default}): memo tables die with their domain
+   (and with the process), the disk store survives both, so a warm rerun
+   skips simulation entirely. *)
 let dls_table () = Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
 let memo_key : (string, Metrics.run) Hashtbl.t Domain.DLS.key = dls_table ()
@@ -81,8 +88,111 @@ let get_jobs () = !jobs
 let par_map f xs = Mcd_util.Par.map ~jobs:!jobs f xs
 let map_workloads f ws = par_map f ws
 
+(* --- shared analysis-window derivation --------------------------------- *)
+
+(* One derivation for every consumer (plan_for, load_plan, Tables's
+   coverage table, the CLI's tree command): the profiler walks
+   [analysis_profile_insts] instructions to build the call tree, and the
+   timing trace behind a plan covers at most 120_000 of the training
+   window. Divergent copies of these constants are precisely how plan
+   files stop round-tripping. *)
+let analysis_profile_insts = 400_000
+
+let analysis_input (w : Workload.t) ~train =
+  match train with
+  | `Train -> (w.Workload.train, w.Workload.train_window)
+  | `Reference -> (w.Workload.reference, w.Workload.ref_window)
+
+let analysis_trace_insts (w : Workload.t) ~train =
+  let _, window = analysis_input w ~train in
+  min window 120_000
+
+let training_tree (w : Workload.t) ~context ~train =
+  let input, _ = analysis_input w ~train in
+  Mcd_profiling.Call_tree.build w.Workload.program ~input ~context
+    ~max_insts:analysis_profile_insts ()
+
+(* --- persistent cache keys and codecs ---------------------------------- *)
+
+let base_parts (w : Workload.t) ~config ~input =
+  Ckey.program_fragment w.Workload.program ~input
+  @ Ckey.input_fragment input
+  @ Ckey.config_fragment config
+  @ Ckey.freq_fragment ()
+
+(* A production run is identified by everything the simulator sees: the
+   program (at the reference input), the input itself, the processor
+   configuration, the frequency grid, the measurement window, and the
+   policy driving reconfiguration (with all its parameters). *)
+let run_key (w : Workload.t) ~config ~policy =
+  Ckey.make ~kind:"run"
+    ~parts:
+      (base_parts w ~config ~input:w.Workload.reference
+      @ [
+          ("warmup", string_of_int w.Workload.ref_offset);
+          ("window", string_of_int w.Workload.ref_window);
+          ("policy", policy);
+        ])
+
+let plan_key (w : Workload.t) ~context ~train ~slowdown_pct =
+  let input, _ = analysis_input w ~train in
+  Ckey.make ~kind:"plan"
+    ~parts:
+      (base_parts w ~config ~input
+      @ [
+          ("context", context.Context.name);
+          ("slowdown", Printf.sprintf "%h" slowdown_pct);
+          ("profile_insts", string_of_int analysis_profile_insts);
+          ("trace_insts", string_of_int (analysis_trace_insts w ~train));
+        ])
+
+let oracle_key (w : Workload.t) =
+  Ckey.make ~kind:"oracle"
+    ~parts:
+      (base_parts w ~config ~input:w.Workload.reference
+      @ [
+          ( "interval_insts",
+            string_of_int Mcd_core.Oracle.default_interval_insts );
+          ( "trace_insts",
+            string_of_int (w.Workload.ref_offset + w.Workload.ref_window) );
+        ])
+
+(* Read-through the persistent store when one is configured; a cache
+   problem of any kind degrades to plain recomputation inside
+   [Cstore.cached]. [key] is a thunk so key construction costs nothing
+   when caching is off. *)
+let disk_cached ~key ~encode ~decode f =
+  match Cstore.default () with
+  | None -> f ()
+  | Some store -> Cstore.cached store ~key:(key ()) ~encode ~decode f
+
+let run_cached ~key f =
+  disk_cached ~key ~encode:Metrics.encode ~decode:Metrics.decode f
+
+(* Plans are stored in the Plan_io text format. Decoding rebuilds the
+   training tree (cheap: a profiler walk, no timing simulation) and
+   refuses — i.e. reports corruption, triggering recompute — if the
+   stored plan does not round-trip cleanly against it. *)
+let plan_codec (w : Workload.t) ~context ~train =
+  let decode payload =
+    let tree = training_tree w ~context ~train in
+    match Mcd_core.Plan_io.of_string_result ~path:"<cache>" ~tree payload with
+    | Result.Ok { Mcd_core.Plan_io.plan; warnings = [] } -> Result.Ok plan
+    | Result.Ok { Mcd_core.Plan_io.warnings; _ } ->
+        Result.Error
+          (String.concat "; " (List.map Mcd_robust.Error.to_string warnings))
+    | Result.Error errors ->
+        Result.Error
+          (String.concat "; " (List.map Mcd_robust.Error.to_string errors))
+  in
+  (Mcd_core.Plan_io.to_string, decode)
+
+(* --- policy runs ------------------------------------------------------- *)
+
 let baseline (w : Workload.t) =
   memoize (memo ()) (w.Workload.name ^ "/baseline") @@ fun () ->
+  run_cached ~key:(fun () -> run_key w ~config ~policy:"baseline")
+  @@ fun () ->
   Pipeline.run ~config ~warmup_insts:w.Workload.ref_offset
     ~program:w.Workload.program ~input:w.Workload.reference
     ~max_insts:w.Workload.ref_window ()
@@ -90,9 +200,12 @@ let baseline (w : Workload.t) =
 let single_clock (w : Workload.t) ~mhz =
   memoize (memo ()) (Printf.sprintf "%s/single/%d" w.Workload.name mhz)
   @@ fun () ->
-  Pipeline.run ~config:(Config.single_clock ~mhz)
-    ~warmup_insts:w.Workload.ref_offset ~program:w.Workload.program
-    ~input:w.Workload.reference ~max_insts:w.Workload.ref_window ()
+  let config = Config.single_clock ~mhz in
+  run_cached ~key:(fun () -> run_key w ~config ~policy:"baseline")
+  @@ fun () ->
+  Pipeline.run ~config ~warmup_insts:w.Workload.ref_offset
+    ~program:w.Workload.program ~input:w.Workload.reference
+    ~max_insts:w.Workload.ref_window ()
 
 let input_tag = function `Train -> "train" | `Reference -> "ref"
 
@@ -102,30 +215,37 @@ let plan_for (w : Workload.t) ~context ~train =
       (input_tag train)
   in
   memoize (plan_memo ()) key @@ fun () ->
-  let input, window =
-    match train with
-    | `Train -> (w.Workload.train, w.Workload.train_window)
-    | `Reference -> (w.Workload.reference, w.Workload.ref_window)
-  in
-  let trace_insts = min window 120_000 in
+  let encode, decode = plan_codec w ~context ~train in
+  disk_cached
+    ~key:(fun () ->
+      plan_key w ~context ~train ~slowdown_pct:default_slowdown_pct)
+    ~encode ~decode
+  @@ fun () ->
+  let input, _ = analysis_input w ~train in
+  let trace_insts = analysis_trace_insts w ~train in
   let plan, _stats =
     Analyze.analyze ~program:w.Workload.program ~train:input ~context
       ~slowdown_pct:default_slowdown_pct ~trace_insts ~config ()
   in
   plan
 
-(* The result path for shipped plans: rebuild the training tree exactly
-   as Analyze does (same context, same default windows), then load with
-   typed diagnostics instead of exceptions. *)
-let load_plan (w : Workload.t) ~context ~path =
-  let tree =
-    Mcd_profiling.Call_tree.build w.Workload.program ~input:w.Workload.train
-      ~context ~max_insts:400_000 ()
-  in
+(* The result path for shipped plans: rebuild the profiling tree from
+   exactly the derivation Analyze/plan_for use ({!training_tree}), then
+   load with typed diagnostics instead of exceptions. [train] selects
+   which input the plan was trained on (shipped plans are normally
+   [`Train]; [`Reference]-trained plans come from the oracle
+   configuration). *)
+let load_plan ?(train = `Train) (w : Workload.t) ~context ~path =
+  let tree = training_tree w ~context ~train in
   Mcd_core.Plan_io.load_result ~path ~tree
 
 let oracle_analysis (w : Workload.t) =
   memoize (oracle_memo ()) (w.Workload.name ^ "/oracle") @@ fun () ->
+  disk_cached
+    ~key:(fun () -> oracle_key w)
+    ~encode:Mcd_core.Oracle.encode_analysis
+    ~decode:Mcd_core.Oracle.decode_analysis
+  @@ fun () ->
   Mcd_core.Oracle.analyze ~program:w.Workload.program
     ~input:w.Workload.reference
     ~trace_insts:(w.Workload.ref_offset + w.Workload.ref_window)
@@ -133,6 +253,13 @@ let oracle_analysis (w : Workload.t) =
 
 let offline_run ?(slowdown_pct = default_slowdown_pct) (w : Workload.t) =
   let go () =
+    run_cached
+      ~key:(fun () ->
+        run_key w ~config
+          ~policy:
+            (Printf.sprintf "offline:%h:%d" slowdown_pct
+               Mcd_core.Oracle.default_interval_insts))
+    @@ fun () ->
     let schedule =
       Mcd_core.Oracle.schedule_of (oracle_analysis w) ~slowdown_pct
     in
@@ -155,20 +282,97 @@ let profile_run_uncached (w : Workload.t) ~plan =
   in
   { run; plan; counters = edited.Editor.counters }
 
+(* A profiled run's cached payload is the run plus the editor counters;
+   the plan itself is recovered through [plan_for]'s own cache, so it is
+   not duplicated in every profiled-run object. *)
+let encode_profiled pr =
+  Printf.sprintf "profiled 1\nreconfig_execs %d\ninstr_execs %d\n%s"
+    pr.counters.Editor.reconfig_execs pr.counters.Editor.instr_execs
+    (Metrics.encode pr.run)
+
+let decode_profiled ~plan_of payload =
+  let ( let* ) = Result.bind in
+  let int_field name line =
+    match String.split_on_char ' ' line with
+    | [ n; v ] when n = name -> (
+        match int_of_string_opt v with
+        | Some v -> Result.Ok v
+        | None -> Result.Error (Printf.sprintf "bad %s value %S" name v))
+    | _ -> Result.Error (Printf.sprintf "expected %S line, got %S" name line)
+  in
+  match String.index_opt payload '\n' with
+  | None -> Result.Error "truncated profiled payload"
+  | Some e1 -> (
+      if String.sub payload 0 e1 <> "profiled 1" then
+        Result.Error "bad profiled header"
+      else
+        match String.index_from_opt payload (e1 + 1) '\n' with
+        | None -> Result.Error "truncated profiled payload"
+        | Some e2 -> (
+            match String.index_from_opt payload (e2 + 1) '\n' with
+            | None -> Result.Error "truncated profiled payload"
+            | Some e3 ->
+                let* reconfig_execs =
+                  int_field "reconfig_execs"
+                    (String.sub payload (e1 + 1) (e2 - e1 - 1))
+                in
+                let* instr_execs =
+                  int_field "instr_execs"
+                    (String.sub payload (e2 + 1) (e3 - e2 - 1))
+                in
+                let* run =
+                  Metrics.decode
+                    (String.sub payload (e3 + 1)
+                       (String.length payload - e3 - 1))
+                in
+                Result.Ok
+                  {
+                    run;
+                    plan = plan_of ();
+                    counters = { Editor.reconfig_execs; instr_execs };
+                  }))
+
 let profile_run ?(slowdown_pct = default_slowdown_pct) (w : Workload.t)
     ~context ~train =
-  let base_plan = plan_for w ~context ~train in
+  let plan_of () =
+    let base = plan_for w ~context ~train in
+    if slowdown_pct = default_slowdown_pct then base
+    else Plan.with_slowdown base ~slowdown_pct
+  in
+  let go () =
+    disk_cached
+      ~key:(fun () ->
+        run_key w ~config
+          ~policy:
+            (Printf.sprintf "profile:%s:%s:%h:%d:%d" context.Context.name
+               (input_tag train) slowdown_pct analysis_profile_insts
+               (analysis_trace_insts w ~train)))
+      ~encode:encode_profiled
+      ~decode:(decode_profiled ~plan_of)
+    @@ fun () -> profile_run_uncached w ~plan:(plan_of ())
+  in
   if slowdown_pct = default_slowdown_pct then
     memoize (profiled_memo ())
       (Printf.sprintf "%s/%s/%s/run" w.Workload.name context.Context.name
          (input_tag train))
-      (fun () -> profile_run_uncached w ~plan:base_plan)
-  else
-    let plan = Plan.with_slowdown base_plan ~slowdown_pct in
-    profile_run_uncached w ~plan
+      go
+  else go ()
+
+let online_policy (p : Attack_decay.params) =
+  Printf.sprintf "online:%d:%h:%d:%d:%h" p.Attack_decay.interval_cycles
+    p.Attack_decay.attack_threshold p.Attack_decay.attack_step_mhz
+    p.Attack_decay.decay_step_mhz p.Attack_decay.ipc_guard
 
 let online_run ?params (w : Workload.t) =
-  let run () =
+  let effective =
+    match params with
+    | Some p -> p
+    | None -> Attack_decay.default_params
+  in
+  let go () =
+    run_cached
+      ~key:(fun () -> run_key w ~config ~policy:(online_policy effective))
+    @@ fun () ->
     Pipeline.run
       ~controller:(Attack_decay.controller ?params ())
       ~config ~warmup_insts:w.Workload.ref_offset
@@ -176,8 +380,8 @@ let online_run ?params (w : Workload.t) =
       ~max_insts:w.Workload.ref_window ()
   in
   match params with
-  | Some _ -> run ()
-  | None -> memoize (memo ()) (w.Workload.name ^ "/online") run
+  | Some _ -> go ()
+  | None -> memoize (memo ()) (w.Workload.name ^ "/online") go
 
 (* Traced variant of the per-policy runs: never memoized (the sink is a
    side channel — a cached Metrics.run would leave it empty), and the
@@ -217,7 +421,8 @@ let observed_run ?(policy = `Profile) ?(context = Context.lf) ~sink
 
 (* The paper's "global" bar: a single-clock processor scaled so that its
    total runtime matches the off-line algorithm's. A first-order 1/f
-   estimate is refined by direct simulation of neighbouring steps. *)
+   estimate seeds the search; the chosen frequency is the slowest step
+   whose runtime still meets the target (or fmax when nothing does). *)
 let global_dvs_run (w : Workload.t) ~target_runtime_ps =
   let full = single_clock w ~mhz:Freq.fmax_mhz in
   let estimate =
@@ -227,22 +432,22 @@ let global_dvs_run (w : Workload.t) ~target_runtime_ps =
   in
   let start_mhz = Freq.clamp (int_of_float estimate) in
   let run_at mhz = single_clock w ~mhz in
-  (* walk toward the target: prefer the slowest frequency whose runtime
-     does not exceed the target by more than half a step's worth *)
-  let rec refine mhz =
-    let r = run_at mhz in
-    if r.Metrics.runtime_ps > target_runtime_ps && mhz < Freq.fmax_mhz then
-      refine (Freq.clamp (mhz + Freq.step_mhz))
-    else r.Metrics.runtime_ps, mhz
+  let meets mhz = (run_at mhz).Metrics.runtime_ps <= target_runtime_ps in
+  (* walk up until the target is met (the 1/f estimate can land low) *)
+  let rec up mhz =
+    if meets mhz || mhz >= Freq.fmax_mhz then mhz
+    else up (Freq.clamp (mhz + Freq.step_mhz))
   in
-  let _, mhz0 = refine start_mhz in
-  (* try one step lower if it still meets the target *)
-  let final_mhz =
-    if mhz0 > Freq.fmin_mhz then begin
-      let lower = Freq.clamp (mhz0 - Freq.step_mhz) in
-      let r = run_at lower in
-      if r.Metrics.runtime_ps <= target_runtime_ps then lower else mhz0
-    end
-    else mhz0
+  let mhz0 = up start_mhz in
+  (* then walk down while a lower step still meets it: the estimate can
+     just as well land several steps high, and stopping after a single
+     probe would report a faster (less energy-efficient) frequency than
+     the scaling target permits *)
+  let rec down mhz =
+    if mhz <= Freq.fmin_mhz then mhz
+    else
+      let lower = Freq.clamp (mhz - Freq.step_mhz) in
+      if meets lower then down lower else mhz
   in
+  let final_mhz = if meets mhz0 then down mhz0 else mhz0 in
   (run_at final_mhz, final_mhz)

@@ -39,6 +39,34 @@ val map_workloads :
 val default_slowdown_pct : float
 (** 7.0, the paper's headline operating point. *)
 
+val analysis_profile_insts : int
+(** 400_000: the instruction window every profiler walk (plan analysis,
+    plan loading, coverage tables, the CLI's tree command) uses to build
+    call trees. A single shared constant — divergent copies are how
+    saved plans stop matching their rebuilt trees. *)
+
+val analysis_input :
+  Mcd_workloads.Workload.t ->
+  train:[ `Train | `Reference ] ->
+  Mcd_isa.Program.input * int
+(** The (input, window) pair an analysis over the given training
+    selector sees. *)
+
+val analysis_trace_insts :
+  Mcd_workloads.Workload.t -> train:[ `Train | `Reference ] -> int
+(** Instructions the timing trace behind a plan covers:
+    [min window 120_000] of the selected input, exactly as
+    {!plan_for} passes to the analyzer. *)
+
+val training_tree :
+  Mcd_workloads.Workload.t ->
+  context:Mcd_profiling.Context.t ->
+  train:[ `Train | `Reference ] ->
+  Mcd_profiling.Call_tree.t
+(** Rebuild the profiling call tree for the selected training input with
+    the shared window derivation — the tree {!load_plan} verifies plan
+    fingerprints against. *)
+
 val baseline : Mcd_workloads.Workload.t -> Mcd_power.Metrics.run
 (** MCD, all domains at full speed, reference input. Cached. *)
 
@@ -55,13 +83,17 @@ val plan_for :
     oracle. *)
 
 val load_plan :
+  ?train:[ `Train | `Reference ] ->
   Mcd_workloads.Workload.t ->
   context:Mcd_profiling.Context.t ->
   path:string ->
   (Mcd_core.Plan_io.loaded, Mcd_robust.Error.t list) result
 (** Load a previously shipped plan against a freshly rebuilt training
-    tree, reporting typed diagnostics rather than raising — the entry
-    point the CLI and the robustness campaign use. *)
+    tree ({!training_tree}; [train] defaults to [`Train]), reporting
+    typed diagnostics rather than raising — the entry point the CLI and
+    the robustness campaign use. Because the tree derivation is shared
+    with {!plan_for}, a plan saved from [plan_for w ~context ~train]
+    always round-trips warning-free. *)
 
 val offline_run :
   ?slowdown_pct:float -> Mcd_workloads.Workload.t -> Mcd_power.Metrics.run
@@ -109,8 +141,12 @@ val global_dvs_run :
   Mcd_workloads.Workload.t -> target_runtime_ps:int -> Mcd_power.Metrics.run * int
 (** Single-clock processor scaled to finish in approximately
     [target_runtime_ps] (the paper's "global" baseline): picks the
-    frequency step whose runtime comes closest without greatly exceeding
-    the target. Returns the run and the chosen frequency. *)
+    slowest frequency step whose runtime still meets the target, or
+    full speed when even that cannot. Returns the run and the chosen
+    frequency. *)
 
 val clear_caches : unit -> unit
-(** Reset the calling domain's memo tables. *)
+(** Reset the calling domain's in-memory memo tables. The persistent
+    store (if {!Mcd_cache.Store.default} is configured) is deliberately
+    untouched: clearing memos then re-running is exactly the warm-cache
+    path. *)

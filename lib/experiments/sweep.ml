@@ -36,14 +36,23 @@ let average_point comparisons =
 (* Each curve fans out per workload — one worker domain computes every
    point of a workload's column, so the expensive shared prefix
    (baseline run, off-line analysis) is memoized once per worker — then
-   transposes back to per-delta averages in the sequential caller. The
-   transpose keeps comparisons in workload order, so the averages are
-   bit-identical to the old delta-major loop. *)
+   transposes back to per-delta averages in the sequential caller. A
+   single pass over each column fills a point-major matrix (the old
+   List.nth walk re-scanned every column per point, quadratic in curve
+   length); comparisons stay in workload order, so the averages are
+   bit-identical to the delta-major loop. *)
 let transpose_average ~points per_workload =
-  List.mapi
-    (fun i _ ->
-      average_point (List.map (fun column -> List.nth column i) per_workload))
-    points
+  let n_points = List.length points in
+  let rows = Array.make n_points [] in
+  (* consing column-by-column builds each row reversed; reverse the
+     column order up front so rows come out in workload order *)
+  List.iter
+    (fun column ->
+      if List.length column <> n_points then
+        invalid_arg "Sweep.transpose_average: ragged sweep results";
+      List.iteri (fun i c -> rows.(i) <- c :: rows.(i)) column)
+    (List.rev per_workload);
+  Array.to_list (Array.map average_point rows)
 
 let profile_curve ?(workloads = default_workloads)
     ?(deltas = default_deltas) () =

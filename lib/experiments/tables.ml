@@ -39,7 +39,7 @@ let table2 () =
   "Table 2: benchmarks, input scales and instruction windows\n"
   ^ Table.render ~align ~header ~rows:body ()
 
-let profile_window = 400_000
+let profile_window = Runner.analysis_profile_insts
 
 let table3 ?(workloads = Suite.all) () =
   let header =

@@ -78,6 +78,59 @@ let static_instructions t =
       | Loop _ | Call _ | Choose _ -> incr n);
   !n
 
+(* Canonical rendering for content addressing. Every field that can
+   change simulated behaviour is printed — floats in lossless %h form —
+   in a fixed traversal order, so equal renderings mean equal dynamic
+   instruction streams for the given input. [Choose] probabilities are
+   closures and cannot be serialized structurally; they are evaluated at
+   the concrete [input] instead, which captures exactly the behaviour
+   the walker will see on that input. *)
+let canonical t ~input =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let mem = function
+    | Seq_stride { stride; region } -> Printf.sprintf "seq:%d:%d" stride region
+    | Rand_in { region } -> Printf.sprintf "rand:%d" region
+    | Chase { region } -> Printf.sprintf "chase:%d" region
+  in
+  let branch = function
+    | Periodic pattern ->
+        "per:"
+        ^ String.concat ""
+            (List.map (fun b -> if b then "1" else "0") (Array.to_list pattern))
+    | Biased p -> Printf.sprintf "bias:%h" p
+  in
+  let trips = function
+    | Const n -> Printf.sprintf "const:%d" n
+    | Scaled { base; per_scale } -> Printf.sprintf "scaled:%d:%d" base per_scale
+    | Arg_scaled { base; per_arg } -> Printf.sprintf "arg:%d:%d" base per_arg
+  in
+  let rec stmt = function
+    | Straight b ->
+        add "B%d:%d:%h:%h:%h:%h:%h:%h:%s:%s:%h;" b.block_id b.length
+          b.frac_int_mult b.frac_fp_alu b.frac_fp_mult b.frac_load
+          b.frac_store b.frac_branch (mem b.mem) (branch b.branch) b.dep_chain
+    | Loop { loop_id; trips = tr; body } ->
+        add "L%d:%s(" loop_id (trips tr);
+        List.iter stmt body;
+        add ")"
+    | Call { site_id; callee; arg } -> add "C%d:%s:%d;" site_id callee arg
+    | Choose { choose_id; prob; on_true; on_false } ->
+        add "?%d:%h(" choose_id (prob input);
+        List.iter stmt on_true;
+        add ")(";
+        List.iter stmt on_false;
+        add ")"
+  in
+  add "program:%s:main=%s;" t.pname t.main;
+  List.iter
+    (fun (name, f) ->
+      add "func:%s:%d(" name f.fid;
+      List.iter stmt f.body;
+      add ")")
+    t.funcs;
+  Buffer.contents buf
+
 let validate t =
   (match List.assoc_opt t.main t.funcs with
   | Some _ -> ()

@@ -97,6 +97,16 @@ val static_instructions : t -> int
 val iter_stmts : t -> f:(stmt -> unit) -> unit
 (** Depth-first visit of every statement in every function. *)
 
+val canonical : t -> input:input -> string
+(** Deterministic rendering of the whole program structure for content
+    addressing (see {!Mcd_cache}): every behaviour-relevant field in a
+    fixed traversal order, floats in lossless [%h] form. [Choose]
+    probabilities are closures, so they are rendered by {i evaluating}
+    them at [input] — the rendering is canonical per (program, input)
+    pair, which is exactly the granularity cached simulation results
+    need. The rendering does not include the input's own fields; combine
+    it with a separate input fragment when keying. *)
+
 val validate : t -> unit
 (** Check structural invariants: main exists, callees resolve, fractions
     within bounds, unique ids. Raises [Invalid_argument] on violation. *)

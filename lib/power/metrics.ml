@@ -31,6 +31,87 @@ let ed_improvement_pct ~baseline run =
       ~baseline:(energy_delay baseline)
       ~value:(energy_delay run)
 
+(* Canonical codec for cached runs. Line-based like Plan_io, floats in
+   lossless %h form, so decode (encode r) = r bit for bit — the property
+   the result cache's byte-identical-tables contract rests on. *)
+let encode run =
+  let floats arr =
+    String.concat "," (Array.to_list (Array.map (Printf.sprintf "%h") arr))
+  in
+  Printf.sprintf
+    "run 1\n\
+     runtime_ps %d\n\
+     energy_pj %h\n\
+     per_domain %s\n\
+     instructions %d\n\
+     cycles_front %d\n\
+     sync_crossings %d\n\
+     sync_penalties %d\n\
+     reconfigurations %d\n\
+     instr_points %d\n\
+     instr_overhead_ps %d\n\
+     end\n"
+    run.runtime_ps run.energy_pj (floats run.per_domain_pj) run.instructions
+    run.cycles_front run.sync_crossings run.sync_penalties
+    run.reconfigurations run.instr_points run.instr_overhead_ps
+
+let decode s =
+  let ( let* ) = Result.bind in
+  let lines = String.split_on_char '\n' s in
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  let field name conv line =
+    match String.index_opt line ' ' with
+    | Some i when String.sub line 0 i = name -> (
+        let v = String.sub line (i + 1) (String.length line - i - 1) in
+        match conv v with
+        | Some v -> Result.Ok v
+        | None -> Result.Error (Printf.sprintf "bad %s value %S" name v))
+    | _ -> Result.Error (Printf.sprintf "expected %S line, got %S" name line)
+  in
+  let int = int_of_string_opt in
+  let float = float_of_string_opt in
+  let floats v =
+    let parts = String.split_on_char ',' v in
+    let parsed = List.filter_map float_of_string_opt parts in
+    if List.length parsed = List.length parts then
+      Some (Array.of_list parsed)
+    else None
+  in
+  match lines with
+  | [ header; l1; l2; l3; l4; l5; l6; l7; l8; l9; l10; trailer ] ->
+      if header <> "run 1" then
+        Result.Error (Printf.sprintf "bad run header %S" header)
+      else if trailer <> "end" then
+        Result.Error "missing end-of-run marker (truncated?)"
+      else
+        let* runtime_ps = field "runtime_ps" int l1 in
+        let* energy_pj = field "energy_pj" float l2 in
+        let* per_domain_pj = field "per_domain" floats l3 in
+        let* instructions = field "instructions" int l4 in
+        let* cycles_front = field "cycles_front" int l5 in
+        let* sync_crossings = field "sync_crossings" int l6 in
+        let* sync_penalties = field "sync_penalties" int l7 in
+        let* reconfigurations = field "reconfigurations" int l8 in
+        let* instr_points = field "instr_points" int l9 in
+        let* instr_overhead_ps = field "instr_overhead_ps" int l10 in
+        Result.Ok
+          {
+            runtime_ps;
+            energy_pj;
+            per_domain_pj;
+            instructions;
+            cycles_front;
+            sync_crossings;
+            sync_penalties;
+            reconfigurations;
+            instr_points;
+            instr_overhead_ps;
+          }
+  | _ -> Result.Error (Printf.sprintf "run payload has %d lines, expected 12"
+                         (List.length lines))
+
 let pp fmt run =
   Format.fprintf fmt
     "@[<v>runtime=%a energy=%.1f nJ insts=%d ipc=%.2f sync=%d/%d reconf=%d@]"

@@ -32,4 +32,13 @@ val energy_savings_pct : baseline:run -> run -> float
 val ed_improvement_pct : baseline:run -> run -> float
 (** Positive when energy x delay improved over the baseline. *)
 
+val encode : run -> string
+(** Canonical text rendering for the result cache: one line per field in
+    a fixed order, floats in lossless [%h] form, [end] trailer. [decode]
+    inverts it bit for bit. *)
+
+val decode : string -> (run, string) result
+(** Parse an {!encode} payload. Malformed or truncated input yields
+    [Error reason]; never raises. *)
+
 val pp : Format.formatter -> run -> unit

@@ -19,9 +19,10 @@ type t =
   | Bad_histogram_shape of { node : int; expected_bins : int; found_bins : int }
   | Bad_slowdown of { value : float }
   | Runtime_fault of { where : string; detail : string }
+  | Cache_corrupt of { path : string; reason : string }
 
 let class_ = function
-  | Io_error _ -> `Io
+  | Io_error _ | Cache_corrupt _ -> `Io
   | Empty_file _ | Bad_header _ | Malformed_line _ | Missing_fingerprint _
   | Missing_header_field _
   | Truncated_file _ | Fingerprint_mismatch _ | Tree_shape_drift _
@@ -75,6 +76,8 @@ let to_string = function
       Printf.sprintf "bad slowdown tolerance %h" value
   | Runtime_fault { where; detail } ->
       Printf.sprintf "%s: runtime fault: %s" where detail
+  | Cache_corrupt { path; reason } ->
+      Printf.sprintf "%s: corrupt cache object (%s); recomputing" path reason
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 

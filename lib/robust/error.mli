@@ -50,6 +50,9 @@ type t =
   | Runtime_fault of { where : string; detail : string }
       (** a run-time watchdog observation: a domain that ignores
           reconfiguration writes, a slew that never completes, ... *)
+  | Cache_corrupt of { path : string; reason : string }
+      (** a result-cache object failed to parse (truncated, damaged, or
+          a digest collision); the store falls back to recompute *)
 
 val class_ : t -> [ `Io | `Validation ]
 

@@ -57,6 +57,72 @@ let test_global_dvs_targets_runtime () =
   Alcotest.(check bool) "within target" true
     (run.Metrics.runtime_ps <= target)
 
+(* Regression for the global-DVS frequency walk: the old loop stepped
+   upward from the estimate until the target was met but never walked
+   back down, so an overshooting first estimate (mcf's low IPC inflates
+   cycles/instruction at full speed) returned a faster frequency than
+   needed. The contract is the *slowest* step that still meets the
+   target. *)
+let test_global_dvs_picks_slowest_meeting () =
+  let mcf = Suite.by_name "mcf" in
+  let at_500 = Runner.single_clock mcf ~mhz:500 in
+  let target = at_500.Metrics.runtime_ps in
+  let run, mhz = Runner.global_dvs_run mcf ~target_runtime_ps:target in
+  Alcotest.(check int) "slowest meeting step" 500 mhz;
+  Alcotest.(check bool) "meets target" true (run.Metrics.runtime_ps <= target);
+  let below = Runner.single_clock mcf ~mhz:(mhz - Freq.step_mhz) in
+  Alcotest.(check bool) "next step down misses" true
+    (below.Metrics.runtime_ps > target)
+
+(* A plan saved from plan_for must load back warning-free under either
+   training selector: load_plan shares plan_for's window/tree
+   derivation, so fingerprints and node ids line up exactly. *)
+let test_load_plan_roundtrip_both_trains () =
+  let module Plan_io = Mcd_core.Plan_io in
+  List.iter
+    (fun train ->
+      let plan = Runner.plan_for (w ()) ~context:Context.lf ~train in
+      let path = Filename.temp_file "mcd-plan" ".plan" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Plan_io.save plan ~path;
+          match Runner.load_plan ~train (w ()) ~context:Context.lf ~path with
+          | Error errs ->
+              Alcotest.failf "load_plan rejected its own save: %s"
+                (String.concat "; "
+                   (List.map Mcd_robust.Error.to_string errs))
+          | Ok loaded ->
+              Alcotest.(check int) "no warnings" 0
+                (List.length loaded.Plan_io.warnings);
+              Alcotest.(check string) "plan round-trips byte-identically"
+                (Plan_io.to_string plan)
+                (Plan_io.to_string loaded.Plan_io.plan)))
+    [ `Train; `Reference ]
+
+(* The array-based sweep transpose must agree bit-for-bit with the
+   per-column averages it replaced: a two-workload curve is exactly the
+   point-wise mean of the two single-workload curves. *)
+let test_sweep_transpose_matches_columns () =
+  let w1 = Suite.by_name "adpcm decode" in
+  let w2 = Suite.by_name "adpcm encode" in
+  let deltas = [ 2.0; 14.0 ] in
+  let combined = Sweep.profile_curve ~workloads:[ w1; w2 ] ~deltas () in
+  let c1 = Sweep.profile_curve ~workloads:[ w1 ] ~deltas () in
+  let c2 = Sweep.profile_curve ~workloads:[ w2 ] ~deltas () in
+  Alcotest.(check int) "point count" (List.length deltas)
+    (List.length combined);
+  List.iteri
+    (fun i p ->
+      let p1 = List.nth c1 i and p2 = List.nth c2 i in
+      let mean f = Mcd_util.Stats.mean [ f p1; f p2 ] in
+      Alcotest.(check (float 0.0)) "slowdown" (mean (fun p -> p.Sweep.slowdown))
+        p.Sweep.slowdown;
+      Alcotest.(check (float 0.0)) "savings" (mean (fun p -> p.Sweep.savings))
+        p.Sweep.savings;
+      Alcotest.(check (float 0.0)) "ed" (mean (fun p -> p.Sweep.ed)) p.Sweep.ed)
+    combined
+
 let test_headline_row_sane () =
   let rows = Headline.rows ~workloads:[ w () ] () in
   match rows with
@@ -206,6 +272,15 @@ let suite =
     ("single clock cached per freq", `Quick, test_single_clock_cached_per_freq);
     ("profile run saves energy", `Slow, test_profile_run_produces_savings);
     ("global dvs targets runtime", `Slow, test_global_dvs_targets_runtime);
+    ( "global dvs picks slowest meeting step",
+      `Slow,
+      test_global_dvs_picks_slowest_meeting );
+    ( "load_plan round-trips both train selectors",
+      `Slow,
+      test_load_plan_roundtrip_both_trains );
+    ( "sweep transpose matches per-column averages",
+      `Slow,
+      test_sweep_transpose_matches_columns );
     ("headline row sane", `Slow, test_headline_row_sane);
     ("context rows and tables", `Slow, test_context_rows_and_tables);
     ("L+F overhead below L+F+C+P", `Slow, test_lf_overhead_below_lfcp);

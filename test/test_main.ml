@@ -14,4 +14,5 @@ let () =
       ("control", Test_control.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
+      ("cache", Test_cache.suite);
     ]

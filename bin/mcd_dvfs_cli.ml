@@ -8,9 +8,14 @@
      mcd-dvfs trace mcf --out dir           traced run + exporters
      mcd-dvfs cache stats                   persistent result cache usage
      mcd-dvfs robustness --seed 7           fault-injection campaign
+     mcd-dvfs serve --socket S              experiment daemon
+     mcd-dvfs submit mcf --socket S         run a benchmark via the daemon
+     mcd-dvfs status --socket S [ID]        job state / server stats
+     mcd-dvfs drain --socket S              graceful daemon shutdown
 
-   Exit codes: 0 success, 1 campaign failure, 2 plan validation error,
-   3 plan I/O error (see Mcd_robust.Error.exit_code). *)
+   Exit codes are documented once, in the top-level EXIT STATUS section
+   ([exits] below): 0 success, 1 campaign failure, 2 validation error,
+   3 I/O error, 4 server overloaded (see Mcd_robust.Error.exit_code). *)
 
 open Cmdliner
 
@@ -24,6 +29,9 @@ module Metrics = Mcd_power.Metrics
 module Table = Mcd_util.Table
 module Error = Mcd_robust.Error
 module Inject = Mcd_robust.Inject
+module Server = Mcd_serve.Server
+module Client = Mcd_serve.Client
+module Sproto = Mcd_serve.Protocol
 
 let workload_arg =
   let parse s =
@@ -63,6 +71,25 @@ let init_cache = function
       Mcd_cache.Store.set_default (Some (Mcd_cache.Store.create ~dir))
   | None -> ignore (Mcd_cache.Store.default ())
 
+(* The single authoritative exit-code table (mirrors
+   Mcd_robust.Error.exit_code). Defined once and threaded through every
+   subcommand's info via [cmd_info], so each man page documents the
+   same codes and none can drift. *)
+let exits =
+  Cmd.Exit.info 0 ~doc:"on success."
+  :: Cmd.Exit.info 1 ~doc:"on a robustness campaign failure."
+  :: Cmd.Exit.info 2
+       ~doc:"on a validation error (rejected plan, malformed request)."
+  :: Cmd.Exit.info 3
+       ~doc:"on an I/O error (plan file, cache directory, server socket)."
+  :: Cmd.Exit.info 4
+       ~doc:
+         "when the server sheds load (overloaded or draining); back off \
+          and retry."
+  :: Cmd.Exit.defaults
+
+let cmd_info ?doc name = Cmd.info ?doc name ~exits
+
 (* --- suite ----------------------------------------------------------- *)
 
 let suite_cmd =
@@ -75,7 +102,7 @@ let suite_cmd =
       Suite.all;
     0
   in
-  Cmd.v (Cmd.info "suite" ~doc:"List the benchmark suite")
+  Cmd.v (cmd_info "suite" ~doc:"List the benchmark suite")
     Term.(const run $ const ())
 
 (* --- run ------------------------------------------------------------- *)
@@ -166,7 +193,7 @@ let run_cmd =
          & info [ "breakdown" ] ~doc:"Print per-domain energy breakdown")
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Simulate a benchmark under a policy")
+    (cmd_info "run" ~doc:"Simulate a benchmark under a policy")
     Term.(const run $ w $ policy $ context $ breakdown $ cache_dir_arg)
 
 (* --- tree ------------------------------------------------------------ *)
@@ -195,7 +222,7 @@ let tree_cmd =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text")
   in
   Cmd.v
-    (Cmd.info "tree" ~doc:"Print a benchmark's annotated call tree")
+    (cmd_info "tree" ~doc:"Print a benchmark's annotated call tree")
     Term.(const run $ w $ context $ reference $ dot)
 
 (* --- plan ------------------------------------------------------------ *)
@@ -256,7 +283,7 @@ let plan_cmd =
              ~doc:"Read a previously saved plan instead of analyzing")
   in
   Cmd.v
-    (Cmd.info "plan" ~doc:"Print a benchmark's reconfiguration plan")
+    (cmd_info "plan" ~doc:"Print a benchmark's reconfiguration plan")
     Term.(const run $ w $ context $ delta $ save $ load $ cache_dir_arg)
 
 (* --- compare ---------------------------------------------------------- *)
@@ -298,7 +325,7 @@ let compare_cmd =
   in
   let w = Arg.(required & pos 0 (some workload_arg) None & info [] ~docv:"BENCHMARK") in
   Cmd.v
-    (Cmd.info "compare" ~doc:"Compare all policies on one benchmark")
+    (cmd_info "compare" ~doc:"Compare all policies on one benchmark")
     Term.(const run $ w $ cache_dir_arg)
 
 (* --- trace ------------------------------------------------------------- *)
@@ -352,7 +379,7 @@ let trace_cmd =
              ~doc:"Front-end cycles between time-series samples")
   in
   Cmd.v
-    (Cmd.info "trace"
+    (cmd_info "trace"
        ~doc:
          "Simulate one benchmark with the observability sink attached and \
           export metrics.jsonl, series.csv and a Chrome trace (trace.json, \
@@ -418,17 +445,17 @@ let cache_cmd =
   in
   let stats_cmd =
     Cmd.v
-      (Cmd.info "stats" ~doc:"Show object count and on-disk size")
+      (cmd_info "stats" ~doc:"Show object count and on-disk size")
       Term.(const stats $ cache_dir_arg)
   in
   let gc_cmd =
     Cmd.v
-      (Cmd.info "gc"
+      (cmd_info "gc"
          ~doc:"Delete oldest cache objects until under a byte budget")
       Term.(const gc $ cache_dir_arg $ max_bytes)
   in
   Cmd.group
-    (Cmd.info "cache" ~doc:"Inspect or prune the persistent result cache")
+    (cmd_info "cache" ~doc:"Inspect or prune the persistent result cache")
     [ stats_cmd; gc_cmd ]
 
 (* --- robustness -------------------------------------------------------- *)
@@ -470,15 +497,210 @@ let robustness_cmd =
     Arg.(value & pos_all workload_arg [] & info [] ~docv:"BENCHMARK")
   in
   Cmd.v
-    (Cmd.info "robustness"
+    (cmd_info "robustness"
        ~doc:
          "Run the fault-injection campaign: every fault class over the \
           benchmark suite, asserting zero crashes and bounded slowdown")
     Term.(const run $ seed $ faults $ workloads)
 
+(* --- serve family ------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/mcd-dvfs.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~env:(Cmd.Env.info "MCD_DVFS_SOCKET")
+        ~doc:"Unix-domain socket the experiment daemon listens on.")
+
+let fail_error e =
+  Format.eprintf "mcd-dvfs: %s@." (Error.to_string e);
+  Error.exit_code e
+
+let serve_cmd =
+  let run socket workers queue_max client_max compute_delay_ms trace_dir
+      cache_dir =
+    init_cache cache_dir;
+    let cfg =
+      {
+        (Server.default_config ~socket) with
+        workers;
+        queue_max;
+        client_max;
+        compute_delay_s = float_of_int compute_delay_ms /. 1000.0;
+        trace_dir;
+      }
+    in
+    Printf.printf "mcd-dvfs serve: listening on %s (%d workers, queue %d)\n%!"
+      socket workers queue_max;
+    match Server.run cfg with
+    | Ok () ->
+        Printf.printf "mcd-dvfs serve: drained, bye\n%!";
+        0
+    | Error e -> fail_error e
+  in
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker domains")
+  in
+  let queue_max =
+    Arg.(value & opt int 64
+         & info [ "queue-max" ] ~docv:"N"
+             ~doc:"Queued jobs admitted before submits are rejected \
+                   $(b,overloaded)")
+  in
+  let client_max =
+    Arg.(value & opt int 16
+         & info [ "client-max" ] ~docv:"N"
+             ~doc:"Queued jobs one client may hold (fairness bound)")
+  in
+  let compute_delay_ms =
+    Arg.(value & opt int 0
+         & info [ "compute-delay-ms" ] ~docv:"MS"
+             ~doc:"Artificial per-job delay (testing aid: makes overload \
+                   and drain timing deterministic)")
+  in
+  let trace_dir =
+    Arg.(value & opt (some string) None
+         & info [ "trace-dir" ] ~docv:"DIR"
+             ~doc:"Export the server's observability sink there on exit")
+  in
+  Cmd.v
+    (cmd_info "serve"
+       ~doc:
+         "Run the experiment daemon: a Unix-socket service with a priority \
+          job queue, request coalescing by cache digest, and backpressure. \
+          Drains gracefully on SIGTERM or $(b,mcd-dvfs drain)")
+    Term.(
+      const run $ socket_arg $ workers $ queue_max $ client_max
+      $ compute_delay_ms $ trace_dir $ cache_dir_arg)
+
+let wire_policy_enum =
+  Arg.enum
+    [
+      ("baseline", Sproto.Baseline);
+      ("offline", Sproto.Offline);
+      ("online", Sproto.Online);
+      ("profile", Sproto.Profile);
+    ]
+
+let priority_enum =
+  Arg.enum
+    [ ("high", Sproto.High); ("normal", Sproto.Normal); ("low", Sproto.Low) ]
+
+let with_client socket f =
+  match Client.connect ~socket with
+  | Error e -> fail_error e
+  | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let submit_cmd =
+  let run w policy context slowdown priority raw socket =
+    with_client socket @@ fun c ->
+    let request =
+      Sproto.request ~policy ~context:context.Context.name
+        ~slowdown_pct:slowdown w.Workload.name
+    in
+    match Client.run ~priority c request with
+    | Error e -> fail_error e
+    | Ok payload -> (
+        if raw then begin
+          print_string payload;
+          0
+        end
+        else
+          match Metrics.decode payload with
+          | Ok m ->
+              Format.printf "%a@." Metrics.pp m;
+              0
+          | Error reason ->
+              Format.eprintf "mcd-dvfs: undecodable payload: %s@." reason;
+              3)
+  in
+  let w = Arg.(required & pos 0 (some workload_arg) None & info [] ~docv:"BENCHMARK") in
+  let policy =
+    Arg.(value & opt wire_policy_enum Sproto.Profile
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"baseline | offline | online | profile")
+  in
+  let context =
+    Arg.(value & opt context_arg Context.lf
+         & info [ "context" ] ~docv:"CTX" ~doc:"Calling-context definition")
+  in
+  let slowdown =
+    Arg.(value & opt float Runner.default_slowdown_pct
+         & info [ "slowdown" ] ~docv:"PCT" ~doc:"Tolerated slowdown")
+  in
+  let priority =
+    Arg.(value & opt priority_enum Sproto.Normal
+         & info [ "priority" ] ~docv:"PRI" ~doc:"high | normal | low")
+  in
+  let raw =
+    Arg.(value & flag
+         & info [ "raw" ]
+             ~doc:"Print the raw cached payload bytes instead of the \
+                   decoded summary")
+  in
+  Cmd.v
+    (cmd_info "submit"
+       ~doc:
+         "Submit a benchmark run to the daemon, wait, and print the result. \
+          Identical concurrent requests coalesce server-side; results are \
+          byte-identical to a one-shot $(b,mcd-dvfs run)")
+    Term.(
+      const run $ w $ policy $ context $ slowdown $ priority $ raw
+      $ socket_arg)
+
+let status_cmd =
+  let run id socket =
+    with_client socket @@ fun c ->
+    match id with
+    | Some id -> (
+        match Client.status c id with
+        | Error e -> fail_error e
+        | Ok state ->
+            (match state with
+            | Sproto.Failed message ->
+                Printf.printf "job %d: failed: %s\n" id message
+            | state ->
+                Printf.printf "job %d: %s\n" id (Sproto.state_name state));
+            0)
+    | None -> (
+        match Client.stats c with
+        | Error e -> fail_error e
+        | Ok body ->
+            print_string body;
+            0)
+  in
+  let id =
+    Arg.(value & pos 0 (some int) None & info [] ~docv:"JOB"
+         ~doc:"Job id from $(b,submit); omit for server-wide stats")
+  in
+  Cmd.v
+    (cmd_info "status"
+       ~doc:
+         "Query the daemon: a job's state, or (with no job id) the \
+          server's metrics registry as JSON lines")
+    Term.(const run $ id $ socket_arg)
+
+let drain_cmd =
+  let run socket =
+    with_client socket @@ fun c ->
+    match Client.drain c with
+    | Error e -> fail_error e
+    | Ok () ->
+        Printf.printf "draining: admission closed, in-flight jobs completing\n";
+        0
+  in
+  Cmd.v
+    (cmd_info "drain"
+       ~doc:
+         "Ask the daemon to stop admitting work, finish in-flight jobs, \
+          and exit")
+    Term.(const run $ socket_arg)
+
 let () =
   let info =
-    Cmd.info "mcd-dvfs"
+    cmd_info "mcd-dvfs"
       ~doc:"Profile-based DVFS for a multiple clock domain microprocessor"
   in
   exit
@@ -493,4 +715,8 @@ let () =
             trace_cmd;
             cache_cmd;
             robustness_cmd;
+            serve_cmd;
+            submit_cmd;
+            status_cmd;
+            drain_cmd;
           ]))

@@ -107,6 +107,11 @@ let config_fragment (c : Config.t) =
         ] );
   ]
 
+let float_param = Printf.sprintf "%h"
+
+let policy_fragment ~name ~params =
+  [ ("policy", String.concat ":" (name :: params)) ]
+
 let freq_fragment () =
   [
     ( "freq",

@@ -52,3 +52,14 @@ val config_fragment : Mcd_cpu.Config.t -> (string * string) list
 val freq_fragment : unit -> (string * string) list
 (** The frequency/voltage grid (range, step, step count, voltage
     range). *)
+
+val float_param : float -> string
+(** Canonical lossless rendering of a float key parameter ([%h]), the
+    one rendering every key fragment and wire request must share —
+    ["7."] and ["7.0"] digesting differently is how identical requests
+    stop coalescing. *)
+
+val policy_fragment : name:string -> params:string list -> (string * string) list
+(** [[("policy", "name:p1:…:pn")]] — the canonical identity of the
+    reconfiguration policy driving a run, shared by the runner's cache
+    keys and the experiment service's request-coalescing keys. *)

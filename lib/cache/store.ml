@@ -10,6 +10,8 @@ type t = {
   stores : Metrics.counter;
   bytes_read : Metrics.counter;
   bytes_written : Metrics.counter;
+  gc_removed : Metrics.counter;
+  gc_freed_bytes : Metrics.counter;
   (* Metrics counters are plain accumulators; serialize updates so the
      store is safe under Par's multi-domain fan-out. *)
   mutex : Mutex.t;
@@ -35,6 +37,8 @@ let create ~dir =
       stores = Metrics.counter metrics "cache.stores";
       bytes_read = Metrics.counter metrics "cache.bytes_read";
       bytes_written = Metrics.counter metrics "cache.bytes_written";
+      gc_removed = Metrics.counter metrics "cache.gc_removed";
+      gc_freed_bytes = Metrics.counter metrics "cache.gc_freed_bytes";
       mutex = Mutex.create ();
     }
   in
@@ -61,6 +65,8 @@ type stats = {
   stores : int;
   bytes_read : int;
   bytes_written : int;
+  gc_removed : int;
+  gc_freed_bytes : int;
 }
 
 let stats t : stats =
@@ -73,6 +79,8 @@ let stats t : stats =
       stores = Metrics.value t.stores;
       bytes_read = Metrics.value t.bytes_read;
       bytes_written = Metrics.value t.bytes_written;
+      gc_removed = Metrics.value t.gc_removed;
+      gc_freed_bytes = Metrics.value t.gc_freed_bytes;
     }
   in
   Mutex.unlock t.mutex;
@@ -243,6 +251,7 @@ let disk_usage t =
   (!objects, !bytes)
 
 let gc ?(max_bytes = 0) t =
+  let _, total = disk_usage t in
   let entries = ref [] in
   iter_objects t (fun path st ->
       entries := (path, st.Unix.st_mtime, st.Unix.st_size) :: !entries);
@@ -250,7 +259,6 @@ let gc ?(max_bytes = 0) t =
   let by_age =
     List.sort (fun (_, a, _) (_, b, _) -> compare a b) !entries
   in
-  let total = List.fold_left (fun acc (_, _, s) -> acc + s) 0 by_age in
   let excess = total - max_bytes in
   let removed = ref 0 and freed = ref 0 in
   List.iter
@@ -263,6 +271,8 @@ let gc ?(max_bytes = 0) t =
         | exception Sys_error _ -> ()
       end)
     by_age;
+  count_bytes t t.gc_removed !removed;
+  count_bytes t t.gc_freed_bytes !freed;
   (!removed, !freed)
 
 (* --- process-wide default store ---------------------------------------- *)

@@ -30,8 +30,8 @@ val dir : t -> string
 val metrics : t -> Mcd_obs.Metrics.t
 (** The store's counter registry ([cache.hits], [cache.misses],
     [cache.corrupt], [cache.stores], [cache.bytes_read],
-    [cache.bytes_written]) for export alongside other observability
-    metrics. *)
+    [cache.bytes_written], [cache.gc_removed], [cache.gc_freed_bytes])
+    for export alongside other observability metrics. *)
 
 val find : t -> Key.t -> string option
 (** The raw payload stored under the key, if present and intact. *)
@@ -60,6 +60,8 @@ type stats = {
   stores : int;
   bytes_read : int;
   bytes_written : int;
+  gc_removed : int;
+  gc_freed_bytes : int;
 }
 
 val stats : t -> stats
@@ -70,7 +72,10 @@ val disk_usage : t -> int * int
 
 val gc : ?max_bytes:int -> t -> int * int
 (** Delete oldest-modified objects until at most [max_bytes] (default 0,
-    i.e. clear everything) remain; returns [(removed, freed_bytes)]. *)
+    i.e. clear everything) remain — the byte total comes from
+    {!disk_usage}; returns [(removed, freed_bytes)], which is also
+    accumulated into the [cache.gc_removed] / [cache.gc_freed_bytes]
+    session counters. *)
 
 (** {2 Process-wide default store}
 

@@ -123,16 +123,18 @@ let base_parts (w : Workload.t) ~config ~input =
 (* A production run is identified by everything the simulator sees: the
    program (at the reference input), the input itself, the processor
    configuration, the frequency grid, the measurement window, and the
-   policy driving reconfiguration (with all its parameters). *)
-let run_key (w : Workload.t) ~config ~policy =
+   policy driving reconfiguration (with all its parameters). The policy
+   identity is rendered by [Ckey.policy_fragment] so the experiment
+   service derives byte-identical request keys. *)
+let run_key (w : Workload.t) ~config ~policy ~params =
   Ckey.make ~kind:"run"
     ~parts:
       (base_parts w ~config ~input:w.Workload.reference
       @ [
           ("warmup", string_of_int w.Workload.ref_offset);
           ("window", string_of_int w.Workload.ref_window);
-          ("policy", policy);
-        ])
+        ]
+      @ Ckey.policy_fragment ~name:policy ~params)
 
 let plan_key (w : Workload.t) ~context ~train ~slowdown_pct =
   let input, _ = analysis_input w ~train in
@@ -191,7 +193,7 @@ let plan_codec (w : Workload.t) ~context ~train =
 
 let baseline (w : Workload.t) =
   memoize (memo ()) (w.Workload.name ^ "/baseline") @@ fun () ->
-  run_cached ~key:(fun () -> run_key w ~config ~policy:"baseline")
+  run_cached ~key:(fun () -> run_key w ~config ~policy:"baseline" ~params:[])
   @@ fun () ->
   Pipeline.run ~config ~warmup_insts:w.Workload.ref_offset
     ~program:w.Workload.program ~input:w.Workload.reference
@@ -201,7 +203,7 @@ let single_clock (w : Workload.t) ~mhz =
   memoize (memo ()) (Printf.sprintf "%s/single/%d" w.Workload.name mhz)
   @@ fun () ->
   let config = Config.single_clock ~mhz in
-  run_cached ~key:(fun () -> run_key w ~config ~policy:"baseline")
+  run_cached ~key:(fun () -> run_key w ~config ~policy:"baseline" ~params:[])
   @@ fun () ->
   Pipeline.run ~config ~warmup_insts:w.Workload.ref_offset
     ~program:w.Workload.program ~input:w.Workload.reference
@@ -251,14 +253,18 @@ let oracle_analysis (w : Workload.t) =
     ~trace_insts:(w.Workload.ref_offset + w.Workload.ref_window)
     ~config ()
 
+let offline_policy_params slowdown_pct =
+  [
+    Ckey.float_param slowdown_pct;
+    string_of_int Mcd_core.Oracle.default_interval_insts;
+  ]
+
 let offline_run ?(slowdown_pct = default_slowdown_pct) (w : Workload.t) =
   let go () =
     run_cached
       ~key:(fun () ->
-        run_key w ~config
-          ~policy:
-            (Printf.sprintf "offline:%h:%d" slowdown_pct
-               Mcd_core.Oracle.default_interval_insts))
+        run_key w ~config ~policy:"offline"
+          ~params:(offline_policy_params slowdown_pct))
     @@ fun () ->
     let schedule =
       Mcd_core.Oracle.schedule_of (oracle_analysis w) ~slowdown_pct
@@ -332,6 +338,15 @@ let decode_profiled ~plan_of payload =
                     counters = { Editor.reconfig_execs; instr_execs };
                   }))
 
+let profile_policy_params (w : Workload.t) ~context ~train ~slowdown_pct =
+  [
+    context.Context.name;
+    input_tag train;
+    Ckey.float_param slowdown_pct;
+    string_of_int analysis_profile_insts;
+    string_of_int (analysis_trace_insts w ~train);
+  ]
+
 let profile_run ?(slowdown_pct = default_slowdown_pct) (w : Workload.t)
     ~context ~train =
   let plan_of () =
@@ -342,11 +357,8 @@ let profile_run ?(slowdown_pct = default_slowdown_pct) (w : Workload.t)
   let go () =
     disk_cached
       ~key:(fun () ->
-        run_key w ~config
-          ~policy:
-            (Printf.sprintf "profile:%s:%s:%h:%d:%d" context.Context.name
-               (input_tag train) slowdown_pct analysis_profile_insts
-               (analysis_trace_insts w ~train)))
+        run_key w ~config ~policy:"profile"
+          ~params:(profile_policy_params w ~context ~train ~slowdown_pct))
       ~encode:encode_profiled
       ~decode:(decode_profiled ~plan_of)
     @@ fun () -> profile_run_uncached w ~plan:(plan_of ())
@@ -358,10 +370,14 @@ let profile_run ?(slowdown_pct = default_slowdown_pct) (w : Workload.t)
       go
   else go ()
 
-let online_policy (p : Attack_decay.params) =
-  Printf.sprintf "online:%d:%h:%d:%d:%h" p.Attack_decay.interval_cycles
-    p.Attack_decay.attack_threshold p.Attack_decay.attack_step_mhz
-    p.Attack_decay.decay_step_mhz p.Attack_decay.ipc_guard
+let online_policy_params (p : Attack_decay.params) =
+  [
+    string_of_int p.Attack_decay.interval_cycles;
+    Ckey.float_param p.Attack_decay.attack_threshold;
+    string_of_int p.Attack_decay.attack_step_mhz;
+    string_of_int p.Attack_decay.decay_step_mhz;
+    Ckey.float_param p.Attack_decay.ipc_guard;
+  ]
 
 let online_run ?params (w : Workload.t) =
   let effective =
@@ -371,7 +387,9 @@ let online_run ?params (w : Workload.t) =
   in
   let go () =
     run_cached
-      ~key:(fun () -> run_key w ~config ~policy:(online_policy effective))
+      ~key:(fun () ->
+        run_key w ~config ~policy:"online"
+          ~params:(online_policy_params effective))
     @@ fun () ->
     Pipeline.run
       ~controller:(Attack_decay.controller ?params ())
@@ -418,6 +436,33 @@ let observed_run ?(policy = `Profile) ?(context = Context.lf) ~sink
   g "run.sync_penalties" (float_of_int run.Metrics.sync_penalties);
   g "run.reconfigurations" (float_of_int run.Metrics.reconfigurations);
   run
+
+(* --- served requests --------------------------------------------------- *)
+
+(* The experiment service coalesces concurrent identical requests by
+   content-addressed digest, so a request's key must be exactly the key
+   the underlying run is cached under — and parameters a policy does not
+   consume must be normalized away (a baseline run at slowdown 5% and
+   one at 9% are the same computation and must coalesce). *)
+let request_policy (w : Workload.t) ~policy ~context ~slowdown_pct =
+  match policy with
+  | `Baseline -> ("baseline", [])
+  | `Online -> ("online", online_policy_params Attack_decay.default_params)
+  | `Offline -> ("offline", offline_policy_params slowdown_pct)
+  | `Profile ->
+      ( "profile",
+        profile_policy_params w ~context ~train:`Train ~slowdown_pct )
+
+let request_key (w : Workload.t) ~policy ~context ~slowdown_pct =
+  let name, params = request_policy w ~policy ~context ~slowdown_pct in
+  run_key w ~config ~policy:name ~params
+
+let run_request (w : Workload.t) ~policy ~context ~slowdown_pct =
+  match policy with
+  | `Baseline -> baseline w
+  | `Online -> online_run w
+  | `Offline -> offline_run ~slowdown_pct w
+  | `Profile -> (profile_run ~slowdown_pct w ~context ~train:`Train).run
 
 (* The paper's "global" bar: a single-clock processor scaled so that its
    total runtime matches the off-line algorithm's. A first-order 1/f

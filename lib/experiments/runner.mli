@@ -137,6 +137,35 @@ val observed_run :
     empty. The plan/oracle analyses behind [`Profile] and [`Offline]
     still come from the shared caches. *)
 
+(** {2 Served requests}
+
+    The experiment service ({!Mcd_serve}) expresses work as
+    [(workload, policy, context, slowdown)] requests. *)
+
+val request_key :
+  Mcd_workloads.Workload.t ->
+  policy:[ `Baseline | `Offline | `Online | `Profile ] ->
+  context:Mcd_profiling.Context.t ->
+  slowdown_pct:float ->
+  Mcd_cache.Key.t
+(** The content-addressed identity of a served request — {e exactly}
+    the persistent-store key the underlying run is cached under, so
+    serving a request warm reads the same object a one-shot CLI run
+    wrote. Parameters a policy does not consume are normalized away
+    (baseline/online ignore context and slowdown, offline ignores
+    context), so equivalent requests always coalesce. *)
+
+val run_request :
+  Mcd_workloads.Workload.t ->
+  policy:[ `Baseline | `Offline | `Online | `Profile ] ->
+  context:Mcd_profiling.Context.t ->
+  slowdown_pct:float ->
+  Mcd_power.Metrics.run
+(** Dispatch to the matching cached entry point ({!baseline},
+    {!offline_run}, {!online_run}, {!profile_run} at [`Train]); the
+    result is byte-identical (under {!Mcd_power.Metrics.encode}) to the
+    corresponding one-shot call. *)
+
 val global_dvs_run :
   Mcd_workloads.Workload.t -> target_runtime_ps:int -> Mcd_power.Metrics.run * int
 (** Single-clock processor scaled to finish in approximately

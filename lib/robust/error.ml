@@ -20,23 +20,31 @@ type t =
   | Bad_slowdown of { value : float }
   | Runtime_fault of { where : string; detail : string }
   | Cache_corrupt of { path : string; reason : string }
+  | Overloaded of { queue_depth : int; limit : int; retry_after_ms : int }
+  | Draining of { detail : string }
+  | Protocol_violation of { line : string; reason : string }
+  | Server_unavailable of { socket : string; message : string }
 
 let class_ = function
-  | Io_error _ | Cache_corrupt _ -> `Io
+  | Io_error _ | Cache_corrupt _ | Server_unavailable _ -> `Io
+  | Overloaded _ | Draining _ -> `Overload
   | Empty_file _ | Bad_header _ | Malformed_line _ | Missing_fingerprint _
   | Missing_header_field _
   | Truncated_file _ | Fingerprint_mismatch _ | Tree_shape_drift _
   | Illegal_frequency _
   | Bad_setting_arity _ | Bad_histogram_weight _ | Bad_histogram_shape _
-  | Bad_slowdown _ | Runtime_fault _ ->
+  | Bad_slowdown _ | Runtime_fault _ | Protocol_violation _ ->
       `Validation
 
-let exit_code t = match class_ t with `Validation -> 2 | `Io -> 3
+let exit_code t =
+  match class_ t with `Validation -> 2 | `Io -> 3 | `Overload -> 4
 
 let exit_code_of_list = function
   | [] -> 0
   | errors ->
-      if List.exists (fun e -> class_ e = `Io) errors then 3 else 2
+      if List.exists (fun e -> class_ e = `Io) errors then 3
+      else if List.exists (fun e -> class_ e = `Overload) errors then 4
+      else 2
 
 let to_string = function
   | Io_error { path; message } -> Printf.sprintf "%s: I/O error: %s" path message
@@ -78,6 +86,16 @@ let to_string = function
       Printf.sprintf "%s: runtime fault: %s" where detail
   | Cache_corrupt { path; reason } ->
       Printf.sprintf "%s: corrupt cache object (%s); recomputing" path reason
+  | Overloaded { queue_depth; limit; retry_after_ms } ->
+      Printf.sprintf
+        "server overloaded: queue depth %d at limit %d; retry in %d ms"
+        queue_depth limit retry_after_ms
+  | Draining { detail } ->
+      Printf.sprintf "server draining, not admitting new work (%s)" detail
+  | Protocol_violation { line; reason } ->
+      Printf.sprintf "protocol violation in %S: %s" line reason
+  | Server_unavailable { socket; message } ->
+      Printf.sprintf "%s: server unavailable: %s" socket message
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 

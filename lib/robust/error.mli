@@ -3,11 +3,12 @@
     Every failure the robustness subsystem can detect — in plan files,
     in plan values, or in run-time reconfiguration behaviour — is a
     variant here, carrying enough context to render a one-line
-    actionable message. Diagnostics are split into two classes:
-    [`Io] (the artifact could not be read at all) and [`Validation]
-    (the artifact was read but violates an invariant). The CLI maps the
-    classes to distinct exit codes so harnesses can script against
-    them. *)
+    actionable message. Diagnostics are split into three classes:
+    [`Io] (the artifact could not be read at all), [`Validation]
+    (the artifact was read but violates an invariant), and [`Overload]
+    (the experiment service refused work it could have done later —
+    the caller should back off and retry). The CLI maps the classes to
+    distinct exit codes so harnesses can script against them. *)
 
 type t =
   | Io_error of { path : string; message : string }
@@ -53,15 +54,29 @@ type t =
   | Cache_corrupt of { path : string; reason : string }
       (** a result-cache object failed to parse (truncated, damaged, or
           a digest collision); the store falls back to recompute *)
+  | Overloaded of { queue_depth : int; limit : int; retry_after_ms : int }
+      (** the experiment service's admission controller rejected a
+          request: the job queue is at its bound (or the client at its
+          fairness cap); [retry_after_ms] is the server's backoff
+          hint *)
+  | Draining of { detail : string }
+      (** the service is shutting down gracefully and no longer admits
+          new work; in-flight jobs still complete *)
+  | Protocol_violation of { line : string; reason : string }
+      (** a wire-protocol line the peer could not parse or that names
+          an unknown workload/context/job *)
+  | Server_unavailable of { socket : string; message : string }
+      (** the service socket could not be reached *)
 
-val class_ : t -> [ `Io | `Validation ]
+val class_ : t -> [ `Io | `Validation | `Overload ]
 
 val exit_code : t -> int
-(** 2 for [`Validation], 3 for [`Io] — the CLI contract. *)
+(** 2 for [`Validation], 3 for [`Io], 4 for [`Overload] — the CLI
+    contract. *)
 
 val exit_code_of_list : t list -> int
-(** The I/O code dominates: 3 if any error is [`Io], else 2.
-    0 for the empty list. *)
+(** The I/O code dominates: 3 if any error is [`Io], else 4 if any is
+    [`Overload], else 2. 0 for the empty list. *)
 
 val to_string : t -> string
 

@@ -1,0 +1,164 @@
+module Error = Mcd_robust.Error
+
+type t = {
+  socket : string;
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  version : int;
+  workers : int;
+  queue_max : int;
+}
+
+let version t = t.version
+let workers t = t.workers
+let queue_max t = t.queue_max
+
+let transport_error t message =
+  Error.Server_unavailable { socket = t.socket; message }
+
+let ( let* ) = Result.bind
+
+(* --- wire primitives --------------------------------------------------- *)
+
+let read_reply_line socket ic =
+  match input_line ic with
+  | line -> (
+      match Protocol.parse_reply line with
+      | Ok reply -> Ok reply
+      | Result.Error reason -> Result.Error (Error.Protocol_violation { line; reason }))
+  | exception (End_of_file | Sys_error _) ->
+      Result.Error
+        (Error.Server_unavailable
+           { socket; message = "connection closed by server" })
+
+let roundtrip t cmd =
+  match
+    output_string t.oc (Protocol.render_command cmd ^ "\n");
+    flush t.oc
+  with
+  | () -> read_reply_line t.socket t.ic
+  | exception Sys_error _ ->
+      Result.Error (transport_error t "connection closed by server")
+
+(* After a [Payload]/[Stats_payload] header: exactly [bytes] bytes of
+   body, then the ["end"] trailer line. *)
+let read_body t bytes =
+  match
+    let buf = Bytes.create bytes in
+    really_input t.ic buf 0 bytes;
+    (Bytes.unsafe_to_string buf, input_line t.ic)
+  with
+  | body, "end" -> Ok body
+  | _, trailer ->
+      Result.Error
+        (Error.Protocol_violation
+           { line = trailer; reason = "expected payload trailer \"end\"" })
+  | exception (End_of_file | Sys_error _) ->
+      Result.Error (transport_error t "connection closed mid-payload")
+
+let unexpected reply reason =
+  Result.Error
+    (Error.Protocol_violation { line = Protocol.render_reply reply; reason })
+
+(* --- connection lifecycle ---------------------------------------------- *)
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      Result.Error
+        (Error.Server_unavailable { socket; message = Unix.error_message e })
+  | () -> (
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let fail e =
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+        Result.Error e
+      in
+      match read_reply_line socket ic with
+      | Result.Error e -> fail e
+      | Ok (Protocol.Ready { version; workers; queue_max }) ->
+          if version <> Protocol.version then
+            fail
+              (Error.Protocol_violation
+                 {
+                   line = Printf.sprintf "mcd-serve/%d" version;
+                   reason =
+                     Printf.sprintf "unsupported protocol version (want %d)"
+                       Protocol.version;
+                 })
+          else Ok { socket; fd; ic; oc; version; workers; queue_max }
+      | Ok reply -> fail (Result.get_error (unexpected reply "expected greeting")))
+
+let close t =
+  (try
+     output_string t.oc (Protocol.render_command Protocol.Quit ^ "\n");
+     flush t.oc
+   with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+
+(* --- commands ----------------------------------------------------------- *)
+
+let ping t =
+  let* reply = roundtrip t Protocol.Ping in
+  match reply with
+  | Protocol.Pong -> Ok ()
+  | Protocol.Rejected r -> Result.Error (Protocol.error_of_reject r)
+  | reply -> unexpected reply "expected pong"
+
+type ticket = { id : int; digest : string; coalesced : bool }
+
+let submit ?(priority = Protocol.Normal) t request =
+  let* reply = roundtrip t (Protocol.Submit { priority; request }) in
+  match reply with
+  | Protocol.Queued_reply { id; digest; coalesced } ->
+      Ok { id; digest; coalesced }
+  | Protocol.Rejected r -> Result.Error (Protocol.error_of_reject r)
+  | reply -> unexpected reply "expected queued"
+
+let state_of_reply ~verb reply =
+  match reply with
+  | Protocol.Status_reply { state; _ } -> Ok state
+  | Protocol.Rejected r -> Result.Error (Protocol.error_of_reject r)
+  | reply -> unexpected reply (Printf.sprintf "expected status for %s" verb)
+
+let status t id =
+  let* reply = roundtrip t (Protocol.Status id) in
+  state_of_reply ~verb:"status" reply
+
+let wait t id =
+  let* reply = roundtrip t (Protocol.Wait id) in
+  state_of_reply ~verb:"wait" reply
+
+let result t id =
+  let* reply = roundtrip t (Protocol.Result id) in
+  match reply with
+  | Protocol.Payload { bytes; _ } -> read_body t bytes
+  | Protocol.Rejected r -> Result.Error (Protocol.error_of_reject r)
+  | reply -> unexpected reply "expected payload"
+
+let run ?priority t request =
+  let* ticket = submit ?priority t request in
+  let* state = wait t ticket.id in
+  match state with
+  | Protocol.Failed message ->
+      Result.Error
+        (Error.Runtime_fault
+           { where = Printf.sprintf "job %d" ticket.id; detail = message })
+  | Protocol.Done | Protocol.Queued | Protocol.Running -> result t ticket.id
+
+let stats t =
+  let* reply = roundtrip t Protocol.Stats in
+  match reply with
+  | Protocol.Stats_payload { bytes } -> read_body t bytes
+  | Protocol.Rejected r -> Result.Error (Protocol.error_of_reject r)
+  | reply -> unexpected reply "expected stats-payload"
+
+let drain t =
+  let* reply = roundtrip t Protocol.Drain in
+  match reply with
+  | Protocol.Draining_reply -> Ok ()
+  | Protocol.Rejected r -> Result.Error (Protocol.error_of_reject r)
+  | reply -> unexpected reply "expected draining"

@@ -1,0 +1,61 @@
+(** Blocking synchronous client for the experiment daemon.
+
+    One connection, one outstanding command at a time — exactly the
+    shape the CLI subcommands and the smoke harness need. Each call
+    maps a {!Protocol} exchange to a typed result; server-side
+    rejections come back as the corresponding {!Mcd_robust.Error.t}
+    (so [Overloaded] carries its retry-after hint and exits with the
+    overload code), transport failures as [Server_unavailable]. *)
+
+type t
+
+val connect : socket:string -> (t, Mcd_robust.Error.t) result
+(** Connect and consume the greeting. [Server_unavailable] when nothing
+    listens; [Protocol_violation] when the peer speaks something other
+    than protocol version {!Protocol.version}. *)
+
+val close : t -> unit
+(** Sends [quit] (best effort) and closes the connection. *)
+
+val version : t -> int
+val workers : t -> int
+val queue_max : t -> int
+(** Fields of the server's greeting. *)
+
+val ping : t -> (unit, Mcd_robust.Error.t) result
+
+type ticket = { id : int; digest : string; coalesced : bool }
+
+val submit :
+  ?priority:Protocol.priority ->
+  t ->
+  Protocol.request ->
+  (ticket, Mcd_robust.Error.t) result
+(** [priority] defaults to [Normal]. [coalesced] is true when the
+    request attached to an existing job instead of enqueueing. *)
+
+val status : t -> int -> (Protocol.state, Mcd_robust.Error.t) result
+
+val wait : t -> int -> (Protocol.state, Mcd_robust.Error.t) result
+(** Blocks until the job is terminal (the server parks the
+    connection). *)
+
+val result : t -> int -> (string, Mcd_robust.Error.t) result
+(** The job's payload bytes. [Runtime_fault] for a failed job,
+    [Protocol_violation] for an unknown or unfinished one. *)
+
+val run :
+  ?priority:Protocol.priority ->
+  t ->
+  Protocol.request ->
+  (string, Mcd_robust.Error.t) result
+(** [submit] + [wait] + [result]: the one-call request path. *)
+
+val stats : t -> (string, Mcd_robust.Error.t) result
+(** The server's metrics registry as JSON lines
+    ({!Mcd_obs.Export.metrics_jsonl}), including the mirrored
+    [store.*] gauges. *)
+
+val drain : t -> (unit, Mcd_robust.Error.t) result
+(** Ask the server to stop admitting, finish in-flight work, and
+    exit. *)

@@ -1,0 +1,57 @@
+type 'a t = {
+  queues : (string * 'a) Queue.t array;
+  pending : (string, int) Hashtbl.t;
+  queue_max : int;
+  client_max : int;
+  mutable length : int;
+}
+
+let create ?(levels = 3) ~queue_max ~client_max () =
+  if levels <= 0 then invalid_arg "Jobq.create: levels must be positive";
+  if queue_max <= 0 then invalid_arg "Jobq.create: queue_max must be positive";
+  if client_max <= 0 then invalid_arg "Jobq.create: client_max must be positive";
+  {
+    queues = Array.init levels (fun _ -> Queue.create ());
+    pending = Hashtbl.create 16;
+    queue_max;
+    client_max;
+    length = 0;
+  }
+
+let length t = t.length
+let queue_max t = t.queue_max
+let client_max t = t.client_max
+
+let client_pending t client =
+  Option.value ~default:0 (Hashtbl.find_opt t.pending client)
+
+type rejection = Queue_full of int | Client_full of int
+
+let push t ~level ~client item =
+  if t.length >= t.queue_max then Error (Queue_full t.length)
+  else begin
+    let mine = client_pending t client in
+    if mine >= t.client_max then Error (Client_full mine)
+    else begin
+      let level = max 0 (min level (Array.length t.queues - 1)) in
+      Queue.push (client, item) t.queues.(level);
+      Hashtbl.replace t.pending client (mine + 1);
+      t.length <- t.length + 1;
+      Ok ()
+    end
+  end
+
+let pop t =
+  let rec go i =
+    if i >= Array.length t.queues then None
+    else
+      match Queue.take_opt t.queues.(i) with
+      | None -> go (i + 1)
+      | Some (client, item) ->
+          t.length <- t.length - 1;
+          (match Hashtbl.find_opt t.pending client with
+          | Some n when n > 1 -> Hashtbl.replace t.pending client (n - 1)
+          | _ -> Hashtbl.remove t.pending client);
+          Some item
+  in
+  go 0

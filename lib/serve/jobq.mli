@@ -1,0 +1,41 @@
+(** Bounded multi-level FIFO job queue with per-client fairness.
+
+    The admission-control data structure behind the scheduler: a fixed
+    number of priority levels, FIFO within a level, [pop] always taking
+    the highest non-empty level. Two bounds make it an admission
+    controller rather than a plain queue: a global depth bound
+    ([queue_max]) — backpressure for everyone — and a per-client
+    pending bound ([client_max]) so one chatty client cannot occupy the
+    whole queue and starve the rest.
+
+    Not thread-safe on its own; the scheduler serializes access under
+    its mutex. *)
+
+type 'a t
+
+val create : ?levels:int -> queue_max:int -> client_max:int -> unit -> 'a t
+(** [levels] defaults to 3 (high/normal/low). Raises [Invalid_argument]
+    if [levels <= 0], [queue_max <= 0] or [client_max <= 0]. *)
+
+val length : 'a t -> int
+(** Total queued items across all levels. *)
+
+val queue_max : 'a t -> int
+val client_max : 'a t -> int
+
+val client_pending : 'a t -> string -> int
+(** Queued items owed to the given client. *)
+
+type rejection =
+  | Queue_full of int  (** current depth (= the global bound) *)
+  | Client_full of int  (** the client's pending count (= its bound) *)
+
+val push :
+  'a t -> level:int -> client:string -> 'a -> (unit, rejection) result
+(** [level] is clamped into range. Bounds are checked global-first, so
+    a full queue reports [Queue_full] even to a client also at its own
+    cap. *)
+
+val pop : 'a t -> 'a option
+(** Highest-priority, oldest-first; releases the item's slot in its
+    client's pending count. *)

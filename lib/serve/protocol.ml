@@ -1,0 +1,353 @@
+module Error = Mcd_robust.Error
+
+let version = 1
+
+(* --- token encoding ---------------------------------------------------- *)
+
+(* Tokens are space-separated, messages newline-terminated, so values
+   percent-encode exactly those two characters plus '%' itself — the
+   same escaping Mcd_cache.Key uses for canonical key lines. *)
+let encode_value v =
+  let plain =
+    String.for_all (fun c -> c <> ' ' && c <> '%' && c <> '\n') v
+  in
+  if plain then v
+  else begin
+    let buf = Buffer.create (String.length v + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | ' ' -> Buffer.add_string buf "%20"
+        | '%' -> Buffer.add_string buf "%25"
+        | '\n' -> Buffer.add_string buf "%0a"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+  end
+
+let decode_value v =
+  if not (String.contains v '%') then Ok v
+  else begin
+    let n = String.length v in
+    let buf = Buffer.create n in
+    let rec go i =
+      if i >= n then Ok (Buffer.contents buf)
+      else if v.[i] <> '%' then begin
+        Buffer.add_char buf v.[i];
+        go (i + 1)
+      end
+      else if i + 2 >= n then Error (Printf.sprintf "truncated escape in %S" v)
+      else
+        match String.sub v (i + 1) 2 with
+        | "20" -> Buffer.add_char buf ' '; go (i + 3)
+        | "25" -> Buffer.add_char buf '%'; go (i + 3)
+        | "0a" -> Buffer.add_char buf '\n'; go (i + 3)
+        | esc -> Error (Printf.sprintf "bad escape %%%s in %S" esc v)
+    in
+    go 0
+  end
+
+(* --- request vocabulary ------------------------------------------------ *)
+
+type priority = High | Normal | Low
+
+let priority_name = function High -> "high" | Normal -> "normal" | Low -> "low"
+
+let priority_of_name = function
+  | "high" -> Some High
+  | "normal" -> Some Normal
+  | "low" -> Some Low
+  | _ -> None
+
+let priority_level = function High -> 0 | Normal -> 1 | Low -> 2
+
+type policy = Baseline | Offline | Online | Profile
+
+let policy_name = function
+  | Baseline -> "baseline"
+  | Offline -> "offline"
+  | Online -> "online"
+  | Profile -> "profile"
+
+let policy_of_name = function
+  | "baseline" -> Some Baseline
+  | "offline" -> Some Offline
+  | "online" -> Some Online
+  | "profile" -> Some Profile
+  | _ -> None
+
+type request = {
+  workload : string;
+  policy : policy;
+  context : string;
+  slowdown_pct : float;
+}
+
+let request ?(policy = Profile) ?(context = "L+F") ?(slowdown_pct = 7.0)
+    workload =
+  { workload; policy; context; slowdown_pct }
+
+(* --- messages ---------------------------------------------------------- *)
+
+type command =
+  | Ping
+  | Submit of { priority : priority; request : request }
+  | Status of int
+  | Wait of int
+  | Result of int
+  | Stats
+  | Drain
+  | Quit
+
+type state = Queued | Running | Done | Failed of string
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed _ -> "failed"
+
+type reject =
+  | Overloaded of { queue_depth : int; limit : int; retry_after_ms : int }
+  | Draining
+  | Bad_request of string
+  | Unknown_job of int
+  | Job_failed of { id : int; message : string }
+  | Not_done of int
+
+type reply =
+  | Ready of { version : int; workers : int; queue_max : int }
+  | Pong
+  | Queued_reply of { id : int; digest : string; coalesced : bool }
+  | Status_reply of { id : int; state : state }
+  | Payload of { id : int; bytes : int }
+  | Stats_payload of { bytes : int }
+  | Draining_reply
+  | Rejected of reject
+
+(* --- rendering --------------------------------------------------------- *)
+
+let kv k v = Printf.sprintf "%s=%s" k (encode_value v)
+let kvi k v = Printf.sprintf "%s=%d" k v
+
+let render_command = function
+  | Ping -> "ping"
+  | Submit { priority; request = r } ->
+      String.concat " "
+        [
+          "submit";
+          kv "pri" (priority_name priority);
+          kv "workload" r.workload;
+          kv "policy" (policy_name r.policy);
+          kv "context" r.context;
+          kv "slowdown" (Mcd_cache.Key.float_param r.slowdown_pct);
+        ]
+  | Status id -> "status " ^ kvi "id" id
+  | Wait id -> "wait " ^ kvi "id" id
+  | Result id -> "result " ^ kvi "id" id
+  | Stats -> "stats"
+  | Drain -> "drain"
+  | Quit -> "quit"
+
+let render_reply = function
+  | Ready { version; workers; queue_max } ->
+      Printf.sprintf "mcd-serve/%d ready %s %s" version
+        (kvi "workers" workers)
+        (kvi "queue-max" queue_max)
+  | Pong -> "pong"
+  | Queued_reply { id; digest; coalesced } ->
+      String.concat " "
+        [
+          "queued"; kvi "id" id; kv "digest" digest;
+          kvi "coalesced" (if coalesced then 1 else 0);
+        ]
+  | Status_reply { id; state } -> (
+      let base =
+        String.concat " " [ "status"; kvi "id" id; kv "state" (state_name state) ]
+      in
+      match state with
+      | Failed message -> base ^ " " ^ kv "msg" message
+      | Queued | Running | Done -> base)
+  | Payload { id; bytes } -> String.concat " " [ "payload"; kvi "id" id; kvi "bytes" bytes ]
+  | Stats_payload { bytes } -> "stats-payload " ^ kvi "bytes" bytes
+  | Draining_reply -> "draining"
+  | Rejected reject -> (
+      match reject with
+      | Overloaded { queue_depth; limit; retry_after_ms } ->
+          String.concat " "
+            [
+              "error"; kv "code" "overloaded"; kvi "depth" queue_depth;
+              kvi "limit" limit; kvi "retry-after-ms" retry_after_ms;
+            ]
+      | Draining -> "error code=draining"
+      | Bad_request msg ->
+          String.concat " " [ "error"; kv "code" "bad-request"; kv "msg" msg ]
+      | Unknown_job id ->
+          String.concat " " [ "error"; kv "code" "unknown-job"; kvi "id" id ]
+      | Job_failed { id; message } ->
+          String.concat " "
+            [ "error"; kv "code" "failed"; kvi "id" id; kv "msg" message ]
+      | Not_done id ->
+          String.concat " " [ "error"; kv "code" "not-done"; kvi "id" id ])
+
+(* --- parsing ----------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+(* Tokenize a line into its verb and key=value fields. Unknown keys are
+   ignored (forward compatibility within a protocol version); duplicate
+   keys keep the first occurrence. *)
+let fields tokens =
+  List.filter_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | None -> None
+      | Some i ->
+          Some
+            ( String.sub tok 0 i,
+              String.sub tok (i + 1) (String.length tok - i - 1) ))
+    tokens
+
+let field key fs =
+  match List.assoc_opt key fs with
+  | Some v -> decode_value v
+  | None -> Error (Printf.sprintf "missing %s field" key)
+
+let int_field key fs =
+  let* v = field key fs in
+  match int_of_string_opt v with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "bad %s value %S" key v)
+
+let float_field key fs =
+  let* v = field key fs in
+  match float_of_string_opt v with
+  | Some f when Float.is_finite f -> Ok f
+  | _ -> Error (Printf.sprintf "bad %s value %S" key v)
+
+let split line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+let parse_command line =
+  match split line with
+  | [] -> Error "empty command"
+  | verb :: rest -> (
+      let fs = fields rest in
+      match verb with
+      | "ping" -> Ok Ping
+      | "stats" -> Ok Stats
+      | "drain" -> Ok Drain
+      | "quit" -> Ok Quit
+      | "status" ->
+          let* id = int_field "id" fs in
+          Ok (Status id)
+      | "wait" ->
+          let* id = int_field "id" fs in
+          Ok (Wait id)
+      | "result" ->
+          let* id = int_field "id" fs in
+          Ok (Result id)
+      | "submit" ->
+          let* pri = field "pri" fs in
+          let* priority =
+            match priority_of_name pri with
+            | Some p -> Ok p
+            | None -> Error (Printf.sprintf "unknown priority %S" pri)
+          in
+          let* workload = field "workload" fs in
+          let* pol = field "policy" fs in
+          let* policy =
+            match policy_of_name pol with
+            | Some p -> Ok p
+            | None -> Error (Printf.sprintf "unknown policy %S" pol)
+          in
+          let* context = field "context" fs in
+          let* slowdown_pct = float_field "slowdown" fs in
+          Ok (Submit { priority; request = { workload; policy; context; slowdown_pct } })
+      | verb -> Error (Printf.sprintf "unknown command %S" verb))
+
+let parse_state fs =
+  let* s = field "state" fs in
+  match s with
+  | "queued" -> Ok Queued
+  | "running" -> Ok Running
+  | "done" -> Ok Done
+  | "failed" ->
+      let* msg = field "msg" fs in
+      Ok (Failed msg)
+  | s -> Error (Printf.sprintf "unknown state %S" s)
+
+let parse_reply line =
+  match split line with
+  | [] -> Error "empty reply"
+  | verb :: rest -> (
+      let fs = fields rest in
+      match verb with
+      | "pong" -> Ok Pong
+      | "draining" -> Ok Draining_reply
+      | "queued" ->
+          let* id = int_field "id" fs in
+          let* digest = field "digest" fs in
+          let* coalesced = int_field "coalesced" fs in
+          Ok (Queued_reply { id; digest; coalesced = coalesced <> 0 })
+      | "status" ->
+          let* id = int_field "id" fs in
+          let* state = parse_state fs in
+          Ok (Status_reply { id; state })
+      | "payload" ->
+          let* id = int_field "id" fs in
+          let* bytes = int_field "bytes" fs in
+          Ok (Payload { id; bytes })
+      | "stats-payload" ->
+          let* bytes = int_field "bytes" fs in
+          Ok (Stats_payload { bytes })
+      | "error" -> (
+          let* code = field "code" fs in
+          match code with
+          | "overloaded" ->
+              let* queue_depth = int_field "depth" fs in
+              let* limit = int_field "limit" fs in
+              let* retry_after_ms = int_field "retry-after-ms" fs in
+              Ok (Rejected (Overloaded { queue_depth; limit; retry_after_ms }))
+          | "draining" -> Ok (Rejected Draining)
+          | "bad-request" ->
+              let* msg = field "msg" fs in
+              Ok (Rejected (Bad_request msg))
+          | "unknown-job" ->
+              let* id = int_field "id" fs in
+              Ok (Rejected (Unknown_job id))
+          | "failed" ->
+              let* id = int_field "id" fs in
+              let* message = field "msg" fs in
+              Ok (Rejected (Job_failed { id; message }))
+          | "not-done" ->
+              let* id = int_field "id" fs in
+              Ok (Rejected (Not_done id))
+          | code -> Error (Printf.sprintf "unknown error code %S" code))
+      | verb -> (
+          (* the greeting: "mcd-serve/<v> ready ..." *)
+          match String.split_on_char '/' verb with
+          | [ "mcd-serve"; v ] -> (
+              match (int_of_string_opt v, rest) with
+              | Some version, "ready" :: _ ->
+                  let* workers = int_field "workers" fs in
+                  let* queue_max = int_field "queue-max" fs in
+                  Ok (Ready { version; workers; queue_max })
+              | _ -> Error (Printf.sprintf "malformed greeting %S" line))
+          | _ -> Error (Printf.sprintf "unknown reply %S" verb)))
+
+let error_of_reject = function
+  | Overloaded { queue_depth; limit; retry_after_ms } ->
+      Error.Overloaded { queue_depth; limit; retry_after_ms }
+  | Draining -> Error.Draining { detail = "server shutting down" }
+  | Bad_request msg ->
+      Error.Protocol_violation { line = msg; reason = "rejected by server" }
+  | Unknown_job id ->
+      Error.Protocol_violation
+        { line = Printf.sprintf "id=%d" id; reason = "unknown job" }
+  | Job_failed { id; message } ->
+      Error.Runtime_fault
+        { where = Printf.sprintf "job %d" id; detail = message }
+  | Not_done id ->
+      Error.Protocol_violation
+        { line = Printf.sprintf "id=%d" id; reason = "job not finished" }

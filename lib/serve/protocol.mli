@@ -1,0 +1,107 @@
+(** The mcd-serve wire protocol.
+
+    A versioned line protocol over a Unix-domain stream socket. Both
+    directions speak single-line messages of space-separated tokens: a
+    leading verb, then [key=value] pairs. Values are percent-encoded
+    (space, ['%'], newline), so workload names like ["adpcm decode"]
+    travel as one token. Replies that carry a payload (a run result, a
+    metrics dump) send a header line announcing the byte count, then
+    exactly that many raw bytes, then an ["end\n"] trailer — the same
+    framing discipline as {!Mcd_cache.Store} objects, so truncation is
+    always detectable.
+
+    The grammar (version 1):
+    {v
+    greeting  ::= "mcd-serve/1 ready workers=N queue-max=N"
+    command   ::= "ping" | "stats" | "drain" | "quit"
+                | "submit pri=P workload=W policy=L context=C slowdown=F"
+                | "status id=N" | "wait id=N" | "result id=N"
+    reply     ::= "pong" | "draining"
+                | "queued id=N digest=H coalesced=B"
+                | "status id=N state=S [msg=M]"
+                | "payload id=N bytes=N"   (then payload, then "end\n")
+                | "stats-payload bytes=N"  (then payload, then "end\n")
+                | "error code=E ..."
+    v}
+
+    This module is pure — parsing and rendering only, no I/O — so both
+    endpoints and the test suite share one grammar definition. *)
+
+val version : int
+(** 1. Bump on any incompatible grammar change; the greeting carries it
+    and {!Client.connect} refuses a mismatch. *)
+
+(** {2 Requests} *)
+
+type priority = High | Normal | Low
+
+val priority_name : priority -> string
+val priority_of_name : string -> priority option
+
+val priority_level : priority -> int
+(** 0 for [High] through 2 for [Low] — the job-queue level. *)
+
+type policy = Baseline | Offline | Online | Profile
+
+val policy_name : policy -> string
+val policy_of_name : string -> policy option
+
+type request = {
+  workload : string;  (** Table-2 benchmark name, e.g. ["adpcm decode"] *)
+  policy : policy;
+  context : string;  (** calling-context name, e.g. ["L+F"] *)
+  slowdown_pct : float;
+}
+
+val request :
+  ?policy:policy -> ?context:string -> ?slowdown_pct:float -> string -> request
+(** A request for the named workload; defaults [Profile], ["L+F"], the
+    paper's 7% operating point. *)
+
+(** {2 Messages} *)
+
+type command =
+  | Ping
+  | Submit of { priority : priority; request : request }
+  | Status of int
+  | Wait of int  (** reply is deferred until the job is terminal *)
+  | Result of int
+  | Stats
+  | Drain
+  | Quit
+
+type state = Queued | Running | Done | Failed of string
+
+val state_name : state -> string
+
+type reject =
+  | Overloaded of { queue_depth : int; limit : int; retry_after_ms : int }
+      (** admission control: back off [retry_after_ms] and retry *)
+  | Draining
+  | Bad_request of string
+  | Unknown_job of int
+  | Job_failed of { id : int; message : string }
+  | Not_done of int
+
+type reply =
+  | Ready of { version : int; workers : int; queue_max : int }
+  | Pong
+  | Queued_reply of { id : int; digest : string; coalesced : bool }
+  | Status_reply of { id : int; state : state }
+  | Payload of { id : int; bytes : int }
+  | Stats_payload of { bytes : int }
+  | Draining_reply
+  | Rejected of reject
+
+val render_command : command -> string
+(** Without the trailing newline. *)
+
+val parse_command : string -> (command, string) result
+
+val render_reply : reply -> string
+val parse_reply : string -> (reply, string) result
+
+val error_of_reject : reject -> Mcd_robust.Error.t
+(** The typed diagnostic a rejection maps to — [Overloaded] and
+    [Draining] carry exit code 4, the rest follow the usual
+    validation/runtime classes. *)

@@ -1,0 +1,453 @@
+module Error = Mcd_robust.Error
+module Runner = Mcd_experiments.Runner
+module Metrics = Mcd_obs.Metrics
+
+type config = {
+  socket : string;
+  workers : int;
+  queue_max : int;
+  client_max : int;
+  compute_delay_s : float;
+  trace_dir : string option;
+  drain_grace_s : float;
+  drain_deadline_s : float;
+}
+
+let default_config ~socket =
+  {
+    socket;
+    workers = 2;
+    queue_max = 64;
+    client_max = 16;
+    compute_delay_s = 0.0;
+    trace_dir = None;
+    drain_grace_s = 1.0;
+    drain_deadline_s = 60.0;
+  }
+
+(* --- request resolution ------------------------------------------------ *)
+
+let policy_of_wire = function
+  | Protocol.Baseline -> `Baseline
+  | Protocol.Offline -> `Offline
+  | Protocol.Online -> `Online
+  | Protocol.Profile -> `Profile
+
+let resolve (r : Protocol.request) =
+  match Mcd_workloads.Suite.find_opt r.workload with
+  | None ->
+      Result.Error
+        (Printf.sprintf "unknown workload %S (valid: %s)" r.workload
+           (String.concat ", " Mcd_workloads.Suite.names))
+  | Some w -> (
+      match Mcd_profiling.Context.of_name r.context with
+      | exception Not_found ->
+          Result.Error
+            (Printf.sprintf "unknown context %S (valid: %s)" r.context
+               (String.concat ", "
+                  (List.map
+                     (fun (c : Mcd_profiling.Context.t) -> c.name)
+                     Mcd_profiling.Context.all)))
+      | context ->
+          if not (Float.is_finite r.slowdown_pct) || r.slowdown_pct < 0.0 then
+            Result.Error "slowdown must be a non-negative finite percentage"
+          else Ok (w, policy_of_wire r.policy, context))
+
+let request_digest (r : Protocol.request) =
+  Result.map
+    (fun (w, policy, context) ->
+      Mcd_cache.Key.digest
+        (Runner.request_key w ~policy ~context ~slowdown_pct:r.slowdown_pct))
+    (resolve r)
+
+let compute (r : Protocol.request) =
+  match resolve r with
+  | Result.Error msg -> invalid_arg ("Server.compute: " ^ msg)
+  | Ok (w, policy, context) ->
+      Mcd_power.Metrics.encode
+        (Runner.run_request w ~policy ~context ~slowdown_pct:r.slowdown_pct)
+
+(* --- socket setup ------------------------------------------------------ *)
+
+let io_error socket message = Error.Server_unavailable { socket; message }
+
+(* A socket file can outlive its server (SIGKILL, crash). Probing
+   distinguishes a live server (connect succeeds — refuse to double-bind)
+   from a stale corpse (connect refused — unlink and take over). *)
+let clear_stale_socket path =
+  match Unix.stat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () ->
+          Unix.close fd;
+          Result.Error
+            (io_error path "a server is already listening on this socket")
+      | exception Unix.Unix_error (_, _, _) ->
+          Unix.close fd;
+          (try Sys.remove path with Sys_error _ -> ());
+          Ok ())
+  | _ ->
+      Result.Error (io_error path "path exists and is not a socket")
+  | exception Unix.Unix_error (_, _, _) ->
+      Result.Error (io_error path "cannot stat socket path")
+
+let bind_socket path =
+  match clear_stale_socket path with
+  | Result.Error _ as e -> e
+  | Ok () -> (
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64
+      with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          Unix.close fd;
+          Result.Error (io_error path (Unix.error_message e)))
+
+(* --- connections ------------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  client : string;
+  mutable acc : string;  (** bytes received, not yet parsed into lines *)
+  mutable waits : int list;  (** job ids this client is parked on *)
+}
+
+exception Hung_up
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          raise Hung_up
+  in
+  go 0
+
+let send conn reply = write_all conn.fd (Protocol.render_reply reply ^ "\n")
+
+let send_payload conn reply body =
+  write_all conn.fd (Protocol.render_reply reply ^ "\n" ^ body ^ "end\n")
+
+(* --- the event loop ---------------------------------------------------- *)
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  wake_r : Unix.file_descr;  (** self-pipe: completions poke the loop *)
+  wake_w : Unix.file_descr;
+  sched : Scheduler.t;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  mutable next_client : int;
+  mutable drain_started : float option;
+  mutable idle_since : float option;
+}
+
+let poke fd =
+  (* From a worker domain. The pipe is non-blocking; a full pipe already
+     guarantees a pending wakeup, so EAGAIN is success. *)
+  try ignore (Unix.write_substring fd "!" 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) ->
+    ()
+
+let wire_state : Scheduler.state -> Protocol.state = function
+  | Scheduler.Queued -> Protocol.Queued
+  | Scheduler.Running -> Protocol.Running
+  | Scheduler.Done _ -> Protocol.Done
+  | Scheduler.Failed { message; _ } -> Protocol.Failed message
+
+let status_reply (info : Scheduler.info) =
+  Protocol.Status_reply { id = info.id; state = wire_state info.state }
+
+(* The warm-restart story lives here: the persistent store's session
+   counters are mirrored into the sink registry as [store.*] gauges, so
+   a [stats] export shows whether payloads came from recomputation or
+   from objects a previous server (or a one-shot CLI run) left behind. *)
+let mirror_store_stats t =
+  match Mcd_cache.Store.default () with
+  | None -> ()
+  | Some store ->
+      let s = Mcd_cache.Store.stats store in
+      Scheduler.with_registry t.sched (fun m ->
+          let set name v =
+            Metrics.set (Metrics.gauge m name) (float_of_int v)
+          in
+          set "store.hits" s.hits;
+          set "store.misses" s.misses;
+          set "store.corrupt" s.corrupt;
+          set "store.stores" s.stores;
+          set "store.bytes_read" s.bytes_read;
+          set "store.bytes_written" s.bytes_written;
+          set "store.gc_removed" s.gc_removed;
+          set "store.gc_freed_bytes" s.gc_freed_bytes)
+
+let begin_drain t =
+  if t.drain_started = None then begin
+    t.drain_started <- Some (Unix.gettimeofday ());
+    Scheduler.set_draining t.sched
+  end
+
+let close_conn t conn =
+  Hashtbl.remove t.conns conn.fd;
+  try Unix.close conn.fd with Unix.Unix_error (_, _, _) -> ()
+
+let handle_command t conn ~digest = function
+  | Protocol.Ping -> send conn Protocol.Pong
+  | Protocol.Quit -> raise Hung_up
+  | Protocol.Drain ->
+      begin_drain t;
+      send conn Protocol.Draining_reply
+  | Protocol.Stats ->
+      mirror_store_stats t;
+      let body = Scheduler.export_metrics t.sched in
+      send_payload conn
+        (Protocol.Stats_payload { bytes = String.length body })
+        body
+  | Protocol.Submit { priority; request } -> (
+      match digest request with
+      | Result.Error msg ->
+          send conn (Protocol.Rejected (Protocol.Bad_request msg))
+      | Ok dg -> (
+          match
+            Scheduler.submit t.sched ~client:conn.client ~priority ~digest:dg
+              request
+          with
+          | Scheduler.Accepted info ->
+              send conn
+                (Protocol.Queued_reply
+                   { id = info.id; digest = dg; coalesced = false })
+          | Scheduler.Coalesced info ->
+              send conn
+                (Protocol.Queued_reply
+                   { id = info.id; digest = dg; coalesced = true })
+          | Scheduler.Rejected reject -> send conn (Protocol.Rejected reject)))
+  | Protocol.Status id -> (
+      match Scheduler.find t.sched id with
+      | None -> send conn (Protocol.Rejected (Protocol.Unknown_job id))
+      | Some info -> send conn (status_reply info))
+  | Protocol.Wait id -> (
+      match Scheduler.find t.sched id with
+      | None -> send conn (Protocol.Rejected (Protocol.Unknown_job id))
+      | Some info -> (
+          match info.state with
+          | Scheduler.Done _ | Scheduler.Failed _ -> send conn (status_reply info)
+          | Scheduler.Queued | Scheduler.Running ->
+              conn.waits <- id :: conn.waits))
+  | Protocol.Result id -> (
+      match Scheduler.find t.sched id with
+      | None -> send conn (Protocol.Rejected (Protocol.Unknown_job id))
+      | Some info -> (
+          match info.state with
+          | Scheduler.Done payload ->
+              send_payload conn
+                (Protocol.Payload { id; bytes = String.length payload })
+                payload
+          | Scheduler.Failed { message; _ } ->
+              send conn
+                (Protocol.Rejected (Protocol.Job_failed { id; message }))
+          | Scheduler.Queued | Scheduler.Running ->
+              send conn (Protocol.Rejected (Protocol.Not_done id))))
+
+(* Split complete lines off the connection's accumulator and run them. *)
+let handle_input t conn ~digest chunk =
+  conn.acc <- conn.acc ^ chunk;
+  let rec go () =
+    match String.index_opt conn.acc '\n' with
+    | None -> ()
+    | Some i ->
+        let line = String.sub conn.acc 0 i in
+        conn.acc <-
+          String.sub conn.acc (i + 1) (String.length conn.acc - i - 1);
+        (match Protocol.parse_command line with
+        | Ok cmd -> handle_command t conn ~digest cmd
+        | Result.Error reason ->
+            send conn
+              (Protocol.Rejected
+                 (Protocol.Bad_request
+                    (Printf.sprintf "%s (line %S)" reason line))));
+        go ()
+  in
+  go ()
+
+let answer_parked_waits t =
+  Hashtbl.iter
+    (fun _ conn ->
+      match conn.waits with
+      | [] -> ()
+      | waits ->
+          let still_pending =
+            List.filter
+              (fun id ->
+                match Scheduler.find t.sched id with
+                | None ->
+                    send conn (Protocol.Rejected (Protocol.Unknown_job id));
+                    false
+                | Some info -> (
+                    match info.state with
+                    | Scheduler.Done _ | Scheduler.Failed _ ->
+                        send conn (status_reply info);
+                        false
+                    | Scheduler.Queued | Scheduler.Running -> true))
+              (List.rev waits)
+          in
+          conn.waits <- List.rev still_pending)
+    t.conns
+
+let accept_conn t =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+      let client = Printf.sprintf "c%d" t.next_client in
+      t.next_client <- t.next_client + 1;
+      let conn = { fd; client; acc = ""; waits = [] } in
+      Hashtbl.replace t.conns fd conn;
+      (match
+         write_all fd
+           (Protocol.render_reply
+              (Protocol.Ready
+                 {
+                   version = Protocol.version;
+                   workers = Scheduler.workers t.sched;
+                   queue_max = Scheduler.queue_max t.sched;
+                 })
+           ^ "\n")
+       with
+      | () -> ()
+      | exception Hung_up -> close_conn t conn)
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+let drain_wake_pipe t =
+  let buf = Bytes.create 256 in
+  let rec go () =
+    match Unix.read t.wake_r buf 0 256 with
+    | 256 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  go ()
+
+let no_parked_waits t =
+  Hashtbl.fold (fun _ c acc -> acc && c.waits = []) t.conns true
+
+(* Drain watchdog: [true] once the server should exit. Grace lets a
+   client fetch the result of a job that finished during the drain; the
+   deadline bounds everything. *)
+let drained t =
+  match t.drain_started with
+  | None -> false
+  | Some started ->
+      let now = Unix.gettimeofday () in
+      if now -. started > t.cfg.drain_deadline_s then true
+      else if Scheduler.idle t.sched && no_parked_waits t then begin
+        (match t.idle_since with None -> t.idle_since <- Some now | Some _ -> ());
+        Hashtbl.length t.conns = 0
+        || now -. Option.get t.idle_since > t.cfg.drain_grace_s
+      end
+      else begin
+        t.idle_since <- None;
+        false
+      end
+
+let stop_requested = Atomic.make false
+
+let install_signal_handlers () =
+  let request _ = Atomic.set stop_requested true in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request)
+   with Invalid_argument _ -> ());
+  try Sys.set_signal Sys.sigint (Sys.Signal_handle request)
+  with Invalid_argument _ -> ()
+
+let serve_loop t ~digest =
+  let buf = Bytes.create 4096 in
+  let rec loop () =
+    if Atomic.get stop_requested then begin_drain t;
+    if drained t then ()
+    else begin
+      let fds =
+        t.listen_fd :: t.wake_r
+        :: Hashtbl.fold (fun fd _ acc -> fd :: acc) t.conns []
+      in
+      let readable, _, _ =
+        match Unix.select fds [] [] 0.1 with
+        | r -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      List.iter
+        (fun fd ->
+          if fd = t.listen_fd then accept_conn t
+          else if fd = t.wake_r then drain_wake_pipe t
+          else
+            match Hashtbl.find_opt t.conns fd with
+            | None -> ()
+            | Some conn -> (
+                match Unix.read fd buf 0 (Bytes.length buf) with
+                | 0 -> close_conn t conn
+                | n -> (
+                    match
+                      handle_input t conn ~digest
+                        (Bytes.sub_string buf 0 n)
+                    with
+                    | () -> ()
+                    | exception Hung_up -> close_conn t conn)
+                | exception Unix.Unix_error (_, _, _) -> close_conn t conn))
+        readable;
+      (match answer_parked_waits t with
+      | () -> ()
+      | exception Hung_up ->
+          (* a parked client hung up mid-answer; the per-conn read path
+             will reap it on its next event *)
+          ());
+      loop ()
+    end
+  in
+  loop ()
+
+let run ?(digest = request_digest) ?compute:(compute_fn = compute) cfg =
+  match bind_socket cfg.socket with
+  | Result.Error _ as e -> e
+  | Ok listen_fd ->
+      install_signal_handlers ();
+      Atomic.set stop_requested false;
+      let wake_r, wake_w = Unix.pipe () in
+      Unix.set_nonblock wake_w;
+      let compute_wrapped req =
+        if cfg.compute_delay_s > 0.0 then Unix.sleepf cfg.compute_delay_s;
+        compute_fn req
+      in
+      let sched =
+        Scheduler.create ~workers:cfg.workers ~queue_max:cfg.queue_max
+          ~client_max:cfg.client_max
+          ~on_complete:(fun _ -> poke wake_w)
+          ~compute:compute_wrapped ()
+      in
+      let t =
+        {
+          cfg;
+          listen_fd;
+          wake_r;
+          wake_w;
+          sched;
+          conns = Hashtbl.create 16;
+          next_client = 1;
+          drain_started = None;
+          idle_since = None;
+        }
+      in
+      serve_loop t ~digest;
+      Hashtbl.iter (fun _ conn -> try Unix.close conn.fd with _ -> ()) t.conns;
+      (try Unix.close listen_fd with _ -> ());
+      (try Sys.remove cfg.socket with Sys_error _ -> ());
+      Scheduler.shutdown sched;
+      (try Unix.close wake_r with _ -> ());
+      (try Unix.close wake_w with _ -> ());
+      (match cfg.trace_dir with
+      | None -> ()
+      | Some dir ->
+          mirror_store_stats t;
+          ignore (Mcd_obs.Export.write_dir ~dir (Scheduler.sink sched)));
+      Ok ()

@@ -1,0 +1,77 @@
+(** The experiment daemon: a Unix-domain stream socket speaking
+    {!Protocol} version {!Protocol.version}, fed by a {!Scheduler}.
+
+    One single-threaded [select] event loop owns every socket; worker
+    domains never touch a file descriptor — a completing job pokes the
+    loop through a self-pipe, and the loop answers any connection
+    parked on a [wait] for that job. That split keeps the wire code
+    free of locking entirely: the only shared state is the scheduler,
+    behind its own mutex.
+
+    {b Lifecycle.} [SIGTERM]/[SIGINT] (or a client's [drain] command)
+    close admission: queued and running jobs complete, parked waiters
+    are answered, and the server exits once idle and clients have hung
+    up — after a short grace so a client can still fetch the result of
+    a job that finished during the drain. A deadline watchdog bounds
+    the whole drain ({!config.drain_deadline_s}): like
+    {!Mcd_robust.Degrade}'s fallback, a stuck drain degrades to a
+    prompt exit rather than a hang, because the persistent store
+    already holds every completed payload — a warm restart re-serves
+    the same bytes.
+
+    {b Stale sockets.} A leftover socket file from a killed server is
+    detected by probing it: connection-refused means stale, so it is
+    unlinked and rebound; an answering socket means another server is
+    live, reported as {!Mcd_robust.Error.Server_unavailable}. *)
+
+type config = {
+  socket : string;
+  workers : int;  (** worker domains (default 2) *)
+  queue_max : int;  (** global queued-job bound (default 64) *)
+  client_max : int;  (** per-client queued-job bound (default 16) *)
+  compute_delay_s : float;
+      (** artificial pre-compute sleep, a testing aid that makes
+          overload and drain timing deterministic (default 0) *)
+  trace_dir : string option;
+      (** when set, {!Mcd_obs.Export.write_dir} the sink there on
+          exit *)
+  drain_grace_s : float;
+      (** after the last job finishes, how long to keep answering
+          connected clients before closing (default 1s) *)
+  drain_deadline_s : float;
+      (** hard bound on the whole drain (default 60s) *)
+}
+
+val default_config : socket:string -> config
+
+val resolve :
+  Protocol.request ->
+  ( Mcd_workloads.Workload.t
+    * [ `Baseline | `Offline | `Online | `Profile ]
+    * Mcd_profiling.Context.t,
+    string )
+  result
+(** Validate a wire request against the workload suite and context
+    table. [Error reason] becomes a [Bad_request] rejection. *)
+
+val request_digest : Protocol.request -> (string, string) result
+(** Digest of {!Mcd_experiments.Runner.request_key} for a resolvable
+    request — the coalescing identity, equal to the persistent-store
+    address of the run's payload. *)
+
+val compute : Protocol.request -> string
+(** Run the request via {!Mcd_experiments.Runner.run_request} and
+    return {!Mcd_power.Metrics.encode} of the result — the same bytes
+    a one-shot CLI run caches. Raises on unresolvable requests (the
+    server rejects those before they reach a worker). *)
+
+val run :
+  ?digest:(Protocol.request -> (string, string) result) ->
+  ?compute:(Protocol.request -> string) ->
+  config ->
+  (unit, Mcd_robust.Error.t) result
+(** Bind, serve until drained, clean up (socket unlinked, scheduler
+    shut down, trace exported). [digest] and [compute] default to
+    {!request_digest} and {!compute}; tests override them to inject
+    faults or canned payloads. Returns typed errors for bind/listen
+    failures. *)

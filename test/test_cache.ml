@@ -245,7 +245,14 @@ let test_store_gc () =
   let removed, freed = Store.gc store in
   Alcotest.(check int) "gc removes all" 3 removed;
   Alcotest.(check int) "gc frees all bytes" bytes freed;
-  Alcotest.(check (pair int int)) "store empty" (0, 0) (Store.disk_usage store)
+  Alcotest.(check (pair int int)) "store empty" (0, 0) (Store.disk_usage store);
+  (* the sweep lands in the session counters (and therefore in exports) *)
+  let s = Store.stats store in
+  Alcotest.(check int) "gc_removed counted" removed s.Store.gc_removed;
+  Alcotest.(check int) "gc_freed_bytes counted" freed s.Store.gc_freed_bytes;
+  let m = Store.metrics store in
+  Alcotest.(check int) "cache.gc_removed instrument" removed
+    (Mcd_obs.Metrics.value (Mcd_obs.Metrics.counter m "cache.gc_removed"))
 
 (* --- Runner integration ----------------------------------------------- *)
 

@@ -1,0 +1,88 @@
+(* Documentation guard for the command-line surface: the top-level help
+   must name every subcommand, and the exit-status table — the single
+   authoritative copy — must document every code the tool can return
+   (0 success, 1 campaign failure, 2 validation, 3 I/O, 4 overload). *)
+
+(* Resolve the binary relative to the test executable, not the cwd, so
+   the suite passes under `dune runtest` and when run by hand. *)
+let cli_exe =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) Filename.parent_dir_name)
+    (Filename.concat "bin" "mcd_dvfs_cli.exe")
+
+let run_help args =
+  let cmd =
+    Filename.quote_command cli_exe (args @ [ "--help=plain" ])
+    ^ " 2>/dev/null"
+  in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.failf "%s --help failed" (String.concat " " args));
+  Buffer.contents buf
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let subcommands =
+  [
+    "suite"; "run"; "tree"; "plan"; "compare"; "trace"; "cache"; "robustness";
+    "serve"; "submit"; "status"; "drain";
+  ]
+
+let test_help_names_every_subcommand () =
+  let help = run_help [] in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) ("help mentions " ^ sub) true (contains help sub))
+    subcommands
+
+let test_exit_codes_documented_once () =
+  let help = run_help [] in
+  Alcotest.(check bool) "has EXIT STATUS section" true
+    (contains help "EXIT STATUS");
+  List.iter
+    (fun (code, hint) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "documents exit %d" code)
+        true
+        (contains help (string_of_int code))
+        ;
+      Alcotest.(check bool)
+        (Printf.sprintf "exit %d names its meaning" code)
+        true (contains help hint))
+    [
+      (0, "success");
+      (1, "campaign");
+      (2, "validation");
+      (3, "I/O");
+      (4, "overloaded");
+    ];
+  (* subcommands inherit the same table rather than redefining it: a
+     subcommand's help shows the identical overload wording *)
+  let sub_help = run_help [ "submit" ] in
+  Alcotest.(check bool) "subcommand inherits the table" true
+    (contains sub_help "overloaded")
+
+let test_serve_help_documents_protocol_knobs () =
+  let help = run_help [ "serve" ] in
+  List.iter
+    (fun flag ->
+      Alcotest.(check bool) ("serve documents " ^ flag) true
+        (contains help flag))
+    [ "--workers"; "--queue-max"; "--client-max"; "--socket" ]
+
+let suite =
+  [
+    ("help names every subcommand", `Quick, test_help_names_every_subcommand);
+    ("exit codes documented", `Quick, test_exit_codes_documented_once);
+    ("serve help documents knobs", `Quick, test_serve_help_documents_protocol_knobs);
+  ]

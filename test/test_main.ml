@@ -15,4 +15,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
       ("cache", Test_cache.suite);
+      ("serve", Test_serve.suite);
+      ("cli", Test_cli.suite);
     ]

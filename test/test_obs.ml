@@ -273,6 +273,80 @@ let test_export_chrome_trace_parses () =
             [ "reconfig"; "sync-penalty"; "thread_name" ]
       | _ -> Alcotest.fail "no traceEvents list")
 
+(* Edge inputs: a sink that never saw an event or sample must still
+   export three well-formed documents — the server writes its trace on
+   exit even when it served nothing. *)
+let test_export_empty_sink () =
+  let s = mk_sink () in
+  String.split_on_char '\n' (Export.metrics_jsonl s)
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun line ->
+         match Json.of_string line with
+         | Ok (Json.Obj _) -> ()
+         | _ -> Alcotest.failf "metrics line malformed: %s" line);
+  (match
+     Export.series_csv s |> String.split_on_char '\n'
+     |> List.filter (fun l -> l <> "")
+   with
+  | [ header ] ->
+      Alcotest.(check bool) "header row" true
+        (String.length header > 0 && String.contains header ',')
+  | lines -> Alcotest.failf "expected header only, got %d lines"
+               (List.length lines));
+  match Json.of_string (Export.chrome_trace s) with
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List _) -> ()
+      | _ -> Alcotest.fail "empty trace has no traceEvents list")
+  | Error e -> Alcotest.failf "empty trace does not parse: %s" e
+
+let test_export_one_sample_series () =
+  let s = mk_sink () in
+  Sink.sample s ~t_ps:500 ~cycles:1 ~ipc:0.5
+    ~mhz:[| 1000.0; 1000.0; 1000.0; 1000.0 |]
+    ~volt:[| 1.2; 1.2; 1.2; 1.2 |]
+    ~occ:[| 0.0; 0.0; 0.0; 0.0 |]
+    ~pj:[| 1.0; 1.0; 1.0; 1.0; 0.0 |];
+  match
+    Export.series_csv s |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  with
+  | [ header; row ] ->
+      let cols l = List.length (String.split_on_char ',' l) in
+      Alcotest.(check int) "row matches header" (cols header) (cols row)
+  | lines -> Alcotest.failf "expected header + 1 row, got %d lines"
+               (List.length lines)
+
+let test_export_histogram_arity () =
+  let s = mk_sink () in
+  let m = Sink.metrics s in
+  let h = Metrics.histogram m "serve.latency_ms" ~bins:4 in
+  Metrics.observe h ~bin:3 ~weight:2.5;
+  (* re-registration with a different arity is a programming error, not
+     a silent resize *)
+  (match Metrics.histogram m "serve.latency_ms" ~bins:8 with
+  | (_ : Metrics.histogram) -> Alcotest.fail "bin-count mismatch accepted"
+  | exception Invalid_argument _ -> ());
+  let line =
+    Export.metrics_jsonl s |> String.split_on_char '\n'
+    |> List.find (fun l ->
+           String.length l > 0
+           &&
+           match Json.of_string l with
+           | Ok j -> Json.member "name" j = Some (Json.String "serve.latency_ms")
+           | Error _ -> false)
+  in
+  match Json.of_string line with
+  | Ok j -> (
+      (match Json.member "bins" j with
+      | Some (Json.Int 4) -> ()
+      | _ -> Alcotest.fail "bins field wrong");
+      match Json.member "weights" j with
+      | Some (Json.List ws) ->
+          Alcotest.(check int) "weights arity = bins" 4 (List.length ws)
+      | _ -> Alcotest.fail "no weights list")
+  | Error e -> Alcotest.failf "histogram line does not parse: %s" e
+
 (* --- Integration: traced profile run -------------------------------- *)
 
 let test_traced_profile_run () =
@@ -342,5 +416,8 @@ let suite =
     ("export metrics jsonl", `Quick, test_export_metrics_jsonl_parses);
     ("export csv shape", `Quick, test_export_csv_shape);
     ("export chrome trace", `Quick, test_export_chrome_trace_parses);
+    ("export empty sink", `Quick, test_export_empty_sink);
+    ("export one-sample series", `Quick, test_export_one_sample_series);
+    ("export histogram arity", `Quick, test_export_histogram_arity);
     ("traced profile run", `Slow, test_traced_profile_run);
   ]

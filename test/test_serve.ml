@@ -1,0 +1,387 @@
+(* Tests for the experiment service: wire-protocol round-trips, the
+   bounded priority job queue, and the scheduler's coalescing,
+   backpressure, drain, and failure-isolation behaviour. Socket-level
+   behaviour (forked servers, concurrent clients, SIGTERM drain, warm
+   restart) is covered end to end by tools/serve_smoke.ml under
+   @verify. *)
+
+module Protocol = Mcd_serve.Protocol
+module Jobq = Mcd_serve.Jobq
+module Scheduler = Mcd_serve.Scheduler
+module Error = Mcd_robust.Error
+module Inject = Mcd_robust.Inject
+module Metrics = Mcd_obs.Metrics
+module Rng = Mcd_util.Rng
+module B = Mcd_isa.Build
+module P = Mcd_isa.Program
+module Context = Mcd_profiling.Context
+module Plan = Mcd_core.Plan
+module Analyze = Mcd_core.Analyze
+module Plan_io = Mcd_core.Plan_io
+
+(* --- Protocol --------------------------------------------------------- *)
+
+let all_commands =
+  [
+    Protocol.Ping;
+    Protocol.Submit
+      {
+        priority = Protocol.High;
+        request =
+          Protocol.request ~policy:Protocol.Online ~context:"L+F+C+P"
+            ~slowdown_pct:12.5 "adpcm decode";
+      };
+    Protocol.Submit
+      { priority = Protocol.Low; request = Protocol.request "mcf" };
+    Protocol.Status 7;
+    Protocol.Wait 42;
+    Protocol.Result 1;
+    Protocol.Stats;
+    Protocol.Drain;
+    Protocol.Quit;
+  ]
+
+let test_command_roundtrip () =
+  List.iter
+    (fun cmd ->
+      let line = Protocol.render_command cmd in
+      Alcotest.(check bool) "single line" false (String.contains line '\n');
+      match Protocol.parse_command line with
+      | Ok cmd' -> Alcotest.(check bool) line true (cmd = cmd')
+      | Error e -> Alcotest.failf "%s does not parse back: %s" line e)
+    all_commands
+
+let all_replies =
+  [
+    Protocol.Ready { version = 1; workers = 4; queue_max = 64 };
+    Protocol.Pong;
+    Protocol.Queued_reply
+      { id = 3; digest = "0123456789abcdef0123456789abcdef"; coalesced = true };
+    Protocol.Status_reply { id = 3; state = Protocol.Queued };
+    Protocol.Status_reply { id = 3; state = Protocol.Running };
+    Protocol.Status_reply { id = 3; state = Protocol.Done };
+    Protocol.Status_reply
+      { id = 3; state = Protocol.Failed "oops: 50% of\nplans corrupt" };
+    Protocol.Payload { id = 9; bytes = 12345 };
+    Protocol.Stats_payload { bytes = 0 };
+    Protocol.Draining_reply;
+    Protocol.Rejected
+      (Protocol.Overloaded { queue_depth = 64; limit = 64; retry_after_ms = 250 });
+    Protocol.Rejected Protocol.Draining;
+    Protocol.Rejected (Protocol.Bad_request "unknown workload \"x y\"");
+    Protocol.Rejected (Protocol.Unknown_job 17);
+    Protocol.Rejected (Protocol.Job_failed { id = 2; message = "plan rejected" });
+    Protocol.Rejected (Protocol.Not_done 4);
+  ]
+
+let test_reply_roundtrip () =
+  List.iter
+    (fun reply ->
+      let line = Protocol.render_reply reply in
+      Alcotest.(check bool) "single line" false (String.contains line '\n');
+      match Protocol.parse_reply line with
+      | Ok reply' -> Alcotest.(check bool) line true (reply = reply')
+      | Error e -> Alcotest.failf "%s does not parse back: %s" line e)
+    all_replies
+
+let test_parse_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match Protocol.parse_command line with
+      | Ok _ -> Alcotest.failf "command %S accepted" line
+      | Error _ -> ())
+    [
+      "";
+      "launch";
+      "status";  (* missing id *)
+      "status id=abc";
+      "submit pri=urgent workload=mcf policy=profile context=F slowdown=7.";
+      "submit pri=high workload=mcf policy=psychic context=F slowdown=7.";
+      "submit pri=high workload=mcf policy=profile context=F slowdown=fast";
+      "submit pri=high workload=m%2f policy=profile context=F slowdown=7.";
+      (* bad escape *)
+    ];
+  List.iter
+    (fun line ->
+      match Protocol.parse_reply line with
+      | Ok _ -> Alcotest.failf "reply %S accepted" line
+      | Error _ -> ())
+    [ ""; "status id=1 state=confused"; "error code=mystery"; "mcd-serve/x ready" ]
+
+let test_request_normalization_digests () =
+  (* the digest is the persistent-store key: spellings a policy cannot
+     observe must collapse onto one identity, real differences must
+     not *)
+  let digest req =
+    match Mcd_serve.Server.request_digest req with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "request_digest: %s" e
+  in
+  let base = Protocol.request ~policy:Protocol.Baseline "adpcm decode" in
+  let base' =
+    Protocol.request ~policy:Protocol.Baseline ~context:"F" ~slowdown_pct:1.0
+      "adpcm decode"
+  in
+  Alcotest.(check string) "baseline ignores context+slowdown" (digest base)
+    (digest base');
+  let prof = Protocol.request ~policy:Protocol.Profile "adpcm decode" in
+  let prof_ctx =
+    Protocol.request ~policy:Protocol.Profile ~context:"F" "adpcm decode"
+  in
+  let prof_slow =
+    Protocol.request ~policy:Protocol.Profile ~slowdown_pct:3.0 "adpcm decode"
+  in
+  Alcotest.(check bool) "profile distinguishes context" false
+    (digest prof = digest prof_ctx);
+  Alcotest.(check bool) "profile distinguishes slowdown" false
+    (digest prof = digest prof_slow);
+  Alcotest.(check bool) "policies distinguished" false
+    (digest base = digest prof);
+  match Mcd_serve.Server.request_digest (Protocol.request "no such bench") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown workload digested"
+
+let test_error_of_reject_exit_codes () =
+  let code r = Error.exit_code (Protocol.error_of_reject r) in
+  Alcotest.(check int) "overloaded -> 4" 4
+    (code (Protocol.Overloaded { queue_depth = 1; limit = 1; retry_after_ms = 100 }));
+  Alcotest.(check int) "draining -> 4" 4 (code Protocol.Draining);
+  Alcotest.(check int) "bad request -> 2" 2 (code (Protocol.Bad_request "x"));
+  Alcotest.(check int) "unknown job -> 2" 2 (code (Protocol.Unknown_job 1))
+
+(* --- Jobq ------------------------------------------------------------- *)
+
+let test_jobq_priority_fifo () =
+  let q = Jobq.create ~queue_max:16 ~client_max:16 () in
+  let push level client item =
+    match Jobq.push q ~level ~client item with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "push rejected below the bound"
+  in
+  push 2 "a" "low1";
+  push 1 "a" "norm1";
+  push 0 "a" "high1";
+  push 1 "a" "norm2";
+  push 0 "b" "high2";
+  let order = List.init 5 (fun _ -> Option.get (Jobq.pop q)) in
+  Alcotest.(check (list string)) "levels first, FIFO within"
+    [ "high1"; "high2"; "norm1"; "norm2"; "low1" ]
+    order;
+  Alcotest.(check bool) "drained" true (Jobq.pop q = None)
+
+let test_jobq_bounds () =
+  let q = Jobq.create ~queue_max:3 ~client_max:2 () in
+  let push client item = Jobq.push q ~level:1 ~client item in
+  Alcotest.(check bool) "1 ok" true (push "a" 1 = Ok ());
+  Alcotest.(check bool) "2 ok" true (push "a" 2 = Ok ());
+  (match push "a" 3 with
+  | Error (Jobq.Client_full n) -> Alcotest.(check int) "client pending" 2 n
+  | _ -> Alcotest.fail "third job for one client admitted");
+  Alcotest.(check bool) "other client ok" true (push "b" 3 = Ok ());
+  (match push "c" 4 with
+  | Error (Jobq.Queue_full n) -> Alcotest.(check int) "global depth" 3 n
+  | _ -> Alcotest.fail "job beyond the global bound admitted");
+  (* popping releases both the global slot and the client's slot *)
+  ignore (Jobq.pop q);
+  Alcotest.(check int) "client released" 1 (Jobq.client_pending q "a");
+  Alcotest.(check bool) "slot freed" true (push "a" 5 = Ok ())
+
+let test_jobq_level_clamped () =
+  let q = Jobq.create ~queue_max:4 ~client_max:4 () in
+  ignore (Jobq.push q ~level:(-3) ~client:"a" "early");
+  ignore (Jobq.push q ~level:99 ~client:"a" "late");
+  Alcotest.(check (option string)) "clamped high" (Some "early") (Jobq.pop q);
+  Alcotest.(check (option string)) "clamped low" (Some "late") (Jobq.pop q)
+
+let test_jobq_rejects_bad_bounds () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "Invalid_argument" true
+        (match f () with
+        | (_ : int Jobq.t) -> false
+        | exception Invalid_argument _ -> true))
+    [
+      (fun () -> Jobq.create ~queue_max:0 ~client_max:1 ());
+      (fun () -> Jobq.create ~queue_max:1 ~client_max:0 ());
+      (fun () -> Jobq.create ~levels:0 ~queue_max:1 ~client_max:1 ());
+    ]
+
+(* --- Scheduler -------------------------------------------------------- *)
+
+let digest_of (r : Protocol.request) = r.Protocol.workload
+
+let with_scheduler ?(workers = 1) ?(queue_max = 8) ?(client_max = 8) ~compute f =
+  let s = Scheduler.create ~workers ~queue_max ~client_max ~compute () in
+  Fun.protect ~finally:(fun () -> Scheduler.shutdown s) (fun () -> f s)
+
+let submit s req =
+  Scheduler.submit s ~client:"t" ~priority:Protocol.Normal
+    ~digest:(digest_of req) req
+
+let test_scheduler_runs_and_coalesces () =
+  let computed = Atomic.make 0 in
+  let compute (r : Protocol.request) =
+    Atomic.incr computed;
+    "payload:" ^ r.Protocol.workload
+  in
+  with_scheduler ~workers:2 ~compute @@ fun s ->
+  let a = Protocol.request "a" and b = Protocol.request "b" in
+  let id_a =
+    match submit s a with
+    | Scheduler.Accepted info -> info.Scheduler.id
+    | _ -> Alcotest.fail "first submit not accepted"
+  in
+  (match submit s b with
+  | Scheduler.Accepted _ -> ()
+  | _ -> Alcotest.fail "distinct digest not accepted");
+  (* duplicate of a queued/running/finished job always coalesces *)
+  (match submit s a with
+  | Scheduler.Coalesced info ->
+      Alcotest.(check int) "same job" id_a info.Scheduler.id
+  | _ -> Alcotest.fail "duplicate did not coalesce");
+  (match Scheduler.wait_job ~timeout_s:10.0 s id_a with
+  | Some { Scheduler.state = Scheduler.Done payload; _ } ->
+      Alcotest.(check string) "payload" "payload:a" payload
+  | _ -> Alcotest.fail "job a never finished");
+  Alcotest.(check bool) "drains idle" true (Scheduler.await_idle ~timeout_s:10.0 s);
+  (* late duplicate after completion still coalesces (served warm) *)
+  (match submit s a with
+  | Scheduler.Coalesced info ->
+      Alcotest.(check int) "same finished job" id_a info.Scheduler.id;
+      Alcotest.(check int) "submit count" 3 info.Scheduler.submits
+  | _ -> Alcotest.fail "late duplicate did not coalesce");
+  Alcotest.(check int) "each digest computed once" 2 (Atomic.get computed);
+  Scheduler.with_registry s (fun m ->
+      let v name = Metrics.value (Metrics.counter m name) in
+      Alcotest.(check int) "submitted" 4 (v "serve.submitted");
+      Alcotest.(check int) "coalesced" 2 (v "serve.coalesced");
+      Alcotest.(check int) "completed" 2 (v "serve.completed");
+      Alcotest.(check int) "failed" 0 (v "serve.failed"))
+
+let test_scheduler_backpressure () =
+  (* one worker stuck on a slow job, a depth-2 queue: the burst must be
+     rejected with a typed, hinted Overloaded — and nothing admitted
+     may be lost *)
+  let gate = Atomic.make false in
+  let compute (r : Protocol.request) =
+    while not (Atomic.get gate) do
+      Unix.sleepf 0.002
+    done;
+    r.Protocol.workload
+  in
+  with_scheduler ~workers:1 ~queue_max:2 ~compute @@ fun s ->
+  let accepted = ref [] in
+  let rejected = ref 0 in
+  (* park the first job on the worker before bursting, so the depth-2
+     queue is empty when the burst arrives and the count is exact *)
+  (match submit s (Protocol.request "job0") with
+  | Scheduler.Accepted info -> accepted := [ info.Scheduler.id ]
+  | _ -> Alcotest.fail "first job not accepted");
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Scheduler.queue_depth s > 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.002
+  done;
+  Alcotest.(check int) "worker holds job0" 1 (Scheduler.busy s);
+  for i = 1 to 5 do
+    match submit s (Protocol.request (Printf.sprintf "job%d" i)) with
+    | Scheduler.Accepted info -> accepted := info.Scheduler.id :: !accepted
+    | Scheduler.Rejected (Protocol.Overloaded { retry_after_ms; limit; _ }) ->
+        incr rejected;
+        Alcotest.(check bool) "hint present" true (retry_after_ms >= 100);
+        Alcotest.(check int) "limit reported" 2 limit
+    | _ -> Alcotest.fail "unexpected admission verdict"
+  done;
+  (* worker holds one job; the queue holds two more *)
+  Alcotest.(check int) "admitted" 3 (List.length !accepted);
+  Alcotest.(check int) "shed" 3 !rejected;
+  Atomic.set gate true;
+  List.iter
+    (fun id ->
+      match Scheduler.wait_job ~timeout_s:10.0 s id with
+      | Some { Scheduler.state = Scheduler.Done _; _ } -> ()
+      | _ -> Alcotest.failf "admitted job %d was dropped" id)
+    !accepted
+
+let test_scheduler_drain_rejects () =
+  with_scheduler ~compute:(fun _ -> "x") @@ fun s ->
+  Scheduler.set_draining s;
+  match submit s (Protocol.request "late") with
+  | Scheduler.Rejected Protocol.Draining -> ()
+  | _ -> Alcotest.fail "submit during drain not rejected as Draining"
+
+(* Satellite regression: a worker whose compute raises — here tripping
+   over an Inject-corrupted plan artifact — must fail its own job with
+   the message and backtrace attached, and the pool must keep serving
+   the jobs behind it. *)
+let two_phase_program () =
+  B.program ~name:"twophase" @@ fun b ->
+  B.func b "int_phase"
+    [ B.loop b (P.Const 60) [ B.straight b ~length:40 () ] ];
+  B.func b "fp_phase"
+    [ B.loop b (P.Const 60) [ B.straight b ~length:40 ~frac_fp_alu:0.35 () ] ];
+  B.func b "main"
+    [ B.loop b (P.Const 15) [ B.call b "int_phase"; B.call b "fp_phase" ] ];
+  "main"
+
+let test_scheduler_fault_isolation () =
+  let train = { P.input_name = "t"; scale = 1; divergence = 0.0; seed = 33 } in
+  let plan, _ =
+    Analyze.analyze ~program:(two_phase_program ()) ~train ~context:Context.lf
+      ~threshold_insts:1_500 ~profile_insts:80_000 ~trace_insts:40_000 ()
+  in
+  let path = Filename.temp_file "mcd_serve_test" ".plan" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Plan_io.save plan ~path;
+  let rng = Rng.split (Rng.create 11) ~label:"serve" in
+  Inject.corrupt_file Inject.Truncate ~rng ~path;
+  let compute (r : Protocol.request) =
+    if r.Protocol.workload = "boom" then
+      ignore (Plan_io.load ~path ~tree:plan.Plan.tree : Plan.t);
+    "survived"
+  in
+  with_scheduler ~compute @@ fun s ->
+  let id_boom =
+    match submit s (Protocol.request "boom") with
+    | Scheduler.Accepted info -> info.Scheduler.id
+    | _ -> Alcotest.fail "boom not accepted"
+  in
+  let id_ok =
+    match submit s (Protocol.request "after") with
+    | Scheduler.Accepted info -> info.Scheduler.id
+    | _ -> Alcotest.fail "follow-up not accepted"
+  in
+  (match Scheduler.wait_job ~timeout_s:10.0 s id_boom with
+  | Some { Scheduler.state = Scheduler.Failed { message; backtrace }; _ } ->
+      Alcotest.(check bool) "carries the diagnostic" true (message <> "");
+      Alcotest.(check bool) "carries a backtrace slot" true
+        (String.length backtrace >= 0)
+  | Some { Scheduler.state = Scheduler.Done _; _ } ->
+      Alcotest.fail "corrupted plan load did not fail"
+  | _ -> Alcotest.fail "boom job never turned terminal");
+  (* the queue behind the fault keeps draining *)
+  (match Scheduler.wait_job ~timeout_s:10.0 s id_ok with
+  | Some { Scheduler.state = Scheduler.Done payload; _ } ->
+      Alcotest.(check string) "pool survived" "survived" payload
+  | _ -> Alcotest.fail "job behind the fault was wedged");
+  Scheduler.with_registry s (fun m ->
+      Alcotest.(check int) "failure counted" 1
+        (Metrics.value (Metrics.counter m "serve.failed")))
+
+let suite =
+  [
+    ("protocol command roundtrip", `Quick, test_command_roundtrip);
+    ("protocol reply roundtrip", `Quick, test_reply_roundtrip);
+    ("protocol rejects garbage", `Quick, test_parse_rejects_garbage);
+    ("request digests normalize", `Quick, test_request_normalization_digests);
+    ("reject exit codes", `Quick, test_error_of_reject_exit_codes);
+    ("jobq priority fifo", `Quick, test_jobq_priority_fifo);
+    ("jobq bounds", `Quick, test_jobq_bounds);
+    ("jobq level clamped", `Quick, test_jobq_level_clamped);
+    ("jobq rejects bad bounds", `Quick, test_jobq_rejects_bad_bounds);
+    ("scheduler runs and coalesces", `Quick, test_scheduler_runs_and_coalesces);
+    ("scheduler backpressure", `Quick, test_scheduler_backpressure);
+    ("scheduler drain rejects", `Quick, test_scheduler_drain_rejects);
+    ("scheduler fault isolation", `Quick, test_scheduler_fault_isolation);
+  ]

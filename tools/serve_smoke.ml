@@ -1,0 +1,428 @@
+(* End-to-end smoke test of the experiment daemon for the @verify alias.
+
+   Four phases, all against real forked server processes on Unix
+   sockets under a fresh temp cache:
+
+   1. concurrency + coalescing: 8 forked clients hammer one server
+      with rotated mixes of duplicate and distinct requests; every
+      payload must be byte-identical to the one-shot Runner result
+      computed up front with caching off, equivalent requests must
+      share a digest (normalization), and the server's counters must
+      show every duplicate coalesced onto the 2 distinct computations;
+
+   2. overload: a one-worker server with a tiny queue and a slow canned
+      compute is burst-fed distinct requests; the over-bound ones must
+      come back as typed Overloaded rejections (with a retry-after
+      hint), and every accepted job must still complete — shed, never
+      dropped;
+
+   3. kill mid-run: a server with an artificial compute delay gets
+      SIGTERM while a job is in flight; the drain must finish the job,
+      answer the parked wait, and serve the payload before exiting 0;
+
+   4. warm restart: a fresh server on the same cache must serve the
+      same bytes again, with the mirrored store.hits gauge showing the
+      payload came from disk, not recomputation.
+
+   Exits 0 on success, 1 with a message on the first violation. *)
+
+module Server = Mcd_serve.Server
+module Client = Mcd_serve.Client
+module Protocol = Mcd_serve.Protocol
+module Store = Mcd_cache.Store
+module Runner = Mcd_experiments.Runner
+module Metrics = Mcd_power.Metrics
+module Suite = Mcd_workloads.Suite
+module Context = Mcd_profiling.Context
+module Error = Mcd_robust.Error
+
+let failures = ref 0
+
+let check cond fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if not cond then begin
+        incr failures;
+        Printf.eprintf "serve_smoke: FAIL %s\n%!" msg
+      end)
+    fmt
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Pull one instrument's value out of a metrics_jsonl body. Counters
+   print integers, gauges floats; both parse as float. *)
+let metric_value body name =
+  let needle = Printf.sprintf "\"name\":\"%s\"" name in
+  String.split_on_char '\n' body
+  |> List.find_opt (fun line -> contains line needle)
+  |> Option.map (fun line ->
+         match String.index_opt line ':' with
+         | None -> nan
+         | Some _ -> (
+             let marker = "\"value\":" in
+             let rec find i =
+               if i + String.length marker > String.length line then None
+               else if String.sub line i (String.length marker) = marker then
+                 Some (i + String.length marker)
+             else find (i + 1)
+             in
+             match find 0 with
+             | None -> nan
+             | Some start ->
+                 let stop = ref start in
+                 while
+                   !stop < String.length line
+                   && (match line.[!stop] with
+                      | '0' .. '9' | '.' | '-' | 'e' | '+' -> true
+                      | _ -> false)
+                 do
+                   incr stop
+                 done;
+                 float_of_string (String.sub line start (!stop - start))))
+
+(* --- process helpers --------------------------------------------------- *)
+
+let fork_server ?digest ?compute cfg =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      let code =
+        match Server.run ?digest ?compute cfg with
+        | Ok () -> 0
+        | Error e ->
+            Printf.eprintf "serve_smoke server: %s\n%!" (Error.to_string e);
+            1
+      in
+      exit code
+  | pid -> pid
+
+let wait_for_server socket =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    match Client.connect ~socket with
+    | Ok c ->
+        Client.close c;
+        true
+    | Error _ ->
+        if Unix.gettimeofday () > deadline then false
+        else begin
+          Unix.sleepf 0.05;
+          go ()
+        end
+  in
+  go ()
+
+let reap ~what pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code ->
+      check (code = 0) "%s exited with code %d" what code
+  | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+      check false "%s killed/stopped by signal %d" what s
+
+let drain_and_reap ~what socket pid =
+  (match Client.connect ~socket with
+  | Ok c ->
+      (match Client.drain c with
+      | Ok () -> ()
+      | Error e -> check false "drain %s: %s" what (Error.to_string e));
+      Client.close c
+  | Error e -> check false "connect to drain %s: %s" what (Error.to_string e));
+  reap ~what pid
+
+(* --- the request mix --------------------------------------------------- *)
+
+let workload_name = "adpcm decode"
+
+(* r0/r1 are the two distinct computations; r0' and r1' are equivalent
+   spellings — baseline ignores context and slowdown, online ignores
+   both too — that must normalize onto the same digests. *)
+let r0 = Protocol.request ~policy:Protocol.Baseline workload_name
+let r0' =
+  Protocol.request ~policy:Protocol.Baseline ~context:"F" ~slowdown_pct:3.0
+    workload_name
+let r1 = Protocol.request ~policy:Protocol.Online workload_name
+let r1' =
+  Protocol.request ~policy:Protocol.Online ~slowdown_pct:12.0 workload_name
+
+let rotate n l =
+  let len = List.length l in
+  let n = n mod len in
+  let rec go i acc = function
+    | [] -> List.rev acc
+    | x :: rest -> if i < n then go (i + 1) (x :: acc) rest else (x :: rest) @ List.rev acc
+  in
+  go 0 [] l
+
+(* --- phase 1: concurrency, coalescing, byte-identity ------------------- *)
+
+let client_process socket ~expected_baseline ~expected_online i =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "serve_smoke client %d: FAIL %s\n%!" i msg;
+        exit 1)
+      fmt
+  in
+  let expected_of req =
+    if req == r0 || req == r0' then expected_baseline else expected_online
+  in
+  match Client.connect ~socket with
+  | Error e -> fail "connect: %s" (Error.to_string e)
+  | Ok c ->
+      let requests = rotate i [ r0; r1; r0'; r1' ] in
+      let tickets =
+        List.map
+          (fun req ->
+            match Client.submit c req with
+            | Ok t -> (req, t)
+            | Error e -> fail "submit: %s" (Error.to_string e))
+          requests
+      in
+      (* equivalent spellings must coalesce onto the same job *)
+      let digest_of req =
+        match List.assq_opt req tickets with
+        | Some t -> t.Client.digest
+        | None -> fail "missing ticket"
+      in
+      if digest_of r0 <> digest_of r0' then
+        fail "baseline digests differ: %s vs %s" (digest_of r0) (digest_of r0');
+      if digest_of r1 <> digest_of r1' then
+        fail "online digests differ: %s vs %s" (digest_of r1) (digest_of r1');
+      List.iter
+        (fun (req, (t : Client.ticket)) ->
+          (match Client.wait c t.Client.id with
+          | Ok Protocol.Done -> ()
+          | Ok state -> fail "job %d ended %s" t.Client.id (Protocol.state_name state)
+          | Error e -> fail "wait %d: %s" t.Client.id (Error.to_string e));
+          match Client.result c t.Client.id with
+          | Error e -> fail "result %d: %s" t.Client.id (Error.to_string e)
+          | Ok payload ->
+              if payload <> expected_of req then
+                fail "job %d payload differs from one-shot Runner result"
+                  t.Client.id)
+        tickets;
+      Client.close c;
+      exit 0
+
+let phase_concurrency socket cache_dir ~expected_baseline ~expected_online =
+  let cfg =
+    { (Server.default_config ~socket) with workers = 2; drain_grace_s = 0.2 }
+  in
+  let server = fork_server cfg in
+  check (wait_for_server socket) "phase 1 server never came up";
+  flush stdout;
+  flush stderr;
+  let clients =
+    List.init 8 (fun i ->
+        match Unix.fork () with
+        | 0 -> client_process socket ~expected_baseline ~expected_online i
+        | pid -> pid)
+  in
+  List.iteri (fun i pid -> reap ~what:(Printf.sprintf "client %d" i) pid) clients;
+  (match Client.connect ~socket with
+  | Error e -> check false "stats connect: %s" (Error.to_string e)
+  | Ok c ->
+      (match Client.stats c with
+      | Error e -> check false "stats: %s" (Error.to_string e)
+      | Ok body ->
+          let v name =
+            match metric_value body name with
+            | Some v -> int_of_float v
+            | None ->
+                check false "stats missing %s" name;
+                -1
+          in
+          (* 8 clients x 4 submits = 32, of which only the 2 distinct
+             digests compute; every other submit must have coalesced. *)
+          check (v "serve.submitted" = 32) "submitted=%d, want 32" (v "serve.submitted");
+          check (v "serve.completed" = 2) "completed=%d, want 2" (v "serve.completed");
+          check (v "serve.coalesced" = 30) "coalesced=%d, want 30" (v "serve.coalesced");
+          check (v "serve.rejected" = 0) "rejected=%d, want 0" (v "serve.rejected");
+          check (v "serve.failed" = 0) "failed=%d, want 0" (v "serve.failed");
+          check (v "store.stores" = 2) "store.stores=%d, want 2" (v "store.stores"));
+      Client.close c);
+  drain_and_reap ~what:"phase 1 server" socket server;
+  let objects, _bytes = Store.disk_usage (Store.create ~dir:cache_dir) in
+  check (objects >= 2) "cache holds %d objects after phase 1, want >= 2" objects
+
+(* --- phase 2: overload is shed, never dropped -------------------------- *)
+
+let phase_overload socket =
+  (* Canned compute: slow enough that a burst outruns the one worker
+     and the depth-2 queue deterministically. *)
+  let digest (r : Protocol.request) =
+    Ok (Printf.sprintf "canned-%s" (Mcd_cache.Key.float_param r.slowdown_pct))
+  in
+  let compute (r : Protocol.request) =
+    Unix.sleepf 0.3;
+    Printf.sprintf "payload-%s" (Mcd_cache.Key.float_param r.slowdown_pct)
+  in
+  let cfg =
+    {
+      (Server.default_config ~socket) with
+      workers = 1;
+      queue_max = 2;
+      client_max = 2;
+      drain_grace_s = 0.2;
+    }
+  in
+  let server = fork_server ~digest ~compute cfg in
+  check (wait_for_server socket) "phase 2 server never came up";
+  (match Client.connect ~socket with
+  | Error e -> check false "phase 2 connect: %s" (Error.to_string e)
+  | Ok c ->
+      let requests =
+        List.init 6 (fun i ->
+            Protocol.request ~slowdown_pct:(float_of_int (i + 1)) workload_name)
+      in
+      let accepted = ref [] and overloaded = ref 0 in
+      List.iter
+        (fun req ->
+          match Client.submit c req with
+          | Ok t -> accepted := (req, t) :: !accepted
+          | Error (Error.Overloaded { queue_depth; limit; retry_after_ms }) ->
+              incr overloaded;
+              check (retry_after_ms >= 100)
+                "retry_after_ms=%d, want >= 100" retry_after_ms;
+              check (queue_depth >= 0 && limit > 0)
+                "nonsense overload report depth=%d limit=%d" queue_depth limit
+          | Error e ->
+              check false "burst submit rejected oddly: %s" (Error.to_string e))
+        requests;
+      check (!overloaded >= 1) "no Overloaded rejection in a 6-burst";
+      check (List.length !accepted >= 3)
+        "only %d accepted, want >= 3" (List.length !accepted);
+      (* shed is not dropped: every accepted job still completes *)
+      List.iter
+        (fun ((r : Protocol.request), (t : Client.ticket)) ->
+          match Client.wait c t.Client.id with
+          | Ok Protocol.Done -> (
+              match Client.result c t.Client.id with
+              | Ok payload ->
+                  check
+                    (payload
+                    = Printf.sprintf "payload-%s"
+                        (Mcd_cache.Key.float_param r.slowdown_pct))
+                    "job %d payload mismatch" t.Client.id
+              | Error e ->
+                  check false "result %d: %s" t.Client.id (Error.to_string e))
+          | Ok state ->
+              check false "accepted job %d ended %s" t.Client.id
+                (Protocol.state_name state)
+          | Error e -> check false "wait %d: %s" t.Client.id (Error.to_string e))
+        !accepted;
+      Client.close c);
+  drain_and_reap ~what:"phase 2 server" socket server
+
+(* --- phases 3+4: SIGTERM drain, then warm restart ---------------------- *)
+
+let phase_kill_and_restart socket ~expected_online =
+  (* The artificial delay guarantees the job is still in flight when
+     SIGTERM lands, so the drain path is actually exercised. *)
+  let cfg =
+    {
+      (Server.default_config ~socket) with
+      workers = 1;
+      compute_delay_s = 0.5;
+      drain_grace_s = 5.0;
+    }
+  in
+  let server = fork_server cfg in
+  check (wait_for_server socket) "phase 3 server never came up";
+  (match Client.connect ~socket with
+  | Error e -> check false "phase 3 connect: %s" (Error.to_string e)
+  | Ok c ->
+      (match Client.submit c r1 with
+      | Error e -> check false "phase 3 submit: %s" (Error.to_string e)
+      | Ok t ->
+          Unix.kill server Sys.sigterm;
+          (match Client.wait c t.Client.id with
+          | Ok Protocol.Done -> ()
+          | Ok state ->
+              check false "drained job ended %s" (Protocol.state_name state)
+          | Error e -> check false "wait across drain: %s" (Error.to_string e));
+          (match Client.result c t.Client.id with
+          | Ok payload ->
+              check (payload = expected_online)
+                "payload served across SIGTERM drain differs"
+          | Error e ->
+              check false "result across drain: %s" (Error.to_string e));
+          (* admission is closed while the server drains *)
+          match Client.submit c r0 with
+          | Error (Error.Draining _) -> ()
+          | Error e ->
+              check false "submit during drain: unexpected %s" (Error.to_string e)
+          | Ok _ -> check false "submit during drain was admitted");
+      Client.close c);
+  reap ~what:"phase 3 server (SIGTERM)" server;
+  (* warm restart on the same cache: same bytes, served from disk *)
+  let server = fork_server { (Server.default_config ~socket) with workers = 1; drain_grace_s = 0.2 } in
+  check (wait_for_server socket) "phase 4 server never came up";
+  (match Client.connect ~socket with
+  | Error e -> check false "phase 4 connect: %s" (Error.to_string e)
+  | Ok c ->
+      (match Client.run c r1 with
+      | Ok payload ->
+          check (payload = expected_online) "warm restart served different bytes"
+      | Error e -> check false "phase 4 run: %s" (Error.to_string e));
+      (match Client.stats c with
+      | Ok body ->
+          let hits =
+            Option.value ~default:0.0 (metric_value body "store.hits")
+          in
+          check (hits >= 1.0)
+            "store.hits=%g after warm restart, want >= 1" hits
+      | Error e -> check false "phase 4 stats: %s" (Error.to_string e));
+      Client.close c);
+  drain_and_reap ~what:"phase 4 server" socket server
+
+(* --- main -------------------------------------------------------------- *)
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let tmp =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mcd-serve-smoke.%d" (Unix.getpid ()))
+  in
+  rm_rf tmp;
+  Unix.mkdir tmp 0o755;
+  let socket n = Filename.concat tmp (Printf.sprintf "s%d.sock" n) in
+  let cache_dir = Filename.concat tmp "cache" in
+  Fun.protect ~finally:(fun () -> rm_rf tmp) @@ fun () ->
+  (* One-shot expected payloads, computed with caching off so the
+     comparison is against a genuinely independent computation. *)
+  Store.set_default None;
+  let w = Suite.by_name workload_name in
+  let expected_baseline =
+    Metrics.encode
+      (Runner.run_request w ~policy:`Baseline ~context:Context.lf
+         ~slowdown_pct:Runner.default_slowdown_pct)
+  in
+  let expected_online =
+    Metrics.encode
+      (Runner.run_request w ~policy:`Online ~context:Context.lf
+         ~slowdown_pct:Runner.default_slowdown_pct)
+  in
+  (* Servers (forked below) inherit this default store. *)
+  Store.set_default (Some (Store.create ~dir:cache_dir));
+  phase_concurrency (socket 1) cache_dir ~expected_baseline ~expected_online;
+  phase_overload (socket 2);
+  phase_kill_and_restart (socket 3) ~expected_online;
+  if !failures = 0 then print_endline "serve_smoke: OK"
+  else begin
+    Printf.eprintf "serve_smoke: %d failure(s)\n%!" !failures;
+    exit 1
+  end

@@ -53,12 +53,19 @@ let parse_or_die what s =
 
 (* ---- metrics.jsonl ------------------------------------------------- *)
 
-let check_metrics_jsonl path =
+let default_required_metrics =
+  [
+    "obs.reconfig_writes"; "obs.noop_writes"; "obs.sync_penalties";
+    "obs.samples"; "obs.dropped_events"; "run.reconfigurations";
+  ]
+
+let check_metrics_jsonl ?(required = default_required_metrics)
+    ?(allow_empty = false) path =
   let lines =
     read_file path |> String.split_on_char '\n'
     |> List.filter (fun l -> String.trim l <> "")
   in
-  check (lines <> []) "metrics.jsonl is empty";
+  if not allow_empty then check (lines <> []) "metrics.jsonl is empty";
   let names = Hashtbl.create 64 in
   List.iteri
     (fun i line ->
@@ -85,15 +92,12 @@ let check_metrics_jsonl path =
     lines;
   List.iter
     (fun n -> check (Hashtbl.mem names n) "metrics.jsonl missing %s" n)
-    [
-      "obs.reconfig_writes"; "obs.noop_writes"; "obs.sync_penalties";
-      "obs.samples"; "obs.dropped_events"; "run.reconfigurations";
-    ];
+    required;
   names
 
 (* ---- trace.json ---------------------------------------------------- *)
 
-let check_chrome_trace path ~reconfigurations =
+let check_chrome_trace ?(allow_empty = false) path ~reconfigurations =
   let j = parse_or_die "trace.json" (read_file path) in
   let events =
     match mem "traceEvents" j |> Json.to_list_opt with
@@ -102,7 +106,7 @@ let check_chrome_trace path ~reconfigurations =
         check false "trace.json has no traceEvents list";
         []
   in
-  check (events <> []) "trace.json has no events";
+  if not allow_empty then check (events <> []) "trace.json has no events";
   let non_noop_reconfigs = ref 0 in
   List.iteri
     (fun i ev ->
@@ -159,6 +163,51 @@ let check_series_csv path ~samples =
             "series.csv row %d column count mismatch" (i + 1))
         rows
 
+(* ---- edge inputs --------------------------------------------------- *)
+
+(* The exporters must also hold up on degenerate sinks: a sink that saw
+   nothing (the daemon exporting its trace after serving zero jobs) and
+   a sink with exactly one sample. Both must still produce three files
+   that parse back clean. *)
+let check_edge_exports base =
+  let rm_written dir written =
+    List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) written;
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  let export dir sink =
+    let written = Mcd_obs.Export.write_dir ~dir sink in
+    check (List.length written = 3)
+      "edge export: expected 3 files in %s, got %d" dir (List.length written);
+    written
+  in
+  (* empty sink: no events, no samples *)
+  let dir = Filename.concat base "edge-empty" in
+  let sink = Sink.create ~domains:Mcd_domains.Domain.count () in
+  let written = export dir sink in
+  ignore
+    (check_metrics_jsonl ~required:[] ~allow_empty:true
+       (Filename.concat dir "metrics.jsonl"));
+  check_chrome_trace ~allow_empty:true
+    (Filename.concat dir "trace.json")
+    ~reconfigurations:0;
+  check_series_csv (Filename.concat dir "series.csv") ~samples:0;
+  rm_written dir written;
+  (* one-sample sink: the smallest non-trivial series *)
+  let dir = Filename.concat base "edge-one" in
+  let sink = Sink.create ~domains:Mcd_domains.Domain.count () in
+  let n = Mcd_domains.Domain.count in
+  Sink.sample sink ~t_ps:1_000 ~cycles:1 ~ipc:1.0
+    ~mhz:(Array.make n 1000.0) ~volt:(Array.make n 1.2)
+    ~occ:(Array.make n 0.0)
+    ~pj:(Array.make (n + 1) 1.0);
+  let written = export dir sink in
+  ignore
+    (check_metrics_jsonl ~required:[ "obs.samples" ]
+       (Filename.concat dir "metrics.jsonl"));
+  check_chrome_trace (Filename.concat dir "trace.json") ~reconfigurations:0;
+  check_series_csv (Filename.concat dir "series.csv") ~samples:1;
+  rm_written dir written
+
 (* ---- driver -------------------------------------------------------- *)
 
 let () =
@@ -171,6 +220,7 @@ let () =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "mcd-trace-smoke.%d" (Unix.getpid ()))
   in
+  check_edge_exports dir;
   let domain_names =
     Array.of_list (List.map Mcd_domains.Domain.name Mcd_domains.Domain.all)
   in

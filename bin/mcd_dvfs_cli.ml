@@ -519,20 +519,33 @@ let fail_error e =
 
 let serve_cmd =
   let run socket workers queue_max client_max compute_delay_ms trace_dir
-      cache_dir =
+      no_journal journal_path deadline_ms retry_after_cap_ms cache_dir =
     init_cache cache_dir;
+    let base = Server.default_config ~socket in
+    let journal =
+      if no_journal then None
+      else match journal_path with Some p -> Some p | None -> base.journal
+    in
     let cfg =
       {
-        (Server.default_config ~socket) with
+        base with
         workers;
         queue_max;
         client_max;
         compute_delay_s = float_of_int compute_delay_ms /. 1000.0;
         trace_dir;
+        journal;
+        deadline_s =
+          (if deadline_ms > 0 then Some (float_of_int deadline_ms /. 1000.0)
+           else None);
+        retry_after_cap_ms;
       }
     in
-    Printf.printf "mcd-dvfs serve: listening on %s (%d workers, queue %d)\n%!"
-      socket workers queue_max;
+    Printf.printf "mcd-dvfs serve: listening on %s (%d workers, queue %d%s)\n%!"
+      socket workers queue_max
+      (match cfg.journal with
+      | Some path -> ", journal " ^ path
+      | None -> ", no journal");
     match Server.run cfg with
     | Ok () ->
         Printf.printf "mcd-dvfs serve: drained, bye\n%!";
@@ -565,15 +578,42 @@ let serve_cmd =
          & info [ "trace-dir" ] ~docv:"DIR"
              ~doc:"Export the server's observability sink there on exit")
   in
+  let no_journal =
+    Arg.(value & flag
+         & info [ "no-journal" ]
+             ~doc:"Disable the write-ahead job journal: acknowledged jobs \
+                   are lost across a crash instead of replayed on restart")
+  in
+  let journal_path =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"PATH"
+             ~doc:"Job journal path (default: $(b,serve.journal) in the \
+                   cache directory; no journal when no cache is configured)")
+  in
+  let deadline_ms =
+    Arg.(value & opt int 0
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Per-job compute deadline: a job running past it fails \
+                   typed ($(b,deadline)) and its worker is replaced; 0 \
+                   disables the watchdog")
+  in
+  let retry_after_cap_ms =
+    Arg.(value & opt int 10_000
+         & info [ "retry-after-cap-ms" ] ~docv:"MS"
+             ~doc:"Ceiling on the $(b,overloaded) retry-after hint derived \
+                   from observed job latency")
+  in
   Cmd.v
     (cmd_info "serve"
        ~doc:
          "Run the experiment daemon: a Unix-socket service with a priority \
-          job queue, request coalescing by cache digest, and backpressure. \
-          Drains gracefully on SIGTERM or $(b,mcd-dvfs drain)")
+          job queue, request coalescing by cache digest, backpressure, and \
+          a write-ahead job journal that replays acknowledged jobs across \
+          a crash. Drains gracefully on SIGTERM or $(b,mcd-dvfs drain)")
     Term.(
       const run $ socket_arg $ workers $ queue_max $ client_max
-      $ compute_delay_ms $ trace_dir $ cache_dir_arg)
+      $ compute_delay_ms $ trace_dir $ no_journal $ journal_path
+      $ deadline_ms $ retry_after_cap_ms $ cache_dir_arg)
 
 let wire_policy_enum =
   Arg.enum

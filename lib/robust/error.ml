@@ -24,16 +24,21 @@ type t =
   | Draining of { detail : string }
   | Protocol_violation of { line : string; reason : string }
   | Server_unavailable of { socket : string; message : string }
+  | Unknown_job of { id : int }
+  | Deadline_exceeded of { id : int; deadline_ms : int }
+  | Journal_corrupt of { path : string; reason : string }
 
 let class_ = function
-  | Io_error _ | Cache_corrupt _ | Server_unavailable _ -> `Io
+  | Io_error _ | Cache_corrupt _ | Server_unavailable _ | Journal_corrupt _ ->
+      `Io
   | Overloaded _ | Draining _ -> `Overload
   | Empty_file _ | Bad_header _ | Malformed_line _ | Missing_fingerprint _
   | Missing_header_field _
   | Truncated_file _ | Fingerprint_mismatch _ | Tree_shape_drift _
   | Illegal_frequency _
   | Bad_setting_arity _ | Bad_histogram_weight _ | Bad_histogram_shape _
-  | Bad_slowdown _ | Runtime_fault _ | Protocol_violation _ ->
+  | Bad_slowdown _ | Runtime_fault _ | Protocol_violation _ | Unknown_job _
+  | Deadline_exceeded _ ->
       `Validation
 
 let exit_code t =
@@ -96,6 +101,17 @@ let to_string = function
       Printf.sprintf "protocol violation in %S: %s" line reason
   | Server_unavailable { socket; message } ->
       Printf.sprintf "%s: server unavailable: %s" socket message
+  | Unknown_job { id } ->
+      Printf.sprintf
+        "job %d: unknown to this server (completed before a restart, or never \
+         acknowledged); resubmit to fetch it"
+        id
+  | Deadline_exceeded { id; deadline_ms } ->
+      Printf.sprintf "job %d: deadline exceeded (%d ms); compute abandoned" id
+        deadline_ms
+  | Journal_corrupt { path; reason } ->
+      Printf.sprintf "%s: corrupt journal record (%s); later records dropped"
+        path reason
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 

@@ -67,6 +67,17 @@ type t =
           an unknown workload/context/job *)
   | Server_unavailable of { socket : string; message : string }
       (** the service socket could not be reached *)
+  | Unknown_job of { id : int }
+      (** the server has no job under this id — typically a restarted
+          server whose journal compacted the job away because it
+          completed before the crash; resubmitting by digest returns
+          the cached bytes *)
+  | Deadline_exceeded of { id : int; deadline_ms : int }
+      (** a job's compute outran its per-job deadline; the scheduler
+          failed the job and abandoned the worker's eventual result *)
+  | Journal_corrupt of { path : string; reason : string }
+      (** a job-journal record failed to parse (torn append, bit rot);
+          recovery keeps the good prefix and drops the rest *)
 
 val class_ : t -> [ `Io | `Validation | `Overload ]
 

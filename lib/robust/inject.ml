@@ -12,7 +12,17 @@ type file_fault =
   | Drop_lines
 
 type runtime_fault = Stuck_domain | Lost_writes | Frozen_slew
-type fault = File of file_fault | Runtime of runtime_fault
+
+type serve_fault =
+  | Worker_crash
+  | Torn_journal
+  | Socket_drop
+  | Delayed_completion
+
+type fault =
+  | File of file_fault
+  | Runtime of runtime_fault
+  | Serve of serve_fault
 
 let all =
   [
@@ -26,6 +36,14 @@ let all =
     Runtime Frozen_slew;
   ]
 
+let serve_all =
+  [
+    Serve Worker_crash;
+    Serve Torn_journal;
+    Serve Socket_drop;
+    Serve Delayed_completion;
+  ]
+
 let name = function
   | File Truncate -> "truncate"
   | File Bit_flip -> "bit-flip"
@@ -35,9 +53,13 @@ let name = function
   | Runtime Stuck_domain -> "stuck-domain"
   | Runtime Lost_writes -> "lost-writes"
   | Runtime Frozen_slew -> "frozen-slew"
+  | Serve Worker_crash -> "worker-crash"
+  | Serve Torn_journal -> "torn-journal"
+  | Serve Socket_drop -> "socket-drop"
+  | Serve Delayed_completion -> "delayed-completion"
 
-let names = List.map name all
-let of_name s = List.find_opt (fun f -> name f = s) all
+let names = List.map name (all @ serve_all)
+let of_name s = List.find_opt (fun f -> name f = s) (all @ serve_all)
 
 (* --- artifact corruption --------------------------------------------- *)
 
@@ -181,6 +203,32 @@ let dvfs_faults fault ~rng =
   | Frozen_slew ->
       [ Dvfs.Frozen_slew (Domain.of_index (Rng.int rng Domain.count)) ]
   | Lost_writes -> []
+
+(* --- serve faults ------------------------------------------------------ *)
+
+(* A worker crash is modelled as whole-process death, not an exception:
+   a raising compute would fail the job *terminally* (answered typed,
+   journal record written), whereas a killed process leaves the job
+   incomplete in the journal — exactly the case replay exists for. Exit
+   code 9 mirrors the SIGKILL the chaos harness also delivers. *)
+let crash_compute ?(after_s = 0.0) () _req =
+  if after_s > 0.0 then Unix.sleepf after_s;
+  Unix._exit 9
+
+let delay_compute ~rng ~max_delay_s compute req =
+  Unix.sleepf (Rng.float rng max_delay_s);
+  compute req
+
+(* A crash mid-append leaves a prefix of the record on disk; tearing
+   cuts a random short tail so recovery must classify it as torn (good
+   prefix kept, no typed corruption). *)
+let tear_file ~rng ~path =
+  let original = read_file path in
+  let len = String.length original in
+  if len > 0 then begin
+    let cut = 1 + Rng.int rng (min 80 len) in
+    write_file path (String.sub original 0 (len - cut))
+  end
 
 let lost_write_probability = 0.5
 

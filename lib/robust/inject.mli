@@ -5,12 +5,19 @@
     pin) draws from an {!Mcd_util.Rng} stream, so a campaign run with a
     given seed is bit-reproducible.
 
-    Faults come in two layers. {e Artifact faults} corrupt a saved plan
-    file on disk — what happens when a shipped profile is truncated in
-    transit, bit-rotted, or simply stale. {e Runtime faults} corrupt
-    the machine's reconfiguration behaviour — a domain whose frequency
-    is stuck, register writes that are silently lost, a voltage ramp
-    that never completes. *)
+    Faults come in three layers. {e Artifact faults} corrupt a saved
+    plan file on disk — what happens when a shipped profile is
+    truncated in transit, bit-rotted, or simply stale. {e Runtime
+    faults} corrupt the machine's reconfiguration behaviour — a domain
+    whose frequency is stuck, register writes that are silently lost, a
+    voltage ramp that never completes. {e Serve faults} attack the
+    experiment daemon's crash-safety machinery — a worker that dies
+    mid-compute, a journal append torn by the crash, a socket severed
+    mid-payload, a compute that outruns every deadline. Serve faults
+    are driven against a live server by the chaos harness
+    ([tools/chaos_smoke.ml]) and are deliberately {e not} part of
+    {!all}, so the workload robustness campaign keeps its
+    eight-fault-per-cell semantics. *)
 
 type file_fault =
   | Truncate  (** drop the tail of the file *)
@@ -33,14 +40,41 @@ type runtime_fault =
   | Frozen_slew
       (** one domain accepts targets but its ramp never moves *)
 
-type fault = File of file_fault | Runtime of runtime_fault
+type serve_fault =
+  | Worker_crash
+      (** the worker's whole process dies mid-compute (SIGKILL-like);
+          the job stays incomplete in the journal and must be replayed
+          — contrast a raising compute, which fails the job terminally *)
+  | Torn_journal
+      (** a journal append is cut short by the crash, leaving a partial
+          record that recovery must drop silently *)
+  | Socket_drop
+      (** the server dies between ack and payload, severing every
+          connection mid-exchange; clients must reconnect and refetch *)
+  | Delayed_completion
+      (** a compute sleeps far past the per-job deadline, exercising
+          the stuck-worker watchdog *)
+
+type fault =
+  | File of file_fault
+  | Runtime of runtime_fault
+  | Serve of serve_fault
 
 val all : fault list
-(** Every fault class, in a fixed order. *)
+(** Every file and runtime fault class, in a fixed order — the
+    robustness campaign grid. Serve faults are not included; see
+    {!serve_all}. *)
+
+val serve_all : fault list
+(** Every serve fault class, in a fixed order. *)
 
 val name : fault -> string
+
 val of_name : string -> fault option
+(** Resolves every fault in [all @ serve_all]. *)
+
 val names : string list
+(** Names of [all @ serve_all]. *)
 
 val corrupt_file : file_fault -> rng:Mcd_util.Rng.t -> path:string -> unit
 (** Corrupt the plan file at [path] in place. When a fault has no
@@ -61,3 +95,24 @@ val harness :
     dropped with probability 1/2 before they reach the hardware. The
     other runtime faults live in the hardware model and leave the
     controller untouched. *)
+
+(** {2 Serve-fault mechanisms}
+
+    Building blocks the chaos harness composes around a server's
+    [compute] seam or journal file. [Socket_drop] has no combinator —
+    its mechanism {e is} the harness's [SIGKILL] of a server with
+    clients parked mid-exchange. *)
+
+val crash_compute : ?after_s:float -> unit -> 'a -> 'b
+(** A compute that sleeps [after_s] (default 0) and then kills the
+    whole process with [Unix._exit 9] — [Worker_crash]. Never
+    returns. *)
+
+val delay_compute :
+  rng:Mcd_util.Rng.t -> max_delay_s:float -> ('a -> 'b) -> 'a -> 'b
+(** Sleep a uniform draw from [0, max_delay_s) before computing —
+    [Delayed_completion]. *)
+
+val tear_file : rng:Mcd_util.Rng.t -> path:string -> unit
+(** Cut 1–80 bytes off the file's tail in place — [Torn_journal], a
+    crash mid-append. No-op on an empty file. *)

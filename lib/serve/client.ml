@@ -141,13 +141,11 @@ let result t id =
 
 let run ?priority t request =
   let* ticket = submit ?priority t request in
-  let* state = wait t ticket.id in
-  match state with
-  | Protocol.Failed message ->
-      Result.Error
-        (Error.Runtime_fault
-           { where = Printf.sprintf "job %d" ticket.id; detail = message })
-  | Protocol.Done | Protocol.Queued | Protocol.Running -> result t ticket.id
+  (* wait parks until the job is terminal; result then carries either
+     the payload or the job's typed failure ([Job_failed], or
+     [Deadline] for a watchdog kill) *)
+  let* (_ : Protocol.state) = wait t ticket.id in
+  result t ticket.id
 
 let stats t =
   let* reply = roundtrip t Protocol.Stats in
@@ -162,3 +160,78 @@ let drain t =
   | Protocol.Draining_reply -> Ok ()
   | Protocol.Rejected r -> Result.Error (Protocol.error_of_reject r)
   | reply -> unexpected reply "expected draining"
+
+(* --- retry layer -------------------------------------------------------- *)
+
+type retry_policy = {
+  max_attempts : int;
+  base_delay_ms : int;
+  max_delay_ms : int;
+  seed : int;
+  sleep : float -> unit;
+}
+
+let default_policy =
+  {
+    max_attempts = 8;
+    base_delay_ms = 50;
+    max_delay_ms = 5_000;
+    seed = 0;
+    sleep = Unix.sleepf;
+  }
+
+(* The retryable class is transient service states — the server is full,
+   leaving, restarting, or gone — plus [Unknown_job], which a restarted
+   server reports for a job that completed (and was compacted away)
+   before the crash: resubmitting hits the content-addressed store and
+   returns the same bytes. Everything else is a verdict about the
+   request itself, and retrying would only repeat it. *)
+let retryable : Error.t -> bool = function
+  | Error.Overloaded _ | Error.Draining _ | Error.Server_unavailable _
+  | Error.Unknown_job _ ->
+      true
+  | _ -> false
+
+let retry_after_hint : Error.t -> int option = function
+  | Error.Overloaded { retry_after_ms; _ } -> Some retry_after_ms
+  | _ -> None
+
+(* Capped exponential backoff with full jitter: attempt [k] sleeps a
+   uniform draw from [0, min (base * 2^k) cap], floored at the server's
+   retry-after hint when one was given. Deterministic per [seed] (the
+   chaos harness replays byte-identical schedules). *)
+let backoff_ms policy rng ~attempt ~hint =
+  let expo =
+    let rec go k acc =
+      if k <= 0 || acc >= policy.max_delay_ms then acc else go (k - 1) (acc * 2)
+    in
+    go attempt policy.base_delay_ms
+  in
+  let ceiling = min policy.max_delay_ms expo in
+  let jittered = Mcd_util.Rng.int rng (max 1 ceiling) in
+  match hint with
+  | None -> jittered
+  | Some h -> max jittered (min policy.max_delay_ms h)
+
+let run_with_retry ?priority ?(policy = default_policy) ~socket request =
+  let rng = Mcd_util.Rng.create policy.seed in
+  let attempt_once () =
+    match connect ~socket with
+    | Result.Error e -> Result.Error e
+    | Ok t ->
+        Fun.protect
+          ~finally:(fun () -> close t)
+          (fun () -> run ?priority t request)
+  in
+  let rec go attempt =
+    match attempt_once () with
+    | Ok payload -> Ok payload
+    | Result.Error e when retryable e && attempt + 1 < policy.max_attempts ->
+        let ms =
+          backoff_ms policy rng ~attempt ~hint:(retry_after_hint e)
+        in
+        policy.sleep (float_of_int ms /. 1000.0);
+        go (attempt + 1)
+    | Result.Error _ as e -> e
+  in
+  go 0

@@ -59,3 +59,41 @@ val stats : t -> (string, Mcd_robust.Error.t) result
 val drain : t -> (unit, Mcd_robust.Error.t) result
 (** Ask the server to stop admitting, finish in-flight work, and
     exit. *)
+
+(** {2 Retrying requests}
+
+    A request loop that survives server restarts: each attempt is a
+    fresh connect → submit → wait → result exchange, so a connection
+    severed mid-wait by a crash is simply retried — the resubmit either
+    coalesces onto the job the restarted server replayed from its
+    journal, or (if the job completed and was compacted away) hits the
+    content-addressed store and returns the same bytes. *)
+
+type retry_policy = {
+  max_attempts : int;  (** total attempts, including the first *)
+  base_delay_ms : int;  (** backoff scale for attempt 0 *)
+  max_delay_ms : int;
+      (** ceiling on any single sleep, including server hints *)
+  seed : int;  (** jitter stream ({!Mcd_util.Rng}); deterministic *)
+  sleep : float -> unit;  (** seconds; tests stub this out *)
+}
+
+val default_policy : retry_policy
+(** 8 attempts, 50ms base, 5s cap, seed 0, [Unix.sleepf]. *)
+
+val retryable : Mcd_robust.Error.t -> bool
+(** [Overloaded], [Draining], [Server_unavailable] and [Unknown_job]
+    are transient service states; everything else is a verdict about
+    the request and is returned as-is. *)
+
+val run_with_retry :
+  ?priority:Protocol.priority ->
+  ?policy:retry_policy ->
+  socket:string ->
+  Protocol.request ->
+  (string, Mcd_robust.Error.t) result
+(** {!run} under capped exponential backoff with full jitter, floored
+    at the server's [retry_after_ms] hint when an [Overloaded]
+    rejection carries one. Returns the last error once
+    [policy.max_attempts] attempts are spent or a terminal error
+    appears. *)

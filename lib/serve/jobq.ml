@@ -27,11 +27,11 @@ let client_pending t client =
 
 type rejection = Queue_full of int | Client_full of int
 
-let push t ~level ~client item =
-  if t.length >= t.queue_max then Error (Queue_full t.length)
+let push ?(force = false) t ~level ~client item =
+  if (not force) && t.length >= t.queue_max then Error (Queue_full t.length)
   else begin
     let mine = client_pending t client in
-    if mine >= t.client_max then Error (Client_full mine)
+    if (not force) && mine >= t.client_max then Error (Client_full mine)
     else begin
       let level = max 0 (min level (Array.length t.queues - 1)) in
       Queue.push (client, item) t.queues.(level);

@@ -31,10 +31,13 @@ type rejection =
   | Client_full of int  (** the client's pending count (= its bound) *)
 
 val push :
+  ?force:bool ->
   'a t -> level:int -> client:string -> 'a -> (unit, rejection) result
 (** [level] is clamped into range. Bounds are checked global-first, so
     a full queue reports [Queue_full] even to a client also at its own
-    cap. *)
+    cap. [force] (default false) bypasses both bounds — journal replay
+    re-queues jobs that were already admitted once, and must never
+    drop them to an admission race with a smaller restart config. *)
 
 val pop : 'a t -> 'a option
 (** Highest-priority, oldest-first; releases the item's slot in its

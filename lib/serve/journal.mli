@@ -1,0 +1,97 @@
+(** Durable job journal: the serve path's write-ahead log.
+
+    Every job the server {e acknowledges} is appended here before the
+    [queued] reply goes out, and marked again when it turns terminal —
+    so a server that dies with admitted work in flight can be
+    restarted and {e replay} exactly the jobs it owed answers for,
+    serving byte-identical results (the computes are deterministic and
+    the persistent store already holds any payload that finished).
+
+    {b Record framing.} The journal reuses {!Mcd_cache.Store}'s
+    framing discipline — every record announces its byte count and
+    carries an ["end\n"] trailer, so a torn append (crash or
+    {!Mcd_robust.Inject} fault mid-write) is always detectable:
+
+    {v
+    record ::= "rec <kind> bytes=<n>\n" <n body bytes> "end\n"
+    kind   ::= "admit" | "done" | "fail"
+    v}
+
+    An [admit] body is one line of percent-encoded [key=value] tokens
+    (the {!Protocol} token grammar): job id, owning client, priority,
+    digest, and the full request. [done]/[fail] bodies carry the job
+    id (and failure message).
+
+    {b Recovery.} {!open_journal} scans the log front to back. A
+    record that fails to frame at the tail is a torn append: the good
+    prefix wins, the tail is dropped. A record that fails to parse
+    {e before} the tail is corruption: recovery keeps everything up to
+    it, reports a typed {!Mcd_robust.Error.Journal_corrupt}, and drops
+    the rest — the same salvage-the-prefix policy the plan loader
+    applies to truncated plans. Jobs admitted but never marked
+    terminal are returned for replay, in admission order. The file is
+    then {e compacted} — rewritten atomically (tmp+rename, the
+    {!Mcd_cache.Store} discipline) to hold only the incomplete admits
+    — and reopened for appending.
+
+    Appends are serialized by an internal mutex (the scheduler's
+    workers and the server loop both write); [admit] records are
+    fsynced before {!admit} returns, because the acknowledged-implies-
+    served invariant is only as strong as the record's durability. *)
+
+type entry = {
+  id : int;
+  client : string;
+  priority : Protocol.priority;
+  digest : string;
+  request : Protocol.request;
+}
+
+type recovery = {
+  replay : entry list;  (** admitted, never terminal — in id order *)
+  completed : int;  (** jobs with a [done] record *)
+  failed : int;  (** jobs with a [fail] record *)
+  next_id : int;  (** 1 + the highest id ever admitted *)
+  torn : bool;  (** a torn record was dropped from the tail *)
+  corrupt : Mcd_robust.Error.t option;
+      (** a mid-file record failed to parse; the suffix was dropped *)
+}
+
+type t
+
+val open_journal :
+  ?fsync:bool -> path:string -> unit -> (t * recovery, Mcd_robust.Error.t) result
+(** Recover (scan + salvage), compact, and open for appending. A
+    missing file is an empty journal, not an error. [fsync] (default
+    [true]) syncs every [admit] append; tests disable it for speed.
+    [Error] only when the path cannot be created or rewritten. *)
+
+val admit : t -> entry -> unit
+(** Append (and fsync) an admission record. Must happen before the
+    client sees its [queued] ack — the write-ahead discipline. *)
+
+val mark_done : t -> id:int -> unit
+val mark_failed : t -> id:int -> msg:string -> unit
+(** Append a completion record. Best-effort (no fsync): losing one
+    costs a redundant replay, never an answer. *)
+
+val path : t -> string
+
+type stats = {
+  admitted : int;  (** admit records appended this session *)
+  finished : int;  (** done + fail records appended this session *)
+  replayed : int;  (** jobs handed back for replay at recovery *)
+  recovered_torn : int;  (** 1 if recovery dropped a torn tail *)
+  recovered_corrupt : int;  (** 1 if recovery dropped a corrupt suffix *)
+}
+
+val stats : t -> stats
+
+val close : t -> unit
+
+(** {2 Testing seams} *)
+
+val render_entry : entry -> string
+(** The admit record's body line (without framing). *)
+
+val parse_entry : string -> (entry, string) result

@@ -113,6 +113,7 @@ type reject =
   | Bad_request of string
   | Unknown_job of int
   | Job_failed of { id : int; message : string }
+  | Deadline of { id : int; deadline_ms : int }
   | Not_done of int
 
 type reply =
@@ -187,6 +188,12 @@ let render_reply = function
       | Job_failed { id; message } ->
           String.concat " "
             [ "error"; kv "code" "failed"; kvi "id" id; kv "msg" message ]
+      | Deadline { id; deadline_ms } ->
+          String.concat " "
+            [
+              "error"; kv "code" "deadline"; kvi "id" id;
+              kvi "deadline-ms" deadline_ms;
+            ]
       | Not_done id ->
           String.concat " " [ "error"; kv "code" "not-done"; kvi "id" id ])
 
@@ -320,6 +327,10 @@ let parse_reply line =
               let* id = int_field "id" fs in
               let* message = field "msg" fs in
               Ok (Rejected (Job_failed { id; message }))
+          | "deadline" ->
+              let* id = int_field "id" fs in
+              let* deadline_ms = int_field "deadline-ms" fs in
+              Ok (Rejected (Deadline { id; deadline_ms }))
           | "not-done" ->
               let* id = int_field "id" fs in
               Ok (Rejected (Not_done id))
@@ -342,12 +353,11 @@ let error_of_reject = function
   | Draining -> Error.Draining { detail = "server shutting down" }
   | Bad_request msg ->
       Error.Protocol_violation { line = msg; reason = "rejected by server" }
-  | Unknown_job id ->
-      Error.Protocol_violation
-        { line = Printf.sprintf "id=%d" id; reason = "unknown job" }
+  | Unknown_job id -> Error.Unknown_job { id }
   | Job_failed { id; message } ->
       Error.Runtime_fault
         { where = Printf.sprintf "job %d" id; detail = message }
+  | Deadline { id; deadline_ms } -> Error.Deadline_exceeded { id; deadline_ms }
   | Not_done id ->
       Error.Protocol_violation
         { line = Printf.sprintf "id=%d" id; reason = "job not finished" }

@@ -81,6 +81,10 @@ type reject =
   | Bad_request of string
   | Unknown_job of int
   | Job_failed of { id : int; message : string }
+  | Deadline of { id : int; deadline_ms : int }
+      (** the job's compute outran the server's per-job deadline; the
+          job failed typed and the result (if the worker ever finishes)
+          is discarded *)
   | Not_done of int
 
 type reply =
@@ -105,3 +109,25 @@ val error_of_reject : reject -> Mcd_robust.Error.t
 (** The typed diagnostic a rejection maps to — [Overloaded] and
     [Draining] carry exit code 4, the rest follow the usual
     validation/runtime classes. *)
+
+(** {2 Token-grammar helpers}
+
+    The [key=value] token vocabulary, shared with {!Journal} so the
+    job journal's record bodies speak the same escaped grammar as the
+    wire. *)
+
+val encode_value : string -> string
+(** Percent-encode space, ['%'] and newline. *)
+
+val decode_value : string -> (string, string) result
+
+val split : string -> string list
+(** Tokens of a line (runs of spaces collapse). *)
+
+val fields : string list -> (string * string) list
+(** The [key=value] tokens; unknown keys are the caller's to ignore,
+    duplicates keep the first occurrence. *)
+
+val field : string -> (string * string) list -> (string, string) result
+val int_field : string -> (string * string) list -> (int, string) result
+val float_field : string -> (string * string) list -> (float, string) result

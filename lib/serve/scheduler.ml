@@ -17,6 +17,8 @@ type job = {
   mutable submits : int;
   submitted_s : float;
   mutable latency_s : float;
+  mutable started_s : float;
+  mutable timed_out : bool;
 }
 
 type info = {
@@ -28,6 +30,7 @@ type info = {
   state : state;
   submits : int;
   latency_s : float;
+  timed_out : bool;
 }
 
 type t = {
@@ -41,6 +44,8 @@ type t = {
   sink : Sink.t;
   started_s : float;
   n_workers : int;
+  deadline_s : float option;
+  retry_after_cap_ms : int;
   mutable next_id : int;
   mutable busy : int;
   mutable draining : bool;
@@ -54,6 +59,8 @@ type t = {
   m_rejected : Metrics.counter;
   m_completed : Metrics.counter;
   m_failed : Metrics.counter;
+  m_deadline : Metrics.counter;
+  m_replayed : Metrics.counter;
   g_depth : Metrics.gauge;
   g_busy : Metrics.gauge;
   h_latency : Metrics.histogram;
@@ -77,6 +84,7 @@ let info_of_job (j : job) =
     state = j.state;
     submits = j.submits;
     latency_s = j.latency_s;
+    timed_out = j.timed_out;
   }
 
 (* Wall time since scheduler start, as the sink's picosecond axis. *)
@@ -95,6 +103,7 @@ let rec take t =
     match Jobq.pop t.queue with
     | Some job ->
         job.state <- Running;
+        job.started_s <- Unix.gettimeofday ();
         t.busy <- t.busy + 1;
         update_gauges t;
         Some job
@@ -102,6 +111,9 @@ let rec take t =
         Condition.wait t.work t.mutex;
         take t
 
+(* Returns [false] when this worker found its job already failed by the
+   deadline watchdog: the watchdog spawned a replacement, so the
+   now-surplus worker retires instead of over-provisioning the pool. *)
 let run_one t (job : job) =
   let outcome =
     match t.compute job.request with
@@ -117,29 +129,41 @@ let run_one t (job : job) =
         Result.Error (Printexc.to_string e, Printexc.raw_backtrace_to_string bt)
   in
   Mutex.lock t.mutex;
-  job.latency_s <- Unix.gettimeofday () -. job.submitted_s;
-  let ms = job.latency_s *. 1000.0 in
-  Metrics.observe t.h_latency ~bin:(latency_bin_of_ms (int_of_float ms)) ~weight:1.0;
-  t.latency_ewma_s <-
-    (if t.latency_ewma_s = 0.0 then job.latency_s
-     else (0.7 *. t.latency_ewma_s) +. (0.3 *. job.latency_s));
-  (match outcome with
-  | Ok payload ->
-      job.state <- Done payload;
-      Metrics.incr t.m_completed;
-      Sink.decision t.sink ~t_ps:(now_ps t) ~source:"serve"
-        ~trigger:Sink.Marker
-        ~detail:(Printf.sprintf "done id=%d ms=%.1f" job.id ms)
-        ()
-  | Result.Error (message, backtrace) ->
-      job.state <- Failed { message; backtrace };
-      Metrics.incr t.m_failed;
-      Sink.degraded t.sink ~t_ps:(now_ps t) ~source:"serve"
-        ~detail:(Printf.sprintf "job %d failed: %s" job.id message));
-  t.busy <- t.busy - 1;
-  update_gauges t;
-  Mutex.unlock t.mutex;
-  t.on_complete job.id
+  if job.timed_out then begin
+    (* The watchdog already failed this job and answered its waiters;
+       the late result is discarded — serving it now would race the
+       typed deadline error the client saw. *)
+    t.busy <- t.busy - 1;
+    update_gauges t;
+    Mutex.unlock t.mutex;
+    false
+  end
+  else begin
+    job.latency_s <- Unix.gettimeofday () -. job.submitted_s;
+    let ms = job.latency_s *. 1000.0 in
+    Metrics.observe t.h_latency ~bin:(latency_bin_of_ms (int_of_float ms)) ~weight:1.0;
+    t.latency_ewma_s <-
+      (if t.latency_ewma_s = 0.0 then job.latency_s
+       else (0.7 *. t.latency_ewma_s) +. (0.3 *. job.latency_s));
+    (match outcome with
+    | Ok payload ->
+        job.state <- Done payload;
+        Metrics.incr t.m_completed;
+        Sink.decision t.sink ~t_ps:(now_ps t) ~source:"serve"
+          ~trigger:Sink.Marker
+          ~detail:(Printf.sprintf "done id=%d ms=%.1f" job.id ms)
+          ()
+    | Result.Error (message, backtrace) ->
+        job.state <- Failed { message; backtrace };
+        Metrics.incr t.m_failed;
+        Sink.degraded t.sink ~t_ps:(now_ps t) ~source:"serve"
+          ~detail:(Printf.sprintf "job %d failed: %s" job.id message));
+    t.busy <- t.busy - 1;
+    update_gauges t;
+    Mutex.unlock t.mutex;
+    t.on_complete job.id;
+    true
+  end
 
 let rec worker_loop t =
   Mutex.lock t.mutex;
@@ -147,14 +171,73 @@ let rec worker_loop t =
   Mutex.unlock t.mutex;
   match job with
   | None -> ()
-  | Some job ->
-      run_one t job;
-      worker_loop t
+  | Some job -> if run_one t job then worker_loop t
+
+(* --- deadline watchdog -------------------------------------------------- *)
+
+(* OCaml domains cannot be killed, so an overdue compute cannot be
+   interrupted — instead the watchdog fails the *job* (typed, so the
+   client sees Deadline rather than a hang) and spawns a replacement
+   worker domain. The stuck worker becomes a zombie: whenever its
+   compute finally returns, run_one discards the result and retires it,
+   shrinking the pool back to [n_workers]. *)
+let watchdog_tick t ~deadline_s =
+  let now = Unix.gettimeofday () in
+  Mutex.lock t.mutex;
+  let overdue = ref [] in
+  Hashtbl.iter
+    (fun _ (job : job) ->
+      match job.state with
+      | Running when (not job.timed_out) && now -. job.started_s > deadline_s ->
+          overdue := job :: !overdue
+      | _ -> ())
+    t.jobs;
+  List.iter
+    (fun (job : job) ->
+      let deadline_ms = int_of_float (deadline_s *. 1000.0) in
+      job.timed_out <- true;
+      job.state <-
+        Failed
+          {
+            message =
+              Mcd_robust.Error.to_string
+                (Mcd_robust.Error.Deadline_exceeded
+                   { id = job.id; deadline_ms });
+            backtrace = "";
+          };
+      job.latency_s <- now -. job.submitted_s;
+      Metrics.incr t.m_deadline;
+      Metrics.incr t.m_failed;
+      (* a timed-out digest is forgotten so a retry recomputes instead
+         of coalescing onto the failure forever *)
+      (match Hashtbl.find_opt t.by_digest job.digest with
+      | Some j when j.id = job.id -> Hashtbl.remove t.by_digest job.digest
+      | _ -> ());
+      Sink.degraded t.sink ~t_ps:(now_ps t) ~source:"serve"
+        ~detail:
+          (Printf.sprintf "job %d deadline exceeded after %.2fs" job.id
+             (now -. job.started_s)))
+    !overdue;
+  let replacements =
+    if t.stopped then []
+    else List.map (fun _ -> Domain.spawn (fun () -> worker_loop t)) !overdue
+  in
+  t.domains <- replacements @ t.domains;
+  Mutex.unlock t.mutex;
+  List.iter (fun (job : job) -> t.on_complete job.id) !overdue
+
+let rec watchdog_loop t ~deadline_s =
+  if not t.stopped then begin
+    Unix.sleepf (Float.min 0.01 (deadline_s /. 4.0));
+    watchdog_tick t ~deadline_s;
+    watchdog_loop t ~deadline_s
+  end
 
 (* --- construction ------------------------------------------------------ *)
 
-let create ?(workers = 1) ?(queue_max = 64) ?(client_max = 16) ?sink
-    ?(on_complete = fun _ -> ()) ~compute () =
+let create ?(workers = 1) ?(queue_max = 64) ?(client_max = 16) ?deadline_s
+    ?(retry_after_cap_ms = 10_000) ?sink ?(on_complete = fun _ -> ()) ~compute
+    () =
   Printexc.record_backtrace true;
   let sink = match sink with Some s -> s | None -> Sink.create ~domains:1 () in
   let metrics = Sink.metrics sink in
@@ -170,6 +253,8 @@ let create ?(workers = 1) ?(queue_max = 64) ?(client_max = 16) ?sink
       sink;
       started_s = Unix.gettimeofday ();
       n_workers = max 1 workers;
+      deadline_s;
+      retry_after_cap_ms = max 100 retry_after_cap_ms;
       next_id = 1;
       busy = 0;
       draining = false;
@@ -182,6 +267,8 @@ let create ?(workers = 1) ?(queue_max = 64) ?(client_max = 16) ?sink
       m_rejected = Metrics.counter metrics "serve.rejected";
       m_completed = Metrics.counter metrics "serve.completed";
       m_failed = Metrics.counter metrics "serve.failed";
+      m_deadline = Metrics.counter metrics "serve.deadline_exceeded";
+      m_replayed = Metrics.counter metrics "serve.replayed";
       g_depth = Metrics.gauge metrics "serve.queue_depth";
       g_busy = Metrics.gauge metrics "serve.busy_workers";
       h_latency = Metrics.histogram metrics "serve.latency_ms" ~bins:latency_bins;
@@ -189,6 +276,11 @@ let create ?(workers = 1) ?(queue_max = 64) ?(client_max = 16) ?sink
   in
   t.domains <-
     List.init t.n_workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  (match deadline_s with
+  | Some d when d > 0.0 ->
+      t.domains <-
+        Domain.spawn (fun () -> watchdog_loop t ~deadline_s:d) :: t.domains
+  | Some _ | None -> ());
   t
 
 let workers t = t.n_workers
@@ -203,9 +295,11 @@ type admission =
   | Rejected of Protocol.reject
 
 (* The hint scales with observed latency: when jobs take seconds, "try
-   again in 100ms" just converts backpressure into a retry storm. *)
+   again in 100ms" just converts backpressure into a retry storm. The
+   cap keeps a latency spike from teaching clients to stay away for
+   minutes after the spike has passed. *)
 let retry_after_ms t =
-  max 100 (int_of_float (t.latency_ewma_s *. 1000.0))
+  max 100 (min t.retry_after_cap_ms (int_of_float (t.latency_ewma_s *. 1000.0)))
 
 let submit t ~client ~priority ~digest request =
   Mutex.lock t.mutex;
@@ -235,6 +329,8 @@ let submit t ~client ~priority ~digest request =
               submits = 1;
               submitted_s = Unix.gettimeofday ();
               latency_s = 0.0;
+              started_s = 0.0;
+              timed_out = false;
             }
           in
           match
@@ -272,6 +368,60 @@ let submit t ~client ~priority ~digest request =
   in
   Mutex.unlock t.mutex;
   verdict
+
+(* --- journal replay ----------------------------------------------------- *)
+
+(* Re-queue jobs recovered from the journal, preserving their original
+   ids (a client reconnecting after a crash polls the id it was acked
+   with). Replay bypasses admission bounds: these jobs were already
+   admitted once, and must not be dropped because the restart came up
+   with a smaller queue configuration. *)
+let restore t (entries : Journal.entry list) =
+  Mutex.lock t.mutex;
+  let n =
+    List.fold_left
+      (fun n (e : Journal.entry) ->
+        if Hashtbl.mem t.jobs e.Journal.id then n
+        else begin
+          let job =
+            {
+              id = e.Journal.id;
+              digest = e.Journal.digest;
+              request = e.Journal.request;
+              priority = e.Journal.priority;
+              client = e.Journal.client;
+              state = Queued;
+              submits = 1;
+              submitted_s = Unix.gettimeofday ();
+              latency_s = 0.0;
+              started_s = 0.0;
+              timed_out = false;
+            }
+          in
+          (match
+             Jobq.push ~force:true t.queue
+               ~level:(Protocol.priority_level job.priority)
+               ~client:job.client job
+           with
+          | Ok () -> ()
+          | Result.Error _ -> assert false (* force push cannot reject *));
+          Hashtbl.replace t.jobs job.id job;
+          Hashtbl.replace t.by_digest job.digest job;
+          t.next_id <- max t.next_id (job.id + 1);
+          Metrics.incr t.m_replayed;
+          n + 1
+        end)
+      0 entries
+  in
+  if n > 0 then begin
+    update_gauges t;
+    Sink.decision t.sink ~t_ps:(now_ps t) ~source:"serve" ~trigger:Sink.Marker
+      ~detail:(Printf.sprintf "replayed %d journaled jobs" n)
+      ();
+    Condition.broadcast t.work
+  end;
+  Mutex.unlock t.mutex;
+  n
 
 (* --- inspection -------------------------------------------------------- *)
 

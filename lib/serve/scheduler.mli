@@ -26,6 +26,14 @@
     queue keeps draining. A fault can fail its own request, never the
     service.
 
+    {b Deadlines.} With [deadline_s] set, a watchdog domain fails any
+    job whose compute has run past the deadline with a typed
+    {!Mcd_robust.Error.Deadline_exceeded} message and spawns a
+    replacement worker — OCaml domains cannot be killed, so the stuck
+    worker is left to finish as a zombie whose result is discarded and
+    which retires on return, shrinking the pool back to size. A hung
+    compute therefore costs one job, never the pool.
+
     {b Observability.} All counters/gauges/events land in the supplied
     {!Mcd_obs.Sink.t} ([serve.*] instruments, [Decision]/[Degraded]
     control-ring events); the sink is only ever touched under the
@@ -47,6 +55,9 @@ type info = {
   state : state;
   submits : int;  (** 1 + number of coalesced duplicates *)
   latency_s : float;  (** submit→terminal; 0 until terminal *)
+  timed_out : bool;
+      (** the job was failed by the deadline watchdog; its [Failed]
+          message is the rendered {!Mcd_robust.Error.Deadline_exceeded} *)
 }
 
 type t
@@ -55,16 +66,23 @@ val create :
   ?workers:int ->
   ?queue_max:int ->
   ?client_max:int ->
+  ?deadline_s:float ->
+  ?retry_after_cap_ms:int ->
   ?sink:Mcd_obs.Sink.t ->
   ?on_complete:(int -> unit) ->
   compute:(Protocol.request -> string) ->
   unit ->
   t
 (** Spawns [workers] (default 1) worker domains. [queue_max] defaults
-    to 64 waiting jobs, [client_max] to 16. [on_complete] fires in the
-    worker domain after a job turns terminal, outside the scheduler
-    lock — the server uses it to poke its event loop through a
-    self-pipe. [sink] defaults to a fresh single-domain sink. *)
+    to 64 waiting jobs, [client_max] to 16. [deadline_s] (default none)
+    arms the per-job deadline watchdog. [retry_after_cap_ms] (default
+    10000, floor 100) caps the EWMA-derived retry-after hint so one
+    latency spike cannot teach clients to stay away for minutes.
+    [on_complete] fires after a job turns terminal, outside the
+    scheduler lock — in the worker domain normally, in the watchdog
+    domain for deadline failures; the server uses it to poke its event
+    loop through a self-pipe. [sink] defaults to a fresh single-domain
+    sink. *)
 
 val workers : t -> int
 val queue_max : t -> int
@@ -82,6 +100,19 @@ val submit :
   digest:string ->
   Protocol.request ->
   admission
+
+val restore : t -> Journal.entry list -> int
+(** Re-queue jobs recovered from the {!Journal}, preserving their
+    original ids (a client reconnecting after a crash polls the id it
+    was acked with) and advancing the id counter past them. Bypasses
+    admission bounds — these jobs were admitted once already and must
+    not be dropped to a smaller restart configuration. Entries whose id
+    is already in the table are skipped; returns the number restored.
+    Call before accepting connections. *)
+
+val retry_after_ms : t -> int
+(** The current backoff hint: EWMA latency in ms, floored at 100,
+    capped at [retry_after_cap_ms]. Exposed for tests. *)
 
 val find : t -> int -> info option
 

@@ -11,7 +11,17 @@ type config = {
   trace_dir : string option;
   drain_grace_s : float;
   drain_deadline_s : float;
+  journal : string option;
+  deadline_s : float option;
+  retry_after_cap_ms : int;
 }
+
+(* The journal lives beside the payloads it protects: a restart that can
+   see the cache can also see which acknowledged jobs still owe answers. *)
+let default_journal_path () =
+  Option.map
+    (fun store -> Filename.concat (Mcd_cache.Store.dir store) "serve.journal")
+    (Mcd_cache.Store.default ())
 
 let default_config ~socket =
   {
@@ -23,6 +33,9 @@ let default_config ~socket =
     trace_dir = None;
     drain_grace_s = 1.0;
     drain_deadline_s = 60.0;
+    journal = default_journal_path ();
+    deadline_s = None;
+    retry_after_cap_ms = 10_000;
   }
 
 (* --- request resolution ------------------------------------------------ *)
@@ -93,6 +106,27 @@ let clear_stale_socket path =
   | exception Unix.Unix_error (_, _, _) ->
       Result.Error (io_error path "cannot stat socket path")
 
+(* Two servers racing to start see the same stale socket and both decide
+   to unlink-and-rebind; the second silently steals the first's bound
+   socket file. An exclusive lock file serializes the whole
+   probe→unlink→bind sequence: the loser reports Server_unavailable
+   instead of corrupting the winner. The lock is held (fd open) for the
+   server's lifetime and released by close on exit; the file itself is
+   never unlinked — unlinking would reopen the race it exists to close. *)
+let acquire_start_lock socket =
+  let path = socket ^ ".lock" in
+  match Unix.openfile path [ Unix.O_CREAT; Unix.O_RDWR ] 0o644 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Result.Error (io_error socket (Unix.error_message e))
+  | fd -> (
+      match Unix.lockf fd Unix.F_TLOCK 0 with
+      | () -> Ok fd
+      | exception Unix.Unix_error (_, _, _) ->
+          (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+          Result.Error
+            (io_error socket
+               "another server is starting or running (start lock held)"))
+
 let bind_socket path =
   match clear_stale_socket path with
   | Result.Error _ as e -> e
@@ -142,6 +176,7 @@ type t = {
   wake_r : Unix.file_descr;  (** self-pipe: completions poke the loop *)
   wake_w : Unix.file_descr;
   sched : Scheduler.t;
+  journal : Journal.t option;
   conns : (Unix.file_descr, conn) Hashtbl.t;
   mutable next_client : int;
   mutable drain_started : float option;
@@ -186,6 +221,24 @@ let mirror_store_stats t =
           set "store.gc_removed" s.gc_removed;
           set "store.gc_freed_bytes" s.gc_freed_bytes)
 
+(* Journal counters surface as [journal.*] gauges, so `mcd-dvfs status`
+   (a [stats] command under the hood) shows whether this server replayed
+   work or recovered from a torn/corrupt log. *)
+let mirror_journal_stats t =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      let s = Journal.stats j in
+      Scheduler.with_registry t.sched (fun m ->
+          let set name v =
+            Metrics.set (Metrics.gauge m name) (float_of_int v)
+          in
+          set "journal.admitted" s.Journal.admitted;
+          set "journal.finished" s.Journal.finished;
+          set "journal.replayed" s.Journal.replayed;
+          set "journal.recovered_torn" s.Journal.recovered_torn;
+          set "journal.recovered_corrupt" s.Journal.recovered_corrupt)
+
 let begin_drain t =
   if t.drain_started = None then begin
     t.drain_started <- Some (Unix.gettimeofday ());
@@ -204,6 +257,7 @@ let handle_command t conn ~digest = function
       send conn Protocol.Draining_reply
   | Protocol.Stats ->
       mirror_store_stats t;
+      mirror_journal_stats t;
       let body = Scheduler.export_metrics t.sched in
       send_payload conn
         (Protocol.Stats_payload { bytes = String.length body })
@@ -218,6 +272,20 @@ let handle_command t conn ~digest = function
               request
           with
           | Scheduler.Accepted info ->
+              (* Write-ahead: the admit record is durable (fsynced)
+                 before the ack leaves this process, so an acknowledged
+                 job survives any later crash. *)
+              (match t.journal with
+              | Some j ->
+                  Journal.admit j
+                    {
+                      Journal.id = info.id;
+                      client = conn.client;
+                      priority;
+                      digest = dg;
+                      request;
+                    }
+              | None -> ());
               send conn
                 (Protocol.Queued_reply
                    { id = info.id; digest = dg; coalesced = false })
@@ -248,8 +316,18 @@ let handle_command t conn ~digest = function
                 (Protocol.Payload { id; bytes = String.length payload })
                 payload
           | Scheduler.Failed { message; _ } ->
-              send conn
-                (Protocol.Rejected (Protocol.Job_failed { id; message }))
+              let reject =
+                if info.timed_out then
+                  Protocol.Deadline
+                    {
+                      id;
+                      deadline_ms =
+                        int_of_float
+                          (1000.0 *. Option.value ~default:0.0 t.cfg.deadline_s);
+                    }
+                else Protocol.Job_failed { id; message }
+              in
+              send conn (Protocol.Rejected reject)
           | Scheduler.Queued | Scheduler.Running ->
               send conn (Protocol.Rejected (Protocol.Not_done id))))
 
@@ -407,47 +485,119 @@ let serve_loop t ~digest =
   in
   loop ()
 
+(* A drain that hit its deadline can exit with clients still parked on
+   waits for jobs that never finished. They are answered [Draining] —
+   a typed "retry elsewhere/later", not a silent hang until TCP notices
+   the close. *)
+let answer_parked_with_draining t =
+  Hashtbl.iter
+    (fun _ conn ->
+      match conn.waits with
+      | [] -> ()
+      | waits -> (
+          conn.waits <- [];
+          match
+            List.iter
+              (fun _ -> send conn (Protocol.Rejected Protocol.Draining))
+              waits
+          with
+          | () -> ()
+          | exception Hung_up -> ()))
+    t.conns
+
 let run ?(digest = request_digest) ?compute:(compute_fn = compute) cfg =
-  match bind_socket cfg.socket with
+  match acquire_start_lock cfg.socket with
   | Result.Error _ as e -> e
-  | Ok listen_fd ->
-      install_signal_handlers ();
-      Atomic.set stop_requested false;
-      let wake_r, wake_w = Unix.pipe () in
-      Unix.set_nonblock wake_w;
-      let compute_wrapped req =
-        if cfg.compute_delay_s > 0.0 then Unix.sleepf cfg.compute_delay_s;
-        compute_fn req
+  | Ok lock_fd -> (
+      let release_lock () =
+        try Unix.close lock_fd with Unix.Unix_error (_, _, _) -> ()
       in
-      let sched =
-        Scheduler.create ~workers:cfg.workers ~queue_max:cfg.queue_max
-          ~client_max:cfg.client_max
-          ~on_complete:(fun _ -> poke wake_w)
-          ~compute:compute_wrapped ()
-      in
-      let t =
-        {
-          cfg;
-          listen_fd;
-          wake_r;
-          wake_w;
-          sched;
-          conns = Hashtbl.create 16;
-          next_client = 1;
-          drain_started = None;
-          idle_since = None;
-        }
-      in
-      serve_loop t ~digest;
-      Hashtbl.iter (fun _ conn -> try Unix.close conn.fd with _ -> ()) t.conns;
-      (try Unix.close listen_fd with _ -> ());
-      (try Sys.remove cfg.socket with Sys_error _ -> ());
-      Scheduler.shutdown sched;
-      (try Unix.close wake_r with _ -> ());
-      (try Unix.close wake_w with _ -> ());
-      (match cfg.trace_dir with
-      | None -> ()
-      | Some dir ->
-          mirror_store_stats t;
-          ignore (Mcd_obs.Export.write_dir ~dir (Scheduler.sink sched)));
-      Ok ()
+      match bind_socket cfg.socket with
+      | Result.Error _ as e ->
+          release_lock ();
+          e
+      | Ok listen_fd ->
+          install_signal_handlers ();
+          Atomic.set stop_requested false;
+          let journal, replay =
+            match cfg.journal with
+            | None -> (None, [])
+            | Some path -> (
+                match Journal.open_journal ~path () with
+                | Ok (j, recovery) ->
+                    (match recovery.Journal.corrupt with
+                    | Some err ->
+                        Printf.eprintf "mcd-dvfs: %s\n%!" (Error.to_string err)
+                    | None -> ());
+                    (Some j, recovery.Journal.replay)
+                | Result.Error err ->
+                    (* journal-less serving beats not serving: replay
+                       protection is lost, answers stay correct *)
+                    Printf.eprintf "mcd-dvfs: %s\n%!" (Error.to_string err);
+                    (None, []))
+          in
+          let wake_r, wake_w = Unix.pipe () in
+          Unix.set_nonblock wake_w;
+          let compute_wrapped req =
+            if cfg.compute_delay_s > 0.0 then Unix.sleepf cfg.compute_delay_s;
+            compute_fn req
+          in
+          (* on_complete runs in a worker (or watchdog) domain before the
+             self-pipe poke; Journal.append serializes under its own
+             mutex. The scheduler ref breaks the create-order knot: the
+             callback needs the scheduler the call is constructing. *)
+          let sched_cell = ref None in
+          let on_complete id =
+            (match (journal, !sched_cell) with
+            | Some j, Some sched -> (
+                match Scheduler.find sched id with
+                | Some { Scheduler.state = Scheduler.Done _; _ } ->
+                    Journal.mark_done j ~id
+                | Some { Scheduler.state = Scheduler.Failed { message; _ }; _ }
+                  ->
+                    Journal.mark_failed j ~id ~msg:message
+                | Some _ | None -> ())
+            | _ -> ());
+            poke wake_w
+          in
+          let sched =
+            Scheduler.create ~workers:cfg.workers ~queue_max:cfg.queue_max
+              ~client_max:cfg.client_max ?deadline_s:cfg.deadline_s
+              ~retry_after_cap_ms:cfg.retry_after_cap_ms ~on_complete
+              ~compute:compute_wrapped ()
+          in
+          sched_cell := Some sched;
+          ignore (Scheduler.restore sched replay);
+          let t =
+            {
+              cfg;
+              listen_fd;
+              wake_r;
+              wake_w;
+              sched;
+              journal;
+              conns = Hashtbl.create 16;
+              next_client = 1;
+              drain_started = None;
+              idle_since = None;
+            }
+          in
+          serve_loop t ~digest;
+          answer_parked_with_draining t;
+          Hashtbl.iter
+            (fun _ conn -> try Unix.close conn.fd with _ -> ())
+            t.conns;
+          (try Unix.close listen_fd with _ -> ());
+          (try Sys.remove cfg.socket with Sys_error _ -> ());
+          Scheduler.shutdown sched;
+          (match journal with Some j -> Journal.close j | None -> ());
+          (try Unix.close wake_r with _ -> ());
+          (try Unix.close wake_w with _ -> ());
+          (match cfg.trace_dir with
+          | None -> ()
+          | Some dir ->
+              mirror_store_stats t;
+              mirror_journal_stats t;
+              ignore (Mcd_obs.Export.write_dir ~dir (Scheduler.sink sched)));
+          release_lock ();
+          Ok ())

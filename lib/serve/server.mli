@@ -22,7 +22,20 @@
     {b Stale sockets.} A leftover socket file from a killed server is
     detected by probing it: connection-refused means stale, so it is
     unlinked and rebound; an answering socket means another server is
-    live, reported as {!Mcd_robust.Error.Server_unavailable}. *)
+    live, reported as {!Mcd_robust.Error.Server_unavailable}. Two
+    servers racing through that probe are serialized by an exclusive
+    lock on [socket.lock] held for the server's lifetime — the loser
+    gets [Server_unavailable], never a stolen socket file.
+
+    {b Crash safety.} With {!config.journal} set, every accepted submit
+    is appended (fsynced) to a write-ahead job journal {e before} the
+    [queued] ack is sent, and completions append [done]/[fail] records.
+    A restarted server replays the journal's incomplete jobs — original
+    ids preserved — before accepting connections, so an acknowledged
+    job is eventually served (byte-identically, via the
+    content-addressed store) even across [SIGKILL]. The journal
+    compacts on open and degrades to journal-less serving (with a typed
+    diagnostic on stderr) rather than refusing to start. *)
 
 type config = {
   socket : string;
@@ -40,7 +53,21 @@ type config = {
           connected clients before closing (default 1s) *)
   drain_deadline_s : float;
       (** hard bound on the whole drain (default 60s) *)
+  journal : string option;
+      (** write-ahead job journal path; [None] disables journaling
+          (defaults to [serve.journal] in the default store's
+          directory, or [None] when no store is configured) *)
+  deadline_s : float option;
+      (** per-job compute deadline — see {!Scheduler.create}
+          (default [None]: no watchdog) *)
+  retry_after_cap_ms : int;
+      (** ceiling on the EWMA retry-after hint (default 10000) *)
 }
+
+val default_journal_path : unit -> string option
+(** [serve.journal] inside {!Mcd_cache.Store.default}'s directory —
+    the journal lives beside the payloads it protects — or [None] when
+    no default store is configured. *)
 
 val default_config : socket:string -> config
 

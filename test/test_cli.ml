@@ -78,7 +78,10 @@ let test_serve_help_documents_protocol_knobs () =
     (fun flag ->
       Alcotest.(check bool) ("serve documents " ^ flag) true
         (contains help flag))
-    [ "--workers"; "--queue-max"; "--client-max"; "--socket" ]
+    [
+      "--workers"; "--queue-max"; "--client-max"; "--socket";
+      "--no-journal"; "--deadline-ms"; "--retry-after-cap-ms";
+    ]
 
 let suite =
   [

@@ -8,6 +8,7 @@
 module Protocol = Mcd_serve.Protocol
 module Jobq = Mcd_serve.Jobq
 module Scheduler = Mcd_serve.Scheduler
+module Journal = Mcd_serve.Journal
 module Error = Mcd_robust.Error
 module Inject = Mcd_robust.Inject
 module Metrics = Mcd_obs.Metrics
@@ -72,6 +73,7 @@ let all_replies =
     Protocol.Rejected (Protocol.Unknown_job 17);
     Protocol.Rejected (Protocol.Job_failed { id = 2; message = "plan rejected" });
     Protocol.Rejected (Protocol.Not_done 4);
+    Protocol.Rejected (Protocol.Deadline { id = 5; deadline_ms = 150 });
   ]
 
 let test_reply_roundtrip () =
@@ -147,7 +149,9 @@ let test_error_of_reject_exit_codes () =
     (code (Protocol.Overloaded { queue_depth = 1; limit = 1; retry_after_ms = 100 }));
   Alcotest.(check int) "draining -> 4" 4 (code Protocol.Draining);
   Alcotest.(check int) "bad request -> 2" 2 (code (Protocol.Bad_request "x"));
-  Alcotest.(check int) "unknown job -> 2" 2 (code (Protocol.Unknown_job 1))
+  Alcotest.(check int) "unknown job -> 2" 2 (code (Protocol.Unknown_job 1));
+  Alcotest.(check int) "deadline -> 2" 2
+    (code (Protocol.Deadline { id = 1; deadline_ms = 100 }))
 
 (* --- Jobq ------------------------------------------------------------- *)
 
@@ -205,6 +209,151 @@ let test_jobq_rejects_bad_bounds () =
       (fun () -> Jobq.create ~queue_max:1 ~client_max:0 ());
       (fun () -> Jobq.create ~levels:0 ~queue_max:1 ~client_max:1 ());
     ]
+
+let test_jobq_force_bypasses_bounds () =
+  (* journal replay re-queues jobs that were already admitted once:
+     [~force] must bypass both the global and the per-client bound, so
+     a restart with a smaller queue config can never drop them *)
+  let q = Jobq.create ~queue_max:1 ~client_max:1 () in
+  Alcotest.(check bool) "fills" true
+    (Jobq.push q ~level:1 ~client:"a" "one" = Ok ());
+  (match Jobq.push q ~level:1 ~client:"a" "two" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bound not enforced without force");
+  Alcotest.(check bool) "replay bypasses both bounds" true
+    (Jobq.push ~force:true q ~level:1 ~client:"a" "replayed" = Ok ());
+  Alcotest.(check int) "forced job counted" 2 (Jobq.length q);
+  (* forced admissions still release like ordinary ones *)
+  ignore (Jobq.pop q);
+  ignore (Jobq.pop q);
+  Alcotest.(check int) "client slots released" 0 (Jobq.client_pending q "a")
+
+(* --- Journal ----------------------------------------------------------- *)
+
+let journal_entry ~id workload =
+  {
+    Journal.id;
+    client = "tester";
+    priority = Protocol.High;
+    digest = "digest:" ^ workload;
+    request =
+      Protocol.request ~policy:Protocol.Online ~context:"L+F+C+P"
+        ~slowdown_pct:12.5 workload;
+  }
+
+let with_journal_path f =
+  let path = Filename.temp_file "mcd_journal_test" ".journal" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let open_ok path =
+  match Journal.open_journal ~fsync:false ~path () with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "open_journal: %s" (Error.to_string e)
+
+let replay_ids (r : Journal.recovery) =
+  List.map (fun (e : Journal.entry) -> e.Journal.id) r.Journal.replay
+
+let test_journal_entry_roundtrip () =
+  let e = journal_entry ~id:42 "adpcm decode" in
+  let line = Journal.render_entry e in
+  Alcotest.(check bool) "single line" false (String.contains line '\n');
+  match Journal.parse_entry line with
+  | Ok e' -> Alcotest.(check bool) line true (e = e')
+  | Error m -> Alcotest.failf "%s does not parse back: %s" line m
+
+let test_journal_recovery_and_compaction () =
+  with_journal_path @@ fun path ->
+  (* session 1: three admits, one done, one failed *)
+  let j, r0 = open_ok path in
+  Alcotest.(check (list int)) "fresh journal replays nothing" [] (replay_ids r0);
+  Journal.admit j (journal_entry ~id:1 "a");
+  Journal.admit j (journal_entry ~id:2 "b");
+  Journal.admit j (journal_entry ~id:3 "c");
+  Journal.mark_done j ~id:1;
+  Journal.mark_failed j ~id:2 ~msg:"boom: 50% of\nplans corrupt";
+  let s = Journal.stats j in
+  Alcotest.(check int) "admits counted" 3 s.Journal.admitted;
+  Alcotest.(check int) "terminals counted" 2 s.Journal.finished;
+  Journal.close j;
+  (* session 2: only the incomplete job replays, with ids preserved *)
+  let j2, r = open_ok path in
+  Alcotest.(check (list int)) "incomplete admit replays" [ 3 ] (replay_ids r);
+  Alcotest.(check int) "done seen" 1 r.Journal.completed;
+  Alcotest.(check int) "fail seen" 1 r.Journal.failed;
+  Alcotest.(check int) "next id past every admit" 4 r.Journal.next_id;
+  Alcotest.(check bool) "no torn tail" false r.Journal.torn;
+  Alcotest.(check bool) "no corruption" true (r.Journal.corrupt = None);
+  (match r.Journal.replay with
+  | [ e ] -> Alcotest.(check bool) "entry survives intact" true
+               (e = journal_entry ~id:3 "c")
+  | _ -> Alcotest.fail "expected exactly one replay entry");
+  Journal.close j2;
+  (* open compacted away the terminal records: a third session sees an
+     already-clean log with the same single incomplete admit *)
+  let j3, r2 = open_ok path in
+  Alcotest.(check (list int)) "compacted log replays the same" [ 3 ]
+    (replay_ids r2);
+  Alcotest.(check int) "terminal records rewritten away" 0 r2.Journal.completed;
+  Journal.close j3
+
+let test_journal_torn_tail_dropped () =
+  with_journal_path @@ fun path ->
+  let j, _ = open_ok path in
+  Journal.admit j (journal_entry ~id:1 "a");
+  Journal.admit j (journal_entry ~id:2 "b");
+  Journal.close j;
+  (* cut into the last record's [end] trailer: a torn append *)
+  let len = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (len - 2);
+  Unix.close fd;
+  let j2, r = open_ok path in
+  Alcotest.(check bool) "torn tail detected" true r.Journal.torn;
+  Alcotest.(check bool) "torn is not corruption" true (r.Journal.corrupt = None);
+  Alcotest.(check (list int)) "good prefix wins" [ 1 ] (replay_ids r);
+  Alcotest.(check int) "torn recovery surfaces in stats" 1
+    (Journal.stats j2).Journal.recovered_torn;
+  Journal.close j2
+
+let test_journal_midfile_corruption_typed () =
+  with_journal_path @@ fun path ->
+  let j, _ = open_ok path in
+  Journal.admit j (journal_entry ~id:1 "a");
+  Journal.admit j (journal_entry ~id:2 "b");
+  Journal.close j;
+  (* scribble over the first record's header: framing breaks before
+     the tail, which is corruption, not a torn append *)
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  ignore (Unix.write_substring fd "rot" 0 3);
+  Unix.close fd;
+  let j2, r = open_ok path in
+  (match r.Journal.corrupt with
+  | Some (Error.Journal_corrupt _) -> ()
+  | Some e -> Alcotest.failf "wrong error: %s" (Error.to_string e)
+  | None -> Alcotest.fail "mid-file corruption not reported");
+  Alcotest.(check bool) "corruption is not a torn tail" false r.Journal.torn;
+  Alcotest.(check (list int)) "suffix after the bad record dropped" []
+    (replay_ids r);
+  Alcotest.(check int) "corrupt recovery surfaces in stats" 1
+    (Journal.stats j2).Journal.recovered_corrupt;
+  Journal.close j2;
+  (* ...and a framed record whose body does not parse is also typed
+     corruption: the good prefix before it still replays *)
+  let good = journal_entry ~id:7 "a" in
+  let body = Journal.render_entry good ^ "\n" in
+  Out_channel.with_open_bin path (fun oc ->
+      Printf.fprintf oc "rec admit bytes=%d\n%send\n" (String.length body) body;
+      Out_channel.output_string oc "rec admit bytes=4\nxyz\nend\n");
+  let j3, r2 = open_ok path in
+  (match r2.Journal.corrupt with
+  | Some (Error.Journal_corrupt _) -> ()
+  | _ -> Alcotest.fail "unparseable body not reported as corruption");
+  Alcotest.(check (list int)) "prefix before the bad body replays" [ 7 ]
+    (replay_ids r2);
+  Journal.close j3
 
 (* --- Scheduler -------------------------------------------------------- *)
 
@@ -369,6 +518,99 @@ let test_scheduler_fault_isolation () =
       Alcotest.(check int) "failure counted" 1
         (Metrics.value (Metrics.counter m "serve.failed")))
 
+let test_scheduler_deadline_watchdog () =
+  let compute (r : Protocol.request) =
+    if r.Protocol.workload = "slow" then Unix.sleepf 0.6;
+    "done:" ^ r.Protocol.workload
+  in
+  let s = Scheduler.create ~workers:1 ~deadline_s:0.05 ~compute () in
+  Fun.protect ~finally:(fun () -> Scheduler.shutdown s) @@ fun () ->
+  let id_slow =
+    match submit s (Protocol.request "slow") with
+    | Scheduler.Accepted info -> info.Scheduler.id
+    | _ -> Alcotest.fail "slow job not accepted"
+  in
+  (match Scheduler.wait_job ~timeout_s:10.0 s id_slow with
+  | Some { Scheduler.state = Scheduler.Failed { message; _ }; timed_out; _ } ->
+      Alcotest.(check string) "typed deadline message"
+        (Error.to_string
+           (Error.Deadline_exceeded { id = id_slow; deadline_ms = 50 }))
+        message;
+      Alcotest.(check bool) "flagged timed out" true timed_out
+  | Some { Scheduler.state = Scheduler.Done _; _ } ->
+      Alcotest.fail "overdue job served anyway"
+  | _ -> Alcotest.fail "overdue job never turned terminal");
+  (* the watchdog fails the job, never the pool: a replacement worker
+     serves the next job while the stuck compute is still sleeping *)
+  let id_ok =
+    match submit s (Protocol.request "after") with
+    | Scheduler.Accepted info -> info.Scheduler.id
+    | _ -> Alcotest.fail "follow-up not accepted"
+  in
+  (match Scheduler.wait_job ~timeout_s:10.0 s id_ok with
+  | Some { Scheduler.state = Scheduler.Done payload; _ } ->
+      Alcotest.(check string) "replacement worker serves" "done:after" payload
+  | _ -> Alcotest.fail "job behind the deadline casualty was wedged");
+  Scheduler.with_registry s (fun m ->
+      let v name = Metrics.value (Metrics.counter m name) in
+      Alcotest.(check int) "deadline counted" 1 (v "serve.deadline_exceeded");
+      Alcotest.(check int) "counted as a failure too" 1 (v "serve.failed"))
+
+let test_scheduler_retry_after_cap () =
+  let compute _ =
+    Unix.sleepf 0.25;
+    "x"
+  in
+  let s = Scheduler.create ~workers:1 ~retry_after_cap_ms:120 ~compute () in
+  Fun.protect ~finally:(fun () -> Scheduler.shutdown s) @@ fun () ->
+  Alcotest.(check int) "floor before any sample" 100 (Scheduler.retry_after_ms s);
+  let id =
+    match submit s (Protocol.request "slow-sample") with
+    | Scheduler.Accepted info -> info.Scheduler.id
+    | _ -> Alcotest.fail "job not accepted"
+  in
+  (match Scheduler.wait_job ~timeout_s:10.0 s id with
+  | Some { Scheduler.state = Scheduler.Done _; _ } -> ()
+  | _ -> Alcotest.fail "sample job never finished");
+  (* the EWMA now sits near 250 ms: the advertised hint must clamp to
+     the configured ceiling instead of telling clients to back off for
+     the full observed latency *)
+  Alcotest.(check int) "hint clamped to the cap" 120
+    (Scheduler.retry_after_ms s)
+
+let test_scheduler_restore_replays () =
+  let computed = Atomic.make 0 in
+  let compute (r : Protocol.request) =
+    Atomic.incr computed;
+    "payload:" ^ r.Protocol.workload
+  in
+  (* a depth-1 queue with two replayed entries: restore must force both
+     past the admission bound, preserve their journaled ids, and keep
+     fresh ids from colliding with replayed ones *)
+  let s = Scheduler.create ~workers:1 ~queue_max:1 ~compute () in
+  Fun.protect ~finally:(fun () -> Scheduler.shutdown s) @@ fun () ->
+  let entries =
+    [
+      { (journal_entry ~id:4 "a") with Journal.priority = Protocol.Normal };
+      { (journal_entry ~id:9 "b") with Journal.priority = Protocol.Normal };
+    ]
+  in
+  Alcotest.(check int) "both entries restored" 2 (Scheduler.restore s entries);
+  List.iter
+    (fun id ->
+      match Scheduler.wait_job ~timeout_s:10.0 s id with
+      | Some { Scheduler.state = Scheduler.Done _; _ } -> ()
+      | _ -> Alcotest.failf "replayed job %d was not served" id)
+    [ 4; 9 ];
+  (match submit s (Protocol.request "fresh") with
+  | Scheduler.Accepted info ->
+      Alcotest.(check bool) "fresh id past the replayed ones" true
+        (info.Scheduler.id > 9)
+  | _ -> Alcotest.fail "fresh submit not accepted");
+  Scheduler.with_registry s (fun m ->
+      Alcotest.(check int) "replays counted" 2
+        (Metrics.value (Metrics.counter m "serve.replayed")))
+
 let suite =
   [
     ("protocol command roundtrip", `Quick, test_command_roundtrip);
@@ -380,8 +622,20 @@ let suite =
     ("jobq bounds", `Quick, test_jobq_bounds);
     ("jobq level clamped", `Quick, test_jobq_level_clamped);
     ("jobq rejects bad bounds", `Quick, test_jobq_rejects_bad_bounds);
+    ("jobq force bypasses bounds", `Quick, test_jobq_force_bypasses_bounds);
+    ("journal entry roundtrip", `Quick, test_journal_entry_roundtrip);
+    ( "journal recovery and compaction",
+      `Quick,
+      test_journal_recovery_and_compaction );
+    ("journal torn tail dropped", `Quick, test_journal_torn_tail_dropped);
+    ( "journal mid-file corruption typed",
+      `Quick,
+      test_journal_midfile_corruption_typed );
     ("scheduler runs and coalesces", `Quick, test_scheduler_runs_and_coalesces);
     ("scheduler backpressure", `Quick, test_scheduler_backpressure);
     ("scheduler drain rejects", `Quick, test_scheduler_drain_rejects);
     ("scheduler fault isolation", `Quick, test_scheduler_fault_isolation);
+    ("scheduler deadline watchdog", `Quick, test_scheduler_deadline_watchdog);
+    ("scheduler retry-after cap", `Quick, test_scheduler_retry_after_cap);
+    ("scheduler restore replays", `Quick, test_scheduler_restore_replays);
   ]

@@ -167,7 +167,7 @@ type retry_policy = {
   max_attempts : int;
   base_delay_ms : int;
   max_delay_ms : int;
-  seed : int;
+  seed : int option;
   sleep : float -> unit;
 }
 
@@ -176,9 +176,19 @@ let default_policy =
     max_attempts = 8;
     base_delay_ms = 50;
     max_delay_ms = 5_000;
-    seed = 0;
+    seed = None;
     sleep = Unix.sleepf;
   }
+
+(* With no explicit seed, each retry loop draws its own jitter stream —
+   pid-mixed so a fleet of clients restarting against the same downed
+   server spreads out instead of thundering in lockstep (a shared
+   constant seed would synchronize exactly the schedules the jitter
+   exists to desynchronize). *)
+let auto_seed_counter = Atomic.make 0
+
+let auto_seed () =
+  (Unix.getpid () * 1_000_003) + Atomic.fetch_and_add auto_seed_counter 1
 
 (* The retryable class is transient service states — the server is full,
    leaving, restarting, or gone — plus [Unknown_job], which a restarted
@@ -198,8 +208,8 @@ let retry_after_hint : Error.t -> int option = function
 
 (* Capped exponential backoff with full jitter: attempt [k] sleeps a
    uniform draw from [0, min (base * 2^k) cap], floored at the server's
-   retry-after hint when one was given. Deterministic per [seed] (the
-   chaos harness replays byte-identical schedules). *)
+   retry-after hint when one was given. Deterministic per explicit
+   [seed] (the chaos harness replays byte-identical schedules). *)
 let backoff_ms policy rng ~attempt ~hint =
   let expo =
     let rec go k acc =
@@ -214,7 +224,10 @@ let backoff_ms policy rng ~attempt ~hint =
   | Some h -> max jittered (min policy.max_delay_ms h)
 
 let run_with_retry ?priority ?(policy = default_policy) ~socket request =
-  let rng = Mcd_util.Rng.create policy.seed in
+  let rng =
+    Mcd_util.Rng.create
+      (match policy.seed with Some s -> s | None -> auto_seed ())
+  in
   let attempt_once () =
     match connect ~socket with
     | Result.Error e -> Result.Error e

@@ -74,12 +74,18 @@ type retry_policy = {
   base_delay_ms : int;  (** backoff scale for attempt 0 *)
   max_delay_ms : int;
       (** ceiling on any single sleep, including server hints *)
-  seed : int;  (** jitter stream ({!Mcd_util.Rng}); deterministic *)
+  seed : int option;
+      (** jitter stream ({!Mcd_util.Rng}). [Some s] is deterministic —
+          the chaos harness replays byte-identical schedules; [None]
+          derives a fresh pid-mixed seed per call, so independent
+          clients never share a jitter schedule (a fleet retrying in
+          lockstep is the thundering herd jitter exists to prevent) *)
   sleep : float -> unit;  (** seconds; tests stub this out *)
 }
 
 val default_policy : retry_policy
-(** 8 attempts, 50ms base, 5s cap, seed 0, [Unix.sleepf]. *)
+(** 8 attempts, 50ms base, 5s cap, auto seed ([None]),
+    [Unix.sleepf]. *)
 
 val retryable : Mcd_robust.Error.t -> bool
 (** [Overloaded], [Draining], [Server_unavailable] and [Unknown_job]

@@ -141,6 +141,7 @@ let recover_content ~path content =
   let admits = ref [] in
   let terminal = Hashtbl.create 16 in
   let completed = ref 0 and failed = ref 0 in
+  let id_floor = ref 1 in
   let bad = ref None in
   let note_bad reason = if !bad = None then bad := Some reason in
   List.iter
@@ -171,11 +172,18 @@ let recover_content ~path content =
                 incr failed
               end
           | Result.Error reason -> note_bad reason)
+      | "next" -> (
+          (* compaction drops completed admits, so the high-water id is
+             carried explicitly: without it a restart after a fully-
+             drained session would hand out ids its clients already hold *)
+          match id_of_body body with
+          | Ok id -> id_floor := max !id_floor id
+          | Result.Error reason -> note_bad reason)
       | kind -> note_bad (Printf.sprintf "unknown record kind %S" kind))
     raws;
   let admits = List.rev !admits in
   let next_id =
-    List.fold_left (fun acc (e : entry) -> max acc (e.id + 1)) 1 admits
+    List.fold_left (fun acc (e : entry) -> max acc (e.id + 1)) !id_floor admits
   in
   let corrupt =
     match (corrupt_reason, !bad) with
@@ -259,14 +267,16 @@ let open_journal ?(fsync = true) ~path () =
     else Ok ""
   in
   let recovery = recover_content ~path content in
-  (* Compact: the surviving state is exactly the incomplete admits, so
-     rewrite the log to hold only those — atomically, tmp+rename, the
-     Cache.Store discipline — and append from there. *)
+  (* Compact: the surviving state is the incomplete admits plus the
+     high-water id (a [next] record — completed admits are dropped, so
+     their ids must not be reissued), rewritten atomically — tmp+rename,
+     the Cache.Store discipline — and appended to from there. *)
   let compacted =
     String.concat ""
-      (List.map
-         (fun e -> render_record "admit" (render_entry e ^ "\n"))
-         recovery.replay)
+      (render_record "next" (kvi "id" recovery.next_id ^ "\n")
+      :: List.map
+           (fun e -> render_record "admit" (render_entry e ^ "\n"))
+           recovery.replay)
   in
   let tmp =
     Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())

@@ -14,7 +14,7 @@
 
     {v
     record ::= "rec <kind> bytes=<n>\n" <n body bytes> "end\n"
-    kind   ::= "admit" | "done" | "fail"
+    kind   ::= "admit" | "done" | "fail" | "next"
     v}
 
     An [admit] body is one line of percent-encoded [key=value] tokens
@@ -31,8 +31,13 @@
     applies to truncated plans. Jobs admitted but never marked
     terminal are returned for replay, in admission order. The file is
     then {e compacted} — rewritten atomically (tmp+rename, the
-    {!Mcd_cache.Store} discipline) to hold only the incomplete admits
-    — and reopened for appending.
+    {!Mcd_cache.Store} discipline) to hold a [next] record carrying the
+    high-water job id plus the incomplete admits — and reopened for
+    appending. The [next] record is what keeps completed-then-compacted
+    ids from being reissued: the restarted scheduler must allocate
+    fresh ids above {!recovery.next_id}, or a client polling an id it
+    was acked with before the crash could be handed another job's
+    payload.
 
     Appends are serialized by an internal mutex (the scheduler's
     workers and the server loop both write); [admit] records are
@@ -51,7 +56,10 @@ type recovery = {
   replay : entry list;  (** admitted, never terminal — in id order *)
   completed : int;  (** jobs with a [done] record *)
   failed : int;  (** jobs with a [fail] record *)
-  next_id : int;  (** 1 + the highest id ever admitted *)
+  next_id : int;
+      (** 1 + the highest id ever admitted, including ids only
+          remembered by a compacted log's [next] record — the floor for
+          fresh allocations; feed it to {!Scheduler.restore} *)
   torn : bool;  (** a torn record was dropped from the tail *)
   corrupt : Mcd_robust.Error.t option;
       (** a mid-file record failed to parse; the suffix was dropped *)

@@ -228,7 +228,11 @@ let watchdog_tick t ~deadline_s =
 
 let rec watchdog_loop t ~deadline_s =
   if not t.stopped then begin
-    Unix.sleepf (Float.min 0.01 (deadline_s /. 4.0));
+    (* tick proportional to the deadline, floored at 10ms so short test
+       deadlines stay sharp, capped at 250ms so a long deadline neither
+       scans the job table needlessly often nor makes shutdown's
+       Domain.join wait out a multi-second sleep *)
+    Unix.sleepf (Float.max 0.01 (Float.min 0.25 (deadline_s /. 4.0)));
     watchdog_tick t ~deadline_s;
     watchdog_loop t ~deadline_s
   end
@@ -375,9 +379,13 @@ let submit t ~client ~priority ~digest request =
    ids (a client reconnecting after a crash polls the id it was acked
    with). Replay bypasses admission bounds: these jobs were already
    admitted once, and must not be dropped because the restart came up
-   with a smaller queue configuration. *)
-let restore t (entries : Journal.entry list) =
+   with a smaller queue configuration. [next_id] is the journal's
+   high-water mark and floors fresh allocations even when the replay
+   list is empty — every pre-crash job may have completed, but its id
+   is still owned by whichever client was acked with it. *)
+let restore t ~next_id (entries : Journal.entry list) =
   Mutex.lock t.mutex;
+  t.next_id <- max t.next_id next_id;
   let n =
     List.fold_left
       (fun n (e : Journal.entry) ->

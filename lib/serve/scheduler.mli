@@ -101,14 +101,18 @@ val submit :
   Protocol.request ->
   admission
 
-val restore : t -> Journal.entry list -> int
+val restore : t -> next_id:int -> Journal.entry list -> int
 (** Re-queue jobs recovered from the {!Journal}, preserving their
     original ids (a client reconnecting after a crash polls the id it
-    was acked with) and advancing the id counter past them. Bypasses
-    admission bounds — these jobs were admitted once already and must
-    not be dropped to a smaller restart configuration. Entries whose id
-    is already in the table are skipped; returns the number restored.
-    Call before accepting connections. *)
+    was acked with) and advancing the id counter to at least [next_id]
+    — the journal's {!Journal.recovery.next_id} high-water mark, which
+    floors fresh allocations even when nothing replays, so ids of jobs
+    that completed before the crash are never reissued to new
+    submissions. Bypasses admission bounds — these jobs were admitted
+    once already and must not be dropped to a smaller restart
+    configuration. Entries whose id is already in the table are
+    skipped; returns the number restored. Call before accepting
+    connections. *)
 
 val retry_after_ms : t -> int
 (** The current backoff hint: EWMA latency in ms, floored at 100,

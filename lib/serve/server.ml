@@ -519,9 +519,9 @@ let run ?(digest = request_digest) ?compute:(compute_fn = compute) cfg =
       | Ok listen_fd ->
           install_signal_handlers ();
           Atomic.set stop_requested false;
-          let journal, replay =
+          let journal, replay, next_id =
             match cfg.journal with
-            | None -> (None, [])
+            | None -> (None, [], 1)
             | Some path -> (
                 match Journal.open_journal ~path () with
                 | Ok (j, recovery) ->
@@ -529,12 +529,12 @@ let run ?(digest = request_digest) ?compute:(compute_fn = compute) cfg =
                     | Some err ->
                         Printf.eprintf "mcd-dvfs: %s\n%!" (Error.to_string err)
                     | None -> ());
-                    (Some j, recovery.Journal.replay)
+                    (Some j, recovery.Journal.replay, recovery.Journal.next_id)
                 | Result.Error err ->
                     (* journal-less serving beats not serving: replay
                        protection is lost, answers stay correct *)
                     Printf.eprintf "mcd-dvfs: %s\n%!" (Error.to_string err);
-                    (None, []))
+                    (None, [], 1))
           in
           let wake_r, wake_w = Unix.pipe () in
           Unix.set_nonblock wake_w;
@@ -567,7 +567,7 @@ let run ?(digest = request_digest) ?compute:(compute_fn = compute) cfg =
               ~compute:compute_wrapped ()
           in
           sched_cell := Some sched;
-          ignore (Scheduler.restore sched replay);
+          ignore (Scheduler.restore sched ~next_id replay);
           let t =
             {
               cfg;

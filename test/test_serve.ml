@@ -297,7 +297,23 @@ let test_journal_recovery_and_compaction () =
   Alcotest.(check (list int)) "compacted log replays the same" [ 3 ]
     (replay_ids r2);
   Alcotest.(check int) "terminal records rewritten away" 0 r2.Journal.completed;
-  Journal.close j3
+  (* finish the last job: the next recovery has nothing to replay, but
+     the compacted log's [next] record must still hold the high-water
+     id — ids of jobs completed before a crash are owned by the clients
+     they were acked to, and must never be reissued *)
+  Journal.mark_done j3 ~id:3;
+  Journal.close j3;
+  let j4, r3 = open_ok path in
+  Alcotest.(check (list int)) "nothing left to replay" [] (replay_ids r3);
+  Alcotest.(check int) "high-water id survives empty-replay compaction" 4
+    r3.Journal.next_id;
+  Journal.close j4;
+  (* ...and survives a second compaction, when only the [next] record
+     itself carries the mark *)
+  let j5, r4 = open_ok path in
+  Alcotest.(check int) "high-water id survives recompaction" 4
+    r4.Journal.next_id;
+  Journal.close j5
 
 let test_journal_torn_tail_dropped () =
   with_journal_path @@ fun path ->
@@ -595,7 +611,8 @@ let test_scheduler_restore_replays () =
       { (journal_entry ~id:9 "b") with Journal.priority = Protocol.Normal };
     ]
   in
-  Alcotest.(check int) "both entries restored" 2 (Scheduler.restore s entries);
+  Alcotest.(check int) "both entries restored" 2
+    (Scheduler.restore s ~next_id:10 entries);
   List.iter
     (fun id ->
       match Scheduler.wait_job ~timeout_s:10.0 s id with
@@ -610,6 +627,20 @@ let test_scheduler_restore_replays () =
   Scheduler.with_registry s (fun m ->
       Alcotest.(check int) "replays counted" 2
         (Metrics.value (Metrics.counter m "serve.replayed")))
+
+let test_scheduler_restore_floors_ids () =
+  let compute (r : Protocol.request) = "payload:" ^ r.Protocol.workload in
+  with_scheduler ~compute @@ fun s ->
+  (* every pre-crash job completed, so nothing replays — but the
+     journal's high-water mark must still floor fresh allocations, or a
+     client polling a pre-crash id would be handed a new job's state *)
+  Alcotest.(check int) "nothing to restore" 0
+    (Scheduler.restore s ~next_id:42 []);
+  match submit s (Protocol.request "fresh") with
+  | Scheduler.Accepted info ->
+      Alcotest.(check int) "fresh id starts at the journal high-water" 42
+        info.Scheduler.id
+  | _ -> Alcotest.fail "fresh submit not accepted"
 
 let suite =
   [
@@ -638,4 +669,5 @@ let suite =
     ("scheduler deadline watchdog", `Quick, test_scheduler_deadline_watchdog);
     ("scheduler retry-after cap", `Quick, test_scheduler_retry_after_cap);
     ("scheduler restore replays", `Quick, test_scheduler_restore_replays);
+    ("scheduler restore floors ids", `Quick, test_scheduler_restore_floors_ids);
   ]

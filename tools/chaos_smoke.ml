@@ -240,7 +240,7 @@ let retry_policy ~cycle =
     Client.max_attempts = 12;
     base_delay_ms = 20;
     max_delay_ms = 500;
-    seed = (seed * 1000) + cycle;
+    seed = Some ((seed * 1000) + cycle);
   }
 
 let phase_kill9_loop socket journal_path ~expected_baseline ~expected_online =

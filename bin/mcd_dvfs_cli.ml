@@ -148,8 +148,10 @@ let print_breakdown (m : Metrics.run) =
     (Table.render ~header:[ "domain"; "energy (nJ)"; "share" ] ~rows ())
 
 let run_cmd =
-  let run w policy context breakdown cache_dir =
+  let run w policy context breakdown cache_dir sample =
     init_cache cache_dir;
+    if sample then
+      Runner.set_sim_mode (Runner.Sampled Mcd_cpu.Sampler.default_params);
     let baseline = Runner.baseline w in
     let metrics =
       match policy with
@@ -192,9 +194,27 @@ let run_cmd =
     Arg.(value & flag
          & info [ "breakdown" ] ~doc:"Print per-domain energy breakdown")
   in
+  let sample =
+    Arg.(
+      value
+      & vflag false
+          [
+            ( true,
+              info [ "sample" ]
+                ~doc:
+                  "Simulate under phase sampling: repeating call-tree \
+                   phases run once per frequency-vector signature and are \
+                   extrapolated. Faster, approximate; results are cached \
+                   separately from exact ones." );
+            ( false,
+              info [ "exact" ]
+                ~doc:"Exact cycle-level simulation (the default)." );
+          ])
+  in
   Cmd.v
     (cmd_info "run" ~doc:"Simulate a benchmark under a policy")
-    Term.(const run $ w $ policy $ context $ breakdown $ cache_dir_arg)
+    Term.(
+      const run $ w $ policy $ context $ breakdown $ cache_dir_arg $ sample)
 
 (* --- tree ------------------------------------------------------------ *)
 

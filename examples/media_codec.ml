@@ -26,14 +26,15 @@ let () =
     List.map
       (fun ctx ->
         let pr = Runner.profile_run w ~context:ctx ~train:`Train in
+        let plan = Lazy.force pr.Runner.plan in
         let c = Runner.compare_runs ~baseline pr.Runner.run in
         [
           ctx.Context.name;
           Table.fmt_pct c.Runner.degradation_pct;
           Table.fmt_pct c.Runner.savings_pct;
           Table.fmt_pct c.Runner.ed_improvement_pct;
-          string_of_int (Plan.static_reconfig_points pr.Runner.plan);
-          string_of_int (Plan.static_instr_points pr.Runner.plan);
+          string_of_int (Plan.static_reconfig_points plan);
+          string_of_int (Plan.static_instr_points plan);
           string_of_int pr.Runner.run.Mcd_power.Metrics.reconfigurations;
         ])
       Context.all

@@ -108,6 +108,19 @@ type t = {
   (* instrumentation cost accounting *)
   mutable instr_points : int;
   mutable instr_overhead_ps : int;
+  (* phase sampling: when [sampler] is present, stable repeated phase
+     instances are fast-forwarded and their contribution accumulated
+     here analytically instead of being simulated cycle by cycle. The
+     accumulators are folded into [metrics] at the end of the run. *)
+  sampler : Sampler.t option;
+  mutable extrap_ps : int;
+  mutable extrap_cycles : int;
+  extrap_pj : float array; (* Domain.count + 1; last slot external *)
+  mutable extrap_crossings : int;
+  mutable extrap_penalties : int;
+  mutable extrap_reconfigs : int;
+  mutable extrap_instr_points : int;
+  mutable extrap_instr_ps : int;
   (* observability: all [obs_*] fields are dead weight when [sink] is
      [None] — every producer site guards on the option first *)
   sink : Sink.t option;
@@ -124,8 +137,8 @@ type t = {
 
 let fetch_buffer_cap = 16
 
-let create ?probe ?(controller = Controller.nop) ?sink ?(warmup_insts = 0)
-    ~config ~program ~input ~max_insts () =
+let create ?probe ?(controller = Controller.nop) ?sink ?sampling
+    ?(warmup_insts = 0) ~config ~program ~input ~max_insts () =
   let cfg : Config.t = config in
   let dvfs = Dvfs.create () in
   let rng = Rng.create cfg.seed in
@@ -208,6 +221,15 @@ let create ?probe ?(controller = Controller.nop) ?sink ?(warmup_insts = 0)
     retired_at_sample = 0;
     instr_points = 0;
     instr_overhead_ps = 0;
+    sampler = Option.map Sampler.create sampling;
+    extrap_ps = 0;
+    extrap_cycles = 0;
+    extrap_pj = Array.make (Domain.count + 1) 0.0;
+    extrap_crossings = 0;
+    extrap_penalties = 0;
+    extrap_reconfigs = 0;
+    extrap_instr_points = 0;
+    extrap_instr_ps = 0;
     sink;
     next_obs_cycle =
       (match sink with Some s -> Sink.stride_cycles s | None -> max_int);
@@ -403,7 +425,12 @@ let retire_stage t ~now =
         t.instr_overhead_ps <- 0;
         (* the energy accumulator was just reset; realign the sampler's
            per-domain baselines or the next pJ delta clamps to zero *)
-        Array.fill t.obs_prev_pj 0 (Array.length t.obs_prev_pj) 0.0
+        Array.fill t.obs_prev_pj 0 (Array.length t.obs_prev_pj) 0.0;
+        (* likewise a sampler recording opened during warm-up would
+           difference snapshots across the reset: discard it *)
+        (match t.sampler with
+        | Some s -> Sampler.abort_record s
+        | None -> ())
       end;
       decr budget
     end
@@ -543,6 +570,165 @@ let apply_reaction t ~now (reaction : Controller.reaction) =
             ~trigger:Sink.Marker ~setting ~detail:"marker reaction" ());
       Reconfig.write ?sink:t.sink t.reconfig setting ~now
 
+(* Process a marker normally: probe callback, controller reaction,
+   reaction cost. Returns true when the reaction stalled the front end
+   (the fetch loop must stop for this cycle). *)
+let process_marker t m ~now =
+  (match t.probe with
+  | Some probe -> probe.Probe.on_marker m ~seq:t.stream_pos
+  | None -> ());
+  let reaction = t.controller.Controller.on_marker m ~now in
+  apply_reaction t ~now reaction;
+  reaction.Controller.stall_cycles > 0
+
+(* Snapshots include the extrapolation accumulators so a recorded span
+   that itself contains skips of already-stable inner signatures still
+   measures its full cost. *)
+let sampler_snapshot t ~now =
+  {
+    Sampler.now_ps = now + t.extrap_ps;
+    cycles_front = Clock.cycles (clock t Domain.Front_end) + t.extrap_cycles;
+    pj =
+      Array.init (Domain.count + 1) (fun i ->
+          t.extrap_pj.(i)
+          +.
+          if i < Domain.count then
+            Energy.Accum.domain_pj t.energy (Domain.of_index i)
+          else Energy.Accum.external_pj t.energy);
+    crossings = t.sync_stats.Sync.crossings + t.extrap_crossings;
+    penalties = t.sync_stats.Sync.penalties + t.extrap_penalties;
+    reconfigs = Reconfig.writes t.reconfig + t.extrap_reconfigs;
+    instr_points = t.instr_points + t.extrap_instr_points;
+    instr_ps = t.instr_overhead_ps + t.extrap_instr_ps;
+  }
+
+let current_targets t =
+  Array.init Domain.count (fun i -> Dvfs.target_mhz t.dvfs (Domain.of_index i))
+
+(* Fast-forward the walker across the balanced interior of a stable
+   instance whose enter marker was just processed. The matching exit
+   marker is pushed back so the next fetch round processes it normally
+   (controller restore, probe). The recorded measure, scaled to the
+   instructions actually swallowed (clamped to what is left of the
+   measured window), lands in the extrapolation accumulators; the
+   DVFS targets the recorded instance ended with are restored so the
+   post-instance machine executes at the frequencies the exact run
+   would have left behind. *)
+(* Account [skipped] fast-forwarded instructions against the recorded
+   measure: scale every delta by the instructions actually counted
+   (an exact run would stop mid-instance at the window edge, so the
+   extrapolation is clamped to what is left of the measured window)
+   and restore the DVFS targets the recorded span ended with. *)
+let extrapolate t s (m : Sampler.measure) ~skipped =
+  Sampler.note_skipped s ~insts:skipped;
+  t.stream_pos <- t.stream_pos + skipped;
+  let remaining = t.warmup_insts + t.max_insts - t.retired in
+  let counted = min skipped remaining in
+  t.retired <- t.retired + counted;
+  let scale = float_of_int counted /. float_of_int (max 1 m.Sampler.m_insts) in
+  let si v = int_of_float (Float.round (scale *. float_of_int v)) in
+  t.extrap_ps <- t.extrap_ps + si m.Sampler.dps;
+  t.extrap_cycles <- t.extrap_cycles + si m.Sampler.dcycles;
+  Array.iteri
+    (fun i v -> t.extrap_pj.(i) <- t.extrap_pj.(i) +. (scale *. v))
+    m.Sampler.dpj;
+  t.extrap_crossings <- t.extrap_crossings + si m.Sampler.dcrossings;
+  t.extrap_penalties <- t.extrap_penalties + si m.Sampler.dpenalties;
+  t.extrap_reconfigs <- t.extrap_reconfigs + si m.Sampler.dreconfigs;
+  t.extrap_instr_points <- t.extrap_instr_points + si m.Sampler.dinstr_points;
+  t.extrap_instr_ps <- t.extrap_instr_ps + si m.Sampler.dinstr_ps;
+  Array.iteri
+    (fun i mhz ->
+      let d = Domain.of_index i in
+      if Dvfs.target_mhz t.dvfs d <> mhz then Dvfs.force t.dvfs d ~mhz)
+    m.Sampler.exit_targets
+
+(* Functional warming (the SMARTS discipline): a fast-forwarded
+   instruction still touches the caches and the branch predictor —
+   tags, LRU and history update as the exact run's would, with no
+   timing and no energy (the recorded measure's extrapolation covers
+   both). Without this, skipped phases stop evicting, the phase that
+   follows a skip sees impossibly warm caches, and every measure
+   recorded there under-states the machine's steady-state miss cost. *)
+let warm_inst t (di : Inst.dyn) =
+  let line = di.Inst.static_id lsr 4 in
+  if line <> t.last_fetch_line then begin
+    t.last_fetch_line <- line;
+    let iaddr = di.Inst.static_id * 4 in
+    if not (Cache.access t.l1i ~addr:iaddr) then
+      ignore (Cache.access t.l2 ~addr:iaddr : bool)
+  end;
+  match di.Inst.klass with
+  | Inst.Load | Inst.Store ->
+      if not (Cache.access t.l1d ~addr:di.Inst.addr) then
+        ignore (Cache.access t.l2 ~addr:di.Inst.addr : bool)
+  | Inst.Branch ->
+      ignore
+        (Branch_pred.predict_and_update t.bpred ~pc:di.Inst.static_id
+           ~taken:di.Inst.taken
+          : bool)
+  | Inst.Int_alu | Inst.Int_mult | Inst.Fp_alu | Inst.Fp_mult -> ()
+
+let do_skip t s (m : Sampler.measure) =
+  let depth = ref 1 in
+  let skipped = ref 0 in
+  (* the machine is drained, so [retired] is the exact stream position:
+     once the swallow reaches the window edge the run is over and the
+     stream need not stay consistent — stop rather than expand the rest
+     of the program through the walker for nothing *)
+  let cap = t.warmup_insts + t.max_insts - t.retired in
+  let continue_ = ref true in
+  while !continue_ && !depth > 0 && !skipped < cap do
+    match Walker.next t.walker with
+    | None ->
+        t.walker_done <- true;
+        continue_ := false
+    | Some (Walker.Inst di) ->
+        warm_inst t di;
+        incr skipped
+    | Some (Walker.Marker mk) -> (
+        match mk with
+        | Walker.Enter_func _ | Walker.Enter_loop _ -> incr depth
+        | Walker.Exit_func _ | Walker.Exit_loop _ ->
+            decr depth;
+            if !depth = 0 then t.pushback <- Some (Walker.Marker mk))
+  done;
+  extrapolate t s m ~skipped:!skipped
+
+(* Fast-forward from a taken back edge (already pulled off the stream)
+   to the loop's final not-taken back edge, which is pushed back so
+   the loop's exit runs exactly. Interior markers are balanced — every
+   swallowed iteration contains only complete subtrees. *)
+let do_skip_iters t s (m : Sampler.measure) ~loop_id ~bound =
+  let depth = ref 0 in
+  let skipped = ref 1 (* the triggering back edge itself *) in
+  let cap = t.warmup_insts + t.max_insts - t.retired in
+  let continue_ = ref true in
+  while !continue_ && !skipped < cap do
+    match Walker.next t.walker with
+    | None ->
+        t.walker_done <- true;
+        continue_ := false
+    | Some (Walker.Inst di) -> (
+        match Walker.as_loop_branch ~pc:di.Inst.static_id with
+        | Some l
+          when !depth = 0 && l = loop_id
+               && ((not di.Inst.taken) || !skipped >= bound) ->
+            (* final back edge (loop over) or bucket edge reached:
+               push the boundary branch back and resume exactly *)
+            t.pushback <- Some (Walker.Inst di);
+            continue_ := false
+        | Some _ | None ->
+            warm_inst t di;
+            incr skipped)
+    | Some (Walker.Marker mk) -> (
+        match mk with
+        | Walker.Enter_func _ | Walker.Enter_loop _ -> incr depth
+        | Walker.Exit_func _ | Walker.Exit_loop _ -> decr depth)
+  done;
+  extrapolate t s m ~skipped:!skipped;
+  Sampler.note_iter_boundary s
+
 let fetch_stage t ~now =
   if now >= t.fetch_resume && t.pending_redirect = None then begin
     let p = period t Domain.Front_end ~now in
@@ -553,19 +739,44 @@ let fetch_stage t ~now =
       | None ->
           t.walker_done <- true;
           continue_ := false
-      | Some (Walker.Marker m) ->
-          (match t.probe with
-          | Some probe -> probe.Probe.on_marker m ~seq:t.stream_pos
-          | None -> ());
-          let reaction = t.controller.Controller.on_marker m ~now in
-          apply_reaction t ~now reaction;
-          if reaction.Controller.stall_cycles > 0 then continue_ := false
+      | Some (Walker.Marker m) -> (
+          match t.sampler with
+          | None -> if process_marker t m ~now then continue_ := false
+          | Some s -> (
+              let drained = t.rob_count = 0 && t.fetch_buf_count = 0 in
+              match
+                Sampler.decide s m ~drained ~measuring:t.measuring
+                  ~targets:(fun () -> current_targets t)
+              with
+              | Sampler.Proceed ->
+                  if process_marker t m ~now then continue_ := false
+              | Sampler.Wait ->
+                  t.pushback <- Some (Walker.Marker m);
+                  continue_ := false
+              | Sampler.Record ->
+                  let stalled = process_marker t m ~now in
+                  Sampler.begin_record s ~snapshot:(sampler_snapshot t ~now);
+                  if stalled then continue_ := false
+              | Sampler.End_record ->
+                  Sampler.end_record s ~snapshot:(sampler_snapshot t ~now)
+                    ~targets:(current_targets t);
+                  if process_marker t m ~now then continue_ := false
+              | Sampler.Skip measure ->
+                  ignore (process_marker t m ~now : bool);
+                  do_skip t s measure;
+                  continue_ := false
+              | Sampler.Skip_iters _ ->
+                  assert false (* only decide_backedge answers this *)))
       | Some (Walker.Inst di) ->
           if t.fetch_buf_count >= fetch_buffer_cap then begin
+            (* capacity check first: a pushback here re-presents the
+               instruction, so the sampler must not see it yet (its
+               boundary accounting is once per event) *)
             t.pushback <- Some (Walker.Inst di);
             continue_ := false
           end
           else begin
+          let fetch_it () =
             (* I-cache: access once per new line *)
             let line = di.Inst.static_id lsr 4 in
             let line_hit =
@@ -597,6 +808,9 @@ let fetch_stage t ~now =
             Queue.push inf t.fetch_buf;
             t.fetch_buf_count <- t.fetch_buf_count + 1;
             t.stream_pos <- t.stream_pos + 1;
+            (match t.sampler with
+            | Some s -> Sampler.note_inst s
+            | None -> ());
             charge t ~now Energy.Fetch;
             (* control dependence: the first fetch after a mispredict
                recovery depends on the resolving branch; an I-cache miss
@@ -620,6 +834,36 @@ let fetch_stage t ~now =
             end
             else if not line_hit then continue_ := false
             else decr slots
+          in
+          match t.sampler with
+          | None -> fetch_it ()
+          | Some s -> (
+              match Walker.as_loop_branch ~pc:di.Inst.static_id with
+              | None -> fetch_it ()
+              | Some loop_id -> (
+                  let drained = t.rob_count = 0 && t.fetch_buf_count = 0 in
+                  match
+                    Sampler.decide_backedge s ~loop_id ~taken:di.Inst.taken
+                      ~drained ~measuring:t.measuring
+                      ~targets:(fun () -> current_targets t)
+                  with
+                  | Sampler.Proceed -> fetch_it ()
+                  | Sampler.Wait ->
+                      t.pushback <- Some (Walker.Inst di);
+                      continue_ := false
+                  | Sampler.Record ->
+                      Sampler.begin_record s
+                        ~snapshot:(sampler_snapshot t ~now);
+                      fetch_it ()
+                  | Sampler.End_record ->
+                      Sampler.end_record s ~snapshot:(sampler_snapshot t ~now)
+                        ~targets:(current_targets t);
+                      fetch_it ()
+                  | Sampler.Skip _ ->
+                      assert false (* only decide (markers) answers this *)
+                  | Sampler.Skip_iters (measure, bound) ->
+                      do_skip_iters t s measure ~loop_id ~bound;
+                      continue_ := false))
           end
     done
   end
@@ -891,26 +1135,33 @@ let metrics t ~now =
         else Energy.Accum.external_pj t.energy)
   in
   let end_time = if t.retired > 0 then t.last_retire_time else now in
+  (* skipped phase instances contribute analytically, from the
+     extrapolation accumulators (all zero without a sampler) *)
   {
-    Metrics.runtime_ps = max 0 (end_time - t.base_time);
-    energy_pj = Energy.Accum.total_pj t.energy;
-    per_domain_pj = per_domain;
+    Metrics.runtime_ps = max 0 (end_time - t.base_time) + t.extrap_ps;
+    energy_pj =
+      Energy.Accum.total_pj t.energy
+      +. Array.fold_left ( +. ) 0.0 t.extrap_pj;
+    per_domain_pj = Array.mapi (fun i v -> v +. t.extrap_pj.(i)) per_domain;
     instructions = max 0 (t.retired - min t.retired t.warmup_insts);
-    cycles_front = Clock.cycles (clock t Domain.Front_end) - t.base_cycles;
-    sync_crossings = t.sync_stats.Sync.crossings;
-    sync_penalties = t.sync_stats.Sync.penalties;
-    reconfigurations = Reconfig.writes t.reconfig - t.base_reconfigs;
-    instr_points = t.instr_points;
-    instr_overhead_ps = t.instr_overhead_ps;
+    cycles_front =
+      Clock.cycles (clock t Domain.Front_end) - t.base_cycles
+      + t.extrap_cycles;
+    sync_crossings = t.sync_stats.Sync.crossings + t.extrap_crossings;
+    sync_penalties = t.sync_stats.Sync.penalties + t.extrap_penalties;
+    reconfigurations =
+      Reconfig.writes t.reconfig - t.base_reconfigs + t.extrap_reconfigs;
+    instr_points = t.instr_points + t.extrap_instr_points;
+    instr_overhead_ps = t.instr_overhead_ps + t.extrap_instr_ps;
   }
 
 let deadlock_horizon = Time.us 100_000 (* 100 ms of simulated time *)
 
-let run ?probe ?controller ?sink ?warmup_insts ?(dvfs_faults = []) ~config
-    ~program ~input ~max_insts () =
+let run ?probe ?controller ?sink ?sampling ?sampler_report ?warmup_insts
+    ?(dvfs_faults = []) ~config ~program ~input ~max_insts () =
   let t =
-    create ?probe ?controller ?sink ?warmup_insts ~config ~program ~input
-      ~max_insts ()
+    create ?probe ?controller ?sink ?sampling ?warmup_insts ~config ~program
+      ~input ~max_insts ()
   in
   List.iter (Dvfs.inject t.dvfs) dvfs_faults;
   let now = ref Time.zero in
@@ -960,4 +1211,7 @@ let run ?probe ?controller ?sink ?warmup_insts ?(dvfs_faults = []) ~config
            "Pipeline.run: no retirement progress for %d ps (retired=%d)"
            (!now - !last_progress_time) t.retired)
   done;
+  (match (sampler_report, t.sampler) with
+  | Some cell, Some s -> cell := Some (Sampler.report s)
+  | (Some _ | None), _ -> ());
   metrics t ~now:!now

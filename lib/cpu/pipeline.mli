@@ -22,6 +22,8 @@ val run :
   ?probe:Probe.t ->
   ?controller:Controller.t ->
   ?sink:Mcd_obs.Sink.t ->
+  ?sampling:Sampler.params ->
+  ?sampler_report:Sampler.report option ref ->
   ?warmup_insts:int ->
   ?dvfs_faults:Mcd_domains.Dvfs.fault list ->
   config:Config.t ->
@@ -35,7 +37,16 @@ val run :
     instructions first with full microarchitectural effect — caches,
     predictors, DVFS state and the controller all run — then resets the
     measured statistics (energy, runtime, counters), mirroring the
-    paper's mid-program instruction windows. [dvfs_faults] (default
-    none) injects hardware faults into the clock/voltage system before
-    the first cycle — the robustness harness's hook. Raises [Failure]
-    if the pipeline deadlocks (a simulator bug). *)
+    paper's mid-program instruction windows. [sampling] (default off:
+    exact cycle-level simulation) enables {!Sampler} phase sampling:
+    repeated stable phase instances are simulated once per
+    (node, frequency-vector) signature and the rest fast-forwarded,
+    their metrics extrapolated from the recorded representative — a
+    large speedup on phase-structured workloads at a small, test-bounded
+    metric drift. [sampler_report] (when sampling is on) receives the
+    sampler's end-of-run counters — recorded/skipped instances,
+    swallowed instructions, unstable signatures — for tests and
+    diagnostics. [dvfs_faults] (default none) injects hardware faults
+    into the clock/voltage system before the first cycle — the
+    robustness harness's hook. Raises [Failure] if the pipeline
+    deadlocks (a simulator bug). *)

@@ -1,0 +1,619 @@
+module Vec = Mcd_util.Vec
+module Walker = Mcd_isa.Walker
+
+type params = { min_insts : int; verify : int; tolerance : float }
+
+let default_params = { min_insts = 4_000; verify = 1; tolerance = 0.05 }
+
+let params_id p =
+  Printf.sprintf "%d:%d:%h" p.min_insts p.verify p.tolerance
+
+type snapshot = {
+  now_ps : int;
+  cycles_front : int;
+  pj : float array;
+  crossings : int;
+  penalties : int;
+  reconfigs : int;
+  instr_points : int;
+  instr_ps : int;
+}
+
+type measure = {
+  m_insts : int;
+  dps : int;
+  dcycles : int;
+  dpj : float array;
+  dcrossings : int;
+  dpenalties : int;
+  dreconfigs : int;
+  dinstr_points : int;
+  dinstr_ps : int;
+  exit_targets : int array;
+}
+
+(* The sampler keeps its own passive phase tree rather than reusing
+   {!Mcd_profiling.Call_tree}: the tree here grows online during the
+   run (Call_tree.build consumes a whole walk upfront), and mcd_cpu
+   sits below mcd_profiling in the library stack. Construction mirrors
+   Call_tree exactly — nodes keyed by (parent, kind), full loop+site
+   context, recursive calls folded onto the ancestor frame and excluded
+   from instance statistics — so the phases sampled here are the phases
+   the profiler counts. *)
+type kind = Func of { fid : int; site : int } | Loop of { loop_id : int }
+
+type node = {
+  id : int;
+  kind : kind;
+  mutable children : (kind * int) list;
+  mutable completed : int; (* exact instances finished *)
+  mutable last_insts : int; (* size of the most recent exact instance *)
+}
+
+type fstate =
+  | Tracked
+  | Folded (* recursion: reuses an ancestor node, no statistics *)
+  | Skipped (* pushed by a [Skip]; popped silently at the exit marker *)
+  | Recording
+
+(* Iteration bookkeeping of a live loop frame, grown lazily at its
+   first back edge. [last_boundary] is [t.insts] at the most recent
+   iteration boundary (decided back edge or end of a bounded skip). *)
+type iter = { mutable last_boundary : int }
+
+type frame = {
+  f_node : int;
+  f_entry : int;
+  mutable f_state : fstate;
+  mutable f_iter : iter option;
+}
+
+(* Per-(node, frequency-vector) sampling state. [Measuring] accumulates
+   exact recordings newest-first; the first recording promotes to
+   [Stable] immediately (optimistic promotion — verification is
+   deferred to the refresh below). A [Stable] measure remembers when it
+   was recorded ([at], in stream instructions): machine behaviour
+   drifts as caches and predictors warm, so a measure is only trusted
+   while the run is less than [trust_factor] times its age — past that
+   the next instance re-records instead (epoch-based refresh). A
+   measure recorded in the cold start
+   (small [at]) refreshes almost immediately; a steady-state one
+   effectively never does, and each signature refreshes O(log window)
+   times in total. Node-signature refreshes demote to
+   [Measuring [old]]: the fresh recording must agree with the old
+   measure to restore [Stable] (the newest wins), so an epoch shift
+   larger than the tolerance triggers a full re-verification. *)
+type stable = { sm : measure; at : int }
+type sig_state = Measuring of measure list | Stable of stable | Unstable
+
+(* What an open recording covers: a whole node instance (ends when its
+   frame exits) or an iteration batch of [rframe] (ends at one of its
+   later boundaries). *)
+type rkind = Knode | Kiter
+
+type t = {
+  p : params;
+  nodes : node Vec.t;
+  mutable stack : frame list; (* root frame always at the bottom *)
+  mutable insts : int; (* dynamic instructions seen, skipped included *)
+  sigs : (string, sig_state) Hashtbl.t;
+  mutable recording : rkind option;
+  mutable rec_frame : frame option; (* physical identity of the owner *)
+  mutable rec_key : string;
+  mutable rec_entry : int;
+  mutable rec_begin : snapshot option;
+  mutable recorded_instances : int;
+  mutable skipped_instances : int;
+  mutable skipped_insts : int;
+  mutable unstable_signatures : int;
+}
+
+let root_kind = Func { fid = -1; site = -1 }
+
+let create p =
+  let nodes = Vec.create () in
+  Vec.push nodes
+    { id = 0; kind = root_kind; children = []; completed = 0; last_insts = 0 };
+  {
+    p;
+    nodes;
+    stack = [ { f_node = 0; f_entry = 0; f_state = Tracked; f_iter = None } ];
+    insts = 0;
+    sigs = Hashtbl.create 64;
+    recording = None;
+    rec_frame = None;
+    rec_key = "";
+    rec_entry = 0;
+    rec_begin = None;
+    recorded_instances = 0;
+    skipped_instances = 0;
+    skipped_insts = 0;
+    unstable_signatures = 0;
+  }
+
+type decision =
+  | Proceed
+  | Wait
+  | Record
+  | End_record
+  | Skip of measure
+  | Skip_iters of measure * int
+
+(* Iteration measures are keyed by position inside the loop execution,
+   quantised to [iter_quantum]-sized buckets (the last bucket covers
+   the whole steady-state tail). Iteration cost is not
+   position-invariant — a loop's first iterations re-fill the caches
+   its phase siblings evicted — so a mid-loop measure must not
+   extrapolate over the entry region. Bucketing keeps every
+   extrapolation position-matched and bounds each skip at the next
+   bucket edge, where the next bucket's own measure takes over.
+
+   The quantum (batch minimum and bucket width) equals the node
+   candidate threshold, so [min_insts] is the single granularity knob:
+   every recorded span starts at a drained, empty-pipeline point and
+   carries a fixed pipeline-refill cost that each extrapolation
+   replays, so the span length bounds the systematic overestimate —
+   [default_params] picks a span long enough to dilute it below the
+   stability tolerance. *)
+let bucket_cap = 4
+let iter_quantum p = p.min_insts
+
+(* Epoch-based trust: a measure recorded when the run was [at]
+   instructions old is trusted until the run doubles, then re-recorded.
+   The factor trades re-record duty (each signature refreshes O(log
+   window) times) against tracking of slowly converging machine state
+   — caches warming, and above all the voltage-slew limit cycle of a
+   frequently reconfiguring policy, whose per-instruction cost can keep
+   rising for a large fraction of the run (transitions take tens of
+   microseconds against phases of a few). Doubling keeps at least one
+   refresh inside the second half of any window; a factor of 4 was
+   measurably too coarse there. *)
+let trust_factor = 2
+
+let node t id = Vec.get t.nodes id
+
+let child_of t parent kind =
+  let pn = node t parent in
+  match List.assoc_opt kind pn.children with
+  | Some id -> id
+  | None ->
+      let n =
+        {
+          id = Vec.length t.nodes;
+          kind;
+          children = [];
+          completed = 0;
+          last_insts = 0;
+        }
+      in
+      Vec.push t.nodes n;
+      pn.children <- pn.children @ [ (kind, n.id) ];
+      n.id
+
+let fid_on_stack t fid =
+  List.exists
+    (fun fr ->
+      match (node t fr.f_node).kind with
+      | Func { fid = f; _ } -> f = fid
+      | Loop _ -> false)
+    t.stack
+
+let top t = match t.stack with fr :: _ -> fr | [] -> assert false
+
+let push t ~node_id ~state =
+  let fr =
+    { f_node = node_id; f_entry = t.insts; f_state = state; f_iter = None }
+  in
+  t.stack <- fr :: t.stack;
+  fr
+
+let sig_key ?bucket node_id targets =
+  let buf = Buffer.create 32 in
+  (match bucket with
+  | Some b ->
+      Buffer.add_string buf "i:";
+      Buffer.add_string buf (string_of_int b);
+      Buffer.add_char buf ':'
+  | None -> ());
+  Buffer.add_string buf (string_of_int node_id);
+  Array.iter
+    (fun mhz ->
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int mhz))
+    targets;
+  Buffer.contents buf
+
+let rec firstn n = function
+  | x :: rest when n > 0 -> x :: firstn (n - 1) rest
+  | _ :: _ | [] -> []
+
+let per_inst_close p ~insts_a va ~insts_b vb =
+  let a = va /. float_of_int (max 1 insts_a)
+  and b = vb /. float_of_int (max 1 insts_b) in
+  let scale = Float.max (Float.abs a) (Float.abs b) in
+  scale = 0.0 || Float.abs (a -. b) /. scale <= p.tolerance
+
+let total_pj m = Array.fold_left ( +. ) 0.0 m.dpj
+
+let stable p = function
+  | [] -> false
+  | first :: rest ->
+      List.for_all
+        (fun m ->
+          per_inst_close p ~insts_a:first.m_insts
+            (float_of_int first.dps)
+            ~insts_b:m.m_insts
+            (float_of_int m.dps)
+          && per_inst_close p ~insts_a:first.m_insts (total_pj first)
+               ~insts_b:m.m_insts (total_pj m))
+        rest
+
+(* --- marker dispatch ------------------------------------------------ *)
+
+let enter t ~kind ~folded ~drained ~measuring ~targets =
+  if folded then begin
+    (* reuse the innermost ancestor frame's node for the fold target *)
+    let anc =
+      List.find
+        (fun fr ->
+          match ((node t fr.f_node).kind, kind) with
+          | Func { fid = f1; _ }, Func { fid = f2; _ } -> f1 = f2
+          | (Func _ | Loop _), _ -> false)
+        t.stack
+    in
+    ignore (push t ~node_id:anc.f_node ~state:Folded : frame);
+    Proceed
+  end
+  else begin
+    let node_id = child_of t (top t).f_node kind in
+    let n = node t node_id in
+    (* recording is allowed even before the measured window opens —
+       warmup instances are free training — but skipping only happens
+       inside the window, so warmup leaves the machine state exact.
+       Candidacy waits for the second completed instance: the second
+       execution then runs with no node recording open, which is when
+       the stale (cold-start) iteration buckets learned during the
+       first execution can refresh — node measures recorded from the
+       third instance on are built over warm iteration measures. *)
+    let candidate = n.completed >= 2 && n.last_insts >= t.p.min_insts in
+    if not candidate then begin
+      ignore (push t ~node_id ~state:Tracked : frame);
+      Proceed
+    end
+    else begin
+      let key = sig_key node_id (targets ()) in
+      match Hashtbl.find_opt t.sigs key with
+      | Some (Stable st) when measuring ->
+          if t.insts >= trust_factor * st.at && t.recording = None then
+            (* refresh due: re-record this instance and verify it
+               against the old measure (demoting to [Measuring [old]]
+               means one fresh recording completes the window) *)
+            if not drained then Wait
+            else begin
+              Hashtbl.replace t.sigs key (Measuring [ st.sm ]);
+              let fr = push t ~node_id ~state:Recording in
+              t.recording <- Some Knode;
+              t.rec_frame <- Some fr;
+              t.rec_key <- key;
+              t.rec_entry <- t.insts;
+              t.rec_begin <- None;
+              Record
+            end
+            (* stable instances skip even inside an open recording:
+               snapshots include the extrapolation accumulators, so the
+               enclosing measure still covers its full span *)
+          else if not drained then Wait
+          else begin
+            ignore (push t ~node_id ~state:Skipped : frame);
+            Skip st.sm
+          end
+      | Some (Stable _) ->
+          ignore (push t ~node_id ~state:Tracked : frame);
+          Proceed
+      | Some Unstable ->
+          ignore (push t ~node_id ~state:Tracked : frame);
+          Proceed
+      | (Some (Measuring _) | None) when t.recording <> None ->
+          ignore (push t ~node_id ~state:Tracked : frame);
+          Proceed
+      | Some (Measuring _) | None ->
+          if not drained then Wait
+          else begin
+            let fr = push t ~node_id ~state:Recording in
+            t.recording <- Some Knode;
+            t.rec_frame <- Some fr;
+            t.rec_key <- key;
+            t.rec_entry <- t.insts;
+            t.rec_begin <- None;
+            Record
+          end
+    end
+  end
+
+let exit_frame t ~drained =
+  match t.stack with
+  | [] | [ _ ] -> Proceed (* never pop the root *)
+  | fr :: rest -> (
+      match fr.f_state with
+      | Folded | Skipped ->
+          t.stack <- rest;
+          Proceed
+      | Tracked ->
+          t.stack <- rest;
+          let n = node t fr.f_node in
+          n.completed <- n.completed + 1;
+          n.last_insts <- t.insts - fr.f_entry;
+          Proceed
+      | Recording -> if drained then End_record else Wait)
+
+let decide t marker ~drained ~measuring ~targets =
+  match marker with
+  | Walker.Enter_func { fid; site_id } ->
+      let folded = fid_on_stack t fid in
+      enter t
+        ~kind:(Func { fid; site = Option.value site_id ~default:(-1) })
+        ~folded ~drained ~measuring ~targets
+  | Walker.Enter_loop { loop_id } ->
+      enter t ~kind:(Loop { loop_id }) ~folded:false ~drained ~measuring
+        ~targets
+  | Walker.Exit_func _ | Walker.Exit_loop _ -> exit_frame t ~drained
+
+let decide_backedge t ~loop_id ~taken ~drained ~measuring ~targets =
+  match t.stack with
+  | fr :: _
+    when fr.f_state = Tracked
+         && (match (node t fr.f_node).kind with
+            | Loop { loop_id = l } -> l = loop_id
+            | Func _ -> false) ->
+      let n = node t fr.f_node in
+      let it =
+        match fr.f_iter with
+        | Some it -> it
+        | None ->
+            let it = { last_boundary = fr.f_entry } in
+            fr.f_iter <- Some it;
+            it
+      in
+      (* this frame owns the open batch recording? (physical identity:
+         recursion can put a same-node frame above the owner) *)
+      let owner =
+        t.recording = Some Kiter
+        && match t.rec_frame with Some rf -> rf == fr | None -> false
+      in
+      (* the boundary is accounted only on a non-[Wait] answer: a
+         waited back edge is re-presented and re-decided verbatim *)
+      let account () = it.last_boundary <- t.insts in
+      let abandon () =
+        t.recording <- None;
+        t.rec_frame <- None;
+        t.rec_begin <- None
+      in
+      let iq = iter_quantum t.p in
+      if not taken then
+        (* final back edge: the loop ends, close or abandon a batch *)
+        if owner then
+          if drained && t.insts - t.rec_entry >= iq then begin
+            account ();
+            End_record
+          end
+          else begin
+            abandon ();
+            account ();
+            Proceed
+          end
+        else begin
+          account ();
+          Proceed
+        end
+      else if owner then
+        if t.insts - t.rec_entry < iq then begin
+          account ();
+          Proceed (* batch still filling *)
+        end
+        else if drained then begin
+          account ();
+          End_record
+        end
+        else Wait
+      else begin
+        (* engage iteration sampling only on loops already known to be
+           substantial — a completed long instance, or this execution
+           has itself grown past the candidate threshold — and whose
+           iterations are small. A loop whose single iteration already
+           exceeds the quantum (an outer driver loop calling several
+           different kernels per trip) has heterogeneous interior; a
+           batch-average measure would extrapolate badly over partial
+           spans. Its inner loops and callees sample themselves at
+           their own, homogeneous granularity instead. *)
+        let pos = t.insts - fr.f_entry in
+        let big =
+          ((n.completed >= 1 && n.last_insts >= t.p.min_insts)
+          || pos >= t.p.min_insts)
+          && t.insts - it.last_boundary <= iq
+        in
+        if not big then begin
+          account ();
+          Proceed
+        end
+        else begin
+          let bucket = min (pos / iq) (bucket_cap - 1) in
+          let key = sig_key ~bucket fr.f_node (targets ()) in
+          match Hashtbl.find_opt t.sigs key with
+          | Some (Stable st) when measuring ->
+              if t.insts >= trust_factor * st.at && t.recording = None then
+                (* refresh due: re-record a batch in place of the skip *)
+                if not drained then Wait
+                else begin
+                  Hashtbl.replace t.sigs key (Measuring []);
+                  account ();
+                  t.recording <- Some Kiter;
+                  t.rec_frame <- Some fr;
+                  t.rec_key <- key;
+                  t.rec_entry <- t.insts;
+                  t.rec_begin <- None;
+                  Record
+                end
+              else if not drained then Wait
+              else begin
+                account ();
+                (* bounded skip: stop at the next bucket edge, where
+                   that bucket's own measure takes over (the tail
+                   bucket runs to the end of the loop) — but never
+                   past the measure's trust horizon ([trust_factor * st.at]), so
+                   a single skip cannot outlive the measure serving
+                   it: at the horizon the walker is back at a decision
+                   point and the refresh above re-records *)
+                let horizon = (trust_factor * st.at) - t.insts in
+                let bound =
+                  if bucket = bucket_cap - 1 then horizon
+                  else min horizon (((bucket + 1) * iq) - pos)
+                in
+                Skip_iters (st.sm, bound)
+              end
+          | Some (Stable _) ->
+              account ();
+              Proceed
+          | Some Unstable ->
+              account ();
+              Proceed
+          | (Some (Measuring _) | None) when t.recording <> None ->
+              account ();
+              Proceed
+          | Some (Measuring _) | None ->
+              if not drained then Wait
+              else begin
+                account ();
+                t.recording <- Some Kiter;
+                t.rec_frame <- Some fr;
+                t.rec_key <- key;
+                t.rec_entry <- t.insts;
+                t.rec_begin <- None;
+                Record
+              end
+        end
+      end
+  | _ -> Proceed
+
+(* A bounded iteration skip ends at an iteration boundary of the loop
+   on top of the stack: realign its bookkeeping after the skipped
+   instructions have been reported via {!note_skipped}. *)
+let note_iter_boundary t =
+  match t.stack with
+  | { f_iter = Some it; _ } :: _ -> it.last_boundary <- t.insts
+  | _ -> ()
+
+let note_inst t = t.insts <- t.insts + 1
+
+let note_skipped t ~insts =
+  t.insts <- t.insts + insts;
+  t.skipped_instances <- t.skipped_instances + 1;
+  t.skipped_insts <- t.skipped_insts + insts
+
+let begin_record t ~snapshot = t.rec_begin <- Some snapshot
+
+(* Discard any open recording without saving a measure. Called at the
+   warm-up boundary, where the pipeline resets its measured counters:
+   a span straddling the reset would difference incompatible
+   snapshots. The owning frame reverts to plain tracking. *)
+let abort_record t =
+  (match (t.recording, t.rec_frame) with
+  | Some Knode, Some fr -> fr.f_state <- Tracked
+  | (Some Kiter | None), _ | Some Knode, None -> ());
+  t.recording <- None;
+  t.rec_frame <- None;
+  t.rec_begin <- None
+
+(* Close the open recording: build the measure from the two snapshots
+   and promote optimistically — a signature's first recording already
+   serves skips. Verification is deferred to the epoch refresh: the
+   refresh demotes to [Measuring [old]], and the fresh recording must
+   agree with the old measure per the sliding window below before the
+   signature is trusted again, so every promoted measure is verified
+   against an independent instance within one epoch refresh. [single]
+   recordings (iteration buckets) never carry a verification
+   obligation: their chunks are short, position matched, and
+   cross-checked by the node-level measures that subsume them. *)
+let save_measure t ~single ~snapshot:(e : snapshot) ~targets =
+  match t.rec_begin with
+  | None -> () (* begin snapshot never arrived: discard *)
+  | Some b ->
+      t.rec_begin <- None;
+      t.recorded_instances <- t.recorded_instances + 1;
+      let m =
+        {
+          m_insts = t.insts - t.rec_entry;
+          dps = e.now_ps - b.now_ps;
+          dcycles = e.cycles_front - b.cycles_front;
+          dpj = Array.map2 (fun a b -> a -. b) e.pj b.pj;
+          dcrossings = e.crossings - b.crossings;
+          dpenalties = e.penalties - b.penalties;
+          dreconfigs = e.reconfigs - b.reconfigs;
+          dinstr_points = e.instr_points - b.instr_points;
+          dinstr_ps = e.instr_ps - b.instr_ps;
+          exit_targets = targets;
+        }
+      in
+      let prev =
+        match Hashtbl.find_opt t.sigs t.rec_key with
+        | Some (Measuring ms) -> ms
+        | Some (Stable _ | Unstable) | None -> []
+      in
+      let ms = m :: prev in
+      (* Sliding verification: agreement is demanded of the newest
+         [1 + verify] recordings only, so a cold-cache first instance
+         does not poison the signature — it ages out of the window as
+         warmer recordings replace it. Only a signature that keeps
+         disagreeing across [2 * (1 + verify)] recordings is declared
+         unstable (then simulated exactly forever). *)
+      let need = if single then 1 else 1 + t.p.verify in
+      let state =
+        if List.length ms < need then
+          (* optimistic promotion: serve skips from the very first
+             recording; the epoch refresh re-records within one
+             doubling and the verification below then applies *)
+          Stable { sm = m; at = t.insts }
+        else if stable t.p (firstn need ms) then
+          (* keep the newest recording: it ran with the warmest
+             caches, closest to steady state *)
+          Stable { sm = m; at = t.insts }
+        else if List.length ms >= 2 * need then begin
+          t.unstable_signatures <- t.unstable_signatures + 1;
+          Unstable
+        end
+        else Measuring ms
+      in
+      Hashtbl.replace t.sigs t.rec_key state
+
+let end_record t ~snapshot ~targets =
+  match t.recording with
+  | Some Knode -> (
+      match t.stack with
+      | { f_state = Recording; f_node; _ } :: rest ->
+          t.stack <- rest;
+          t.recording <- None;
+          t.rec_frame <- None;
+          let n = node t f_node in
+          n.completed <- n.completed + 1;
+          n.last_insts <- t.insts - t.rec_entry;
+          save_measure t ~single:false ~snapshot ~targets
+      | _ -> assert false (* the Recording frame is necessarily on top *))
+  | Some Kiter ->
+      t.recording <- None;
+      t.rec_frame <- None;
+      save_measure t ~single:true ~snapshot ~targets
+  | None -> assert false (* end_record only follows an End_record *)
+
+type report = {
+  recorded_instances : int;
+  skipped_instances : int;
+  skipped_insts : int;
+  unstable_signatures : int;
+}
+
+let report (t : t) =
+  {
+    recorded_instances = t.recorded_instances;
+    skipped_instances = t.skipped_instances;
+    skipped_insts = t.skipped_insts;
+    unstable_signatures = t.unstable_signatures;
+  }

@@ -1,0 +1,212 @@
+(** Phase-sampled simulation: representative-instance memoization of
+    repeating call-tree phases inside one pipeline run.
+
+    The walker's marker stream exposes exactly the phase structure the
+    profiler counts (function and loop instances). When the same node
+    runs many times — a codec step called per frame, an inner loop per
+    outer iteration — a cycle-accurate simulation of every instance
+    mostly re-derives the same numbers. The sampler watches the marker
+    stream during a run, and for each long-running node simulates one
+    representative instance per {e signature} — (node, per-domain DVFS
+    target vector) — exactly, then answers the remaining instances
+    from the recorded measure: the pipeline fast-forwards the walker
+    across the instance and extrapolates cycles, energy and the
+    synchronization counters instead of executing it. Promotion is
+    optimistic (the first recording already serves skips) with
+    deferred verification: a measure is only trusted while the run is
+    less than twice the measure's age, past which the next instance
+    re-records and the fresh recording must agree with the old one
+    within [tolerance] — so every measure is re-verified against an
+    independent instance within one epoch doubling, and a cold-start
+    measure (recorded when the run was young) is replaced almost
+    immediately by a warmed-up one. Skips are bounded by the same
+    horizon: an extrapolation can never outlive the measure serving
+    it.
+
+    Measurements are only attributable when the machine is empty, so
+    the pipeline drains (stops fetching until the ROB and fetch buffer
+    are empty) before recording or skipping an instance; the instance's
+    own Enter/Exit markers are always processed normally (controller
+    reactions, reconfiguration writes, probe callbacks), keeping the
+    editor's balanced save/restore stacks exact — only the balanced
+    interior of the instance is fast-forwarded. A signature whose
+    verification instances disagree beyond [tolerance] is marked
+    unstable and simulated exactly forever after.
+
+    Node instances are not the only repetition in a run: a long loop
+    executed once still repeats at its {e iteration} boundaries, which
+    the walker exposes as loop back-edge branches
+    ({!Mcd_isa.Walker.as_loop_branch}). For loops past [min_insts]
+    whose iterations are individually small, the sampler additionally
+    records {e batches} of iterations (at least [min_insts]
+    instructions, ending on a boundary), keyed by position inside the
+    loop execution quantised to [min_insts]-sized buckets — iteration
+    cost is not position-invariant (a loop's first iterations re-fill
+    the caches its phase siblings evicted), so each extrapolation must
+    come from a position-matched measure. Skips are bounded at the
+    next bucket edge, where that bucket's measure takes over; the tail
+    bucket runs to the end of the loop. This is the mechanism that
+    samples iteration-heavy kernels whose enclosing node runs only
+    once. During a skip the swallowed instructions still warm the
+    caches and the branch predictor functionally (tags, LRU and
+    history update; no timing, no energy), so the phase that follows a
+    skip meets the machine state the exact run would have produced.
+    Recorded spans may themselves contain skips of already-stable
+    inner signatures: snapshots include the extrapolation
+    accumulators, so a measure always reflects the full span it
+    covers. At most one recording is open at a time; new recordings
+    simply do not start inside another one.
+
+    Known, deliberately accepted approximations (all bounded by the
+    differential test suite): skipped instances do not advance the
+    simulated clocks (their runtime is added to the run totals
+    analytically), the enter-marker stall of a skipped instance is
+    charged twice (once by the reaction, once inside the recorded
+    measure — tens of cycles against a >= [min_insts] instance), and a
+    cycle-driven on-line controller does not observe samples inside
+    skipped instances. *)
+
+type params = {
+  min_insts : int;
+      (** a node is a sampling candidate once two completed instances
+          exist and the latest reaches this many dynamic instructions;
+          also the iteration-batch minimum and position-bucket width.
+          Every recorded span starts at a drained (empty-pipeline)
+          point and so carries a fixed refill cost that each
+          extrapolation replays — the span length dilutes that
+          systematic overestimate, which is why the default is
+          deliberately coarse *)
+  verify : int;
+      (** extra exact instances a refreshed signature must record to
+          confirm stability (agreement window = 1 + [verify]) *)
+  tolerance : float;
+      (** maximum relative disagreement in per-instruction runtime and
+          energy between the verification recordings *)
+}
+
+val default_params : params
+(** [{ min_insts = 4_000; verify = 1; tolerance = 0.05 }] *)
+
+val params_id : params -> string
+(** Canonical rendering for cache keys: every parameter in a fixed
+    order, floats in lossless [%h] form. *)
+
+(** Machine-state deltas the pipeline measures around a recorded
+    instance. Built by the pipeline at drained points. *)
+type snapshot = {
+  now_ps : int;
+  cycles_front : int;
+  pj : float array;  (** per-domain energy, length [Domain.count + 1] *)
+  crossings : int;
+  penalties : int;
+  reconfigs : int;
+  instr_points : int;
+  instr_ps : int;
+}
+
+(** One recorded representative instance: the deltas to replay for each
+    skipped instance of the same signature. *)
+type measure = {
+  m_insts : int;
+  dps : int;
+  dcycles : int;
+  dpj : float array;
+  dcrossings : int;
+  dpenalties : int;
+  dreconfigs : int;
+  dinstr_points : int;
+  dinstr_ps : int;
+  exit_targets : int array;
+      (** per-domain DVFS targets when the recorded instance ended —
+          restored after a skip so the post-instance machine sees the
+          frequencies the exact run would have left behind *)
+}
+
+type t
+
+val create : params -> t
+(** Fresh sampler state; one per pipeline run. *)
+
+(** What the pipeline must do with the marker it just pulled from the
+    stream. [Wait] and the drained-only variants implement the drain
+    protocol: the pipeline pushes the marker back and stops fetching
+    until the machine empties. *)
+type decision =
+  | Proceed  (** process the marker normally *)
+  | Wait  (** drain first: push the marker back, re-decide when empty *)
+  | Record
+      (** process the enter marker, then call {!begin_record} with a
+          fresh snapshot *)
+  | End_record
+      (** call {!end_record} with a fresh snapshot {e before}
+          processing the exit marker *)
+  | Skip of measure
+      (** only from {!decide}: process the enter marker, swallow the
+          balanced interior, push the matching exit marker back, and
+          extrapolate from the measure (reporting the swallowed
+          instructions via {!note_skipped}) *)
+  | Skip_iters of measure * int
+      (** only from {!decide_backedge}: swallow from this (taken) back
+          edge up to the loop's final not-taken back edge {e or} the
+          first iteration boundary at/after [bound] swallowed
+          instructions, whichever comes first; push the stopping
+          branch back, extrapolate from the measure, then call
+          {!note_iter_boundary} *)
+
+val decide :
+  t ->
+  Mcd_isa.Walker.marker ->
+  drained:bool ->
+  measuring:bool ->
+  targets:(unit -> int array) ->
+  decision
+(** Called for {e every} marker before it is processed. Mutates the
+    sampler's phase stack except when answering [Wait] (a [Wait]ed
+    marker is re-presented and re-decided verbatim). [targets] is
+    consulted lazily, only when a candidate node needs its signature.
+    Never answers [Wait] when [drained] is true. *)
+
+val decide_backedge :
+  t ->
+  loop_id:int ->
+  taken:bool ->
+  drained:bool ->
+  measuring:bool ->
+  targets:(unit -> int array) ->
+  decision
+(** Called before fetching a loop back-edge branch (after the fetch
+    buffer capacity check, so any non-[Wait] answer is final for this
+    event). Drives iteration-level sampling of the innermost loop:
+    [Record]/[End_record] bracket an iteration batch exactly as for
+    markers; [Skip_iters] fast-forwards a position-matched chunk.
+    [Proceed] fetches the branch normally. Side-effect-free when
+    answering [Wait]. *)
+
+val note_inst : t -> unit
+(** One dynamic instruction accepted from the stream (executed path). *)
+
+val note_skipped : t -> insts:int -> unit
+(** [insts] dynamic instructions were fast-forwarded by a skip. *)
+
+val note_iter_boundary : t -> unit
+(** A [Skip_iters] fast-forward just ended at an iteration boundary of
+    the loop on top of the phase stack: realign its bookkeeping.
+    Called after {!note_skipped} has reported the swallowed span. *)
+
+val begin_record : t -> snapshot:snapshot -> unit
+val end_record : t -> snapshot:snapshot -> targets:int array -> unit
+
+val abort_record : t -> unit
+(** Discard any open recording without saving a measure; the owning
+    frame reverts to plain tracking. The pipeline calls this at the
+    warm-up boundary, where the measured counters reset and in-flight
+    snapshots become incomparable. *)
+
+type report = {
+  recorded_instances : int;
+  skipped_instances : int;
+  skipped_insts : int;
+  unstable_signatures : int;
+}
+
+val report : t -> report

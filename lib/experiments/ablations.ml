@@ -59,27 +59,25 @@ let narrow_config =
 let default_narrow_workloads =
   List.map Suite.by_name [ "adpcm decode"; "gsm encode"; "jpeg compress"; "mcf" ]
 
+(* The three knob ablations below are built from {!Runner}'s cached
+   segments — {!Runner.analyzed_plan} for the analysis,
+   {!Runner.plan_run} for the production run, {!Runner.config_baseline}
+   for the comparison point — so a warm cache replays each point from
+   disk, and a sweep that perturbs one knob recomputes only the segment
+   that knob feeds. Points whose knob leaves the plan unchanged even
+   share a single production-run object (plan_run keys on the plan's
+   content digest). *)
+
 let narrow_core ?(workloads = default_narrow_workloads) () =
   let header =
     [ "benchmark"; "core"; "degradation"; "energy savings"; "ExD" ]
   in
   let rows_for (w : Workload.t) config label =
-    let baseline =
-      Pipeline.run ~config ~warmup_insts:w.Workload.ref_offset
-        ~program:w.Workload.program ~input:w.Workload.reference
-        ~max_insts:w.Workload.ref_window ()
+    let baseline = Runner.config_baseline ~config w in
+    let plan =
+      Runner.analyzed_plan ~config w ~context:Context.lf ~train:`Train
     in
-    let plan, _ =
-      Analyze.analyze ~program:w.Workload.program ~train:w.Workload.train
-        ~context:Context.lf ~trace_insts:(min w.Workload.train_window 120_000)
-        ~config ()
-    in
-    let edited = Mcd_core.Editor.edit plan in
-    let run =
-      Pipeline.run ~controller:edited.Mcd_core.Editor.controller ~config
-        ~warmup_insts:w.Workload.ref_offset ~program:w.Workload.program
-        ~input:w.Workload.reference ~max_insts:w.Workload.ref_window ()
-    in
+    let run = Runner.plan_run ~config w ~plan in
     let c = Runner.compare_runs ~baseline run in
     [
       w.Workload.name;
@@ -103,12 +101,6 @@ let narrow_core ?(workloads = default_narrow_workloads) () =
    same microarchitecture)\n"
   ^ Table.render ~header ~rows:body ()
 
-let run_plan (w : Workload.t) plan =
-  let edited = Editor.edit plan in
-  Pipeline.run ~controller:edited.Editor.controller
-    ~config:Config.alpha21264_like ~program:w.Workload.program
-    ~input:w.Workload.reference ~max_insts:w.Workload.ref_window ()
-
 let shaker_passes ?(workload = Suite.by_name "gsm encode")
     ?(passes = [ 1; 2; 6; 24 ]) () =
   let w = workload in
@@ -119,12 +111,11 @@ let shaker_passes ?(workload = Suite.by_name "gsm encode")
   let body =
     Runner.par_map
       (fun p ->
-        let plan, _ =
-          Analyze.analyze ~program:w.Workload.program ~train:w.Workload.train
-            ~context:Context.lf ~shaker_passes:p
-            ~trace_insts:(min w.Workload.train_window 120_000) ()
+        let plan =
+          Runner.analyzed_plan ~shaker_passes:p w ~context:Context.lf
+            ~train:`Train
         in
-        let run = run_plan w plan in
+        let run = Runner.plan_run w ~plan in
         let c = Runner.compare_runs ~baseline run in
         [
           string_of_int p;
@@ -151,16 +142,18 @@ let long_threshold ?(workload = Suite.by_name "epic encode")
   let body =
     Runner.par_map
       (fun threshold ->
-        let plan, stats =
-          Analyze.analyze ~program:w.Workload.program ~train:w.Workload.train
-            ~context:Context.lf ~threshold_insts:threshold
-            ~trace_insts:(min w.Workload.train_window 120_000) ()
+        let plan =
+          Runner.analyzed_plan ~threshold_insts:threshold w
+            ~context:Context.lf ~train:`Train
         in
-        let run = run_plan w plan in
+        let run = Runner.plan_run w ~plan in
         let c = Runner.compare_runs ~baseline run in
         [
           string_of_int threshold;
-          string_of_int stats.Analyze.long_nodes;
+          (* = Analyze stats.long_nodes: the analyzer reports
+             [Call_tree.long_count] of the tree the plan carries *)
+          string_of_int
+            (Mcd_profiling.Call_tree.long_count plan.Mcd_core.Plan.tree);
           string_of_int run.Metrics.reconfigurations;
           Table.fmt_pct c.Runner.degradation_pct;
           Table.fmt_pct c.Runner.savings_pct;

@@ -30,9 +30,41 @@ let config = Config.alpha21264_like
 
 type profiled_run = {
   run : Metrics.run;
-  plan : Plan.t;
+  plan : Plan.t Lazy.t;
   counters : Editor.counters;
 }
+
+(* --- simulation mode --------------------------------------------------- *)
+
+module Sampler = Mcd_cpu.Sampler
+
+type sim_mode = Exact | Sampled of Sampler.params
+
+(* Mutable configuration, like [jobs] below: the bench/CLI drivers set
+   it once at startup and every entry point inherits it without
+   threading a parameter through each signature. Worker domains read
+   the same ref. *)
+let sim_mode = ref Exact
+let set_sim_mode m = sim_mode := m
+let get_sim_mode () = !sim_mode
+
+let sampling () = match !sim_mode with Exact -> None | Sampled p -> Some p
+
+(* Sampled results are different objects from exact ones: production
+   run keys grow a ("sim", ...) part and every in-memory memo key a
+   matching suffix, so the two modes never serve each other's numbers.
+   In [Exact] mode both are empty — exact keys are byte-identical to
+   what they were before sampling existed. Plans and oracle analyses
+   are always computed exactly, so their keys never carry the part. *)
+let sim_parts () =
+  match !sim_mode with
+  | Exact -> []
+  | Sampled p -> [ ("sim", "sampled:" ^ Sampler.params_id p) ]
+
+let sim_tag () =
+  match !sim_mode with
+  | Exact -> ""
+  | Sampled p -> "/sampled:" ^ Sampler.params_id p
 
 (* Memo tables are domain-local: experiment sweeps fan out across OCaml
    domains (see [map_workloads]) and [Hashtbl] is not safe under
@@ -107,9 +139,15 @@ let analysis_trace_insts (w : Workload.t) ~train =
   let _, window = analysis_input w ~train in
   min window 120_000
 
-let training_tree (w : Workload.t) ~context ~train =
+(* Full profiler walks are the warm-path tax S1 of PR 7 removes: the
+   counter lets tests pin that a warm disk hit performs none. *)
+let profiler_walk_count = Atomic.make 0
+let profiler_walks () = Atomic.get profiler_walk_count
+
+let training_tree ?threshold (w : Workload.t) ~context ~train =
+  Atomic.incr profiler_walk_count;
   let input, _ = analysis_input w ~train in
-  Mcd_profiling.Call_tree.build w.Workload.program ~input ~context
+  Mcd_profiling.Call_tree.build w.Workload.program ~input ~context ?threshold
     ~max_insts:analysis_profile_insts ()
 
 (* --- persistent cache keys and codecs ---------------------------------- *)
@@ -125,8 +163,10 @@ let base_parts (w : Workload.t) ~config ~input =
    configuration, the frequency grid, the measurement window, and the
    policy driving reconfiguration (with all its parameters). The policy
    identity is rendered by [Ckey.policy_fragment] so the experiment
-   service derives byte-identical request keys. *)
-let run_key (w : Workload.t) ~config ~policy ~params =
+   service derives byte-identical request keys. Runs that are exact in
+   every mode (see [online_run]) pass [~modal:false] to drop the
+   ("sim", ...) part: their one result serves both modes. *)
+let run_key ?(modal = true) (w : Workload.t) ~config ~policy ~params =
   Ckey.make ~kind:"run"
     ~parts:
       (base_parts w ~config ~input:w.Workload.reference
@@ -134,9 +174,20 @@ let run_key (w : Workload.t) ~config ~policy ~params =
           ("warmup", string_of_int w.Workload.ref_offset);
           ("window", string_of_int w.Workload.ref_window);
         ]
-      @ Ckey.policy_fragment ~name:policy ~params)
+      @ Ckey.policy_fragment ~name:policy ~params
+      @ (if modal then sim_parts () else []))
 
-let plan_key (w : Workload.t) ~context ~train ~slowdown_pct =
+(* Analysis knobs (long-running threshold, shaker pass budget) key the
+   plan only when overridden, so the default-knob key stays byte-
+   identical to what every non-ablation caller always used — an
+   ablation's default point reads the object the headline experiments
+   already wrote. The processor configuration is inside [base_parts],
+   so a narrow-core plan separates for free. *)
+let default_shaker_passes = 24
+
+let plan_key ?(threshold = Mcd_profiling.Call_tree.default_threshold)
+    ?(shaker = default_shaker_passes) ?(config = config) (w : Workload.t)
+    ~context ~train ~slowdown_pct =
   let input, _ = analysis_input w ~train in
   Ckey.make ~kind:"plan"
     ~parts:
@@ -146,7 +197,14 @@ let plan_key (w : Workload.t) ~context ~train ~slowdown_pct =
           ("slowdown", Printf.sprintf "%h" slowdown_pct);
           ("profile_insts", string_of_int analysis_profile_insts);
           ("trace_insts", string_of_int (analysis_trace_insts w ~train));
-        ])
+        ]
+      @ (if threshold <> Mcd_profiling.Call_tree.default_threshold then
+           [ ("threshold", string_of_int threshold) ]
+         else [])
+      @
+      if shaker <> default_shaker_passes then
+        [ ("shaker", string_of_int shaker) ]
+      else [])
 
 let oracle_key (w : Workload.t) =
   Ckey.make ~kind:"oracle"
@@ -175,9 +233,9 @@ let run_cached ~key f =
    training tree (cheap: a profiler walk, no timing simulation) and
    refuses — i.e. reports corruption, triggering recompute — if the
    stored plan does not round-trip cleanly against it. *)
-let plan_codec (w : Workload.t) ~context ~train =
+let plan_codec ?threshold (w : Workload.t) ~context ~train =
   let decode payload =
-    let tree = training_tree w ~context ~train in
+    let tree = training_tree ?threshold w ~context ~train in
     match Mcd_core.Plan_io.of_string_result ~path:"<cache>" ~tree payload with
     | Result.Ok { Mcd_core.Plan_io.plan; warnings = [] } -> Result.Ok plan
     | Result.Ok { Mcd_core.Plan_io.warnings; _ } ->
@@ -191,45 +249,92 @@ let plan_codec (w : Workload.t) ~context ~train =
 
 (* --- policy runs ------------------------------------------------------- *)
 
-let baseline (w : Workload.t) =
-  memoize (memo ()) (w.Workload.name ^ "/baseline") @@ fun () ->
-  run_cached ~key:(fun () -> run_key w ~config ~policy:"baseline" ~params:[])
+(* A short stable identity for a processor configuration, for
+   in-memory memo keys only (disk keys carry the full config fragment
+   through [base_parts]). *)
+let config_tag cfg =
+  Digest.to_hex
+    (Digest.string
+       (String.concat ";"
+          (List.map (fun (k, v) -> k ^ "=" ^ v) (Ckey.config_fragment cfg))))
+
+let sim_run ?controller ?sampling:(sampl = sampling ()) (w : Workload.t)
+    ~config =
+  Pipeline.run ?controller ?sampling:sampl ~config
+    ~warmup_insts:w.Workload.ref_offset ~program:w.Workload.program
+    ~input:w.Workload.reference ~max_insts:w.Workload.ref_window ()
+
+let config_baseline ?(config = config) (w : Workload.t) =
+  memoize (memo ())
+    (Printf.sprintf "%s/baseline/%s%s" w.Workload.name (config_tag config)
+       (sim_tag ()))
   @@ fun () ->
-  Pipeline.run ~config ~warmup_insts:w.Workload.ref_offset
-    ~program:w.Workload.program ~input:w.Workload.reference
-    ~max_insts:w.Workload.ref_window ()
+  run_cached ~key:(fun () -> run_key w ~config ~policy:"baseline" ~params:[])
+  @@ fun () -> sim_run w ~config
+
+let baseline (w : Workload.t) = config_baseline w
 
 let single_clock (w : Workload.t) ~mhz =
-  memoize (memo ()) (Printf.sprintf "%s/single/%d" w.Workload.name mhz)
+  memoize (memo ())
+    (Printf.sprintf "%s/single/%d%s" w.Workload.name mhz (sim_tag ()))
   @@ fun () ->
   let config = Config.single_clock ~mhz in
   run_cached ~key:(fun () -> run_key w ~config ~policy:"baseline" ~params:[])
-  @@ fun () ->
-  Pipeline.run ~config ~warmup_insts:w.Workload.ref_offset
-    ~program:w.Workload.program ~input:w.Workload.reference
-    ~max_insts:w.Workload.ref_window ()
+  @@ fun () -> sim_run w ~config
 
 let input_tag = function `Train -> "train" | `Reference -> "ref"
 
-let plan_for (w : Workload.t) ~context ~train =
-  let key =
-    Printf.sprintf "%s/%s/%s" w.Workload.name context.Context.name
-      (input_tag train)
+(* The plan segment of an experiment: profiling walk + traced training
+   run + shaker, cached independently of the production runs that
+   consume the result, so an ablation that only perturbs the production
+   side (or a knob that only perturbs the analysis side) recomputes one
+   segment instead of the whole pipeline. Plans are always computed
+   exactly — sampling never touches analysis quality. *)
+let analyzed_plan ?threshold_insts ?shaker_passes ?(config = config)
+    ?(slowdown_pct = default_slowdown_pct) (w : Workload.t) ~context ~train =
+  let threshold =
+    Option.value threshold_insts
+      ~default:Mcd_profiling.Call_tree.default_threshold
   in
-  memoize (plan_memo ()) key @@ fun () ->
-  let encode, decode = plan_codec w ~context ~train in
+  let shaker = Option.value shaker_passes ~default:default_shaker_passes in
+  memoize (plan_memo ())
+    (Printf.sprintf "%s/%s/%s/th%d/sh%d/%s/%s" w.Workload.name
+       context.Context.name (input_tag train) threshold shaker
+       (Ckey.float_param slowdown_pct)
+       (config_tag config))
+  @@ fun () ->
+  let encode, decode = plan_codec ~threshold w ~context ~train in
   disk_cached
     ~key:(fun () ->
-      plan_key w ~context ~train ~slowdown_pct:default_slowdown_pct)
+      plan_key ~threshold ~shaker ~config w ~context ~train ~slowdown_pct)
     ~encode ~decode
   @@ fun () ->
   let input, _ = analysis_input w ~train in
   let trace_insts = analysis_trace_insts w ~train in
   let plan, _stats =
     Analyze.analyze ~program:w.Workload.program ~train:input ~context
-      ~slowdown_pct:default_slowdown_pct ~trace_insts ~config ()
+      ~slowdown_pct ~threshold_insts:threshold ~shaker_passes:shaker
+      ~trace_insts ~config ()
   in
   plan
+
+let plan_for (w : Workload.t) ~context ~train = analyzed_plan w ~context ~train
+
+(* The production segment under an explicit plan: keyed by the plan's
+   content digest (plus workload, config, window and simulation mode
+   through [run_key]), so every ablation point sharing a plan shares
+   one cached run. *)
+let plan_run ?(config = config) (w : Workload.t) ~plan =
+  let digest = Digest.to_hex (Digest.string (Mcd_core.Plan_io.to_string plan)) in
+  memoize (memo ())
+    (Printf.sprintf "%s/plan/%s/%s%s" w.Workload.name digest
+       (config_tag config) (sim_tag ()))
+  @@ fun () ->
+  run_cached
+    ~key:(fun () -> run_key w ~config ~policy:"plan" ~params:[ digest ])
+  @@ fun () ->
+  let edited = Editor.edit plan in
+  sim_run ~controller:edited.Editor.controller w ~config
 
 (* The result path for shipped plans: rebuild the profiling tree from
    exactly the derivation Analyze/plan_for use ({!training_tree}), then
@@ -260,33 +365,28 @@ let offline_policy_params slowdown_pct =
   ]
 
 let offline_run ?(slowdown_pct = default_slowdown_pct) (w : Workload.t) =
-  let go () =
-    run_cached
-      ~key:(fun () ->
-        run_key w ~config ~policy:"offline"
-          ~params:(offline_policy_params slowdown_pct))
-    @@ fun () ->
-    let schedule =
-      Mcd_core.Oracle.schedule_of (oracle_analysis w) ~slowdown_pct
-    in
-    Pipeline.run
-      ~controller:(Mcd_core.Oracle.policy schedule)
-      ~config ~warmup_insts:w.Workload.ref_offset
-      ~program:w.Workload.program ~input:w.Workload.reference
-      ~max_insts:w.Workload.ref_window ()
+  (* memoized at every slowdown: the memo key carries the canonical
+     [Ckey.float_param] rendering rather than gating on float equality
+     with the default, so sweep points are cached in-process too *)
+  memoize (memo ())
+    (Printf.sprintf "%s/offline/%s%s" w.Workload.name
+       (Ckey.float_param slowdown_pct)
+       (sim_tag ()))
+  @@ fun () ->
+  run_cached
+    ~key:(fun () ->
+      run_key w ~config ~policy:"offline"
+        ~params:(offline_policy_params slowdown_pct))
+  @@ fun () ->
+  let schedule =
+    Mcd_core.Oracle.schedule_of (oracle_analysis w) ~slowdown_pct
   in
-  if slowdown_pct = default_slowdown_pct then
-    memoize (memo ()) (w.Workload.name ^ "/offline") go
-  else go ()
+  sim_run ~controller:(Mcd_core.Oracle.policy schedule) w ~config
 
 let profile_run_uncached (w : Workload.t) ~plan =
   let edited = Editor.edit plan in
-  let run =
-    Pipeline.run ~controller:edited.Editor.controller ~config
-      ~warmup_insts:w.Workload.ref_offset ~program:w.Workload.program
-      ~input:w.Workload.reference ~max_insts:w.Workload.ref_window ()
-  in
-  { run; plan; counters = edited.Editor.counters }
+  let run = sim_run ~controller:edited.Editor.controller w ~config in
+  { run; plan = Lazy.from_val plan; counters = edited.Editor.counters }
 
 (* A profiled run's cached payload is the run plus the editor counters;
    the plan itself is recovered through [plan_for]'s own cache, so it is
@@ -334,7 +434,10 @@ let decode_profiled ~plan_of payload =
                 Result.Ok
                   {
                     run;
-                    plan = plan_of ();
+                    (* lazy on purpose: a warm disk hit must not pay
+                       [plan_for]'s profiler walk for a plan most
+                       callers never read *)
+                    plan = lazy (plan_of ());
                     counters = { Editor.reconfig_execs; instr_execs };
                   }))
 
@@ -354,21 +457,19 @@ let profile_run ?(slowdown_pct = default_slowdown_pct) (w : Workload.t)
     if slowdown_pct = default_slowdown_pct then base
     else Plan.with_slowdown base ~slowdown_pct
   in
-  let go () =
-    disk_cached
-      ~key:(fun () ->
-        run_key w ~config ~policy:"profile"
-          ~params:(profile_policy_params w ~context ~train ~slowdown_pct))
-      ~encode:encode_profiled
-      ~decode:(decode_profiled ~plan_of)
-    @@ fun () -> profile_run_uncached w ~plan:(plan_of ())
-  in
-  if slowdown_pct = default_slowdown_pct then
-    memoize (profiled_memo ())
-      (Printf.sprintf "%s/%s/%s/run" w.Workload.name context.Context.name
-         (input_tag train))
-      go
-  else go ()
+  memoize (profiled_memo ())
+    (Printf.sprintf "%s/%s/%s/%s%s/run" w.Workload.name context.Context.name
+       (input_tag train)
+       (Ckey.float_param slowdown_pct)
+       (sim_tag ()))
+  @@ fun () ->
+  disk_cached
+    ~key:(fun () ->
+      run_key w ~config ~policy:"profile"
+        ~params:(profile_policy_params w ~context ~train ~slowdown_pct))
+    ~encode:encode_profiled
+    ~decode:(decode_profiled ~plan_of)
+  @@ fun () -> profile_run_uncached w ~plan:(plan_of ())
 
 let online_policy_params (p : Attack_decay.params) =
   [
@@ -379,6 +480,16 @@ let online_policy_params (p : Attack_decay.params) =
     Ckey.float_param p.Attack_decay.ipc_guard;
   ]
 
+(* The on-line policy is always simulated exactly, whatever the global
+   [sim_mode]: attack/decay is a cycle-driven feedback loop (it reads
+   queue occupancy and IPC every interval), and a skipped instance is
+   invisible to it — under sampling the loop reacts to a sparse,
+   unrepresentative subsequence of intervals and its frequency
+   trajectory diverges from the exact run by tens of points. The
+   feed-forward policies (offline, profile) react to the marker stream,
+   which sampling preserves, so they sample safely. Because the result
+   is mode-independent, so are its keys ([~modal:false], no [sim_tag]):
+   a sampled bench pass reuses the exact pass's on-line runs. *)
 let online_run ?params (w : Workload.t) =
   let effective =
     match params with
@@ -388,14 +499,12 @@ let online_run ?params (w : Workload.t) =
   let go () =
     run_cached
       ~key:(fun () ->
-        run_key w ~config ~policy:"online"
+        run_key ~modal:false w ~config ~policy:"online"
           ~params:(online_policy_params effective))
     @@ fun () ->
-    Pipeline.run
+    sim_run ~sampling:None
       ~controller:(Attack_decay.controller ?params ())
-      ~config ~warmup_insts:w.Workload.ref_offset
-      ~program:w.Workload.program ~input:w.Workload.reference
-      ~max_insts:w.Workload.ref_window ()
+      w ~config
   in
   match params with
   | Some _ -> go ()
@@ -455,7 +564,7 @@ let request_policy (w : Workload.t) ~policy ~context ~slowdown_pct =
 
 let request_key (w : Workload.t) ~policy ~context ~slowdown_pct =
   let name, params = request_policy w ~policy ~context ~slowdown_pct in
-  run_key w ~config ~policy:name ~params
+  run_key ~modal:(policy <> `Online) w ~config ~policy:name ~params
 
 let run_request (w : Workload.t) ~policy ~context ~slowdown_pct =
   match policy with

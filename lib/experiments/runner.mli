@@ -39,6 +39,33 @@ val map_workloads :
 val default_slowdown_pct : float
 (** 7.0, the paper's headline operating point. *)
 
+(** {2 Simulation mode}
+
+    Production runs (baseline, single-clock, offline, online, profile,
+    {!plan_run}) execute either exactly or under
+    {!Mcd_cpu.Sampler} phase sampling. The mode is process-wide
+    configuration like {!set_jobs}: the bench/CLI drivers set it once.
+    Sampled results are cached under distinct keys (a ["sim"] part on
+    the disk key, a suffix on the memo keys), so the two modes never
+    serve each other's numbers — and in [Exact] mode every key is
+    byte-identical to the pre-sampling layout. Plan and oracle analyses
+    are always computed exactly. So is the on-line policy
+    ({!online_run}): its cycle-driven feedback controller cannot
+    observe skipped instances and diverges under sampling, so it runs
+    exactly in every mode and keeps mode-independent keys — a sampled
+    pass reuses on-line results the exact pass already cached. *)
+
+type sim_mode = Exact | Sampled of Mcd_cpu.Sampler.params
+
+val set_sim_mode : sim_mode -> unit
+val get_sim_mode : unit -> sim_mode
+
+val profiler_walks : unit -> int
+(** Number of full profiler walks ({!training_tree} calls — plan cache
+    decodes, plan loads, coverage tables) performed by this process so
+    far. Warm-path regression tests pin that a disk hit performs
+    none. *)
+
 val analysis_profile_insts : int
 (** 400_000: the instruction window every profiler walk (plan analysis,
     plan loading, coverage tables, the CLI's tree command) uses to build
@@ -59,16 +86,27 @@ val analysis_trace_insts :
     {!plan_for} passes to the analyzer. *)
 
 val training_tree :
+  ?threshold:int ->
   Mcd_workloads.Workload.t ->
   context:Mcd_profiling.Context.t ->
   train:[ `Train | `Reference ] ->
   Mcd_profiling.Call_tree.t
 (** Rebuild the profiling call tree for the selected training input with
     the shared window derivation — the tree {!load_plan} verifies plan
-    fingerprints against. *)
+    fingerprints against. [threshold] (default
+    {!Mcd_profiling.Call_tree.default_threshold}) is the long-running
+    cutoff, overridden by threshold-ablation plans. *)
 
 val baseline : Mcd_workloads.Workload.t -> Mcd_power.Metrics.run
 (** MCD, all domains at full speed, reference input. Cached. *)
+
+val config_baseline :
+  ?config:Mcd_cpu.Config.t ->
+  Mcd_workloads.Workload.t ->
+  Mcd_power.Metrics.run
+(** {!baseline} at an explicit processor configuration (default: the
+    Table-1 core, where it shares {!baseline}'s cache objects). The
+    narrow-core ablation's baseline segment. *)
 
 val single_clock : Mcd_workloads.Workload.t -> mhz:int -> Mcd_power.Metrics.run
 (** Globally synchronous run at [mhz]. Cached per frequency. *)
@@ -80,7 +118,35 @@ val plan_for :
   Mcd_core.Plan.t
 (** Off-line analysis at {!default_slowdown_pct}; cached per
     (benchmark, context, input). [`Reference] training is the off-line
-    oracle. *)
+    oracle. Equal to {!analyzed_plan} with every knob at its
+    default. *)
+
+val analyzed_plan :
+  ?threshold_insts:int ->
+  ?shaker_passes:int ->
+  ?config:Mcd_cpu.Config.t ->
+  ?slowdown_pct:float ->
+  Mcd_workloads.Workload.t ->
+  context:Mcd_profiling.Context.t ->
+  train:[ `Train | `Reference ] ->
+  Mcd_core.Plan.t
+(** The analysis {e segment} of an experiment — profiling walk, traced
+    training run, shaker, thresholding — disk-cached on its own key:
+    workload x config x analysis knobs, with knob parts present only
+    when overridden so the all-defaults key is byte-identical to
+    {!plan_for}'s. An ablation that perturbs one knob recomputes this
+    segment only; production runs are keyed separately
+    ({!plan_run}). Always computed exactly, independent of the
+    simulation mode. *)
+
+val plan_run :
+  ?config:Mcd_cpu.Config.t ->
+  Mcd_workloads.Workload.t ->
+  plan:Mcd_core.Plan.t ->
+  Mcd_power.Metrics.run
+(** The production {e segment}: edit per [plan] and run the reference
+    input at [config]. Keyed by the plan's content digest, so ablation
+    points whose knob did not change the plan share one cached run. *)
 
 val load_plan :
   ?train:[ `Train | `Reference ] ->
@@ -99,11 +165,17 @@ val offline_run :
   ?slowdown_pct:float -> Mcd_workloads.Workload.t -> Mcd_power.Metrics.run
 (** The interval-based off-line oracle ({!Mcd_core.Oracle}): analyse the
     production run with perfect knowledge, play the per-interval schedule
-    back. Cached at the default slowdown. *)
+    back. Cached at every slowdown — the key carries the canonical
+    ({!Mcd_cache.Key.float_param}) rendering of [slowdown_pct], so sweep
+    points memoize instead of re-simulating. *)
 
 type profiled_run = {
   run : Mcd_power.Metrics.run;
-  plan : Mcd_core.Plan.t;
+  plan : Mcd_core.Plan.t Lazy.t;
+      (** Forcing the plan on a warm disk hit decodes the cached plan —
+          a decode that rebuilds the training call tree (one full
+          profiler walk). Consumers that only need [run] never pay
+          it. *)
   counters : Mcd_core.Editor.counters;
 }
 
@@ -114,7 +186,7 @@ val profile_run :
   train:[ `Train | `Reference ] ->
   profiled_run
 (** Edit per the (possibly re-thresholded) plan and run the reference
-    input. Cached at the default slowdown only. *)
+    input. Cached at every slowdown, like {!offline_run}. *)
 
 val online_run :
   ?params:Mcd_control.Attack_decay.params -> Mcd_workloads.Workload.t ->

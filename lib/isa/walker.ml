@@ -24,6 +24,10 @@ let pc_of_loop_branch ~loop_id = 0x4000_0000 + loop_id
 let pc_of_call ~site_id = 0x5000_0000 + site_id
 let pc_of_return ~fid = 0x6000_0000 + fid
 
+let as_loop_branch ~pc =
+  if pc >= 0x4000_0000 && pc < 0x5000_0000 then Some (pc - 0x4000_0000)
+  else None
+
 (* Persistent per-static-block expansion state. Streams (memory position,
    branch-pattern position, register rings) survive across executions of
    the block, so a block streaming through memory keeps streaming. *)

@@ -44,3 +44,10 @@ val pc_of_block_slot : block_id:int -> slot:int -> int
 val pc_of_loop_branch : loop_id:int -> int
 val pc_of_call : site_id:int -> int
 val pc_of_return : fid:int -> int
+
+val as_loop_branch : pc:int -> int option
+(** [Some loop_id] when [pc] is a loop back-edge branch
+    ({!pc_of_loop_branch}). A taken back edge marks an iteration
+    boundary of that loop; the final, not-taken one precedes its
+    [Exit_loop] marker. The phase sampler keys iteration-level
+    sampling on these. *)

@@ -5,7 +5,11 @@ let mean = function
 let geomean = function
   | [] -> 0.0
   | xs ->
-      assert (List.for_all (fun x -> x > 0.0) xs);
+      (* a real guard, not [assert]: release builds compile assertions
+         away and log-of-nonpositive garbage would flow silently into
+         the headline tables *)
+      if not (List.for_all (fun x -> x > 0.0) xs) then
+        invalid_arg "Stats.geomean: nonpositive element";
       let logsum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
       exp (logsum /. float_of_int (List.length xs))
 

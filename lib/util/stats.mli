@@ -4,7 +4,8 @@ val mean : float list -> float
 (** Arithmetic mean; 0 for the empty list. *)
 
 val geomean : float list -> float
-(** Geometric mean of strictly positive values; 0 for the empty list. *)
+(** Geometric mean of strictly positive values; 0 for the empty list.
+    Raises [Invalid_argument] on a zero or negative element. *)
 
 val minimum : float list -> float
 (** Raises [Invalid_argument] on the empty list. *)

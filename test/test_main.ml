@@ -6,6 +6,7 @@ let () =
       ("isa", Test_isa.suite);
       ("mcd", Test_mcd.suite);
       ("cpu", Test_cpu.suite);
+      ("sampling", Test_sampling.suite);
       ("power", Test_power.suite);
       ("profiling", Test_profiling.suite);
       ("trace", Test_trace.suite);

@@ -63,7 +63,7 @@ let render () =
       Metrics.encode baseline;
       Metrics.encode offline;
       Metrics.encode profiled.Runner.run;
-      Plan_io.to_string profiled.Runner.plan;
+      Plan_io.to_string (Lazy.force profiled.Runner.plan);
     ]
 
 let () =

@@ -3,7 +3,10 @@ module Config = Mcd_cpu.Config
 module Freq = Mcd_domains.Freq
 
 let format_version = 1
-let model_version = 1
+(* 2: the attack/decay revert path now clears the idle streak, which
+   changes every online-policy trajectory — pre-fix cached runs must
+   miss cleanly. *)
+let model_version = 2
 
 type t = { kind : string; canonical : string; digest : string }
 

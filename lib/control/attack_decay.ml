@@ -21,13 +21,8 @@ let default_params =
   }
 
 (* queue capacities used to normalise the domain-owned backlog *)
-let capacity = function
-  | Domain.Integer -> 20.0
-  | Domain.Floating -> 15.0
-  | Domain.Memory -> 64.0
-  | Domain.Front_end -> 16.0
-
-let scaled_domains = [ Domain.Integer; Domain.Floating; Domain.Memory ]
+let capacity = Policy.queue_capacity
+let scaled_domains = Policy.scaled_domains
 
 let revert_cooldown = 6
 
@@ -85,7 +80,14 @@ let controller ?(params = default_params) ?sink () =
                just before it, not cur + attack_step (150 MHz up for a
                50 MHz decay would overshoot the pre-decay point) *)
             set d pre_decay.(i) "revert";
-            cooldown.(i) <- revert_cooldown
+            cooldown.(i) <- revert_cooldown;
+            (* the plunge branch ignores [cooldown], so any idle streak
+               accumulated during the pending window would plunge the
+               domain by attack_step_mhz immediately after the revert —
+               undoing the guard it just enforced. The revert is
+               evidence the domain is not really idle: restart the
+               streak from zero. *)
+            idle_streak.(i) <- 0
           end
         end;
         let util = s.Controller.avg_occupancy.(i) /. capacity d in
@@ -137,3 +139,22 @@ let controller ?(params = default_params) ?sink () =
     on_sample;
     sample_interval_cycles = params.interval_cycles;
   }
+
+(* Canonical parameter rendering: the exact strings (and order) the
+   runner has always keyed on-line runs under, now owned by the policy
+   itself so the key can never drift from the knobs. *)
+let params_id p =
+  [
+    string_of_int p.interval_cycles;
+    Mcd_cache.Key.float_param p.attack_threshold;
+    string_of_int p.attack_step_mhz;
+    string_of_int p.decay_step_mhz;
+    Mcd_cache.Key.float_param p.ipc_guard;
+  ]
+
+let policy ?label ?(params = default_params) () =
+  Policy.make ~name:"online" ?label
+    ~doc:"attack/decay occupancy controller (Semeraro et al.)"
+    ~params:(params_id params) ~feedback:true ~cooldown_intervals:0
+    (fun ?sink () -> controller ~params ?sink ())
+

@@ -34,3 +34,12 @@ val controller :
     [sink], every frequency move is recorded as a [Decision] event
     labelled with its cause (attack / decay / revert / plunge /
     surge). *)
+
+val params_id : params -> string list
+(** Canonical ordered rendering of every knob — the [params] of this
+    policy's cache-key fragment. *)
+
+val policy : ?label:string -> ?params:params -> unit -> Policy.t
+(** The controller as a first-class policy named ["online"] (key
+    identity {!params_id}; [label] defaults to ["online"]). Feedback:
+    always simulated exactly. *)

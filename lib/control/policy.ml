@@ -1,0 +1,60 @@
+type t = {
+  name : string;
+  label : string;
+  doc : string;
+  params : string list;
+  feedback : bool;
+  cooldown_intervals : int;
+  create : ?sink:Mcd_obs.Sink.t -> unit -> Mcd_cpu.Controller.t;
+}
+
+let make ~name ?label ?(doc = "") ?(params = []) ?(feedback = true)
+    ?(cooldown_intervals = 0) create =
+  {
+    name;
+    label = Option.value label ~default:name;
+    doc;
+    params;
+    feedback;
+    cooldown_intervals;
+    create;
+  }
+
+let key_fragment t =
+  Mcd_cache.Key.policy_fragment ~name:t.name ~params:t.params
+
+let id t =
+  t.label
+  ^
+  if t.params = [] then ""
+  else
+    "/"
+    ^ String.sub
+        (Digest.to_hex (Digest.string (String.concat ":" t.params)))
+        0 8
+
+module Domain = Mcd_domains.Domain
+
+let scaled_domains = [ Domain.Integer; Domain.Floating; Domain.Memory ]
+
+let queue_capacity = function
+  | Domain.Integer -> 20.0
+  | Domain.Floating -> 15.0
+  | Domain.Memory -> 64.0
+  | Domain.Front_end -> 16.0
+
+let utilization (s : Mcd_cpu.Controller.sample) d =
+  s.Mcd_cpu.Controller.avg_occupancy.(Domain.index d) /. queue_capacity d
+
+module Cooldown = struct
+  type timers = { intervals : int; left : int array }
+
+  let create ~intervals =
+    { intervals; left = Array.make Mcd_domains.Domain.count 0 }
+
+  let tick t =
+    Array.iteri (fun i v -> if v > 0 then t.left.(i) <- v - 1) t.left
+
+  let ready t i = t.left.(i) = 0
+  let arm t i = t.left.(i) <- t.intervals
+end

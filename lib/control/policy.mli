@@ -1,0 +1,98 @@
+(** First-class DVFS policies.
+
+    A policy value is a {e description}: a stable name, a canonical
+    parameter rendering, and a [create] function that builds a fresh
+    {!Mcd_cpu.Controller.t} for one run. The two structural guarantees
+    every consumer leans on:
+
+    - {b fresh state per run} — controllers close over mutable state
+      (armed flags, per-domain EWMA/PID accumulators), so a controller
+      value is single-use. A policy value is reusable: each
+      [Pipeline.run] gets its own controller from [create], and reusing
+      one policy across runs can never leak state between them.
+    - {b canonical cache identity} — [name] and [params] render into the
+      [("policy", "name:p1:…:pn")] part of every {!Mcd_cache.Key}
+      ({!key_fragment}), so two policies that could produce different
+      results can never alias each other's cached objects, and the same
+      policy at different parameters keys separately too.
+
+    Policies whose controller is a cycle-driven feedback loop (it reads
+    occupancy/IPC/miss samples) must be simulated exactly: phase
+    sampling skips instances the loop would have reacted to, so
+    [feedback = true] policies opt out of sampled mode and keep
+    mode-independent cache keys (exactly as the on-line attack/decay
+    controller always has). *)
+
+type t = {
+  name : string;  (** cache-key identity; shared by parameter variants *)
+  label : string;
+      (** unique registry/display id; equals [name] unless several
+          parameterisations of one policy are registered *)
+  doc : string;  (** one-line description for tables and [--help] *)
+  params : string list;
+      (** canonical ordered rendering of every knob that can change the
+          run — the [params] of {!Mcd_cache.Key.policy_fragment} *)
+  feedback : bool;
+      (** cycle-driven feedback loop: simulate exactly, never sampled *)
+  cooldown_intervals : int;
+      (** declared minimum number of sample intervals between two
+          frequency changes of the same domain (0 = unconstrained).
+          Tested as a contract by the zoo property suite. *)
+  create : ?sink:Mcd_obs.Sink.t -> unit -> Mcd_cpu.Controller.t;
+      (** build a fresh single-use controller (fresh mutable state) *)
+}
+
+val make :
+  name:string ->
+  ?label:string ->
+  ?doc:string ->
+  ?params:string list ->
+  ?feedback:bool ->
+  ?cooldown_intervals:int ->
+  (?sink:Mcd_obs.Sink.t -> unit -> Mcd_cpu.Controller.t) ->
+  t
+(** [feedback] defaults to [true] (the safe direction: exact
+    simulation), [params] to [[]], [label] to [name]. *)
+
+val key_fragment : t -> (string * string) list
+(** {!Mcd_cache.Key.policy_fragment} over [name]/[params] — the one
+    rendering the runner's cache keys and any request-coalescing
+    identity must share. *)
+
+val id : t -> string
+(** [label] plus a short digest of [params]: a compact process-local
+    identity for memo tables and log lines (not a cache key). *)
+
+val scaled_domains : Mcd_domains.Domain.t list
+(** The three back-end domains every zoo policy scales; the front end
+    is never scaled (as in the paper and the original on-line
+    proposal). *)
+
+val queue_capacity : Mcd_domains.Domain.t -> float
+(** Capacity used to normalise the domain-owned backlog into a
+    utilisation in [0, 1] (issue-queue / LSQ / fetch-buffer sizes). *)
+
+val utilization : Mcd_cpu.Controller.sample -> Mcd_domains.Domain.t -> float
+(** [avg_occupancy / queue_capacity] for one domain. *)
+
+(** Per-domain cooldown timers, in units of sample intervals — the
+    shared helper behind every zoo policy's [cooldown_intervals]
+    contract. Call {!tick} once at the top of each [on_sample], gate
+    frequency changes on {!ready}, and {!arm} the domain after a
+    change. *)
+module Cooldown : sig
+  type timers
+
+  val create : intervals:int -> timers
+  (** One timer per {!Mcd_domains.Domain.index}, all expired. *)
+
+  val tick : timers -> unit
+  (** Advance one sample interval (decrement every armed timer). *)
+
+  val ready : timers -> int -> bool
+  (** [ready t i]: domain [i] may change frequency this interval. *)
+
+  val arm : timers -> int -> unit
+  (** Start domain [i]'s cooldown ([intervals] ticks until ready;
+      with [intervals = 0] the domain is ready immediately). *)
+end

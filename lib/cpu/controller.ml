@@ -3,6 +3,8 @@ type sample = {
   avg_occupancy : float array;
   retired : int;
   total_retired : int;
+  l1d_misses : int;
+  l2_misses : int;
   target_mhz : int array;
   current_mhz : float array;
 }

@@ -17,6 +17,12 @@ type sample = {
           fetch-buffer occupancy *)
   retired : int;  (** instructions retired during the interval *)
   total_retired : int;  (** instructions retired since the run began *)
+  l1d_misses : int;
+      (** L1 D-cache misses during the interval — the memory-boundedness
+          signal cache-aware policies react to *)
+  l2_misses : int;
+      (** unified-L2 misses during the interval (each one is a trip to
+          external memory) *)
   target_mhz : int array;
       (** programmed DVFS target per {!Mcd_domains.Domain.index} — what
           the hardware {e admits} it was asked for, which a watchdog can

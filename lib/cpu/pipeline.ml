@@ -105,6 +105,8 @@ type t = {
   occ_sum : float array;
   mutable occ_ticks : int;
   mutable retired_at_sample : int;
+  mutable l1d_misses_at_sample : int;
+  mutable l2_misses_at_sample : int;
   (* instrumentation cost accounting *)
   mutable instr_points : int;
   mutable instr_overhead_ps : int;
@@ -219,6 +221,8 @@ let create ?probe ?(controller = Controller.nop) ?sink ?sampling
     occ_sum = Array.make Domain.count 0.0;
     occ_ticks = 0;
     retired_at_sample = 0;
+    l1d_misses_at_sample = 0;
+    l2_misses_at_sample = 0;
     instr_points = 0;
     instr_overhead_ps = 0;
     sampler = Option.map Sampler.create sampling;
@@ -918,6 +922,8 @@ let sample_stage t ~now =
           avg_occupancy = Array.map (fun s -> s /. ticks) t.occ_sum;
           retired = t.retired - t.retired_at_sample;
           total_retired = t.retired;
+          l1d_misses = Cache.misses t.l1d - t.l1d_misses_at_sample;
+          l2_misses = Cache.misses t.l2 - t.l2_misses_at_sample;
           target_mhz =
             Array.init Domain.count (fun i ->
                 Dvfs.target_mhz t.dvfs (Domain.of_index i));
@@ -938,6 +944,8 @@ let sample_stage t ~now =
       Array.fill t.occ_sum 0 Domain.count 0.0;
       t.occ_ticks <- 0;
       t.retired_at_sample <- t.retired;
+      t.l1d_misses_at_sample <- Cache.misses t.l1d;
+      t.l2_misses_at_sample <- Cache.misses t.l2;
       t.next_sample_cycle <- front_cycles + interval
     end
   end

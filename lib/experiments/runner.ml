@@ -7,6 +7,7 @@ module Plan = Mcd_core.Plan
 module Editor = Mcd_core.Editor
 module Analyze = Mcd_core.Analyze
 module Attack_decay = Mcd_control.Attack_decay
+module Policy = Mcd_control.Policy
 module Freq = Mcd_domains.Freq
 module Ckey = Mcd_cache.Key
 module Cstore = Mcd_cache.Store
@@ -471,44 +472,43 @@ let profile_run ?(slowdown_pct = default_slowdown_pct) (w : Workload.t)
     ~decode:(decode_profiled ~plan_of)
   @@ fun () -> profile_run_uncached w ~plan:(plan_of ())
 
-let online_policy_params (p : Attack_decay.params) =
-  [
-    string_of_int p.Attack_decay.interval_cycles;
-    Ckey.float_param p.Attack_decay.attack_threshold;
-    string_of_int p.Attack_decay.attack_step_mhz;
-    string_of_int p.Attack_decay.decay_step_mhz;
-    Ckey.float_param p.Attack_decay.ipc_guard;
-  ]
+let online_policy_params = Attack_decay.params_id
 
-(* The on-line policy is always simulated exactly, whatever the global
-   [sim_mode]: attack/decay is a cycle-driven feedback loop (it reads
-   queue occupancy and IPC every interval), and a skipped instance is
-   invisible to it — under sampling the loop reacts to a sparse,
-   unrepresentative subsequence of intervals and its frequency
-   trajectory diverges from the exact run by tens of points. The
-   feed-forward policies (offline, profile) react to the marker stream,
-   which sampling preserves, so they sample safely. Because the result
-   is mode-independent, so are its keys ([~modal:false], no [sim_tag]):
-   a sampled bench pass reuses the exact pass's on-line runs. *)
+(* --- the generic policy path ------------------------------------------- *)
+
+(* Every {!Mcd_control.Policy.t} runs through one entry point. Feedback
+   policies are always simulated exactly, whatever the global
+   [sim_mode]: a cycle-driven feedback loop (attack/decay, PID,
+   cache-aware, util-prop all read queue occupancy or miss counters
+   every interval) cannot observe skipped instances — under sampling it
+   reacts to a sparse, unrepresentative subsequence of intervals and
+   its frequency trajectory diverges from the exact run by tens of
+   points. Feed-forward policies (baseline, fixed, offline, profile)
+   react to the marker stream, which sampling preserves, so they sample
+   safely. Because a feedback result is mode-independent, so are its
+   keys ([~modal:false], no [sim_tag]): a sampled bench pass reuses the
+   on-line runs the exact pass already cached. *)
+let policy_key (p : Policy.t) (w : Workload.t) =
+  run_key
+    ~modal:(not p.Policy.feedback)
+    w ~config ~policy:p.Policy.name ~params:p.Policy.params
+
+let policy_run (p : Policy.t) (w : Workload.t) =
+  (* memoized on the disk key's canonical line: it already names the
+     policy with all parameters, the workload, the config and (for
+     modal runs) the simulation mode, so two parameterisations of one
+     policy can never serve each other's numbers in-process either *)
+  let key = policy_key p w in
+  memoize (memo ()) ("policy/" ^ Ckey.canonical key)
+  @@ fun () ->
+  run_cached ~key:(fun () -> key)
+  @@ fun () ->
+  let controller = p.Policy.create () in
+  if p.Policy.feedback then sim_run ~sampling:None ~controller w ~config
+  else sim_run ~controller w ~config
+
 let online_run ?params (w : Workload.t) =
-  let effective =
-    match params with
-    | Some p -> p
-    | None -> Attack_decay.default_params
-  in
-  let go () =
-    run_cached
-      ~key:(fun () ->
-        run_key ~modal:false w ~config ~policy:"online"
-          ~params:(online_policy_params effective))
-    @@ fun () ->
-    sim_run ~sampling:None
-      ~controller:(Attack_decay.controller ?params ())
-      w ~config
-  in
-  match params with
-  | Some _ -> go ()
-  | None -> memoize (memo ()) (w.Workload.name ^ "/online") go
+  policy_run (Attack_decay.policy ?params ()) w
 
 (* Traced variant of the per-policy runs: never memoized (the sink is a
    side channel — a cached Metrics.run would leave it empty), and the

@@ -188,11 +188,27 @@ val profile_run :
 (** Edit per the (possibly re-thresholded) plan and run the reference
     input. Cached at every slowdown, like {!offline_run}. *)
 
+val policy_run :
+  Mcd_control.Policy.t -> Mcd_workloads.Workload.t -> Mcd_power.Metrics.run
+(** The generic policy entry point: build a fresh controller with the
+    policy's [create], run the reference input, cache under
+    {!policy_key}. Feedback policies are always simulated exactly
+    (their cycle-driven loops diverge under phase sampling) and keyed
+    mode-independently; feed-forward policies follow the global
+    {!sim_mode}. *)
+
+val policy_key :
+  Mcd_control.Policy.t -> Mcd_workloads.Workload.t -> Mcd_cache.Key.t
+(** The persistent-store key {!policy_run} caches under: the shared
+    run-key layout with the policy's canonical
+    {!Mcd_cache.Key.policy_fragment} identity, so two policies (or one
+    policy at two parameter settings) can never collide. *)
+
 val online_run :
   ?params:Mcd_control.Attack_decay.params -> Mcd_workloads.Workload.t ->
   Mcd_power.Metrics.run
-(** Attack/decay run on the reference input. Cached for default
-    params. *)
+(** {!policy_run} of {!Mcd_control.Attack_decay.policy} — the
+    attack/decay run on the reference input. *)
 
 val observed_run :
   ?policy:[ `Baseline | `Online | `Offline | `Profile ] ->

@@ -129,19 +129,21 @@ let prop_oracle_roundtrip =
 
 (* Pinned golden key: if this test ever fails, the canonical rendering
    or digest changed and every existing cache object is silently
-   unreachable — bump Key.format_version instead of repinning. *)
+   unreachable — bump Key.format_version instead of repinning. The
+   model segment is pinned at 2 (the attack/decay idle-streak fix): a
+   pre-fix object must miss cleanly rather than serve stale numbers. *)
 let test_golden_key () =
   let key =
     Key.make ~kind:"run" ~parts:[ ("policy", "baseline"); ("note", "x y") ]
   in
   Alcotest.(check string)
-    "canonical" "mcd-dvfs-cache/1 model/1 kind=run policy=baseline note=x%20y"
+    "canonical" "mcd-dvfs-cache/1 model/2 kind=run policy=baseline note=x%20y"
     (Key.canonical key);
   Alcotest.(check string)
-    "digest" "d27471cdd6a68dbd64f31bab383317bb" (Key.digest key);
+    "digest" "765ea1de1b452a5f2b587189e86322f3" (Key.digest key);
   let tricky = Key.make ~kind:"run" ~parts:[ ("v", "a%b\nc d") ] in
   Alcotest.(check string)
-    "percent-encoding" "mcd-dvfs-cache/1 model/1 kind=run v=a%25b%0ac%20d"
+    "percent-encoding" "mcd-dvfs-cache/1 model/2 kind=run v=a%25b%0ac%20d"
     (Key.canonical tricky)
 
 (* --- store ------------------------------------------------------------ *)

@@ -572,6 +572,8 @@ let test_oracle_policy_playback () =
       avg_occupancy = Array.make Domain.count 0.0;
       retired = 0;
       total_retired = total;
+      l1d_misses = 0;
+      l2_misses = 0;
       target_mhz = Array.make Domain.count Freq.fmax_mhz;
       current_mhz = Array.make Domain.count (float_of_int Freq.fmax_mhz);
     }

@@ -6,11 +6,17 @@ module Headline = Mcd_experiments.Headline
 module Context_sense = Mcd_experiments.Context_sense
 module Sweep = Mcd_experiments.Sweep
 module Tables = Mcd_experiments.Tables
+module Tournament = Mcd_experiments.Tournament
+module Policy = Mcd_control.Policy
+module Policies = Mcd_control.Policies
 module Suite = Mcd_workloads.Suite
 module Workload = Mcd_workloads.Workload
 module Context = Mcd_profiling.Context
 module Metrics = Mcd_power.Metrics
 module Freq = Mcd_domains.Freq
+module Key = Mcd_cache.Key
+module Store = Mcd_cache.Store
+module Json = Mcd_obs.Json
 
 let w () = Suite.by_name "adpcm decode"
 
@@ -265,6 +271,116 @@ let test_tables_render () =
   let t3 = Tables.table3 ~workloads:[ w () ] () in
   Alcotest.(check bool) "table3" true (contains ~needle:"cov long" t3)
 
+(* --- the policy tournament -------------------------------------------- *)
+
+(* Every registered policy must key distinctly on one workload —
+   including the two attack/decay parameterisations, which share a
+   cache-key [name] and differ only in [params]. This is the structural
+   fix for the policy-blind cache keys: aliasing here would let one
+   policy serve another's numbers forever. *)
+let test_policy_keys_pairwise_distinct () =
+  let keys =
+    List.map
+      (fun p -> (p.Policy.label, Key.canonical (Runner.policy_key p (w ()))))
+      (Policies.all ())
+  in
+  List.iteri
+    (fun i (la, ka) ->
+      List.iteri
+        (fun j (lb, kb) ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s and %s key apart" la lb)
+              true (ka <> kb))
+        keys)
+    keys
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error _ -> ()
+
+(* Warm-run the tournament against a fresh store: the cold pass must
+   write exactly one object per (policy, workload) plus the shared
+   baseline with zero hits (nothing aliased, nothing served across
+   policies), and the warm pass must serve exactly that many hits with
+   zero new stores while reproducing the report byte-identically. *)
+let test_tournament_warm_rerun_isolated () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mcd-tournament-test.%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  let store = Store.create ~dir in
+  Fun.protect
+    ~finally:(fun () ->
+      Store.set_default None;
+      rm_rf dir)
+    (fun () ->
+      Store.set_default (Some store);
+      Runner.clear_caches ();
+      let contenders = Policies.contenders () in
+      let cold = Tournament.run ~workloads:[ w () ] () in
+      let s0 = Store.stats store in
+      Alcotest.(check int) "cold pass: one object per policy + baseline"
+        (List.length contenders + 1)
+        s0.Store.stores;
+      Alcotest.(check int) "cold pass: zero cross-policy hits" 0 s0.Store.hits;
+      Runner.clear_caches ();
+      let warm = Tournament.run ~workloads:[ w () ] () in
+      let s1 = Store.stats store in
+      Alcotest.(check int) "warm pass: every run served from disk"
+        (List.length contenders + 1)
+        (s1.Store.hits - s0.Store.hits);
+      Alcotest.(check int) "warm pass: no new objects" s0.Store.stores
+        s1.Store.stores;
+      Alcotest.(check string) "report byte-identical"
+        (Tournament.render cold) (Tournament.render warm);
+      Alcotest.(check string) "JSON byte-identical"
+        (Json.to_string (Tournament.to_json cold))
+        (Json.to_string (Tournament.to_json warm)))
+
+let test_tournament_report_shape () =
+  let t = Tournament.run ~workloads:[ w () ] () in
+  let contenders = Policies.contenders () in
+  Alcotest.(check int) "one entry per contender"
+    (List.length contenders)
+    (List.length t.Tournament.entries);
+  List.iteri
+    (fun i e -> Alcotest.(check int) "ranks count 1..N" (i + 1) e.Tournament.rank)
+    t.Tournament.entries;
+  let eds =
+    List.map
+      (fun e -> e.Tournament.mean.Runner.ed_improvement_pct)
+      t.Tournament.entries
+  in
+  Alcotest.(check bool) "ranked by descending mean ED" true
+    (List.sort (fun a b -> compare b a) eds = eds);
+  Alcotest.(check bool) "some entry is Pareto-optimal" true
+    (List.exists (fun e -> e.Tournament.pareto) t.Tournament.entries);
+  let rendered = Tournament.render t in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (p.Policy.label ^ " in table")
+        true
+        (contains ~needle:p.Policy.label rendered))
+    contenders;
+  (* the JSON writer's output must parse back with the same shape *)
+  match Json.of_string (Json.to_string (Tournament.to_json t)) with
+  | Error e -> Alcotest.failf "tournament JSON does not parse: %s" e
+  | Ok j ->
+      let entries =
+        Option.bind (Json.member "entries" j) Json.to_list_opt
+        |> Option.value ~default:[]
+      in
+      Alcotest.(check int) "JSON entries" (List.length contenders)
+        (List.length entries)
+
 let suite =
   [
     ("compare runs", `Quick, test_compare_runs);
@@ -288,4 +404,11 @@ let suite =
     ("tables render", `Quick, test_tables_render);
     ("golden cycle-exact metrics", `Slow, test_golden_cycle_exact);
     ("parallel runs deterministic", `Slow, test_parallel_runs_deterministic);
+    ( "policy keys pairwise distinct",
+      `Quick,
+      test_policy_keys_pairwise_distinct );
+    ( "tournament warm rerun isolated",
+      `Slow,
+      test_tournament_warm_rerun_isolated );
+    ("tournament report shape", `Slow, test_tournament_report_shape);
   ]

@@ -257,6 +257,8 @@ let sample_admitting target =
     avg_occupancy = Array.make Domain.count 0.0;
     retired = 1_000;
     total_retired = 1_000;
+    l1d_misses = 0;
+    l2_misses = 0;
     target_mhz = Array.copy target;
     current_mhz = Array.map float_of_int target;
   }

@@ -634,8 +634,9 @@ let fail_error e =
   Error.exit_code e
 
 let serve_cmd =
-  let run socket workers queue_max client_max compute_delay_ms trace_dir
-      no_journal journal_path deadline_ms retry_after_cap_ms cache_dir =
+  let run socket workers queue_max client_max conn_inflight_max
+      outbuf_max_bytes compute_delay_ms trace_dir no_journal journal_path
+      deadline_ms retry_after_cap_ms cache_dir =
     init_cache cache_dir;
     let base = Server.default_config ~socket in
     let journal =
@@ -648,6 +649,8 @@ let serve_cmd =
         workers;
         queue_max;
         client_max;
+        conn_inflight_max;
+        outbuf_max_bytes;
         compute_delay_s = float_of_int compute_delay_ms /. 1000.0;
         trace_dir;
         journal;
@@ -682,6 +685,19 @@ let serve_cmd =
     Arg.(value & opt int 16
          & info [ "client-max" ] ~docv:"N"
              ~doc:"Queued jobs one client may hold (fairness bound)")
+  in
+  let conn_inflight_max =
+    Arg.(value & opt int 128
+         & info [ "conn-inflight-max" ] ~docv:"N"
+             ~doc:"Parked waits one pipelined connection may hold before \
+                   further waits are rejected $(b,overloaded) (admission \
+                   cap for the readiness-driven event loop)")
+  in
+  let outbuf_max_bytes =
+    Arg.(value & opt int (16 * 1024 * 1024)
+         & info [ "outbuf-max-bytes" ] ~docv:"BYTES"
+             ~doc:"Pending response bytes buffered for one connection \
+                   before the server closes it as a slow reader")
   in
   let compute_delay_ms =
     Arg.(value & opt int 0
@@ -728,8 +744,9 @@ let serve_cmd =
           a crash. Drains gracefully on SIGTERM or $(b,mcd-dvfs drain)")
     Term.(
       const run $ socket_arg $ workers $ queue_max $ client_max
-      $ compute_delay_ms $ trace_dir $ no_journal $ journal_path
-      $ deadline_ms $ retry_after_cap_ms $ cache_dir_arg)
+      $ conn_inflight_max $ outbuf_max_bytes $ compute_delay_ms $ trace_dir
+      $ no_journal $ journal_path $ deadline_ms $ retry_after_cap_ms
+      $ cache_dir_arg)
 
 let wire_policy_enum =
   Arg.enum

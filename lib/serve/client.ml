@@ -25,7 +25,8 @@ let read_reply_line socket ic =
   match input_line ic with
   | line -> (
       match Protocol.parse_reply line with
-      | Ok reply -> Ok reply
+      (* one command in flight at a time, so seq tags never appear *)
+      | Ok (reply, _seq) -> Ok reply
       | Result.Error reason -> Result.Error (Error.Protocol_violation { line; reason }))
   | exception (End_of_file | Sys_error _) ->
       Result.Error
@@ -223,28 +224,286 @@ let backoff_ms policy rng ~attempt ~hint =
   | None -> jittered
   | Some h -> max jittered (min policy.max_delay_ms h)
 
+(* A job-level rejection ([Overloaded], [Draining], [Unknown_job])
+   arrives on a healthy connection — the framing is intact, only the
+   verdict was transient — so the retry reuses the connection instead
+   of paying connect + greeting again. Only transport failures
+   ([Server_unavailable]: refused connect, severed socket) force a
+   reconnect; anything else that smells of desync ([Protocol_violation])
+   is terminal and never retried. *)
 let run_with_retry ?priority ?(policy = default_policy) ~socket request =
   let rng =
     Mcd_util.Rng.create
       (match policy.seed with Some s -> s | None -> auto_seed ())
   in
+  let conn = ref None in
+  let drop () =
+    match !conn with
+    | None -> ()
+    | Some t ->
+        conn := None;
+        close t
+  in
   let attempt_once () =
-    match connect ~socket with
-    | Result.Error e -> Result.Error e
-    | Ok t ->
-        Fun.protect
-          ~finally:(fun () -> close t)
-          (fun () -> run ?priority t request)
+    match !conn with
+    | Some t -> run ?priority t request
+    | None -> (
+        match connect ~socket with
+        | Result.Error e -> Result.Error e
+        | Ok t ->
+            conn := Some t;
+            run ?priority t request)
   in
   let rec go attempt =
     match attempt_once () with
-    | Ok payload -> Ok payload
+    | Ok payload ->
+        drop ();
+        Ok payload
     | Result.Error e when retryable e && attempt + 1 < policy.max_attempts ->
-        let ms =
-          backoff_ms policy rng ~attempt ~hint:(retry_after_hint e)
-        in
+        (match e with Error.Server_unavailable _ -> drop () | _ -> ());
+        let ms = backoff_ms policy rng ~attempt ~hint:(retry_after_hint e) in
         policy.sleep (float_of_int ms /. 1000.0);
         go (attempt + 1)
-    | Result.Error _ as e -> e
+    | Result.Error _ as e ->
+        drop ();
+        e
   in
   go 0
+
+(* --- pipelined connections ---------------------------------------------- *)
+
+module Pipeline = struct
+  (* Non-blocking socket + seq-tagged commands + the shared incremental
+     frame decoder. Each logical request is a tiny state machine keyed
+     by the seq of the command whose answer it is waiting for:
+
+       Submitting --queued--> Waiting --terminal status--> Fetching
+                                                  --payload/reject--> k
+
+     The server answers waits in completion order, so frames for
+     different requests interleave arbitrarily; the seq tag routes each
+     one. Callbacks fire inside {!pump}, on the caller's thread. *)
+
+  type phase =
+    | Submitting
+    | Waiting of int
+    | Fetching of int
+
+  type pending = { phase : phase; k : (string, Error.t) result -> unit }
+
+  type t = {
+    socket : string;
+    fd : Unix.file_descr;
+    frames : Protocol.Frames.t;
+    out : Evloop.Outbuf.t;
+    buf : Bytes.t;
+    pending : (int, pending) Hashtbl.t;
+    mutable next_seq : int;
+    mutable failed : Error.t option;
+    version : int;
+    workers : int;
+    queue_max : int;
+  }
+
+  let version t = t.version
+  let workers t = t.workers
+  let queue_max t = t.queue_max
+  let fd t = t.fd
+  let in_flight t = Hashtbl.length t.pending
+  let has_output t = not (Evloop.Outbuf.is_empty t.out)
+
+  (* Terminal transport/framing failure: every in-flight request is
+     answered with the error, and the connection refuses further use. *)
+  let fail t e =
+    if t.failed = None then begin
+      t.failed <- Some e;
+      let ks = Hashtbl.fold (fun _ p acc -> p.k :: acc) t.pending [] in
+      Hashtbl.reset t.pending;
+      List.iter (fun k -> k (Result.Error e)) ks
+    end;
+    Result.Error e
+
+  let transport_lost t =
+    fail t
+      (Error.Server_unavailable
+         { socket = t.socket; message = "connection closed by server" })
+
+  let connect ?max_payload ~socket () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+        Result.Error
+          (Error.Server_unavailable { socket; message = Unix.error_message e })
+    | () -> (
+        (* Consume the greeting with the same decoder the pipelined
+           path uses — blocking reads until one frame lands. *)
+        let frames = Protocol.Frames.create ?max_payload () in
+        let buf = Bytes.create 65536 in
+        let give_up e =
+          (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+          Result.Error e
+        in
+        let rec greeting () =
+          match Protocol.Frames.next frames with
+          | `Frame f -> Ok f
+          | `Error reason ->
+              Result.Error (Error.Protocol_violation { line = "<greeting>"; reason })
+          | `Await -> (
+              match Unix.read fd buf 0 (Bytes.length buf) with
+              | 0 ->
+                  Result.Error
+                    (Error.Server_unavailable
+                       { socket; message = "connection closed by server" })
+              | n ->
+                  Protocol.Frames.feed frames (Bytes.sub_string buf 0 n);
+                  greeting ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> greeting ()
+              | exception Unix.Unix_error (e, _, _) ->
+                  Result.Error
+                    (Error.Server_unavailable
+                       { socket; message = Unix.error_message e }))
+        in
+        match greeting () with
+        | Result.Error e -> give_up e
+        | Ok { Protocol.Frames.reply = Protocol.Ready { version; workers; queue_max }; _ }
+          ->
+            if version <> Protocol.version then
+              give_up
+                (Error.Protocol_violation
+                   {
+                     line = Printf.sprintf "mcd-serve/%d" version;
+                     reason =
+                       Printf.sprintf "unsupported protocol version (want %d)"
+                         Protocol.version;
+                   })
+            else begin
+              Unix.set_nonblock fd;
+              Ok
+                {
+                  socket;
+                  fd;
+                  frames;
+                  out = Evloop.Outbuf.create ();
+                  buf;
+                  pending = Hashtbl.create 64;
+                  next_seq = 1;
+                  failed = None;
+                  version;
+                  workers;
+                  queue_max;
+                }
+            end
+        | Ok { Protocol.Frames.reply; _ } ->
+            give_up
+              (Error.Protocol_violation
+                 {
+                   line = Protocol.render_reply reply;
+                   reason = "expected greeting";
+                 }))
+
+  let send_cmd t phase k cmd =
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Hashtbl.replace t.pending seq { phase; k };
+    Evloop.Outbuf.add t.out (Protocol.render_command ~seq cmd ^ "\n")
+
+  let run ?(priority = Protocol.Normal) t request ~k =
+    match t.failed with
+    | Some e -> k (Result.Error e)
+    | None -> send_cmd t Submitting k (Protocol.Submit { priority; request })
+
+  let protocol_violation t reply reason =
+    ignore
+      (fail t
+         (Error.Protocol_violation
+            { line = Protocol.render_reply reply; reason }))
+
+  (* One decoded frame: route by seq, advance that request's phase. *)
+  let dispatch t (f : Protocol.Frames.frame) =
+    match f.seq with
+    | None -> protocol_violation t f.reply "unsolicited reply (no seq)"
+    | Some seq -> (
+        match Hashtbl.find_opt t.pending seq with
+        | None -> protocol_violation t f.reply "reply for unknown seq"
+        | Some info -> (
+            Hashtbl.remove t.pending seq;
+            match (info.phase, f.reply) with
+            | Submitting, Protocol.Queued_reply { id; _ } ->
+                send_cmd t (Waiting id) info.k (Protocol.Wait id)
+            | Waiting id, Protocol.Status_reply _ ->
+                (* terminal either way: [result] returns the payload or
+                   the job's typed failure, same as the blocking path *)
+                send_cmd t (Fetching id) info.k (Protocol.Result id)
+            | Fetching _, Protocol.Payload _ ->
+                info.k (Ok (Option.value ~default:"" f.body))
+            | _, Protocol.Rejected r ->
+                info.k (Result.Error (Protocol.error_of_reject r))
+            | _, reply ->
+                Hashtbl.replace t.pending seq info;
+                protocol_violation t reply "reply does not match request phase"))
+
+  let rec drain_frames t =
+    if t.failed <> None then ()
+    else
+      match Protocol.Frames.next t.frames with
+      | `Await -> ()
+      | `Error reason ->
+          ignore
+            (fail t (Error.Protocol_violation { line = "<stream>"; reason }))
+      | `Frame f ->
+          dispatch t f;
+          drain_frames t
+
+  let read_ready t =
+    let rec go () =
+      if t.failed <> None then ()
+      else
+        match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+        | 0 -> ignore (transport_lost t)
+        | n ->
+            Protocol.Frames.feed t.frames (Bytes.sub_string t.buf 0 n);
+            drain_frames t;
+            go ()
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (_, _, _) -> ignore (transport_lost t)
+    in
+    go ()
+
+  let flush_out t =
+    match Evloop.Outbuf.flush t.out t.fd with
+    | `All | `Partial -> Ok ()
+    | `Closed -> transport_lost t
+
+  let pump ?(timeout_ms = 0) t =
+    match t.failed with
+    | Some e -> Result.Error e
+    | None -> (
+        match flush_out t with
+        | Result.Error _ as e -> e
+        | Ok () -> (
+            match
+              Evloop.wait_fd t.fd ~read:true ~write:(has_output t) ~timeout_ms
+            with
+            | None -> Ok ()
+            | Some ev ->
+                if ev.readable then read_ready t;
+                (match t.failed with
+                | Some e -> Result.Error e
+                | None -> if ev.writable then flush_out t else Ok ())))
+
+  let close t =
+    (match t.failed with
+    | Some _ -> ()
+    | None ->
+        Evloop.Outbuf.add t.out (Protocol.render_command Protocol.Quit ^ "\n");
+        ignore (flush_out t);
+        t.failed <-
+          Some
+            (Error.Server_unavailable
+               { socket = t.socket; message = "connection closed locally" }));
+    try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+end

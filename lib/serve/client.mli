@@ -62,12 +62,14 @@ val drain : t -> (unit, Mcd_robust.Error.t) result
 
 (** {2 Retrying requests}
 
-    A request loop that survives server restarts: each attempt is a
-    fresh connect → submit → wait → result exchange, so a connection
-    severed mid-wait by a crash is simply retried — the resubmit either
-    coalesces onto the job the restarted server replayed from its
-    journal, or (if the job completed and was compacted away) hits the
-    content-addressed store and returns the same bytes. *)
+    A request loop that survives server restarts. Job-level transient
+    rejections ([Overloaded], [Draining], [Unknown_job]) arrive on a
+    healthy connection, so their retries reuse it — no reconnect tax;
+    a transport failure ([Server_unavailable]) drops the connection
+    and the next attempt reconnects. A severed-mid-wait resubmit
+    either coalesces onto the job the restarted server replayed from
+    its journal, or (if the job completed and was compacted away) hits
+    the content-addressed store and returns the same bytes. *)
 
 type retry_policy = {
   max_attempts : int;  (** total attempts, including the first *)
@@ -103,3 +105,62 @@ val run_with_retry :
     rejection carries one. Returns the last error once
     [policy.max_attempts] attempts are spent or a terminal error
     appears. *)
+
+(** {2 Pipelined connections}
+
+    Many requests in flight on one socket. Every command carries a
+    [seq] tag; the server echoes it on the answering reply — including
+    [wait] answers deferred until the job turns terminal — so replies
+    for different requests interleave in completion order and are
+    routed back by tag. Each {!Pipeline.run} walks the same
+    submit → wait → result exchange as the blocking {!run}, one
+    round-trip per phase but overlapped across requests, which is
+    where the pipelined throughput multiple comes from.
+
+    The connection is non-blocking and single-threaded: callbacks fire
+    inside {!Pipeline.pump} on the caller's thread. Drive many
+    connections from one loop via {!Pipeline.fd} and external
+    readiness, or just {!Pipeline.pump} each in turn. *)
+module Pipeline : sig
+  type t
+
+  val connect :
+    ?max_payload:int -> socket:string -> unit -> (t, Mcd_robust.Error.t) result
+  (** Connect, consume the greeting, switch to non-blocking.
+      [max_payload] bounds any single reply body
+      (default {!Protocol.Frames.default_max_payload}). *)
+
+  val close : t -> unit
+  (** Best-effort [quit], then close. In-flight callbacks never fire
+      after [close]. *)
+
+  val version : t -> int
+  val workers : t -> int
+  val queue_max : t -> int
+
+  val fd : t -> Unix.file_descr
+  (** For external readiness multiplexing across many connections. *)
+
+  val in_flight : t -> int
+  (** Requests submitted whose callback has not yet fired. *)
+
+  val has_output : t -> bool
+  (** Rendered commands not yet accepted by the socket. *)
+
+  val run :
+    ?priority:Protocol.priority ->
+    t ->
+    Protocol.request ->
+    k:((string, Mcd_robust.Error.t) result -> unit) ->
+    unit
+  (** Start a request; [k] fires exactly once, from a later {!pump},
+      with the payload or the typed error ({!run}'s result shape).
+      After a transport failure every pending [k] fires with the
+      error and new [run]s fail immediately. *)
+
+  val pump : ?timeout_ms:int -> t -> (unit, Mcd_robust.Error.t) result
+  (** Flush pending output, wait up to [timeout_ms] (default 0: just
+      poll) for socket readiness, read and dispatch any completed
+      replies. [Error] is terminal: the transport or framing is gone
+      and all pending callbacks have been failed. *)
+end

@@ -1,0 +1,66 @@
+/* poll(2) binding for the serve event loop.
+
+   Unix.select caps at FD_SETSIZE (1024) file descriptors; a pipelined
+   server holding thousands of connections needs poll. The binding is
+   deliberately minimal: the caller passes parallel arrays of fds and
+   interest bits (1 = read, 2 = write) plus a revents array the stub
+   fills in (same bit vocabulary; POLLHUP/POLLERR surface as readable
+   *and* writable so the caller's read/write path discovers the error
+   and closes the fd).
+
+   Returns the number of ready descriptors, 0 on timeout, -1 on EINTR,
+   -2 on any other poll error (the OCaml side degrades gracefully
+   instead of raising from C). */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+
+CAMLprim value mcd_serve_poll(value v_fds, value v_events, value v_revents,
+                              value v_timeout_ms)
+{
+  CAMLparam4(v_fds, v_events, v_revents, v_timeout_ms);
+  mlsize_t n = Wosize_val(v_fds);
+  int timeout = Int_val(v_timeout_ms);
+  struct pollfd *pfds = NULL;
+  int rc, saved_errno;
+  mlsize_t i;
+
+  if (Wosize_val(v_events) != n || Wosize_val(v_revents) != n)
+    caml_invalid_argument("mcd_serve_poll: array length mismatch");
+
+  if (n > 0) {
+    pfds = malloc(n * sizeof(struct pollfd));
+    if (pfds == NULL) caml_raise_out_of_memory();
+    for (i = 0; i < n; i++) {
+      int bits = Int_val(Field(v_events, i));
+      pfds[i].fd = Int_val(Field(v_fds, i));
+      pfds[i].events = (short)(((bits & 1) ? POLLIN : 0) |
+                               ((bits & 2) ? POLLOUT : 0));
+      pfds[i].revents = 0;
+    }
+  }
+
+  caml_release_runtime_system();
+  rc = poll(pfds, (nfds_t)n, timeout);
+  saved_errno = errno;
+  caml_acquire_runtime_system();
+
+  if (rc >= 0) {
+    for (i = 0; i < n; i++) {
+      short re = pfds[i].revents;
+      int bits = 0;
+      if (re & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) bits |= 1;
+      if (re & (POLLOUT | POLLHUP | POLLERR | POLLNVAL)) bits |= 2;
+      /* immediates need no write barrier */
+      Field(v_revents, i) = Val_int(bits);
+    }
+  }
+  if (pfds != NULL) free(pfds);
+  if (rc < 0) CAMLreturn(Val_int(saved_errno == EINTR ? -1 : -2));
+  CAMLreturn(Val_int(rc));
+}

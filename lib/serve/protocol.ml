@@ -131,7 +131,24 @@ type reply =
 let kv k v = Printf.sprintf "%s=%s" k (encode_value v)
 let kvi k v = Printf.sprintf "%s=%d" k v
 
-let render_command = function
+(* The seq token rides immediately after the verb. It is optional on
+   the wire (a one-shot client never sends one) and opaque to the
+   server, which echoes it verbatim on whichever reply answers the
+   command — the correlation a pipelined client matches on. *)
+let with_seq seq line =
+  match seq with
+  | None -> line
+  | Some s -> (
+      match String.index_opt line ' ' with
+      | None -> line ^ " " ^ kvi "seq" s
+      | Some i ->
+          String.concat ""
+            [
+              String.sub line 0 i; " "; kvi "seq" s;
+              String.sub line i (String.length line - i);
+            ])
+
+let render_command_body = function
   | Ping -> "ping"
   | Submit { priority; request = r } ->
       String.concat " "
@@ -150,7 +167,9 @@ let render_command = function
   | Drain -> "drain"
   | Quit -> "quit"
 
-let render_reply = function
+let render_command ?seq cmd = with_seq seq (render_command_body cmd)
+
+let render_reply_body = function
   | Ready { version; workers; queue_max } ->
       Printf.sprintf "mcd-serve/%d ready %s %s" version
         (kvi "workers" workers)
@@ -197,6 +216,8 @@ let render_reply = function
       | Not_done id ->
           String.concat " " [ "error"; kv "code" "not-done"; kvi "id" id ])
 
+let render_reply ?seq reply = with_seq seq (render_reply_body reply)
+
 (* --- parsing ----------------------------------------------------------- *)
 
 let ( let* ) = Result.bind
@@ -235,25 +256,34 @@ let float_field key fs =
 let split line =
   String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
 
+let seq_field fs =
+  match List.assoc_opt "seq" fs with
+  | None -> Ok None
+  | Some _ ->
+      let* s = int_field "seq" fs in
+      Ok (Some s)
+
 let parse_command line =
   match split line with
   | [] -> Error "empty command"
   | verb :: rest -> (
       let fs = fields rest in
+      let* seq = seq_field fs in
+      let ok cmd = Ok (cmd, seq) in
       match verb with
-      | "ping" -> Ok Ping
-      | "stats" -> Ok Stats
-      | "drain" -> Ok Drain
-      | "quit" -> Ok Quit
+      | "ping" -> ok Ping
+      | "stats" -> ok Stats
+      | "drain" -> ok Drain
+      | "quit" -> ok Quit
       | "status" ->
           let* id = int_field "id" fs in
-          Ok (Status id)
+          ok (Status id)
       | "wait" ->
           let* id = int_field "id" fs in
-          Ok (Wait id)
+          ok (Wait id)
       | "result" ->
           let* id = int_field "id" fs in
-          Ok (Result id)
+          ok (Result id)
       | "submit" ->
           let* pri = field "pri" fs in
           let* priority =
@@ -270,7 +300,7 @@ let parse_command line =
           in
           let* context = field "context" fs in
           let* slowdown_pct = float_field "slowdown" fs in
-          Ok (Submit { priority; request = { workload; policy; context; slowdown_pct } })
+          ok (Submit { priority; request = { workload; policy; context; slowdown_pct } })
       | verb -> Error (Printf.sprintf "unknown command %S" verb))
 
 let parse_state fs =
@@ -289,25 +319,27 @@ let parse_reply line =
   | [] -> Error "empty reply"
   | verb :: rest -> (
       let fs = fields rest in
+      let* seq = seq_field fs in
+      let ok reply = Ok (reply, seq) in
       match verb with
-      | "pong" -> Ok Pong
-      | "draining" -> Ok Draining_reply
+      | "pong" -> ok Pong
+      | "draining" -> ok Draining_reply
       | "queued" ->
           let* id = int_field "id" fs in
           let* digest = field "digest" fs in
           let* coalesced = int_field "coalesced" fs in
-          Ok (Queued_reply { id; digest; coalesced = coalesced <> 0 })
+          ok (Queued_reply { id; digest; coalesced = coalesced <> 0 })
       | "status" ->
           let* id = int_field "id" fs in
           let* state = parse_state fs in
-          Ok (Status_reply { id; state })
+          ok (Status_reply { id; state })
       | "payload" ->
           let* id = int_field "id" fs in
           let* bytes = int_field "bytes" fs in
-          Ok (Payload { id; bytes })
+          ok (Payload { id; bytes })
       | "stats-payload" ->
           let* bytes = int_field "bytes" fs in
-          Ok (Stats_payload { bytes })
+          ok (Stats_payload { bytes })
       | "error" -> (
           let* code = field "code" fs in
           match code with
@@ -315,37 +347,131 @@ let parse_reply line =
               let* queue_depth = int_field "depth" fs in
               let* limit = int_field "limit" fs in
               let* retry_after_ms = int_field "retry-after-ms" fs in
-              Ok (Rejected (Overloaded { queue_depth; limit; retry_after_ms }))
-          | "draining" -> Ok (Rejected Draining)
+              ok (Rejected (Overloaded { queue_depth; limit; retry_after_ms }))
+          | "draining" -> ok (Rejected Draining)
           | "bad-request" ->
               let* msg = field "msg" fs in
-              Ok (Rejected (Bad_request msg))
+              ok (Rejected (Bad_request msg))
           | "unknown-job" ->
               let* id = int_field "id" fs in
-              Ok (Rejected (Unknown_job id))
+              ok (Rejected (Unknown_job id))
           | "failed" ->
               let* id = int_field "id" fs in
               let* message = field "msg" fs in
-              Ok (Rejected (Job_failed { id; message }))
+              ok (Rejected (Job_failed { id; message }))
           | "deadline" ->
               let* id = int_field "id" fs in
               let* deadline_ms = int_field "deadline-ms" fs in
-              Ok (Rejected (Deadline { id; deadline_ms }))
+              ok (Rejected (Deadline { id; deadline_ms }))
           | "not-done" ->
               let* id = int_field "id" fs in
-              Ok (Rejected (Not_done id))
+              ok (Rejected (Not_done id))
           | code -> Error (Printf.sprintf "unknown error code %S" code))
       | verb -> (
           (* the greeting: "mcd-serve/<v> ready ..." *)
           match String.split_on_char '/' verb with
           | [ "mcd-serve"; v ] -> (
-              match (int_of_string_opt v, rest) with
-              | Some version, "ready" :: _ ->
+              (* key=value tokens (seq=, future extensions) may precede
+                 the bare "ready" marker and are ignored, same as
+                 unknown fields everywhere else in the grammar. *)
+              match int_of_string_opt v with
+              | Some version when List.mem "ready" rest ->
                   let* workers = int_field "workers" fs in
                   let* queue_max = int_field "queue-max" fs in
-                  Ok (Ready { version; workers; queue_max })
+                  ok (Ready { version; workers; queue_max })
               | _ -> Error (Printf.sprintf "malformed greeting %S" line))
           | _ -> Error (Printf.sprintf "unknown reply %S" verb)))
+
+(* --- incremental reply framing ----------------------------------------- *)
+
+module Frames = struct
+  type frame = { reply : reply; seq : int option; body : string option }
+
+  (* [acc]/[off] form a consume-from-the-front buffer: [feed] appends,
+     the decoder advances [off], and the consumed prefix is compacted
+     away lazily (on the next append) so a long-lived connection never
+     accumulates dead bytes. *)
+  type t = {
+    mutable acc : string;
+    mutable off : int;
+    mutable pending : (reply * int option * int) option;
+        (** a payload header whose [bytes]-byte body (plus trailer) has
+            not fully arrived yet *)
+    mutable failed : string option;
+    max_payload : int;
+  }
+
+  let default_max_payload = 64 * 1024 * 1024
+
+  let create ?(max_payload = default_max_payload) () =
+    { acc = ""; off = 0; pending = None; failed = None; max_payload }
+
+  let feed t chunk =
+    if String.length chunk > 0 then
+      if t.off = 0 then t.acc <- t.acc ^ chunk
+      else begin
+        t.acc <-
+          String.sub t.acc t.off (String.length t.acc - t.off) ^ chunk;
+        t.off <- 0
+      end
+
+  let buffered t = String.length t.acc - t.off
+
+  let trailer = "end\n"
+
+  let fail t msg =
+    t.failed <- Some msg;
+    `Error msg
+
+  (* A decode error is terminal: once framing desynchronizes there is
+     no way to find the next frame boundary, so the connection must be
+     torn down. *)
+  let rec next t =
+    match t.failed with
+    | Some msg -> `Error msg
+    | None -> (
+        match t.pending with
+        | Some (reply, seq, bytes) ->
+            if buffered t < bytes + String.length trailer then `Await
+            else begin
+              let body = String.sub t.acc t.off bytes in
+              let tl =
+                String.sub t.acc (t.off + bytes) (String.length trailer)
+              in
+              if tl <> trailer then
+                fail t
+                  (Printf.sprintf "bad payload trailer %S (want %S)" tl
+                     trailer)
+              else begin
+                t.off <- t.off + bytes + String.length trailer;
+                t.pending <- None;
+                `Frame { reply; seq; body = Some body }
+              end
+            end
+        | None -> (
+            match String.index_from_opt t.acc t.off '\n' with
+            | None -> `Await
+            | Some i -> (
+                let line = String.sub t.acc t.off (i - t.off) in
+                t.off <- i + 1;
+                match parse_reply line with
+                | Error reason ->
+                    fail t (Printf.sprintf "%s (line %S)" reason line)
+                | Ok ((Payload { bytes; _ } as reply), seq)
+                | Ok ((Stats_payload { bytes } as reply), seq) ->
+                    if bytes < 0 then
+                      fail t (Printf.sprintf "negative payload size %d" bytes)
+                    else if bytes > t.max_payload then
+                      fail t
+                        (Printf.sprintf
+                           "payload of %d bytes exceeds the %d-byte cap"
+                           bytes t.max_payload)
+                    else begin
+                      t.pending <- Some (reply, seq, bytes);
+                      next t
+                    end
+                | Ok (reply, seq) -> `Frame { reply; seq; body = None })))
+end
 
 let error_of_reject = function
   | Overloaded { queue_depth; limit; retry_after_ms } ->

@@ -24,6 +24,16 @@
                 | "error code=E ..."
     v}
 
+    {b Pipelined framing.} Any command may additionally carry a
+    [seq=N] token (rendered straight after the verb); the reply that
+    answers it echoes the same [seq] — including a [wait] answer that
+    the server defers until the job turns terminal. A client may
+    therefore keep any number of commands in flight on one connection
+    and match replies by seq regardless of arrival order; commands
+    without [seq] keep the strict request/reply ordering a one-shot
+    client expects. Both are version-1 grammar: unknown [key=value]
+    tokens were always ignored, so a seq-free peer interoperates.
+
     This module is pure — parsing and rendering only, no I/O — so both
     endpoints and the test suite share one grammar definition. *)
 
@@ -97,18 +107,59 @@ type reply =
   | Draining_reply
   | Rejected of reject
 
-val render_command : command -> string
-(** Without the trailing newline. *)
+val render_command : ?seq:int -> command -> string
+(** Without the trailing newline. [seq] tags the command for pipelined
+    correlation; the answering reply echoes it. *)
 
-val parse_command : string -> (command, string) result
+val parse_command : string -> (command * int option, string) result
+(** The command plus its [seq] tag, when the sender attached one. *)
 
-val render_reply : reply -> string
-val parse_reply : string -> (reply, string) result
+val render_reply : ?seq:int -> reply -> string
+val parse_reply : string -> (reply * int option, string) result
 
 val error_of_reject : reject -> Mcd_robust.Error.t
 (** The typed diagnostic a rejection maps to — [Overloaded] and
     [Draining] carry exit code 4, the rest follow the usual
     validation/runtime classes. *)
+
+(** {2 Incremental reply framing}
+
+    The receive half of a pipelined connection: feed raw socket bytes
+    in whatever chunks the kernel delivers, take complete frames out.
+    A frame is a reply line plus — for [Payload]/[Stats_payload]
+    headers — its byte-counted body, with the ["end\n"] trailer
+    verified and stripped. Both endpoints' wire reading and the qcheck
+    chunking tests share this one decoder. *)
+module Frames : sig
+  type frame = {
+    reply : reply;
+    seq : int option;
+    body : string option;  (** payload bytes, for payload-carrying replies *)
+  }
+
+  type t
+
+  val default_max_payload : int
+  (** 64 MiB. *)
+
+  val create : ?max_payload:int -> unit -> t
+  (** A payload header announcing more than [max_payload] bytes is a
+      decode error — the frame is refused before any body is
+      buffered, so a rogue header cannot balloon memory. *)
+
+  val feed : t -> string -> unit
+  (** Append a chunk of received bytes. Chunk boundaries are
+      arbitrary: mid-token, mid-body, anywhere. *)
+
+  val next : t -> [ `Frame of frame | `Await | `Error of string ]
+  (** The next complete frame, [`Await] when more bytes are needed.
+      [`Error] is terminal — framing has desynchronized (unparseable
+      line, bad trailer, oversized payload) and the connection must be
+      closed; every later [next] repeats the error. *)
+
+  val buffered : t -> int
+  (** Bytes fed but not yet consumed by [next]. *)
+end
 
 (** {2 Token-grammar helpers}
 

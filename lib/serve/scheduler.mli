@@ -88,6 +88,14 @@ val workers : t -> int
 val queue_max : t -> int
 val sink : t -> Mcd_obs.Sink.t
 
+val latency_bins : int
+(** Bin count of the power-of-two millisecond histograms ([serve.latency_ms],
+    [serve.loop.*]): bin [i] covers [[2{^i} − 1, 2{^i+1} − 1)] ms, the last
+    bin open-ended. *)
+
+val latency_bin_of_ms : int -> int
+(** The bin a millisecond value falls into (clamped to the last bin). *)
+
 type admission =
   | Accepted of info
   | Coalesced of info

@@ -7,6 +7,8 @@ type config = {
   workers : int;
   queue_max : int;
   client_max : int;
+  conn_inflight_max : int;
+  outbuf_max_bytes : int;
   compute_delay_s : float;
   trace_dir : string option;
   drain_grace_s : float;
@@ -29,6 +31,8 @@ let default_config ~socket =
     workers = 2;
     queue_max = 64;
     client_max = 16;
+    conn_inflight_max = 128;
+    outbuf_max_bytes = 16 * 1024 * 1024;
     compute_delay_s = 0.0;
     trace_dir = None;
     drain_grace_s = 1.0;
@@ -143,32 +147,38 @@ let bind_socket path =
 
 (* --- connections ------------------------------------------------------- *)
 
+(* A connection is a pair of byte streams the loop owns outright:
+   [acc] holds received bytes not yet parsed into command lines, [out]
+   holds rendered reply frames the socket has not yet accepted. All
+   writes are buffered-then-flushed, so a slow reader never blocks the
+   loop — it accumulates output until {!config.outbuf_max_bytes} and is
+   then disconnected. *)
 type conn = {
   fd : Unix.file_descr;
   client : string;
   mutable acc : string;  (** bytes received, not yet parsed into lines *)
-  mutable waits : int list;  (** job ids this client is parked on *)
+  out : Evloop.Outbuf.t;  (** rendered frames awaiting the socket *)
+  mutable waits : (int * int option) list;
+      (** parked [wait]s: job id and the command's seq tag *)
+  mutable n_waits : int;
+  mutable closing : bool;  (** [quit] received: flush [out], then close *)
 }
 
-exception Hung_up
-
-let write_all fd s =
-  let n = String.length s in
-  let rec go off =
-    if off < n then
-      match Unix.write_substring fd s off (n - off) with
-      | written -> go (off + written)
-      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-          raise Hung_up
-  in
-  go 0
-
-let send conn reply = write_all conn.fd (Protocol.render_reply reply ^ "\n")
-
-let send_payload conn reply body =
-  write_all conn.fd (Protocol.render_reply reply ^ "\n" ^ body ^ "end\n")
+(* Command lines are small; a line that grows past this without a
+   newline is not a client, it is a mistake (or a binary stream aimed
+   at the wrong socket). *)
+let line_max = 64 * 1024
 
 (* --- the event loop ---------------------------------------------------- *)
+
+type loop_metrics = {
+  h_wait : Metrics.histogram;  (** poll dwell time per iteration *)
+  h_iter : Metrics.histogram;  (** processing time per iteration *)
+  c_wakeups : Metrics.counter;
+  c_partial_writes : Metrics.counter;
+  c_slow_reader_closes : Metrics.counter;
+  g_conns : Metrics.gauge;
+}
 
 type t = {
   cfg : config;
@@ -178,6 +188,7 @@ type t = {
   sched : Scheduler.t;
   journal : Journal.t option;
   conns : (Unix.file_descr, conn) Hashtbl.t;
+  lm : loop_metrics;
   mutable next_client : int;
   mutable drain_started : float option;
   mutable idle_since : float option;
@@ -247,25 +258,37 @@ let begin_drain t =
 
 let close_conn t conn =
   Hashtbl.remove t.conns conn.fd;
+  Metrics.set t.lm.g_conns (float_of_int (Hashtbl.length t.conns));
   try Unix.close conn.fd with Unix.Unix_error (_, _, _) -> ()
 
-let handle_command t conn ~digest = function
-  | Protocol.Ping -> send conn Protocol.Pong
-  | Protocol.Quit -> raise Hung_up
+(* All replies are buffered: the loop never blocks on a peer's receive
+   window. The flush pass pushes [out] whenever the socket will take
+   bytes and disconnects readers that fall [outbuf_max_bytes] behind. *)
+let enqueue conn ?seq reply =
+  Evloop.Outbuf.add conn.out (Protocol.render_reply ?seq reply ^ "\n")
+
+let enqueue_payload conn ?seq reply body =
+  Evloop.Outbuf.add conn.out (Protocol.render_reply ?seq reply ^ "\n");
+  Evloop.Outbuf.add conn.out body;
+  Evloop.Outbuf.add conn.out "end\n"
+
+let handle_command t conn ~digest ~seq = function
+  | Protocol.Ping -> enqueue conn ?seq Protocol.Pong
+  | Protocol.Quit -> conn.closing <- true
   | Protocol.Drain ->
       begin_drain t;
-      send conn Protocol.Draining_reply
+      enqueue conn ?seq Protocol.Draining_reply
   | Protocol.Stats ->
       mirror_store_stats t;
       mirror_journal_stats t;
       let body = Scheduler.export_metrics t.sched in
-      send_payload conn
+      enqueue_payload conn ?seq
         (Protocol.Stats_payload { bytes = String.length body })
         body
   | Protocol.Submit { priority; request } -> (
       match digest request with
       | Result.Error msg ->
-          send conn (Protocol.Rejected (Protocol.Bad_request msg))
+          enqueue conn ?seq (Protocol.Rejected (Protocol.Bad_request msg))
       | Ok dg -> (
           match
             Scheduler.submit t.sched ~client:conn.client ~priority ~digest:dg
@@ -286,33 +309,51 @@ let handle_command t conn ~digest = function
                       request;
                     }
               | None -> ());
-              send conn
+              enqueue conn ?seq
                 (Protocol.Queued_reply
                    { id = info.id; digest = dg; coalesced = false })
           | Scheduler.Coalesced info ->
-              send conn
+              enqueue conn ?seq
                 (Protocol.Queued_reply
                    { id = info.id; digest = dg; coalesced = true })
-          | Scheduler.Rejected reject -> send conn (Protocol.Rejected reject)))
+          | Scheduler.Rejected reject ->
+              enqueue conn ?seq (Protocol.Rejected reject)))
   | Protocol.Status id -> (
       match Scheduler.find t.sched id with
-      | None -> send conn (Protocol.Rejected (Protocol.Unknown_job id))
-      | Some info -> send conn (status_reply info))
+      | None -> enqueue conn ?seq (Protocol.Rejected (Protocol.Unknown_job id))
+      | Some info -> enqueue conn ?seq (status_reply info))
   | Protocol.Wait id -> (
       match Scheduler.find t.sched id with
-      | None -> send conn (Protocol.Rejected (Protocol.Unknown_job id))
+      | None -> enqueue conn ?seq (Protocol.Rejected (Protocol.Unknown_job id))
       | Some info -> (
           match info.state with
-          | Scheduler.Done _ | Scheduler.Failed _ -> send conn (status_reply info)
+          | Scheduler.Done _ | Scheduler.Failed _ ->
+              enqueue conn ?seq (status_reply info)
           | Scheduler.Queued | Scheduler.Running ->
-              conn.waits <- id :: conn.waits))
+              (* Per-connection in-flight cap: a pipelined client
+                 parking unbounded waits would grow [waits] (and the
+                 eventual answer burst) without limit. Past the cap the
+                 wait is refused with the usual backoff hint. *)
+              if conn.n_waits >= t.cfg.conn_inflight_max then
+                enqueue conn ?seq
+                  (Protocol.Rejected
+                     (Protocol.Overloaded
+                        {
+                          queue_depth = conn.n_waits;
+                          limit = t.cfg.conn_inflight_max;
+                          retry_after_ms = Scheduler.retry_after_ms t.sched;
+                        }))
+              else begin
+                conn.waits <- (id, seq) :: conn.waits;
+                conn.n_waits <- conn.n_waits + 1
+              end))
   | Protocol.Result id -> (
       match Scheduler.find t.sched id with
-      | None -> send conn (Protocol.Rejected (Protocol.Unknown_job id))
+      | None -> enqueue conn ?seq (Protocol.Rejected (Protocol.Unknown_job id))
       | Some info -> (
           match info.state with
           | Scheduler.Done payload ->
-              send_payload conn
+              enqueue_payload conn ?seq
                 (Protocol.Payload { id; bytes = String.length payload })
                 payload
           | Scheduler.Failed { message; _ } ->
@@ -327,28 +368,36 @@ let handle_command t conn ~digest = function
                     }
                 else Protocol.Job_failed { id; message }
               in
-              send conn (Protocol.Rejected reject)
+              enqueue conn ?seq (Protocol.Rejected reject)
           | Scheduler.Queued | Scheduler.Running ->
-              send conn (Protocol.Rejected (Protocol.Not_done id))))
+              enqueue conn ?seq (Protocol.Rejected (Protocol.Not_done id))))
 
 (* Split complete lines off the connection's accumulator and run them. *)
 let handle_input t conn ~digest chunk =
   conn.acc <- conn.acc ^ chunk;
   let rec go () =
-    match String.index_opt conn.acc '\n' with
-    | None -> ()
-    | Some i ->
-        let line = String.sub conn.acc 0 i in
-        conn.acc <-
-          String.sub conn.acc (i + 1) (String.length conn.acc - i - 1);
-        (match Protocol.parse_command line with
-        | Ok cmd -> handle_command t conn ~digest cmd
-        | Result.Error reason ->
-            send conn
+    if conn.closing then ()
+    else
+      match String.index_opt conn.acc '\n' with
+      | None ->
+          if String.length conn.acc > line_max then begin
+            enqueue conn
               (Protocol.Rejected
-                 (Protocol.Bad_request
-                    (Printf.sprintf "%s (line %S)" reason line))));
-        go ()
+                 (Protocol.Bad_request "command line too long"));
+            conn.closing <- true
+          end
+      | Some i ->
+          let line = String.sub conn.acc 0 i in
+          conn.acc <-
+            String.sub conn.acc (i + 1) (String.length conn.acc - i - 1);
+          (match Protocol.parse_command line with
+          | Ok (cmd, seq) -> handle_command t conn ~digest ~seq cmd
+          | Result.Error reason ->
+              enqueue conn
+                (Protocol.Rejected
+                   (Protocol.Bad_request
+                      (Printf.sprintf "%s (line %S)" reason line))));
+          go ()
   in
   go ()
 
@@ -360,43 +409,61 @@ let answer_parked_waits t =
       | waits ->
           let still_pending =
             List.filter
-              (fun id ->
+              (fun (id, seq) ->
                 match Scheduler.find t.sched id with
                 | None ->
-                    send conn (Protocol.Rejected (Protocol.Unknown_job id));
+                    enqueue conn ?seq
+                      (Protocol.Rejected (Protocol.Unknown_job id));
                     false
                 | Some info -> (
                     match info.state with
                     | Scheduler.Done _ | Scheduler.Failed _ ->
-                        send conn (status_reply info);
+                        enqueue conn ?seq (status_reply info);
                         false
                     | Scheduler.Queued | Scheduler.Running -> true))
               (List.rev waits)
           in
-          conn.waits <- List.rev still_pending)
+          conn.waits <- List.rev still_pending;
+          conn.n_waits <- List.length still_pending)
     t.conns
 
-let accept_conn t =
-  match Unix.accept t.listen_fd with
-  | fd, _ ->
-      let client = Printf.sprintf "c%d" t.next_client in
-      t.next_client <- t.next_client + 1;
-      let conn = { fd; client; acc = ""; waits = [] } in
-      Hashtbl.replace t.conns fd conn;
-      (match
-         write_all fd
-           (Protocol.render_reply
-              (Protocol.Ready
-                 {
-                   version = Protocol.version;
-                   workers = Scheduler.workers t.sched;
-                   queue_max = Scheduler.queue_max t.sched;
-                 })
-           ^ "\n")
-       with
-      | () -> ()
-      | exception Hung_up -> close_conn t conn)
-  | exception Unix.Unix_error (_, _, _) -> ()
+(* Accept everything pending — the listen fd is level-triggered but one
+   readiness report can cover a burst of connects. *)
+let accept_conns t =
+  let rec go () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        let client = Printf.sprintf "c%d" t.next_client in
+        t.next_client <- t.next_client + 1;
+        let conn =
+          {
+            fd;
+            client;
+            acc = "";
+            out = Evloop.Outbuf.create ();
+            waits = [];
+            n_waits = 0;
+            closing = false;
+          }
+        in
+        Hashtbl.replace t.conns fd conn;
+        Metrics.set t.lm.g_conns (float_of_int (Hashtbl.length t.conns));
+        enqueue conn
+          (Protocol.Ready
+             {
+               version = Protocol.version;
+               workers = Scheduler.workers t.sched;
+               queue_max = Scheduler.queue_max t.sched;
+             });
+        go ()
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  go ()
 
 let drain_wake_pipe t =
   let buf = Bytes.create 256 in
@@ -408,8 +475,11 @@ let drain_wake_pipe t =
   in
   go ()
 
-let no_parked_waits t =
-  Hashtbl.fold (fun _ c acc -> acc && c.waits = []) t.conns true
+(* Nothing owed to any client: no parked waits, no unflushed output. *)
+let quiescent t =
+  Hashtbl.fold
+    (fun _ c acc -> acc && c.waits = [] && Evloop.Outbuf.is_empty c.out)
+    t.conns true
 
 (* Drain watchdog: [true] once the server should exit. Grace lets a
    client fetch the result of a job that finished during the drain; the
@@ -420,7 +490,7 @@ let drained t =
   | Some started ->
       let now = Unix.gettimeofday () in
       if now -. started > t.cfg.drain_deadline_s then true
-      else if Scheduler.idle t.sched && no_parked_waits t then begin
+      else if Scheduler.idle t.sched && quiescent t then begin
         (match t.idle_since with None -> t.idle_since <- Some now | Some _ -> ());
         Hashtbl.length t.conns = 0
         || now -. Option.get t.idle_since > t.cfg.drain_grace_s
@@ -432,54 +502,112 @@ let drained t =
 
 let stop_requested = Atomic.make false
 
-let install_signal_handlers () =
-  let request _ = Atomic.set stop_requested true in
+(* OCaml 5 may run a signal handler on any domain; setting the flag is
+   not enough when the loop domain is parked in poll. The handler also
+   pokes the wake pipe, so a SIGTERM interrupts even an idle 60s wait. *)
+let install_signal_handlers ~wake =
+  let request _ =
+    Atomic.set stop_requested true;
+    poke wake
+  in
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request)
    with Invalid_argument _ -> ());
   try Sys.set_signal Sys.sigint (Sys.Signal_handle request)
   with Invalid_argument _ -> ()
 
+(* The poll timeout is deadline-driven, not a fixed tick: idle servers
+   park for up to [idle_backstop_ms] (completions, connects and signals
+   all interrupt via fd readiness), draining servers wake exactly when
+   the grace or deadline clock next expires. *)
+let idle_backstop_ms = 60_000
+
+let loop_timeout_ms t =
+  match t.drain_started with
+  | None -> idle_backstop_ms
+  | Some started ->
+      let now = Unix.gettimeofday () in
+      let until_deadline = started +. t.cfg.drain_deadline_s -. now in
+      let until_grace =
+        match t.idle_since with
+        | Some i -> Float.min (i +. t.cfg.drain_grace_s -. now) until_deadline
+        | None -> until_deadline
+      in
+      max 1 (int_of_float (Float.ceil (until_grace *. 1000.0)))
+
+let interests t =
+  { Evloop.fd = t.listen_fd; read = true; write = false }
+  :: { Evloop.fd = t.wake_r; read = true; write = false }
+  :: Hashtbl.fold
+       (fun fd c acc ->
+         {
+           Evloop.fd;
+           read = not c.closing;
+           write = not (Evloop.Outbuf.is_empty c.out);
+         }
+         :: acc)
+       t.conns []
+
+let read_conn t conn ~digest buf =
+  match Unix.read conn.fd buf 0 (Bytes.length buf) with
+  | 0 -> close_conn t conn
+  | n -> handle_input t conn ~digest (Bytes.sub_string buf 0 n)
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+  | exception Unix.Unix_error (_, _, _) -> close_conn t conn
+
+(* Push buffered output on every connection that has any; reap peers
+   that closed, finished [quit]s, and readers too slow to keep up.
+   Snapshot first — [close_conn] mutates the table. *)
+let flush_conns t =
+  let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  List.iter
+    (fun c ->
+      if Evloop.Outbuf.length c.out > t.cfg.outbuf_max_bytes then begin
+        Metrics.incr t.lm.c_slow_reader_closes;
+        close_conn t c
+      end
+      else if not (Evloop.Outbuf.is_empty c.out) then begin
+        match Evloop.Outbuf.flush c.out c.fd with
+        | `Closed -> close_conn t c
+        | `Partial -> Metrics.incr t.lm.c_partial_writes
+        | `All -> if c.closing then close_conn t c
+      end
+      else if c.closing then close_conn t c)
+    conns
+
+let ms_bin dt = Scheduler.latency_bin_of_ms (int_of_float (dt *. 1000.0))
+
 let serve_loop t ~digest =
-  let buf = Bytes.create 4096 in
+  let buf = Bytes.create 65536 in
   let rec loop () =
     if Atomic.get stop_requested then begin_drain t;
     if drained t then ()
     else begin
-      let fds =
-        t.listen_fd :: t.wake_r
-        :: Hashtbl.fold (fun fd _ acc -> fd :: acc) t.conns []
-      in
-      let readable, _, _ =
-        match Unix.select fds [] [] 0.1 with
-        | r -> r
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-      in
+      let t0 = Unix.gettimeofday () in
+      let events = Evloop.wait (interests t) ~timeout_ms:(loop_timeout_ms t) in
+      let t1 = Unix.gettimeofday () in
+      Metrics.observe t.lm.h_wait ~bin:(ms_bin (t1 -. t0)) ~weight:1.0;
       List.iter
-        (fun fd ->
-          if fd = t.listen_fd then accept_conn t
-          else if fd = t.wake_r then drain_wake_pipe t
+        (fun (ev : Evloop.event) ->
+          if ev.fd = t.listen_fd then accept_conns t
+          else if ev.fd = t.wake_r then begin
+            drain_wake_pipe t;
+            Metrics.incr t.lm.c_wakeups
+          end
           else
-            match Hashtbl.find_opt t.conns fd with
+            match Hashtbl.find_opt t.conns ev.fd with
             | None -> ()
-            | Some conn -> (
-                match Unix.read fd buf 0 (Bytes.length buf) with
-                | 0 -> close_conn t conn
-                | n -> (
-                    match
-                      handle_input t conn ~digest
-                        (Bytes.sub_string buf 0 n)
-                    with
-                    | () -> ()
-                    | exception Hung_up -> close_conn t conn)
-                | exception Unix.Unix_error (_, _, _) -> close_conn t conn))
-        readable;
-      (match answer_parked_waits t with
-      | () -> ()
-      | exception Hung_up ->
-          (* a parked client hung up mid-answer; the per-conn read path
-             will reap it on its next event *)
-          ());
+            | Some conn ->
+                if ev.readable && not conn.closing then
+                  read_conn t conn ~digest buf)
+        events;
+      answer_parked_waits t;
+      flush_conns t;
+      Metrics.observe t.lm.h_iter
+        ~bin:(ms_bin (Unix.gettimeofday () -. t1))
+        ~weight:1.0;
       loop ()
     end
   in
@@ -492,17 +620,30 @@ let serve_loop t ~digest =
 let answer_parked_with_draining t =
   Hashtbl.iter
     (fun _ conn ->
-      match conn.waits with
-      | [] -> ()
-      | waits -> (
-          conn.waits <- [];
-          match
-            List.iter
-              (fun _ -> send conn (Protocol.Rejected Protocol.Draining))
-              waits
-          with
-          | () -> ()
-          | exception Hung_up -> ()))
+      List.iter
+        (fun (_, seq) ->
+          enqueue conn ?seq (Protocol.Rejected Protocol.Draining))
+        (List.rev conn.waits);
+      conn.waits <- [];
+      conn.n_waits <- 0)
+    t.conns
+
+(* Best-effort exit flush: bounded, so a wedged peer cannot hold the
+   shutdown hostage. *)
+let final_flush t =
+  let deadline = Unix.gettimeofday () +. 1.0 in
+  Hashtbl.iter
+    (fun _ conn ->
+      let rec go () =
+        if Unix.gettimeofday () < deadline then
+          match Evloop.Outbuf.flush conn.out conn.fd with
+          | `All | `Closed -> ()
+          | `Partial ->
+              ignore
+                (Evloop.wait_fd conn.fd ~read:false ~write:true ~timeout_ms:50);
+              go ()
+      in
+      go ())
     t.conns
 
 let run ?(digest = request_digest) ?compute:(compute_fn = compute) cfg =
@@ -517,7 +658,7 @@ let run ?(digest = request_digest) ?compute:(compute_fn = compute) cfg =
           release_lock ();
           e
       | Ok listen_fd ->
-          install_signal_handlers ();
+          Unix.set_nonblock listen_fd;
           Atomic.set stop_requested false;
           let journal, replay, next_id =
             match cfg.journal with
@@ -538,6 +679,8 @@ let run ?(digest = request_digest) ?compute:(compute_fn = compute) cfg =
           in
           let wake_r, wake_w = Unix.pipe () in
           Unix.set_nonblock wake_w;
+          Unix.set_nonblock wake_r;
+          install_signal_handlers ~wake:wake_w;
           let compute_wrapped req =
             if cfg.compute_delay_s > 0.0 then Unix.sleepf cfg.compute_delay_s;
             compute_fn req
@@ -568,6 +711,23 @@ let run ?(digest = request_digest) ?compute:(compute_fn = compute) cfg =
           in
           sched_cell := Some sched;
           ignore (Scheduler.restore sched ~next_id replay);
+          let lm =
+            Scheduler.with_registry sched (fun m ->
+                {
+                  h_wait =
+                    Metrics.histogram m "serve.loop.wait_ms"
+                      ~bins:Scheduler.latency_bins;
+                  h_iter =
+                    Metrics.histogram m "serve.loop.iter_ms"
+                      ~bins:Scheduler.latency_bins;
+                  c_wakeups = Metrics.counter m "serve.loop.wakeups";
+                  c_partial_writes =
+                    Metrics.counter m "serve.loop.partial_writes";
+                  c_slow_reader_closes =
+                    Metrics.counter m "serve.loop.slow_reader_closes";
+                  g_conns = Metrics.gauge m "serve.loop.connections";
+                })
+          in
           let t =
             {
               cfg;
@@ -577,6 +737,7 @@ let run ?(digest = request_digest) ?compute:(compute_fn = compute) cfg =
               sched;
               journal;
               conns = Hashtbl.create 16;
+              lm;
               next_client = 1;
               drain_started = None;
               idle_since = None;
@@ -584,6 +745,7 @@ let run ?(digest = request_digest) ?compute:(compute_fn = compute) cfg =
           in
           serve_loop t ~digest;
           answer_parked_with_draining t;
+          final_flush t;
           Hashtbl.iter
             (fun _ conn -> try Unix.close conn.fd with _ -> ())
             t.conns;

@@ -1,12 +1,29 @@
 (** The experiment daemon: a Unix-domain stream socket speaking
     {!Protocol} version {!Protocol.version}, fed by a {!Scheduler}.
 
-    One single-threaded [select] event loop owns every socket; worker
-    domains never touch a file descriptor — a completing job pokes the
-    loop through a self-pipe, and the loop answers any connection
-    parked on a [wait] for that job. That split keeps the wire code
-    free of locking entirely: the only shared state is the scheduler,
-    behind its own mutex.
+    One single-threaded readiness-driven event loop (poll(2), so the
+    connection count is not bounded by [FD_SETSIZE]) owns every socket;
+    worker domains never touch a file descriptor — a completing job
+    pokes the loop through a self-pipe, and the loop answers any
+    connection parked on a [wait] for that job. That split keeps the
+    wire code free of locking entirely: the only shared state is the
+    scheduler, behind its own mutex.
+
+    {b Non-blocking throughout.} Sockets are non-blocking; reads
+    accumulate into a per-connection line buffer, replies accumulate
+    into a per-connection output buffer flushed as the socket accepts
+    bytes ({!Evloop.Outbuf}), so a slow peer never stalls the loop — it
+    is disconnected once {!config.outbuf_max_bytes} of output backs up.
+    The poll timeout is deadline-driven (the next drain grace/deadline
+    expiry, with a 60s idle backstop), not a fixed tick: an idle server
+    burns no CPU, and a completion wakes a parked [wait] in
+    single-digit milliseconds. Pipelined commands carrying [seq] tags
+    are answered with the tag echoed, in whatever order their jobs
+    finish; a connection may park at most
+    {!config.conn_inflight_max} waits before further [wait]s are
+    refused [Overloaded]. Loop health is exported as [serve.loop.*]
+    instruments (poll dwell and iteration histograms, wakeup /
+    partial-write / slow-reader-close counters, a connection gauge).
 
     {b Lifecycle.} [SIGTERM]/[SIGINT] (or a client's [drain] command)
     close admission: queued and running jobs complete, parked waiters
@@ -42,6 +59,13 @@ type config = {
   workers : int;  (** worker domains (default 2) *)
   queue_max : int;  (** global queued-job bound (default 64) *)
   client_max : int;  (** per-client queued-job bound (default 16) *)
+  conn_inflight_max : int;
+      (** per-connection parked-[wait] bound: a pipelined client may
+          keep at most this many waits in flight on one socket before
+          further [wait]s are refused [Overloaded] (default 128) *)
+  outbuf_max_bytes : int;
+      (** slow-reader bound: a connection whose unflushed output
+          exceeds this is disconnected (default 16 MiB) *)
   compute_delay_s : float;
       (** artificial pre-compute sleep, a testing aid that makes
           overload and drain timing deterministic (default 0) *)

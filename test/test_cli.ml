@@ -81,6 +81,7 @@ let test_serve_help_documents_protocol_knobs () =
     [
       "--workers"; "--queue-max"; "--client-max"; "--socket";
       "--no-journal"; "--deadline-ms"; "--retry-after-cap-ms";
+      "--conn-inflight-max"; "--outbuf-max-bytes";
     ]
 
 let suite =

@@ -48,7 +48,8 @@ let test_command_roundtrip () =
       let line = Protocol.render_command cmd in
       Alcotest.(check bool) "single line" false (String.contains line '\n');
       match Protocol.parse_command line with
-      | Ok cmd' -> Alcotest.(check bool) line true (cmd = cmd')
+      | Ok (cmd', seq) ->
+          Alcotest.(check bool) line true (cmd = cmd' && seq = None)
       | Error e -> Alcotest.failf "%s does not parse back: %s" line e)
     all_commands
 
@@ -82,7 +83,8 @@ let test_reply_roundtrip () =
       let line = Protocol.render_reply reply in
       Alcotest.(check bool) "single line" false (String.contains line '\n');
       match Protocol.parse_reply line with
-      | Ok reply' -> Alcotest.(check bool) line true (reply = reply')
+      | Ok (reply', seq) ->
+          Alcotest.(check bool) line true (reply = reply' && seq = None)
       | Error e -> Alcotest.failf "%s does not parse back: %s" line e)
     all_replies
 
@@ -109,6 +111,145 @@ let test_parse_rejects_garbage () =
       | Ok _ -> Alcotest.failf "reply %S accepted" line
       | Error _ -> ())
     [ ""; "status id=1 state=confused"; "error code=mystery"; "mcd-serve/x ready" ]
+
+(* --- pipelined framing ------------------------------------------------- *)
+
+let test_seq_roundtrip () =
+  List.iter
+    (fun cmd ->
+      let line = Protocol.render_command ~seq:321 cmd in
+      match Protocol.parse_command line with
+      | Ok (cmd', Some 321) when cmd' = cmd -> ()
+      | Ok (_, seq) ->
+          Alcotest.failf "%s: seq came back %s" line
+            (match seq with None -> "absent" | Some n -> string_of_int n)
+      | Error e -> Alcotest.failf "%s does not parse back: %s" line e)
+    all_commands;
+  List.iter
+    (fun reply ->
+      let line = Protocol.render_reply ~seq:7 reply in
+      match Protocol.parse_reply line with
+      | Ok (reply', Some 7) when reply' = reply -> ()
+      | Ok _ -> Alcotest.failf "%s: reply or seq mangled" line
+      | Error e -> Alcotest.failf "%s does not parse back: %s" line e)
+    all_replies
+
+(* A generated frame: a reply line (maybe seq-tagged), plus a body for
+   payload-carrying headers. Bodies are arbitrary bytes — newlines,
+   percent signs, even "end\n" — the byte-count framing must not care. *)
+let frame_gen =
+  QCheck.Gen.(
+    let body = string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 80) in
+    let seq = opt (int_bound 10_000) in
+    let plain =
+      oneofl
+        [
+          Protocol.Pong;
+          Protocol.Draining_reply;
+          Protocol.Queued_reply { id = 3; digest = "abc123"; coalesced = false };
+          Protocol.Status_reply { id = 9; state = Protocol.Running };
+          Protocol.Status_reply { id = 2; state = Protocol.Failed "b%d\nx" };
+          Protocol.Rejected
+            (Protocol.Overloaded
+               { queue_depth = 4; limit = 4; retry_after_ms = 120 });
+          Protocol.Rejected (Protocol.Unknown_job 5);
+        ]
+    in
+    let* s = seq in
+    frequency
+      [
+        (3, map (fun r -> (r, s, None)) plain);
+        ( 1,
+          map
+            (fun b ->
+              (Protocol.Payload { id = 1; bytes = String.length b }, s, Some b))
+            body );
+        ( 1,
+          map
+            (fun b ->
+              (Protocol.Stats_payload { bytes = String.length b }, s, Some b))
+            body );
+      ])
+
+let render_frame (reply, seq, body) =
+  Protocol.render_reply ?seq reply ^ "\n"
+  ^ match body with None -> "" | Some b -> b ^ "end\n"
+
+(* Split [s] into chunks at arbitrary boundaries driven by [cuts]. *)
+let chunks_of cuts s =
+  let n = String.length s in
+  let rec go off cuts acc =
+    if off >= n then List.rev acc
+    else
+      match cuts with
+      | [] -> List.rev (String.sub s off (n - off) :: acc)
+      | c :: rest ->
+          let len = min (max 1 c) (n - off) in
+          go (off + len) rest (String.sub s off len :: acc)
+  in
+  go 0 cuts []
+
+let prop_frames_roundtrip =
+  QCheck.Test.make ~name:"Frames: chunked stream decodes to the same frames"
+    ~count:300
+    QCheck.(
+      make
+        Gen.(
+          let* frames = list_size (int_range 1 8) frame_gen in
+          let* cuts = list_size (int_bound 40) (int_range 1 17) in
+          return (frames, cuts)))
+    (fun (frames, cuts) ->
+      let wire = String.concat "" (List.map render_frame frames) in
+      let dec = Protocol.Frames.create () in
+      let out = ref [] in
+      let rec drain () =
+        match Protocol.Frames.next dec with
+        | `Frame f -> out := f :: !out;
+            drain ()
+        | `Await -> ()
+        | `Error e -> QCheck.Test.fail_reportf "decode error: %s" e
+      in
+      List.iter
+        (fun chunk ->
+          Protocol.Frames.feed dec chunk;
+          drain ())
+        (chunks_of cuts wire);
+      let got = List.rev !out in
+      if List.length got <> List.length frames then
+        QCheck.Test.fail_reportf "decoded %d frames, fed %d"
+          (List.length got) (List.length frames);
+      List.iter2
+        (fun (reply, seq, body) (f : Protocol.Frames.frame) ->
+          (* order, reply, seq tag and body must all survive chunking *)
+          if f.reply <> reply || f.seq <> seq || f.body <> body then
+            QCheck.Test.fail_reportf "frame mismatch on %s"
+              (Protocol.render_reply ?seq reply))
+        frames got;
+      Protocol.Frames.buffered dec = 0)
+
+let test_frames_oversized_rejected () =
+  let dec = Protocol.Frames.create ~max_payload:100 () in
+  Protocol.Frames.feed dec "payload id=1 bytes=101\n";
+  (match Protocol.Frames.next dec with
+  | `Error _ -> ()
+  | `Frame _ | `Await ->
+      Alcotest.fail "oversized payload header not refused");
+  (* the error is terminal: feeding more never recovers *)
+  Protocol.Frames.feed dec "pong\n";
+  (match Protocol.Frames.next dec with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "decode error was not sticky");
+  let dec2 = Protocol.Frames.create () in
+  Protocol.Frames.feed dec2 "payload id=1 bytes=-4\n";
+  (match Protocol.Frames.next dec2 with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "negative byte count not refused");
+  (* a bad trailer is a desync, not a skippable frame *)
+  let dec3 = Protocol.Frames.create () in
+  Protocol.Frames.feed dec3 "payload id=1 bytes=2\nhiXXX\n";
+  match Protocol.Frames.next dec3 with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "corrupt trailer not refused"
 
 let test_request_normalization_digests () =
   (* the digest is the persistent-store key: spellings a policy cannot
@@ -227,6 +368,52 @@ let test_jobq_force_bypasses_bounds () =
   ignore (Jobq.pop q);
   ignore (Jobq.pop q);
   Alcotest.(check int) "client slots released" 0 (Jobq.client_pending q "a")
+
+let test_jobq_fairness_under_pipelining () =
+  (* A pipelined connection can burst hundreds of submits in one loop
+     iteration. The per-client cap must hold under that shape: the
+     greedy client gets exactly [client_max] slots no matter how hard
+     it bursts, everyone else still gets in, and — since the greedy
+     client can never occupy the whole queue — a victim's job is
+     served after at most [client_max] greedy ones. *)
+  let queue_max = 16 and client_max = 4 in
+  let q = Jobq.create ~queue_max ~client_max () in
+  let greedy_in = ref 0 in
+  for i = 1 to 100 do
+    match Jobq.push q ~level:1 ~client:"greedy" (Printf.sprintf "g%d" i) with
+    | Ok () -> incr greedy_in
+    | Error (Jobq.Client_full n) ->
+        Alcotest.(check int) "cap reported at the bound" client_max n
+    | Error (Jobq.Queue_full _) ->
+        Alcotest.fail "greedy burst filled the global queue"
+  done;
+  Alcotest.(check int) "greedy capped" client_max !greedy_in;
+  Alcotest.(check int) "greedy pending" client_max
+    (Jobq.client_pending q "greedy");
+  (* latecomers still get in behind the capped burst *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "victim %s admitted" c)
+        true
+        (Jobq.push q ~level:1 ~client:c ("job-" ^ c) = Ok ()))
+    [ "v1"; "v2"; "v3" ];
+  (* the victim is served after at most client_max greedy jobs *)
+  let rec pops_until_victim n =
+    match Jobq.pop q with
+    | Some "job-v1" -> n
+    | Some _ -> pops_until_victim (n + 1)
+    | None -> Alcotest.fail "victim job never popped"
+  in
+  let ahead = pops_until_victim 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "victim waited behind %d <= %d greedy jobs" ahead
+       client_max)
+    true (ahead <= client_max);
+  (* drained greedy slots free up for its next burst — backpressure,
+     not a ban *)
+  Alcotest.(check bool) "greedy readmitted after pops" true
+    (Jobq.push q ~level:1 ~client:"greedy" "next" = Ok ())
 
 (* --- Journal ----------------------------------------------------------- *)
 
@@ -642,11 +829,127 @@ let test_scheduler_restore_floors_ids () =
         info.Scheduler.id
   | _ -> Alcotest.fail "fresh submit not accepted"
 
+(* --- client retry connection management -------------------------------- *)
+
+let test_retry_connection_management () =
+  (* A scripted server on a real Unix socket, counting accepted
+     connections: a job-level Overloaded rejection must be retried on
+     the SAME connection (the framing is intact, only the verdict was
+     transient), while a transport cut must open a fresh one. *)
+  let module Client = Mcd_serve.Client in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mcd-retry-%d.sock" (Unix.getpid ()))
+  in
+  (try Sys.remove socket with Sys_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 8;
+  let accepts = Atomic.make 0 in
+  let payload = "the-bytes" in
+  let send oc reply =
+    output_string oc (Protocol.render_reply reply ^ "\n");
+    flush oc
+  in
+  let greeting oc =
+    send oc
+      (Protocol.Ready { version = Protocol.version; workers = 1; queue_max = 8 })
+  in
+  (* Serve one connection to completion; with [reject_first] the first
+     submit is shed Overloaded and the retry is expected on this same
+     connection. *)
+  let serve_full ic oc ~reject_first =
+    let shed_already = ref (not reject_first) in
+    let rec loop () =
+      match input_line ic with
+      | exception (End_of_file | Sys_error _) -> ()
+      | line ->
+          (match Protocol.parse_command line with
+          | Ok (Protocol.Submit _, _) ->
+              if not !shed_already then begin
+                shed_already := true;
+                send oc
+                  (Protocol.Rejected
+                     (Protocol.Overloaded
+                        { queue_depth = 8; limit = 8; retry_after_ms = 100 }))
+              end
+              else
+                send oc
+                  (Protocol.Queued_reply
+                     { id = 1; digest = "d"; coalesced = false })
+          | Ok (Protocol.Wait _, _) ->
+              send oc (Protocol.Status_reply { id = 1; state = Protocol.Done })
+          | Ok (Protocol.Result _, _) ->
+              send oc
+                (Protocol.Payload { id = 1; bytes = String.length payload });
+              output_string oc payload;
+              output_string oc "end\n";
+              flush oc
+          | Ok (Protocol.Quit, _) -> raise Exit
+          | Ok _ | Error _ -> ());
+          loop ()
+    in
+    try loop () with Exit -> ()
+  in
+  let accept_channels () =
+    let fd, _ = Unix.accept listen_fd in
+    Atomic.incr accepts;
+    (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  in
+  let server =
+    Domain.spawn (fun () ->
+        (* connection 1: shed the first submit, serve the retry *)
+        let fd1, ic1, oc1 = accept_channels () in
+        greeting oc1;
+        serve_full ic1 oc1 ~reject_first:true;
+        (try Unix.close fd1 with Unix.Unix_error (_, _, _) -> ());
+        (* connection 2: die right after reading the submit *)
+        let fd2, ic2, oc2 = accept_channels () in
+        greeting oc2;
+        (match input_line ic2 with
+        | (_ : string) -> ()
+        | exception (End_of_file | Sys_error _) -> ());
+        (try Unix.close fd2 with Unix.Unix_error (_, _, _) -> ());
+        (* connection 3: the reconnect — serve in full *)
+        let fd3, ic3, oc3 = accept_channels () in
+        greeting oc3;
+        serve_full ic3 oc3 ~reject_first:false;
+        try Unix.close fd3 with Unix.Unix_error (_, _, _) -> ())
+  in
+  let policy =
+    {
+      Client.max_attempts = 4;
+      base_delay_ms = 1;
+      max_delay_ms = 2;
+      seed = Some 11;
+      sleep = (fun _ -> ());
+    }
+  in
+  let req = Protocol.request "adpcm decode" in
+  (match Client.run_with_retry ~policy ~socket req with
+  | Ok p -> Alcotest.(check string) "payload" payload p
+  | Error e -> Alcotest.failf "retryable run failed: %s" (Error.to_string e));
+  Alcotest.(check int) "job-level retry reused the connection" 1
+    (Atomic.get accepts);
+  (match Client.run_with_retry ~policy ~socket req with
+  | Ok p -> Alcotest.(check string) "payload after reconnect" payload p
+  | Error e -> Alcotest.failf "reconnect run failed: %s" (Error.to_string e));
+  Alcotest.(check int) "transport cut forced exactly one reconnect" 3
+    (Atomic.get accepts);
+  Domain.join server;
+  Unix.close listen_fd;
+  try Sys.remove socket with Sys_error _ -> ()
+
 let suite =
   [
     ("protocol command roundtrip", `Quick, test_command_roundtrip);
     ("protocol reply roundtrip", `Quick, test_reply_roundtrip);
     ("protocol rejects garbage", `Quick, test_parse_rejects_garbage);
+    ("protocol seq roundtrip", `Quick, test_seq_roundtrip);
+    QCheck_alcotest.to_alcotest prop_frames_roundtrip;
+    ("frames oversized rejected", `Quick, test_frames_oversized_rejected);
     ("request digests normalize", `Quick, test_request_normalization_digests);
     ("reject exit codes", `Quick, test_error_of_reject_exit_codes);
     ("jobq priority fifo", `Quick, test_jobq_priority_fifo);
@@ -654,6 +957,9 @@ let suite =
     ("jobq level clamped", `Quick, test_jobq_level_clamped);
     ("jobq rejects bad bounds", `Quick, test_jobq_rejects_bad_bounds);
     ("jobq force bypasses bounds", `Quick, test_jobq_force_bypasses_bounds);
+    ( "jobq fairness under pipelining",
+      `Quick,
+      test_jobq_fairness_under_pipelining );
     ("journal entry roundtrip", `Quick, test_journal_entry_roundtrip);
     ( "journal recovery and compaction",
       `Quick,
@@ -670,4 +976,7 @@ let suite =
     ("scheduler retry-after cap", `Quick, test_scheduler_retry_after_cap);
     ("scheduler restore replays", `Quick, test_scheduler_restore_replays);
     ("scheduler restore floors ids", `Quick, test_scheduler_restore_floors_ids);
+    ( "retry reuses connection, reconnects on cut",
+      `Quick,
+      test_retry_connection_management );
   ]

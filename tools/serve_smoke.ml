@@ -22,7 +22,11 @@
 
    4. warm restart: a fresh server on the same cache must serve the
       same bytes again, with the mirrored store.hits gauge showing the
-      payload came from disk, not recomputation.
+      payload came from disk, not recomputation;
+
+   5. idle wakeup: a completion must wake an otherwise-idle server's
+      parked wait through the self-pipe in under 10ms (best of 3) —
+      the regression guard for the deadline-driven poll timeout.
 
    Exits 0 on success, 1 with a message on the first violation. *)
 
@@ -388,6 +392,57 @@ let phase_kill_and_restart socket ~expected_online =
       Client.close c);
   drain_and_reap ~what:"phase 4 server" socket server
 
+(* --- phase 5: completion wakes an idle server's parked wait fast ------- *)
+
+(* The loop's poll timeout is deadline-driven with a 60s idle backstop;
+   a completing job must wake it through the self-pipe, not wait for a
+   tick. Measured overhead = (submit → wait answered) − the canned
+   compute time; best-of-3 absorbs scheduler noise on a loaded box. *)
+let phase_idle_wakeup socket =
+  let digest (r : Protocol.request) =
+    Ok (Printf.sprintf "wakeup-%s" (Mcd_cache.Key.float_param r.slowdown_pct))
+  in
+  let compute_s = 0.2 in
+  let compute (r : Protocol.request) =
+    Unix.sleepf compute_s;
+    Printf.sprintf "payload-%s" (Mcd_cache.Key.float_param r.slowdown_pct)
+  in
+  let cfg =
+    { (Server.default_config ~socket) with workers = 1; drain_grace_s = 0.2 }
+  in
+  let server = fork_server ~digest ~compute cfg in
+  check (wait_for_server socket) "phase 5 server never came up";
+  (match Client.connect ~socket with
+  | Error e -> check false "phase 5 connect: %s" (Error.to_string e)
+  | Ok c ->
+      let overhead_ms i =
+        let req =
+          Protocol.request ~slowdown_pct:(float_of_int (100 + i)) workload_name
+        in
+        let t0 = Unix.gettimeofday () in
+        match Client.submit c req with
+        | Error e ->
+            check false "phase 5 submit: %s" (Error.to_string e);
+            infinity
+        | Ok t -> (
+            match Client.wait c t.Client.id with
+            | Ok Protocol.Done ->
+                ((Unix.gettimeofday () -. t0) -. compute_s) *. 1000.0
+            | Ok state ->
+                check false "phase 5 job ended %s" (Protocol.state_name state);
+                infinity
+            | Error e ->
+                check false "phase 5 wait: %s" (Error.to_string e);
+                infinity)
+      in
+      let best =
+        List.fold_left Float.min infinity (List.init 3 overhead_ms)
+      in
+      check (best < 10.0)
+        "idle completion wakeup took %.1fms (best of 3), want < 10ms" best;
+      Client.close c);
+  drain_and_reap ~what:"phase 5 server" socket server
+
 (* --- main -------------------------------------------------------------- *)
 
 let () =
@@ -421,6 +476,7 @@ let () =
   phase_concurrency (socket 1) cache_dir ~expected_baseline ~expected_online;
   phase_overload (socket 2);
   phase_kill_and_restart (socket 3) ~expected_online;
+  phase_idle_wakeup (socket 5);
   if !failures = 0 then print_endline "serve_smoke: OK"
   else begin
     Printf.eprintf "serve_smoke: %d failure(s)\n%!" !failures;

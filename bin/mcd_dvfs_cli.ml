@@ -6,6 +6,7 @@
      mcd-dvfs plan "gsm encode"             print the reconfiguration plan
      mcd-dvfs compare mcf                   baseline/off-line/on-line/L+F
      mcd-dvfs tournament --quick            rank the policy zoo
+     mcd-dvfs campaign --count 100          adversarial generated-workload sweep
      mcd-dvfs trace mcf --out dir           traced run + exporters
      mcd-dvfs cache stats                   persistent result cache usage
      mcd-dvfs robustness --seed 7           fault-injection campaign
@@ -27,6 +28,8 @@ module Call_tree = Mcd_profiling.Call_tree
 module Runner = Mcd_experiments.Runner
 module Robustness = Mcd_experiments.Robustness
 module Tournament = Mcd_experiments.Tournament
+module Campaign = Mcd_experiments.Campaign
+module Gspec = Mcd_gen.Spec
 module Policies = Mcd_control.Policies
 module Json = Mcd_obs.Json
 module Metrics = Mcd_power.Metrics
@@ -74,6 +77,20 @@ let init_cache = function
   | Some dir ->
       Mcd_cache.Store.set_default (Some (Mcd_cache.Store.create ~dir))
   | None -> ignore (Mcd_cache.Store.default ())
+
+(* Load a generated-workload spec from JSON: a bare mcd-gen-spec/1
+   object, or any campaign hit/finding/report carrying one. Returns
+   the designated exit code on failure. *)
+let load_spec path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error m -> Error (3, "mcd-dvfs: " ^ m)
+  | text -> (
+      match Json.of_string text with
+      | Error e -> Error (2, Printf.sprintf "mcd-dvfs: %s: %s" path e)
+      | Ok j -> (
+          match Campaign.spec_of_replay_json j with
+          | Error e -> Error (2, Printf.sprintf "mcd-dvfs: %s: %s" path e)
+          | Ok spec -> Ok spec))
 
 (* The single authoritative exit-code table (mirrors
    Mcd_robust.Error.exit_code). Defined once and threaded through every
@@ -173,10 +190,28 @@ let print_breakdown (m : Metrics.run) =
     (Table.render ~header:[ "domain"; "energy (nJ)"; "share" ] ~rows ())
 
 let run_cmd =
-  let run w policy context breakdown cache_dir sample =
+  let run w spec_file policy context breakdown cache_dir sample =
     init_cache cache_dir;
     if sample then
       Runner.set_sim_mode (Runner.Sampled Mcd_cpu.Sampler.default_params);
+    match
+      match (w, spec_file) with
+      | Some w, None -> Ok w
+      | None, Some path ->
+          Result.map
+            (fun spec ->
+              let w = Gspec.workload spec in
+              Suite.register w;
+              w)
+            (load_spec path)
+      | Some _, Some _ ->
+          Error (2, "mcd-dvfs: give either BENCHMARK or --spec, not both")
+      | None, None -> Error (2, "mcd-dvfs: missing BENCHMARK (or --spec FILE)")
+    with
+    | Error (code, msg) ->
+        prerr_endline msg;
+        code
+    | Ok w ->
     let baseline = Runner.baseline w in
     let metrics =
       match policy with
@@ -205,7 +240,17 @@ let run_cmd =
     end;
     0
   in
-  let w = Arg.(required & pos 0 (some workload_arg) None & info [] ~docv:"BENCHMARK") in
+  let w = Arg.(value & pos 0 (some workload_arg) None & info [] ~docv:"BENCHMARK") in
+  let spec_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:
+            "Simulate a generated workload instead of a named benchmark: \
+             $(docv) holds an mcd-gen-spec/1 JSON object (or any campaign \
+             finding carrying one, see $(b,campaign)).")
+  in
   let policy =
     Arg.(value & opt run_policy_arg `Profile
          & info [ "policy" ] ~docv:"POLICY"
@@ -242,7 +287,8 @@ let run_cmd =
   Cmd.v
     (cmd_info "run" ~doc:"Simulate a benchmark under a policy")
     Term.(
-      const run $ w $ policy $ context $ breakdown $ cache_dir_arg $ sample)
+      const run $ w $ spec_file $ policy $ context $ breakdown $ cache_dir_arg
+      $ sample)
 
 (* --- tree ------------------------------------------------------------ *)
 
@@ -443,6 +489,165 @@ let tournament_cmd =
           rank them by mean energy x delay improvement")
     Term.(
       const run $ quick $ jobs_resolved $ json_out $ cache_dir_arg $ workloads)
+
+(* --- campaign ----------------------------------------------------------- *)
+
+let campaign_cmd =
+  let dp = Campaign.default_params in
+  let run count seed slowdown epsilon margin minimize no_observe train_insts
+      ref_insts jobs json_out replay cache_dir =
+    init_cache cache_dir;
+    Runner.set_jobs jobs;
+    let params =
+      {
+        Campaign.count;
+        seed;
+        slowdown_pct = slowdown;
+        epsilon_pct = epsilon;
+        margin_pct = margin;
+        minimize;
+        observe = not no_observe;
+        train_insts;
+        ref_insts;
+      }
+    in
+    match replay with
+    | Some path -> (
+        match load_spec path with
+        | Error (code, msg) ->
+            prerr_endline msg;
+            code
+        | Ok spec -> (
+            Printf.printf "replaying %s (%s)\n" (Gspec.name spec)
+              (Gspec.summary spec);
+            match Campaign.replay ~params spec with
+            | [] ->
+                print_endline "no violation reproduced";
+                1
+            | kinds ->
+                List.iter
+                  (fun k ->
+                    Printf.printf "  %s\n" (Campaign.describe_kind k))
+                  kinds;
+                0))
+    | None -> (
+        let r = Campaign.run ~params () in
+        print_string (Campaign.render r);
+        match json_out with
+        | None -> 0
+        | Some path -> (
+            try
+              let oc = open_out path in
+              output_string oc (Json.to_string (Campaign.to_json r));
+              output_char oc '\n';
+              close_out oc;
+              0
+            with Sys_error m ->
+              prerr_endline ("mcd-dvfs: " ^ m);
+              3))
+  in
+  let count =
+    Arg.(
+      value & opt int dp.Campaign.count
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Number of seeded workload specs to generate and evaluate.")
+  in
+  let seed =
+    Arg.(
+      value & opt int dp.Campaign.seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Campaign master seed: the spec distribution (and shrinking) \
+             is a pure function of it.")
+  in
+  let slowdown =
+    Arg.(
+      value & opt float dp.Campaign.slowdown_pct
+      & info [ "slowdown" ] ~docv:"PCT"
+          ~doc:"Profile-driven slowdown target the race runs at.")
+  in
+  let epsilon =
+    Arg.(
+      value & opt float dp.Campaign.epsilon_pct
+      & info [ "epsilon" ] ~docv:"PP"
+          ~doc:
+            "Slack (percentage points) on the degradation-bound \
+             assertion before it fires.")
+  in
+  let margin =
+    Arg.(
+      value & opt float dp.Campaign.margin_pct
+      & info [ "margin" ] ~docv:"PP"
+          ~doc:
+            "ED-improvement margin a rival policy must win by before the \
+             spec counts as a profile-loses find.")
+  in
+  let minimize =
+    Arg.(
+      value & opt int dp.Campaign.minimize
+      & info [ "minimize" ] ~docv:"N"
+          ~doc:"Max distinct find classes to shrink to minimal specs.")
+  in
+  let no_observe =
+    Arg.(
+      value & flag
+      & info [ "no-observe" ]
+          ~doc:
+            "Skip the sink-observed runs (plan-floor and decision-grid \
+             assertions); roughly halves per-spec cost.")
+  in
+  let train_insts =
+    Arg.(
+      value & opt int dp.Campaign.train_insts
+      & info [ "train-insts" ] ~docv:"N"
+          ~doc:"Training-input instruction window of generated specs.")
+  in
+  let ref_insts =
+    Arg.(
+      value & opt int dp.Campaign.ref_insts
+      & info [ "ref-insts" ] ~docv:"N"
+          ~doc:"Reference-input instruction window of generated specs.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Fan the sweep out over $(docv) OCaml domains (default 1 = \
+             sequential; 0 = all cores). Results are byte-identical at \
+             any jobs count.")
+  in
+  let jobs_resolved =
+    Term.(
+      const (fun j -> if j <= 0 then Mcd_util.Par.recommended_jobs () else j)
+      $ jobs)
+  in
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the machine-readable mcd-dvfs-campaign/1 report (every \
+             find with its replayable spec) to $(docv).")
+  in
+  let replay =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay one stored counterexample spec instead of sweeping: \
+             exits 0 when the violation reproduces, 1 when it does not.")
+  in
+  Cmd.v
+    (cmd_info "campaign"
+       ~doc:
+         "Property campaign over generated workloads: sweep seeded specs, \
+          check DVS invariants, race profile-driven control against \
+          attack/decay, and shrink every find to a minimal replayable spec")
+    Term.(
+      const run $ count $ seed $ slowdown $ epsilon $ margin $ minimize
+      $ no_observe $ train_insts $ ref_insts $ jobs_resolved $ json_out
+      $ replay $ cache_dir_arg)
 
 (* --- trace ------------------------------------------------------------- *)
 
@@ -886,6 +1091,7 @@ let () =
             plan_cmd;
             compare_cmd;
             tournament_cmd;
+            campaign_cmd;
             trace_cmd;
             cache_cmd;
             robustness_cmd;

@@ -124,13 +124,25 @@ let controller ?(params = default_params) ?sink () =
         end;
         prev_util.(i) <- util)
       scaled_domains;
-    if !changed then
-      Some
-        (Reconfig.make
-           ~front_end:Freq.fmax_mhz
-           ~integer:cur_freq.(Domain.index Domain.Integer)
-           ~floating:cur_freq.(Domain.index Domain.Floating)
-           ~memory:cur_freq.(Domain.index Domain.Memory))
+    if !changed then begin
+      let setting =
+        Reconfig.make
+          ~front_end:Freq.fmax_mhz
+          ~integer:cur_freq.(Domain.index Domain.Integer)
+          ~floating:cur_freq.(Domain.index Domain.Floating)
+          ~memory:cur_freq.(Domain.index Domain.Memory)
+      in
+      (* One combined-target event per reacting interval, carrying the
+         full setting: the assertion layer checks these against the
+         legal frequency grid. The per-domain events above keep the
+         why; this one keeps the what. *)
+      (match sink with
+      | None -> ()
+      | Some snk ->
+          Mcd_obs.Sink.decision snk ~t_ps:now ~source:"on-line"
+            ~trigger:Mcd_obs.Sink.Sample ~setting ~detail:"interval target" ());
+      Some setting
+    end
     else None
   in
   {

@@ -155,6 +155,10 @@ let all () =
 let contenders () =
   List.filter (fun p -> p.Policy.name <> "baseline") (all ())
 
+(* The attack/decay family: the purely reactive controllers the
+   generative campaign races profile-driven control against. *)
+let adversaries () = [ online (); online_eager () ]
+
 let by_name name =
   List.find_opt (fun p -> p.Policy.label = name) (all ())
 

@@ -56,6 +56,11 @@ val all : unit -> Policy.t list
 val contenders : unit -> Policy.t list
 (** {!all} minus the baseline: the policies worth racing. *)
 
+val adversaries : unit -> Policy.t list
+(** The attack/decay family ({!online}, {!online_eager}): the reactive
+    rivals the generative property campaign
+    ({!Mcd_experiments.Campaign}) hunts counterexamples against. *)
+
 val by_name : string -> Policy.t option
 (** Look a policy up by its registry label (see {!Policy.id}). *)
 

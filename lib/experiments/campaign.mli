@@ -1,0 +1,86 @@
+(** Adversarial property campaigns over generated workloads.
+
+    Sweeps a seeded distribution of {!Mcd_gen.Spec} values across the
+    policy zoo (over {!Runner.par_map}), evaluating every
+    {!Mcd_gen.Assert} invariant plus the headline race: does
+    profile-driven DVFS lose to the reactive attack/decay family
+    ({!Mcd_control.Policies.adversaries}) on energy x delay? Every find
+    is a {e hit} carrying its replayable spec; the first hit of each
+    distinct class is then minimized by qcheck shrinking into the
+    smallest spec that still reproduces it. Simulation is deterministic
+    per spec, so replaying any emitted spec reproduces its find. *)
+
+type params = {
+  count : int;  (** specs to generate and evaluate *)
+  seed : int;  (** campaign master seed (spec distribution + shrinking) *)
+  slowdown_pct : float;  (** profile-driven target the race runs at *)
+  epsilon_pct : float;  (** slack on the degradation-bound assertion *)
+  margin_pct : float;
+      (** ED-improvement margin (pp) a rival must win by to count *)
+  minimize : int;  (** max distinct find classes to minimize *)
+  observe : bool;
+      (** attach an {!Mcd_obs.Sink} to one profile run and one
+          attack/decay run per spec for the floor and decision-grid
+          assertions (two extra uncached simulations each) *)
+  train_insts : int;  (** training window of drawn specs *)
+  ref_insts : int;  (** reference window of drawn specs *)
+}
+
+val default_params : params
+(** 100 specs, seed 7, the paper's 7% slowdown target, 1pp epsilon,
+    0.5pp margin, minimize up to 8 classes, observation on, 12k/30k
+    windows. *)
+
+(** What a spec was caught doing. *)
+type kind =
+  | Assertion of Mcd_gen.Assert.violation
+  | Profile_loses of {
+      rival : string;  (** policy label *)
+      profile_ed_pct : float;
+      rival_ed_pct : float;
+    }
+
+val kind_key : kind -> string
+(** Stable class identifier ("assert:CHECK" / "loses:RIVAL") used to
+    group hits and to decide whether a shrunk spec still reproduces. *)
+
+val describe_kind : kind -> string
+
+type hit = { spec : Mcd_gen.Spec.t; kind : kind }
+(** A raw find; [spec] replays it. *)
+
+type finding = {
+  hit : hit;  (** the original find *)
+  minimized : Mcd_gen.Spec.t;  (** smallest spec still reproducing *)
+  shrink_steps : int;
+  minimized_kind : kind;  (** the find as observed on [minimized] *)
+}
+
+type report = {
+  params : params;
+  total : int;  (** specs evaluated *)
+  hits : hit list;  (** every raw find, sweep order *)
+  findings : finding list;  (** one minimized finding per class, capped *)
+  skipped_minimize : int;  (** find classes beyond the [minimize] cap *)
+}
+
+val evaluate : params:params -> Mcd_gen.Spec.t -> kind list
+(** Run one spec through the full check battery. Registers the
+    generated workload as a side effect. Deterministic. *)
+
+val replay : ?params:params -> Mcd_gen.Spec.t -> kind list
+(** {!evaluate} at (by default) {!default_params} — the entry point for
+    reproducing a stored counterexample. *)
+
+val run : ?params:params -> unit -> report
+
+val render : report -> string
+
+val to_json : report -> Mcd_obs.Json.t
+(** Schema ["mcd-dvfs-campaign/1"]; every hit and finding embeds its
+    spec as replayable ["mcd-gen-spec/1"] JSON. *)
+
+val spec_of_replay_json : Mcd_obs.Json.t -> (Mcd_gen.Spec.t, string) result
+(** Accepts a bare spec object, any object with a ["spec"] member (a
+    serialized hit or finding), an object with a ["minimized"] member,
+    or a whole campaign report (first finding's minimized spec). *)

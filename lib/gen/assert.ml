@@ -1,0 +1,159 @@
+module Metrics = Mcd_power.Metrics
+module Freq = Mcd_domains.Freq
+module Domain = Mcd_domains.Domain
+module Sink = Mcd_obs.Sink
+module Series = Mcd_obs.Series
+
+type violation = { check : string; detail : string }
+
+let render vs =
+  String.concat "\n"
+    (List.map (fun v -> Printf.sprintf "%s: %s" v.check v.detail) vs)
+
+let v check fmt = Printf.ksprintf (fun detail -> { check; detail }) fmt
+
+(* Generous bound: no configuration in the repo retires more than the
+   paper core's issue width per front-end cycle. *)
+let ipc_ceiling = 8.0
+
+let run_sane ~label (r : Metrics.run) =
+  let out = ref [] in
+  let fail check fmt = Printf.ksprintf (fun d -> out := v check "%s: %s" label d :: !out) fmt in
+  if r.runtime_ps <= 0 then fail "sane-runtime" "runtime_ps %d not positive" r.runtime_ps;
+  if (not (Float.is_finite r.energy_pj)) || r.energy_pj <= 0.0 then
+    fail "sane-energy" "energy_pj %g not positive and finite" r.energy_pj;
+  if r.instructions <= 0 then
+    fail "sane-instructions" "instructions %d not positive" r.instructions;
+  if r.cycles_front <= 0 then
+    fail "sane-cycles" "cycles_front %d not positive" r.cycles_front;
+  if Array.length r.per_domain_pj <> Domain.count + 1 then
+    fail "sane-domains" "per_domain_pj has %d entries, want %d"
+      (Array.length r.per_domain_pj) (Domain.count + 1)
+  else begin
+    Array.iteri
+      (fun i e ->
+        if (not (Float.is_finite e)) || e < 0.0 then
+          fail "sane-domain-energy" "per_domain_pj.(%d) = %g" i e)
+      r.per_domain_pj;
+    let sum = Array.fold_left ( +. ) 0.0 r.per_domain_pj in
+    let tol = 1e-6 *. Float.max 1.0 (Float.abs r.energy_pj) in
+    if Float.abs (sum -. r.energy_pj) > tol then
+      fail "sane-energy-split" "per-domain sum %.6g <> total %.6g" sum
+        r.energy_pj
+  end;
+  let ipc = Metrics.ipc r in
+  if (not (Float.is_finite ipc)) || ipc <= 0.0 || ipc > ipc_ceiling then
+    fail "sane-ipc" "ipc %g outside (0, %g]" ipc ipc_ceiling;
+  if r.sync_penalties > r.sync_crossings then
+    fail "sane-sync" "penalties %d exceed crossings %d" r.sync_penalties
+      r.sync_crossings;
+  List.rev !out
+
+let degradation_bounded ~label ~slowdown_pct ~epsilon_pct ~baseline r =
+  let deg = Metrics.perf_degradation_pct ~baseline r in
+  let sav = Metrics.energy_savings_pct ~baseline r in
+  if sav > 0.0 && deg > slowdown_pct +. epsilon_pct then
+    [
+      v "degradation"
+        "%s: saves %.2f%% energy but degrades %.2f%% (target %.2f%% + eps %.2f%%)"
+        label sav deg slowdown_pct epsilon_pct;
+    ]
+  else []
+
+let drift_bounded ~label ~bound_pp ~baseline ~exact ~sampled =
+  let axes =
+    [
+      ("degradation", Metrics.perf_degradation_pct);
+      ("savings", Metrics.energy_savings_pct);
+      ("ed-improvement", Metrics.ed_improvement_pct);
+    ]
+  in
+  List.filter_map
+    (fun (axis, f) ->
+      let e = f ~baseline exact and s = f ~baseline sampled in
+      let drift = Float.abs (e -. s) in
+      if drift > bound_pp then
+        Some
+          (v "drift" "%s: %s drifts %.2fpp (exact %.2f vs sampled %.2f, bound %.2fpp)"
+             label axis drift e s bound_pp)
+      else None)
+    axes
+
+let plan_floor_mhz (plan : Mcd_core.Plan.t) =
+  let floor = Array.make Domain.count Freq.fmax_mhz in
+  let absorb (setting : Mcd_domains.Reconfig.setting) =
+    Array.iteri
+      (fun i mhz -> if i < Domain.count && mhz < floor.(i) then floor.(i) <- mhz)
+      setting
+  in
+  Hashtbl.iter (fun _ s -> absorb s) plan.node_settings;
+  Hashtbl.iter (fun _ s -> absorb s) plan.unit_settings;
+  floor
+
+(* Slew endpoints land on integer MHz but rows store floats; a small
+   slack keeps rounding out of the verdict. *)
+let floor_slack_mhz = 2.0
+
+let floor_respected ~label ~floor_mhz ~ipc_threshold sink =
+  let series = Sink.series sink in
+  let counts = Array.make (Array.length floor_mhz) 0 in
+  let first = Array.make (Array.length floor_mhz) (-1) in
+  Series.iter
+    (fun (row : Series.row) ->
+      if row.ipc > ipc_threshold then
+        Array.iteri
+          (fun i f ->
+            if i < Array.length row.mhz
+               && row.mhz.(i) < float_of_int f -. floor_slack_mhz
+            then begin
+              if counts.(i) = 0 then first.(i) <- row.t_ps;
+              counts.(i) <- counts.(i) + 1
+            end)
+          floor_mhz)
+    series;
+  let out = ref [] in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then
+        out :=
+          v "floor"
+            "%s: %s below plan floor %d MHz in %d interval(s) with ipc > %.2f (first at t=%d ps)"
+            label
+            (Domain.name (Domain.of_index i))
+            floor_mhz.(i) n ipc_threshold first.(i)
+          :: !out)
+    counts;
+  List.rev !out
+
+let max_reported_grid = 3
+
+let decisions_on_grid ~label sink =
+  let bad = ref [] in
+  let nbad = ref 0 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Sink.Decision { t_ps; source; setting = Some s; _ } ->
+          let ok =
+            Array.length s = Domain.count && Array.for_all Freq.is_step s
+          in
+          if not ok then begin
+            incr nbad;
+            if !nbad <= max_reported_grid then
+              bad :=
+                v "decision-grid"
+                  "%s: %s decision at t=%d ps targets off-grid setting [%s]"
+                  label source t_ps
+                  (String.concat ";" (Array.to_list (Array.map string_of_int s)))
+                :: !bad
+          end
+      | _ -> ())
+    (Sink.events sink);
+  let out = List.rev !bad in
+  if !nbad > max_reported_grid then
+    out
+    @ [
+        v "decision-grid" "%s: %d further off-grid decision(s) suppressed" label
+          (!nbad - max_reported_grid);
+      ]
+  else out

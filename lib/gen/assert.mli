@@ -1,0 +1,67 @@
+(** DVS invariants checked over (generated) runs.
+
+    Following the assertion-based DVS design-exploration approach, each
+    check examines a finished run — its end-of-run aggregates, or the
+    interval series and decision events an {!Mcd_obs.Sink.t} captured —
+    and reports violations instead of raising. The campaign
+    ({!Mcd_experiments.Campaign}) evaluates these over swept spec
+    distributions; {!render} makes them printable anywhere. *)
+
+type violation = {
+  check : string;  (** stable check identifier, e.g. ["floor"] *)
+  detail : string;  (** human-oriented specifics *)
+}
+
+val render : violation list -> string
+(** One ["check: detail"] line per violation; [""] when empty. *)
+
+val run_sane : label:string -> Mcd_power.Metrics.run -> violation list
+(** Structural sanity of one run: positive runtime/energy/instruction
+    counts, per-domain energies non-negative and summing to the total,
+    IPC within the machine's issue ceiling, sync penalties not
+    exceeding crossings. *)
+
+val degradation_bounded :
+  label:string ->
+  slowdown_pct:float ->
+  epsilon_pct:float ->
+  baseline:Mcd_power.Metrics.run ->
+  Mcd_power.Metrics.run ->
+  violation list
+(** "Energy savings never comes with degradation above the slowdown
+    target + ε": fires when the run saves energy over [baseline] yet
+    degrades by more than [slowdown_pct +. epsilon_pct]. *)
+
+val drift_bounded :
+  label:string ->
+  bound_pp:float ->
+  baseline:Mcd_power.Metrics.run ->
+  exact:Mcd_power.Metrics.run ->
+  sampled:Mcd_power.Metrics.run ->
+  violation list
+(** Headline comparison drift between exact and phase-sampled runs of
+    the same experiment stays within [bound_pp] percentage points on
+    degradation, savings, and ED improvement. *)
+
+val plan_floor_mhz : Mcd_core.Plan.t -> int array
+(** Per-domain (index order) minimum frequency the plan ever mandates,
+    over node and merged-unit settings; domains the plan never touches
+    floor at [Mcd_domains.Freq.fmax_mhz] (the editor only ever dips to
+    mandated settings and restores full speed around them). *)
+
+val floor_respected :
+  label:string ->
+  floor_mhz:int array ->
+  ipc_threshold:float ->
+  Mcd_obs.Sink.t ->
+  violation list
+(** "No domain sits below the plan-mandated floor while IPC exceeds
+    threshold": scans the sink's interval series; rows whose IPC is at
+    most [ipc_threshold] are exempt, and a 2 MHz slack absorbs slew
+    rounding. One violation per offending domain, carrying the count
+    and first offending interval. *)
+
+val decisions_on_grid : label:string -> Mcd_obs.Sink.t -> violation list
+(** Every controller [Decision] event that carries a target setting
+    names only legal grid frequencies ({!Mcd_domains.Freq.is_step})
+    with one entry per domain. *)

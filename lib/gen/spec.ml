@@ -1,0 +1,326 @@
+module Rng = Mcd_util.Rng
+module P = Mcd_isa.Program
+module Build = Mcd_isa.Build
+module Json = Mcd_obs.Json
+module Workload = Mcd_workloads.Workload
+
+type t = {
+  seed : int;
+  phases : int;
+  depth : int;
+  fp_mix : float;
+  ws_kb : int;
+  branch_entropy : float;
+  iter_spread : float;
+  divergence : float;
+  train_insts : int;
+  ref_insts : int;
+}
+
+let default =
+  {
+    seed = 1;
+    phases = 3;
+    depth = 2;
+    fp_mix = 0.3;
+    ws_kb = 64;
+    branch_entropy = 0.4;
+    iter_spread = 0.5;
+    divergence = 0.2;
+    train_insts = 12_000;
+    ref_insts = 30_000;
+  }
+
+let validate s =
+  let check name ok detail =
+    if ok then Ok () else Error (Printf.sprintf "%s %s" name detail)
+  in
+  let ( let* ) = Result.bind in
+  let* () = check "phases" (s.phases >= 1 && s.phases <= 16) "must be 1..16" in
+  let* () = check "depth" (s.depth >= 1 && s.depth <= 8) "must be 1..8" in
+  let* () = check "ws_kb" (s.ws_kb >= 1 && s.ws_kb <= 8192) "must be 1..8192" in
+  let unit_f name v =
+    check name (Float.is_finite v && v >= 0.0 && v <= 1.0) "must be in [0, 1]"
+  in
+  let* () = unit_f "fp_mix" s.fp_mix in
+  let* () = unit_f "branch_entropy" s.branch_entropy in
+  let* () = unit_f "divergence" s.divergence in
+  let* () =
+    check "iter_spread"
+      (Float.is_finite s.iter_spread && s.iter_spread >= 0.0
+     && s.iter_spread <= 4.0)
+      "must be in [0, 4]"
+  in
+  let window name v =
+    check name (v >= 1_000 && v <= 5_000_000) "must be 1_000..5_000_000"
+  in
+  let* () = window "train_insts" s.train_insts in
+  window "ref_insts" s.ref_insts
+
+let canonical s =
+  Printf.sprintf
+    "mcd-gen-spec/1;seed=%d;phases=%d;depth=%d;fp_mix=%h;ws_kb=%d;branch_entropy=%h;iter_spread=%h;divergence=%h;train_insts=%d;ref_insts=%d"
+    s.seed s.phases s.depth s.fp_mix s.ws_kb s.branch_entropy s.iter_spread
+    s.divergence s.train_insts s.ref_insts
+
+let digest s = Digest.to_hex (Digest.string (canonical s))
+let name s = "gen-" ^ String.sub (digest s) 0 12
+
+let summary s =
+  Printf.sprintf
+    "seed=%d phases=%d depth=%d fp=%.2f ws=%dKB entropy=%.2f spread=%.2f div=%.2f"
+    s.seed s.phases s.depth s.fp_mix s.ws_kb s.branch_entropy s.iter_spread
+    s.divergence
+
+let schema = "mcd-gen-spec/1"
+
+let to_json s =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("seed", Json.Int s.seed);
+      ("phases", Json.Int s.phases);
+      ("depth", Json.Int s.depth);
+      ("fp_mix", Json.Float s.fp_mix);
+      ("ws_kb", Json.Int s.ws_kb);
+      ("branch_entropy", Json.Float s.branch_entropy);
+      ("iter_spread", Json.Float s.iter_spread);
+      ("divergence", Json.Float s.divergence);
+      ("train_insts", Json.Int s.train_insts);
+      ("ref_insts", Json.Int s.ref_insts);
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "spec json: missing or invalid %S" name)
+  in
+  let* () =
+    match Option.bind (Json.member "schema" j) Json.to_string_opt with
+    | Some s when s = schema -> Ok ()
+    | Some s -> Error (Printf.sprintf "spec json: unknown schema %S" s)
+    | None -> Error "spec json: missing schema"
+  in
+  let* seed = field "seed" Json.to_int_opt in
+  let* phases = field "phases" Json.to_int_opt in
+  let* depth = field "depth" Json.to_int_opt in
+  let* fp_mix = field "fp_mix" Json.to_float_opt in
+  let* ws_kb = field "ws_kb" Json.to_int_opt in
+  let* branch_entropy = field "branch_entropy" Json.to_float_opt in
+  let* iter_spread = field "iter_spread" Json.to_float_opt in
+  let* divergence = field "divergence" Json.to_float_opt in
+  let* train_insts = field "train_insts" Json.to_int_opt in
+  let* ref_insts = field "ref_insts" Json.to_int_opt in
+  let s =
+    {
+      seed;
+      phases;
+      depth;
+      fp_mix;
+      ws_kb;
+      branch_entropy;
+      iter_spread;
+      divergence;
+      train_insts;
+      ref_insts;
+    }
+  in
+  let* () = validate s in
+  Ok s
+
+let draw ?(train_insts = 12_000) ?(ref_insts = 30_000) ~seed () =
+  let r = Rng.split (Rng.create seed) ~label:"spec-draw" in
+  {
+    seed;
+    phases = 1 + Rng.int r 6;
+    depth = 1 + Rng.int r 3;
+    fp_mix = Rng.float r 1.0;
+    ws_kb = 1 lsl Rng.int r 12;
+    branch_entropy = Rng.float r 1.0;
+    iter_spread = Rng.float r 1.0;
+    divergence = Rng.float r 1.0;
+    train_insts;
+    ref_insts;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Program generation. Everything below is a pure function of the spec:
+   streams split from the master seed with fixed labels, draws in a
+   fixed order. *)
+
+let clamp01 f = if f < 0.0 then 0.0 else if f > 1.0 then 1.0 else f
+
+let draw_block b r spec ~fp ~len =
+  let ws_bytes =
+    let base = spec.ws_kb * 1024 in
+    match Rng.int r 3 with
+    | 0 -> max 64 (base / 2)
+    | 1 -> base
+    | _ -> base * 2
+  in
+  let mem =
+    match Rng.int r 4 with
+    | 0 | 1 -> P.Seq_stride { stride = 8 * (1 + Rng.int r 8); region = ws_bytes }
+    | 2 -> P.Rand_in { region = ws_bytes }
+    | _ -> P.Chase { region = max 4096 ws_bytes }
+  in
+  let branch =
+    if Rng.bool r spec.branch_entropy then P.Biased (0.5 +. Rng.float r 0.2)
+    else if Rng.bool r 0.5 then
+      P.Periodic (Array.init (1 + Rng.int r 6) (fun _ -> Rng.bool r 0.5))
+    else P.Biased (0.9 +. Rng.float r 0.09)
+  in
+  let frac_load = 0.10 +. Rng.float r 0.25 in
+  let frac_store = 0.02 +. Rng.float r 0.12 in
+  let frac_branch = 0.03 +. Rng.float r 0.09 in
+  let frac_int_mult, frac_fp_alu, frac_fp_mult =
+    if fp then
+      (Rng.float r 0.05, 0.15 +. Rng.float r 0.20, 0.03 +. Rng.float r 0.10)
+    else (0.03 +. Rng.float r 0.12, 0.0, 0.0)
+  in
+  (* Leave at least 15% of the mix to plain Int_alu. *)
+  let total =
+    frac_load +. frac_store +. frac_branch +. frac_int_mult +. frac_fp_alu
+    +. frac_fp_mult
+  in
+  let k = if total > 0.85 then 0.85 /. total else 1.0 in
+  Build.straight b ~length:len
+    ~frac_int_mult:(k *. frac_int_mult)
+    ~frac_fp_alu:(k *. frac_fp_alu)
+    ~frac_fp_mult:(k *. frac_fp_mult)
+    ~frac_load:(k *. frac_load)
+    ~frac_store:(k *. frac_store)
+    ~frac_branch:(k *. frac_branch)
+    ~mem ~branch
+    ~dep_chain:(1.5 +. Rng.float r 4.0)
+    ()
+
+let draw_trips r spec =
+  let base = 2 + Rng.int r 3 in
+  let jitter = exp (spec.iter_spread *. Rng.normal r ~mean:0.0 ~sigma:1.0) in
+  min 64 (max 1 (int_of_float (Float.round (float_of_int base *. jitter))))
+
+(* A loop nest of up to [levels] levels holding roughly [budget] dynamic
+   instructions per execution: trip counts divide the remaining budget,
+   so the spread knob reshapes nests without blowing up run length. *)
+let rec draw_nest b r spec ~fp ~levels ~budget =
+  if levels <= 0 || budget < 96 then
+    [ draw_block b r spec ~fp ~len:(max 12 (min 160 budget)) ]
+  else
+    let trips = draw_trips r spec in
+    let inner =
+      draw_nest b r spec ~fp ~levels:(levels - 1) ~budget:(max 32 (budget / trips))
+    in
+    let body =
+      (* occasional zero-trip loop: present statically, never entered —
+         the walker must skip it without a marker *)
+      if Rng.bool r 0.1 then
+        Build.loop b (P.Const 0) [ draw_block b r spec ~fp ~len:24 ] :: inner
+      else inner
+    in
+    [ Build.loop b (P.Const trips) body ]
+
+let draw_phase b r spec ~has_kernel =
+  let fp = Rng.bool r spec.fp_mix in
+  let levels = 1 + Rng.int r spec.depth in
+  let budget = 800 + Rng.int r 4000 in
+  let body = draw_nest b r spec ~fp ~levels ~budget in
+  let body =
+    if has_kernel && Rng.bool r 0.6 then
+      body @ [ Build.call b ~arg:(4 + Rng.int r 24) "kernel" ]
+    else body
+  in
+  if Rng.bool r 0.7 then begin
+    (* A path the training input rarely (p0) and the reference input
+       often (p1) takes; the closure is a pure function of the input,
+       so Program.canonical stays well defined. *)
+    let p0 = Rng.float r 0.15 in
+    let p1 = clamp01 (p0 +. 0.3 +. Rng.float r 0.55) in
+    let alt =
+      draw_nest b r spec ~fp:(not fp) ~levels:(max 1 (levels - 1))
+        ~budget:(budget / 2)
+    in
+    body
+    @ [
+        Build.choose b
+          ~prob:(fun (inp : P.input) ->
+            clamp01 (p0 +. ((p1 -. p0) *. inp.P.divergence)))
+          alt [];
+      ]
+  end
+  else body
+
+let program spec =
+  let master = Rng.create spec.seed in
+  Build.program ~name:(name spec) @@ fun b ->
+  let has_kernel = spec.phases >= 2 in
+  if has_kernel then begin
+    let kr = Rng.split master ~label:"kernel" in
+    let blk = draw_block b kr spec ~fp:(Rng.bool kr spec.fp_mix) ~len:(24 + Rng.int kr 40) in
+    Build.func b "kernel"
+      [ Build.loop b (P.Arg_scaled { base = 1; per_arg = 1 }) [ blk ] ]
+  end;
+  let phase_names =
+    List.init spec.phases (fun i -> Printf.sprintf "phase%d" i)
+  in
+  List.iteri
+    (fun i pname ->
+      let pr = Rng.split master ~label:(Printf.sprintf "phase-%d" i) in
+      Build.func b pname (draw_phase b pr spec ~has_kernel))
+    phase_names;
+  Build.func b "main"
+    [
+      Build.loop b
+        (P.Scaled { base = 2; per_scale = 1 })
+        (List.map (fun pname -> Build.call b pname) phase_names);
+    ];
+  "main"
+
+let workload spec =
+  (match validate spec with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Printf.sprintf "Gen.Spec.workload: %s" e));
+  Workload.make ~name:(name spec) ~program:(program spec)
+    ~ref_divergence:spec.divergence ~train_window:spec.train_insts
+    ~ref_window:spec.ref_insts ~kind:Workload.Generated
+    ~trait:(Printf.sprintf "generated: %s" (summary spec))
+    ()
+
+let shrink s =
+  let shrink_float f =
+    if f <= 0.0 then [] else if f < 0.02 then [ 0.0 ] else [ 0.0; f /. 2.0 ]
+  in
+  let cands =
+    [
+      { s with phases = 1 };
+      { s with phases = s.phases / 2 };
+      { s with phases = s.phases - 1 };
+      { s with depth = 1 };
+      { s with depth = s.depth - 1 };
+      { s with ws_kb = max 1 (s.ws_kb / 4) };
+      { s with ws_kb = max 1 (s.ws_kb / 2) };
+    ]
+    @ List.map (fun f -> { s with fp_mix = f }) (shrink_float s.fp_mix)
+    @ List.map
+        (fun f -> { s with branch_entropy = f })
+        (shrink_float s.branch_entropy)
+    @ List.map
+        (fun f -> { s with iter_spread = f })
+        (shrink_float s.iter_spread)
+    @ List.map (fun f -> { s with divergence = f }) (shrink_float s.divergence)
+  in
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun c ->
+      c <> s
+      && Result.is_ok (validate c)
+      &&
+      let key = canonical c in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    cands

@@ -1,0 +1,88 @@
+(** Seeded, canonical, digest-stable workload specifications.
+
+    A spec is a small record of behaviour knobs from which a complete
+    {!Mcd_isa.Program.t} (and its {!Mcd_workloads.Workload.t} wrapper)
+    is generated deterministically: same spec, same bytes, in any
+    process and under any [Mcd_util.Par] jobs count. The generated
+    program is a pure function of the spec — every random stream is
+    split from [seed] with fixed labels — so {!Mcd_cache.Key} content
+    addressing, serve-side dedup, and {!Mcd_cpu.Sampler} signature
+    matching all keep working on generated workloads exactly as they do
+    on the hand-built suite.
+
+    The knobs mirror the behavioural axes the paper's benchmark
+    selection spans: phase structure (count and loop-nest depth),
+    instruction mix, working-set size, branch predictability, loop trip
+    spread, and how far the reference input strays from paths the
+    training input exercised. *)
+
+type t = {
+  seed : int;  (** master seed; all generation streams derive from it *)
+  phases : int;  (** top-level phase functions, 1..16 *)
+  depth : int;  (** max loop-nest depth within a phase, 1..8 *)
+  fp_mix : float;  (** probability a phase is floating-point flavoured, 0..1 *)
+  ws_kb : int;  (** nominal working-set size per block, KB, 1..8192 *)
+  branch_entropy : float;
+      (** 0 = predictable branches, 1 = near-coin-flip, 0..1 *)
+  iter_spread : float;
+      (** log-normal sigma on loop trip counts; 0 = uniform nests, up
+          to 4 *)
+  divergence : float;
+      (** reference-input path divergence handed to [Choose] nodes, 0..1 *)
+  train_insts : int;  (** training-run instruction window *)
+  ref_insts : int;  (** reference-run instruction window *)
+}
+
+val default : t
+
+val validate : t -> (unit, string) result
+(** Range-check every knob; [Error reason] names the offending field. *)
+
+val canonical : t -> string
+(** Single-line rendering with every field in a fixed order and floats
+    in lossless [%h] form — the content identity {!digest} hashes. *)
+
+val digest : t -> string
+(** MD5 hex of {!canonical}. *)
+
+val name : t -> string
+(** ["gen-" ^ 12 hex chars of [digest]] — the workload name, stable
+    across processes. {!Mcd_workloads.Workload.make} derives the
+    train/ref input seeds from this name, so the full workload is
+    digest-stable too. *)
+
+val summary : t -> string
+(** Human-oriented one-liner of the knob values. *)
+
+val to_json : t -> Mcd_obs.Json.t
+(** Replayable rendering, schema ["mcd-gen-spec/1"]. *)
+
+val of_json : Mcd_obs.Json.t -> (t, string) result
+(** Inverse of {!to_json}; validates before returning. *)
+
+val draw :
+  ?train_insts:int -> ?ref_insts:int -> seed:int -> unit -> t
+(** Draw a spec from the campaign distribution: every knob sampled from
+    a stream derived from [seed] (the drawn spec's [seed] field is
+    [seed] itself). Windows default to 12_000/30_000 — small enough
+    that property campaigns stay bounded. *)
+
+val program : t -> Mcd_isa.Program.t
+(** Generate the program: per-phase loop nests with drawn instruction
+    mixes and memory/branch patterns, an [Arg_scaled] shared kernel when
+    there are at least two phases, occasional zero-trip loops (the
+    walker must skip them cleanly), and [Choose] nodes whose taken
+    probability tracks the input's divergence knob. Validated before
+    being returned; deterministic per spec. *)
+
+val workload : t -> Mcd_workloads.Workload.t
+(** Wrap {!program} as a suite workload (kind {!Mcd_workloads.Workload.Generated}):
+    train input diverges 0, reference diverges by [divergence], windows
+    from the spec. Register it with [Mcd_workloads.Suite.register] to
+    make it runnable by name. *)
+
+val shrink : t -> t list
+(** Shrink candidates, most aggressive first: fewer phases, shallower
+    nests, smaller working sets, knob floats toward 0. The seed is
+    never shrunk (it is identity, not size). Every candidate
+    validates. *)

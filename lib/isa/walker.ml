@@ -119,18 +119,27 @@ let ring_push ring count v =
 (* Base byte address of a block's working set; distinct per block. *)
 let block_region_base block_id = block_id * (1 lsl 24)
 
+(* Degenerate working sets (zero or sub-word regions, which generated
+   programs can request) would divide by zero or draw from an empty
+   range; clamp to one 8-byte word so every well-typed block walks. *)
+let effective_region region = max 8 region
+
 let gen_addr st (b : Program.block) =
   let base = block_region_base b.Program.block_id in
   match b.Program.mem with
   | Program.Seq_stride { stride; region } ->
       let a = base + st.mem_pos in
-      st.mem_pos <- (st.mem_pos + stride) mod region;
+      st.mem_pos <- (st.mem_pos + stride) mod effective_region region;
       a
-  | Program.Rand_in { region } -> base + (Rng.int st.rng (region / 8) * 8)
-  | Program.Chase { region } -> base + (Rng.int st.rng (region / 8) * 8)
+  | Program.Rand_in { region } | Program.Chase { region } ->
+      base + (Rng.int st.rng (effective_region region / 8) * 8)
 
 let gen_branch_outcome st (b : Program.block) =
   match b.Program.branch with
+  | Program.Periodic pattern when Array.length pattern = 0 ->
+      (* an empty pattern has no outcomes to repeat; read it as the
+         maximally predictable always-taken stream *)
+      true
   | Program.Periodic pattern ->
       let v = pattern.(st.br_pos mod Array.length pattern) in
       st.br_pos <- st.br_pos + 1;

@@ -2,7 +2,32 @@ let all = Mediabench.all @ Spec.all
 
 let names = List.map (fun w -> w.Workload.name) all
 
-let find_opt name = List.find_opt (fun w -> w.Workload.name = name) all
+(* Dynamically registered workloads (generated programs). Guarded by a
+   mutex because campaign sweeps register from `Mcd_util.Par` worker
+   domains. *)
+let registry : (string, Workload.t) Hashtbl.t = Hashtbl.create 64
+let registry_mu = Mutex.create ()
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let register w =
+  let name = w.Workload.name in
+  if List.mem name names then
+    invalid_arg
+      (Printf.sprintf "Suite.register: %S shadows a built-in benchmark" name);
+  locked registry_mu (fun () -> Hashtbl.replace registry name w)
+
+let registered () =
+  locked registry_mu (fun () ->
+      Hashtbl.fold (fun _ w acc -> w :: acc) registry []
+      |> List.sort (fun a b -> compare a.Workload.name b.Workload.name))
+
+let find_opt name =
+  match List.find_opt (fun w -> w.Workload.name = name) all with
+  | Some _ as hit -> hit
+  | None -> locked registry_mu (fun () -> Hashtbl.find_opt registry name)
 
 let by_name name =
   match find_opt name with

@@ -1,9 +1,23 @@
-(** The full 19-benchmark suite (Table 2 order). *)
+(** The full 19-benchmark suite (Table 2 order), plus a registry for
+    dynamically generated workloads. *)
 
 val all : Workload.t list
+(** The static hand-built suite only; registered workloads are listed
+    by {!registered}. *)
+
+val register : Workload.t -> unit
+(** Make a generated workload visible to {!find_opt}/{!by_name} (and so
+    to every CLI/serve entry point that resolves workloads by name).
+    Re-registering the same name replaces the entry — generation is
+    deterministic per spec, so a name always denotes one behaviour.
+    Raises [Invalid_argument] if the name shadows a built-in benchmark.
+    Thread-safe (campaigns register from [Par] worker domains). *)
+
+val registered : unit -> Workload.t list
+(** Currently registered dynamic workloads, sorted by name. *)
 
 val find_opt : string -> Workload.t option
-(** Lookup by Table-2 name; [None] if unknown. *)
+(** Lookup by Table-2 name or registered name; [None] if unknown. *)
 
 val by_name : string -> Workload.t
 (** Raises [Invalid_argument] with the list of valid names if the

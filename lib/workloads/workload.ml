@@ -1,4 +1,4 @@
-type kind = Media | Spec_int | Spec_fp
+type kind = Media | Spec_int | Spec_fp | Generated
 
 type t = {
   name : string;
@@ -49,3 +49,4 @@ let kind_name = function
   | Media -> "MediaBench"
   | Spec_int -> "SPECint"
   | Spec_fp -> "SPECfp"
+  | Generated -> "generated"

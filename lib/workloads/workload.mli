@@ -11,7 +11,13 @@
     programs' phases repeat at a much shorter period, so the windows
     still observe every phase. *)
 
-type kind = Media | Spec_int | Spec_fp
+type kind =
+  | Media
+  | Spec_int
+  | Spec_fp
+  | Generated
+      (** produced by a seeded spec ({!Mcd_gen.Spec}) rather than
+          hand-built; registered dynamically via {!Suite.register} *)
 
 type t = {
   name : string;

@@ -14,6 +14,9 @@ module Runner = Mcd_experiments.Runner
 module Suite = Mcd_workloads.Suite
 module Context = Mcd_profiling.Context
 
+let qcheck ?(seed = 0xcac4e) t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t
+
 (* --- temp stores ----------------------------------------------------- *)
 
 let dir_counter = ref 0
@@ -78,7 +81,7 @@ let run_gen =
 let prop_metrics_roundtrip =
   QCheck.Test.make ~name:"Metrics.run codec round-trips bit-exactly"
     ~count:200
-    (QCheck.make run_gen)
+    (QCheck.make ~print:Metrics.encode run_gen)
     (fun run ->
       match Metrics.decode (Metrics.encode run) with
       | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
@@ -118,7 +121,7 @@ let analysis_gen =
 let prop_oracle_roundtrip =
   QCheck.Test.make ~name:"Oracle.analysis codec round-trips bit-exactly"
     ~count:50
-    (QCheck.make analysis_gen)
+    (QCheck.make ~print:Oracle.encode_analysis analysis_gen)
     (fun a ->
       let bytes = Oracle.encode_analysis a in
       match Oracle.decode_analysis bytes with
@@ -285,8 +288,8 @@ let test_runner_warm_results_byte_identical () =
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest prop_metrics_roundtrip;
-    QCheck_alcotest.to_alcotest prop_oracle_roundtrip;
+    qcheck prop_metrics_roundtrip;
+    qcheck prop_oracle_roundtrip;
     ("golden key and digest pinned", `Quick, test_golden_key);
     ("store round-trip", `Quick, test_store_roundtrip);
     ( "corrupt object recomputes and heals",

@@ -35,7 +35,7 @@ let contains haystack needle =
 let subcommands =
   [
     "suite"; "run"; "tree"; "plan"; "compare"; "trace"; "cache"; "robustness";
-    "serve"; "submit"; "status"; "drain";
+    "tournament"; "campaign"; "serve"; "submit"; "status"; "drain";
   ]
 
 let test_help_names_every_subcommand () =

@@ -10,6 +10,9 @@ module Freq = Mcd_domains.Freq
 module Reconfig = Mcd_domains.Reconfig
 module Walker = Mcd_isa.Walker
 
+let qcheck ?(seed = 0xc0de) t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t
+
 let sample ?(elapsed = 10_000) ?(retired = 5_000) ?(l1d = 0) ?(l2 = 0)
     ~int_occ ~fp_occ ~mem_occ () =
   let occ = Array.make Domain.count 0.0 in
@@ -324,5 +327,5 @@ let suite =
     ( "same name, different params, distinct fragments",
       `Quick,
       test_same_name_params_distinct_fragments );
-    QCheck_alcotest.to_alcotest prop_zoo_settings_legal;
+    qcheck prop_zoo_settings_legal;
   ]

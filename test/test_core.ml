@@ -10,6 +10,9 @@ module Freq = Mcd_domains.Freq
 module Reconfig = Mcd_domains.Reconfig
 module Probe = Mcd_cpu.Probe
 module Controller = Mcd_cpu.Controller
+
+let qcheck ?(seed = 0xc03e) t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t
 module Context = Mcd_profiling.Context
 module Call_tree = Mcd_profiling.Call_tree
 module Histogram = Mcd_util.Histogram
@@ -998,8 +1001,8 @@ let suite =
     ("load_result missing file", `Quick, test_load_result_missing_file);
     ("plan validate", `Quick, test_plan_validate_clean_and_dirty);
     ("call tree dot export", `Quick, test_call_tree_dot);
-    QCheck_alcotest.to_alcotest prop_threshold_choice_meets_budget;
-    QCheck_alcotest.to_alcotest prop_shaker_conserves_work;
-    QCheck_alcotest.to_alcotest prop_refine_never_lowers;
-    QCheck_alcotest.to_alcotest prop_editor_reconfigs_balanced;
+    qcheck prop_threshold_choice_meets_budget;
+    qcheck prop_shaker_conserves_work;
+    qcheck prop_refine_never_lowers;
+    qcheck prop_editor_reconfigs_balanced;
   ]

@@ -10,6 +10,9 @@ module Controller = Mcd_cpu.Controller
 module Probe = Mcd_cpu.Probe
 module Metrics = Mcd_power.Metrics
 module Domain = Mcd_domains.Domain
+
+let qcheck ?(seed = 0xc9a) t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t
 module Reconfig = Mcd_domains.Reconfig
 module B = Mcd_isa.Build
 module P = Mcd_isa.Program
@@ -467,5 +470,5 @@ let suite =
     ("pipeline mem events", `Quick, test_pipeline_mem_instructions_have_mem_events);
     ("pipeline warmup window", `Quick, test_pipeline_warmup_window);
     ("config table renders", `Quick, test_config_table_renders);
-    QCheck_alcotest.to_alcotest prop_pipeline_energy_positive;
+    qcheck prop_pipeline_energy_positive;
   ]

@@ -1,0 +1,323 @@
+(* Tests for the generative workload fabric: seeded specs, digest
+   stability (including under parallel generation), JSON replay,
+   shrinking, and the DVS assertion layer. *)
+
+module Spec = Mcd_gen.Spec
+module Gassert = Mcd_gen.Assert
+module P = Mcd_isa.Program
+module Walker = Mcd_isa.Walker
+module W = Mcd_workloads.Workload
+module Suite = Mcd_workloads.Suite
+module Key = Mcd_cache.Key
+module Par = Mcd_util.Par
+module Metrics = Mcd_power.Metrics
+module Json = Mcd_obs.Json
+
+let qcheck ?(seed = 0xd1f5) t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t
+
+let golden_spec = { Spec.default with Spec.seed = 42 }
+
+(* Pinned from a reference run. A change here means generated program
+   bytes moved — and with them every cache key, dedup decision, and
+   stored counterexample built on spec digests. Deliberate generator
+   changes must bump these goldens knowingly. *)
+let golden_name = "gen-79d3d9067f38"
+let golden_canonical_md5 = "93196e01df77367c845e9ca88139fbbd"
+let golden_key_digest = "5f374d850b5dace6a62466d50114bf01"
+
+let canonical_of spec =
+  let w = Spec.workload spec in
+  P.canonical w.W.program ~input:w.W.reference
+
+let key_digest_of spec =
+  let w = Spec.workload spec in
+  Key.digest
+    (Key.make ~kind:"golden"
+       ~parts:
+         (Key.program_fragment w.W.program ~input:w.W.reference
+         @ Key.input_fragment w.W.reference))
+
+(* --- digest stability ------------------------------------------------- *)
+
+let test_golden_digests () =
+  Alcotest.(check string) "workload name" golden_name
+    (Spec.workload golden_spec).W.name;
+  Alcotest.(check string) "canonical program digest" golden_canonical_md5
+    (Digest.to_hex (Digest.string (canonical_of golden_spec)));
+  Alcotest.(check string) "cache key digest" golden_key_digest
+    (key_digest_of golden_spec)
+
+let test_regeneration_byte_identical () =
+  Alcotest.(check string) "canonical bytes" (canonical_of golden_spec)
+    (canonical_of golden_spec);
+  let w1 = Spec.workload golden_spec and w2 = Spec.workload golden_spec in
+  Alcotest.(check string) "name" w1.W.name w2.W.name;
+  Alcotest.(check bool) "train inputs equal" true (w1.W.train = w2.W.train);
+  Alcotest.(check bool) "reference inputs equal" true
+    (w1.W.reference = w2.W.reference)
+
+let test_parallel_generation_byte_identical () =
+  let seq = Digest.to_hex (Digest.string (canonical_of golden_spec)) in
+  let key = key_digest_of golden_spec in
+  Par.map ~jobs:4
+    (fun s -> (Digest.to_hex (Digest.string (canonical_of s)), key_digest_of s))
+    [ golden_spec; golden_spec; golden_spec; golden_spec ]
+  |> List.iteri (fun i (d, k) ->
+         Alcotest.(check string) (Printf.sprintf "worker %d canonical" i) seq d;
+         Alcotest.(check string) (Printf.sprintf "worker %d key" i) key k)
+
+let test_name_is_digest_prefix () =
+  let s = Spec.draw ~seed:123 () in
+  Alcotest.(check string) "name = gen- + 12 digest chars"
+    ("gen-" ^ String.sub (Spec.digest s) 0 12)
+    (Spec.name s)
+
+(* --- spec codec and validation ---------------------------------------- *)
+
+let test_json_roundtrip () =
+  List.iter
+    (fun s ->
+      match Spec.of_json (Spec.to_json s) with
+      | Ok s' ->
+          Alcotest.(check bool) ("roundtrip " ^ Spec.name s) true (s = s')
+      | Error e -> Alcotest.failf "roundtrip %s: %s" (Spec.name s) e)
+    [ Spec.default; golden_spec; Spec.draw ~seed:9 () ]
+
+let test_json_rejects_malformed () =
+  List.iter
+    (fun j ->
+      match Spec.of_json j with
+      | Ok _ -> Alcotest.fail "malformed spec accepted"
+      | Error _ -> ())
+    [
+      Json.Obj [];
+      Json.Obj [ ("schema", Json.String "mcd-gen-spec/999") ];
+      Json.String "not a spec";
+    ]
+
+let test_validate_ranges () =
+  (match Spec.validate Spec.default with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "default invalid: %s" e);
+  List.iter
+    (fun (label, s) ->
+      match Spec.validate s with
+      | Ok () -> Alcotest.failf "%s accepted" label
+      | Error _ -> ())
+    [
+      ("phases 0", { Spec.default with Spec.phases = 0 });
+      ("depth 9", { Spec.default with Spec.depth = 9 });
+      ("fp_mix 1.5", { Spec.default with Spec.fp_mix = 1.5 });
+      ("ws_kb 0", { Spec.default with Spec.ws_kb = 0 });
+      ("entropy -0.1", { Spec.default with Spec.branch_entropy = -0.1 });
+      ("spread 5", { Spec.default with Spec.iter_spread = 5.0 });
+      ("train window 0", { Spec.default with Spec.train_insts = 0 });
+    ]
+
+let test_draw_deterministic_and_valid () =
+  List.iter
+    (fun seed ->
+      let a = Spec.draw ~seed () and b = Spec.draw ~seed () in
+      Alcotest.(check bool) "same spec" true (a = b);
+      Alcotest.(check int) "keeps its seed" seed a.Spec.seed;
+      match Spec.validate a with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "drawn spec seed %d invalid: %s" seed e)
+    [ 0; 1; 7; 1234; 999_999 ]
+
+(* --- generated programs ----------------------------------------------- *)
+
+let test_workload_wiring () =
+  let s = { golden_spec with Spec.divergence = 0.35 } in
+  let w = Spec.workload s in
+  Alcotest.(check bool) "kind Generated" true (w.W.kind = W.Generated);
+  Alcotest.(check int) "train window" s.Spec.train_insts w.W.train_window;
+  Alcotest.(check int) "ref window" s.Spec.ref_insts w.W.ref_window;
+  Alcotest.(check (float 1e-9)) "train diverges 0" 0.0
+    w.W.train.P.divergence;
+  Alcotest.(check (float 1e-9)) "reference diverges by the knob" 0.35
+    w.W.reference.P.divergence
+
+let test_registration_roundtrip () =
+  let w = Spec.workload (Spec.draw ~seed:77 ()) in
+  Suite.register w;
+  (match Suite.find_opt w.W.name with
+  | Some w' -> Alcotest.(check string) "found by name" w.W.name w'.W.name
+  | None -> Alcotest.fail "registered workload not found");
+  Alcotest.(check bool) "listed" true
+    (List.exists (fun r -> r.W.name = w.W.name) (Suite.registered ()))
+
+let test_registration_rejects_shadowing () =
+  let builtin = List.hd Suite.all in
+  let w = { (Spec.workload golden_spec) with W.name = builtin.W.name } in
+  match Suite.register w with
+  | () -> Alcotest.fail "shadowing a built-in accepted"
+  | exception Invalid_argument _ -> ()
+
+(* the walker must stream any generated program without raising; check a
+   bounded prefix so heavyweight specs stay cheap *)
+let walks_bounded spec =
+  let w = Spec.workload spec in
+  let walker = Walker.create w.W.program ~input:w.W.reference in
+  let depth = ref 0 and ok = ref true in
+  let budget = ref 10_000 in
+  let rec go () =
+    if !budget > 0 then (
+      decr budget;
+      match Walker.next walker with
+      | None -> ()
+      | Some (Walker.Inst _) -> go ()
+      | Some (Walker.Marker m) ->
+          (match m with
+          | Walker.Enter_func _ | Walker.Enter_loop _ -> incr depth
+          | Walker.Exit_func _ | Walker.Exit_loop _ -> decr depth);
+          if !depth < 0 then ok := false;
+          go ())
+  in
+  go ();
+  !ok
+
+let test_generated_programs_walk () =
+  List.iter
+    (fun seed ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d walks well-nested" seed)
+        true
+        (walks_bounded (Spec.draw ~seed ())))
+    [ 3; 42; 1001 ]
+
+(* --- shrinking --------------------------------------------------------- *)
+
+let drawn_spec_arb =
+  QCheck.make ~print:Spec.canonical
+    QCheck.Gen.(map (fun seed -> Spec.draw ~seed ()) (int_range 0 1_000_000))
+
+let prop_shrink_candidates_valid =
+  QCheck.Test.make ~name:"shrink candidates validate, keep seed, differ"
+    ~count:50 drawn_spec_arb (fun s ->
+      List.for_all
+        (fun c ->
+          Result.is_ok (Spec.validate c)
+          && c.Spec.seed = s.Spec.seed
+          && Spec.canonical c <> Spec.canonical s)
+        (Spec.shrink s))
+
+let prop_shrink_terminates =
+  QCheck.Test.make ~name:"shrinking bottoms out" ~count:20 drawn_spec_arb
+    (fun s ->
+      (* following the first candidate chain must reach a fixpoint *)
+      let rec descend fuel s =
+        fuel > 0
+        && match Spec.shrink s with [] -> true | c :: _ -> descend (fuel - 1) c
+      in
+      descend 200 s)
+
+(* --- the assertion layer ----------------------------------------------- *)
+
+let good_run =
+  {
+    Metrics.runtime_ps = 1_000_000;
+    energy_pj = 100.0;
+    per_domain_pj = [| 20.0; 20.0; 20.0; 20.0; 20.0 |];
+    instructions = 500;
+    cycles_front = 400;
+    sync_crossings = 10;
+    sync_penalties = 5;
+    reconfigurations = 1;
+    instr_points = 0;
+    instr_overhead_ps = 0;
+  }
+
+let scaled_energy run factor =
+  {
+    run with
+    Metrics.energy_pj = run.Metrics.energy_pj *. factor;
+    per_domain_pj = Array.map (fun e -> e *. factor) run.Metrics.per_domain_pj;
+  }
+
+let has_check key vs = List.exists (fun v -> v.Gassert.check = key) vs
+
+let test_run_sane_accepts_good () =
+  Alcotest.(check string) "no violations" ""
+    (Gassert.render (Gassert.run_sane ~label:"good" good_run))
+
+let test_run_sane_flags_defects () =
+  List.iter
+    (fun (key, run) ->
+      Alcotest.(check bool) (key ^ " fires") true
+        (has_check key (Gassert.run_sane ~label:"bad" run)))
+    [
+      ("sane-energy", { good_run with Metrics.energy_pj = -1.0 });
+      ("sane-runtime", { good_run with Metrics.runtime_ps = 0 });
+      ( "sane-ipc",
+        { good_run with Metrics.instructions = 4_000; cycles_front = 100 } );
+      ("sane-sync", { good_run with Metrics.sync_penalties = 11 });
+      ( "sane-domains",
+        { good_run with Metrics.per_domain_pj = [| 50.0; 50.0 |] } );
+      ( "sane-energy-split",
+        { good_run with Metrics.per_domain_pj = [| 1.0; 1.0; 1.0; 1.0; 1.0 |] }
+      );
+    ]
+
+let test_degradation_bounded () =
+  let bounded r =
+    Gassert.degradation_bounded ~label:"t" ~slowdown_pct:7.0 ~epsilon_pct:1.0
+      ~baseline:good_run r
+  in
+  (* saves energy and blows through the target: fires *)
+  let saver_slow =
+    scaled_energy { good_run with Metrics.runtime_ps = 1_200_000 } 0.8
+  in
+  Alcotest.(check bool) "fires" true
+    (has_check "degradation" (bounded saver_slow));
+  (* saves energy within the target: fine *)
+  let saver_ok =
+    scaled_energy { good_run with Metrics.runtime_ps = 1_050_000 } 0.8
+  in
+  Alcotest.(check bool) "within bound" false
+    (has_check "degradation" (bounded saver_ok));
+  (* slow but saves nothing: the invariant does not apply *)
+  let waster_slow =
+    scaled_energy { good_run with Metrics.runtime_ps = 1_200_000 } 1.2
+  in
+  Alcotest.(check bool) "no savings, no fire" false
+    (has_check "degradation" (bounded waster_slow))
+
+let test_drift_bounded () =
+  let exact = scaled_energy { good_run with Metrics.runtime_ps = 1_070_000 } 0.9 in
+  let agree =
+    Gassert.drift_bounded ~label:"t" ~bound_pp:2.0 ~baseline:good_run ~exact
+      ~sampled:exact
+  in
+  Alcotest.(check string) "identical runs never drift" ""
+    (Gassert.render agree);
+  let sampled = { exact with Metrics.runtime_ps = 1_600_000 } in
+  Alcotest.(check bool) "gross drift fires" true
+    (has_check "drift"
+       (Gassert.drift_bounded ~label:"t" ~bound_pp:2.0 ~baseline:good_run
+          ~exact ~sampled))
+
+let suite =
+  [
+    ("golden digests", `Quick, test_golden_digests);
+    ("regeneration byte-identical", `Quick, test_regeneration_byte_identical);
+    ( "parallel generation byte-identical",
+      `Quick,
+      test_parallel_generation_byte_identical );
+    ("name is digest prefix", `Quick, test_name_is_digest_prefix);
+    ("spec json roundtrip", `Quick, test_json_roundtrip);
+    ("spec json rejects malformed", `Quick, test_json_rejects_malformed);
+    ("validate ranges", `Quick, test_validate_ranges);
+    ("draw deterministic and valid", `Quick, test_draw_deterministic_and_valid);
+    ("workload wiring", `Quick, test_workload_wiring);
+    ("registration roundtrip", `Quick, test_registration_roundtrip);
+    ("registration rejects shadowing", `Quick, test_registration_rejects_shadowing);
+    ("generated programs walk", `Quick, test_generated_programs_walk);
+    qcheck prop_shrink_candidates_valid;
+    qcheck prop_shrink_terminates;
+    ("run_sane accepts good", `Quick, test_run_sane_accepts_good);
+    ("run_sane flags defects", `Quick, test_run_sane_flags_defects);
+    ("degradation bound", `Quick, test_degradation_bounded);
+    ("drift bound", `Quick, test_drift_bounded);
+  ]

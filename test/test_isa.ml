@@ -254,6 +254,92 @@ let test_walker_chase_dependence () =
   | [] -> Alcotest.fail "no loads");
   Alcotest.(check int) "all loads" 300 (List.length loads)
 
+(* --- degenerate shapes the generator is allowed to emit -------------- *)
+
+let test_walker_deep_nesting () =
+  let depth = 64 in
+  let p =
+    B.program ~name:"deep" @@ fun b ->
+    let rec nest d =
+      if d = 0 then [ B.straight b ~length:1 () ]
+      else [ B.loop b (P.Const 1) (nest (d - 1)) ]
+    in
+    B.func b "main" (nest depth);
+    "main"
+  in
+  let events = walk_all p in
+  (* one block instruction plus one back edge per loop level *)
+  Alcotest.(check int) "instructions" (1 + depth)
+    (List.length (insts events));
+  let d = ref 0 and max_d = ref 0 and min_d = ref 0 in
+  List.iter
+    (fun m ->
+      (match m with
+      | Walker.Enter_func _ | Walker.Enter_loop _ -> incr d
+      | Walker.Exit_func _ | Walker.Exit_loop _ -> decr d);
+      max_d := max !max_d !d;
+      min_d := min !min_d !d)
+    (markers events);
+  Alcotest.(check int) "balanced" 0 !d;
+  Alcotest.(check int) "never negative" 0 !min_d;
+  (* the function frame plus every loop level appears in the marker depth *)
+  Alcotest.(check int) "full depth reached" (1 + depth) !max_d
+
+let test_walker_zero_region_blocks () =
+  (* region 0 (or below the stride) must not divide by zero or emit
+     negative addresses, whatever the access pattern *)
+  List.iter
+    (fun (label, mem) ->
+      let p =
+        B.program ~name:label @@ fun b ->
+        B.func b "main" [ B.straight b ~length:50 ~frac_load:0.8 ~mem () ];
+        "main"
+      in
+      let ds = insts (walk_all p) in
+      Alcotest.(check int) (label ^ " walks") 50 (List.length ds);
+      List.iter
+        (fun (d : Inst.dyn) ->
+          if d.Inst.klass = Inst.Load then
+            Alcotest.(check bool) (label ^ " address non-negative") true
+              (d.Inst.addr >= 0))
+        ds)
+    [
+      ("seq-region0", P.Seq_stride { stride = 8; region = 0 });
+      ("rand-region0", P.Rand_in { region = 0 });
+      ("chase-region0", P.Chase { region = 0 });
+      ("rand-region1", P.Rand_in { region = 1 });
+    ]
+
+let test_walker_empty_periodic_pattern () =
+  let p =
+    B.program ~name:"per0" @@ fun b ->
+    B.func b "main"
+      [
+        B.straight b ~length:30 ~frac_branch:0.4
+          ~branch:(P.Periodic [||]) ();
+      ];
+    "main"
+  in
+  let branches =
+    List.filter (fun (d : Inst.dyn) -> d.Inst.klass = Inst.Branch)
+      (insts (walk_all p))
+  in
+  Alcotest.(check bool) "pattern branches exist" true (branches <> []);
+  Alcotest.(check bool) "empty pattern defaults to taken" true
+    (List.for_all (fun (d : Inst.dyn) -> d.Inst.taken) branches)
+
+let test_walker_single_phase_program () =
+  (* the smallest shape the generator can produce: one function, one
+     block, no loops *)
+  let p =
+    B.program ~name:"single" @@ fun b ->
+    B.func b "main" [ B.straight b ~length:12 () ];
+    "main"
+  in
+  let events = walk_all p in
+  Alcotest.(check int) "12 instructions" 12 (List.length (insts events));
+  Alcotest.(check int) "enter/exit only" 2 (List.length (markers events))
+
 let test_pc_spaces_disjoint () =
   let a = Walker.pc_of_block_slot ~block_id:100 ~slot:4095 in
   let b = Walker.pc_of_loop_branch ~loop_id:100 in
@@ -276,6 +362,13 @@ let test_instructions_emitted_counter () =
     (Walker.instructions_emitted w)
 
 (* --- qcheck: random programs keep markers well nested ---------------- *)
+
+let qcheck ?(seed = 0x15a) t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t
+
+let print_random_program (prog, seed) =
+  Printf.sprintf "seed=%d\n%s" seed
+    (P.canonical prog ~input:(input ~seed ()))
 
 let random_program_gen =
   QCheck.Gen.(
@@ -301,7 +394,7 @@ let random_program_gen =
 
 let prop_random_walk_well_nested =
   QCheck.Test.make ~name:"random programs walk well-nested" ~count:100
-    (QCheck.make random_program_gen)
+    (QCheck.make ~print:print_random_program random_program_gen)
     (fun (prog, seed) ->
       let events = walk_all ~input:(input ~seed ()) prog in
       let depth = ref 0 in
@@ -317,7 +410,7 @@ let prop_random_walk_well_nested =
 
 let prop_seq_numbers_dense =
   QCheck.Test.make ~name:"instruction seq numbers dense from 0" ~count:50
-    (QCheck.make random_program_gen)
+    (QCheck.make ~print:print_random_program random_program_gen)
     (fun (prog, seed) ->
       let ds = insts (walk_all ~input:(input ~seed ()) prog) in
       List.for_all2
@@ -343,8 +436,12 @@ let suite =
     ("walker choose divergence", `Quick, test_walker_choose_divergence);
     ("walker call sites", `Quick, test_walker_call_markers_carry_sites);
     ("walker chase dependence", `Quick, test_walker_chase_dependence);
+    ("walker deep nesting", `Quick, test_walker_deep_nesting);
+    ("walker zero-region blocks", `Quick, test_walker_zero_region_blocks);
+    ("walker empty periodic pattern", `Quick, test_walker_empty_periodic_pattern);
+    ("walker single-phase program", `Quick, test_walker_single_phase_program);
     ("pc spaces disjoint", `Quick, test_pc_spaces_disjoint);
     ("instructions_emitted counter", `Quick, test_instructions_emitted_counter);
-    QCheck_alcotest.to_alcotest prop_random_walk_well_nested;
-    QCheck_alcotest.to_alcotest prop_seq_numbers_dense;
+    qcheck prop_random_walk_well_nested;
+    qcheck prop_seq_numbers_dense;
   ]

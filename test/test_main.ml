@@ -14,6 +14,7 @@ let () =
       ("robust", Test_robust.suite);
       ("control", Test_control.suite);
       ("workloads", Test_workloads.suite);
+      ("gen", Test_gen.suite);
       ("experiments", Test_experiments.suite);
       ("cache", Test_cache.suite);
       ("serve", Test_serve.suite);

@@ -10,6 +10,9 @@ module Reconfig = Mcd_domains.Reconfig
 module Time = Mcd_util.Time
 module Rng = Mcd_util.Rng
 
+let qcheck ?(seed = 0x3cd) t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t
+
 let check_float = Alcotest.(check (float 1e-6))
 
 (* --- Domain --------------------------------------------------------- *)
@@ -417,7 +420,7 @@ let suite =
      test_reconfig_noop_writes_not_counted);
     ("reconfig noop event traced", `Quick, test_reconfig_noop_event_traced);
     ("reconfig full-speed fresh", `Quick, test_reconfig_full_speed_fresh);
-    QCheck_alcotest.to_alcotest prop_clamp_idempotent;
-    QCheck_alcotest.to_alcotest prop_voltage_in_range;
-    QCheck_alcotest.to_alcotest prop_sync_arrival_after_production;
+    qcheck prop_clamp_idempotent;
+    qcheck prop_voltage_in_range;
+    qcheck prop_sync_arrival_after_production;
   ]

@@ -9,6 +9,9 @@ module Call_tree = Mcd_profiling.Call_tree
 module Coverage = Mcd_profiling.Coverage
 module Tracker = Mcd_profiling.Tracker
 
+let qcheck ?(seed = 0x9806) t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t
+
 let input ?(scale = 2) ?(divergence = 0.0) ?(seed = 5) () =
   { P.input_name = "t"; scale; divergence; seed }
 
@@ -364,5 +367,5 @@ let suite =
     ("tracker unknown on new path", `Quick, test_tracker_unknown_on_new_path);
     ("tracker depth balanced", `Quick, test_tracker_depth_balanced);
     ("tracker restores position", `Quick, test_tracker_restores_position);
-    QCheck_alcotest.to_alcotest prop_totals_bounded_by_window;
+    qcheck prop_totals_bounded_by_window;
   ]

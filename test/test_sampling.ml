@@ -10,6 +10,9 @@ module Config = Mcd_cpu.Config
 module Metrics = Mcd_power.Metrics
 module Runner = Mcd_experiments.Runner
 module Context = Mcd_profiling.Context
+
+let qcheck ?(seed = 0x5a39) t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t
 module Suite = Mcd_workloads.Suite
 module Workload = Mcd_workloads.Workload
 module Store = Mcd_cache.Store
@@ -304,7 +307,7 @@ let suite =
     ("sampled runs deterministic", `Quick, test_sampled_deterministic);
     ("workload drift bounded", `Slow, test_workload_drift_bounded);
     ("golden sampled metrics pinned", `Quick, test_golden_sampled_metrics);
-    QCheck_alcotest.to_alcotest prop_sampled_policy_drift;
+    qcheck prop_sampled_policy_drift;
     ("warm profile_run decodes plan lazily", `Slow,
      test_warm_profile_run_lazy_plan);
     ("geomean rejects nonpositive", `Quick, test_geomean_rejects_nonpositive);

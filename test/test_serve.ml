@@ -10,6 +10,9 @@ module Jobq = Mcd_serve.Jobq
 module Scheduler = Mcd_serve.Scheduler
 module Journal = Mcd_serve.Journal
 module Error = Mcd_robust.Error
+
+let qcheck ?(seed = 0x5e12e) t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t
 module Inject = Mcd_robust.Inject
 module Metrics = Mcd_obs.Metrics
 module Rng = Mcd_util.Rng
@@ -194,6 +197,10 @@ let prop_frames_roundtrip =
     ~count:300
     QCheck.(
       make
+        ~print:(fun (frames, cuts) ->
+          Printf.sprintf "cuts=[%s]\nwire=%S"
+            (String.concat ";" (List.map string_of_int cuts))
+            (String.concat "" (List.map render_frame frames)))
         Gen.(
           let* frames = list_size (int_range 1 8) frame_gen in
           let* cuts = list_size (int_bound 40) (int_range 1 17) in
@@ -948,7 +955,7 @@ let suite =
     ("protocol reply roundtrip", `Quick, test_reply_roundtrip);
     ("protocol rejects garbage", `Quick, test_parse_rejects_garbage);
     ("protocol seq roundtrip", `Quick, test_seq_roundtrip);
-    QCheck_alcotest.to_alcotest prop_frames_roundtrip;
+    qcheck prop_frames_roundtrip;
     ("frames oversized rejected", `Quick, test_frames_oversized_rejected);
     ("request digests normalize", `Quick, test_request_normalization_digests);
     ("reject exit codes", `Quick, test_error_of_reject_exit_codes);

@@ -9,6 +9,9 @@ module Vec = Mcd_util.Vec
 module Agequeue = Mcd_util.Agequeue
 module Par = Mcd_util.Par
 
+let qcheck ?(seed = 0x0711) t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t
+
 let check_float = Alcotest.(check (float 1e-9))
 
 (* --- Rng ------------------------------------------------------------ *)
@@ -520,10 +523,10 @@ let suite =
     ("par propagates exception", `Quick, test_par_propagates_exception);
     ("par preserves backtrace", `Quick, test_par_preserves_backtrace);
     ("par iter", `Quick, test_par_iter);
-    QCheck_alcotest.to_alcotest prop_agequeue_matches_list_reference;
-    QCheck_alcotest.to_alcotest prop_par_map_deterministic;
-    QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
-    QCheck_alcotest.to_alcotest prop_histogram_merge_total;
-    QCheck_alcotest.to_alcotest prop_stats_mean_bounds;
-    QCheck_alcotest.to_alcotest prop_vec_roundtrip;
+    qcheck prop_agequeue_matches_list_reference;
+    qcheck prop_par_map_deterministic;
+    qcheck prop_rng_int_in_bounds;
+    qcheck prop_histogram_merge_total;
+    qcheck prop_stats_mean_bounds;
+    qcheck prop_vec_roundtrip;
   ]
